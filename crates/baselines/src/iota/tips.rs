@@ -1,0 +1,190 @@
+//! Tip selection strategies.
+//!
+//! IOTA's whitepaper describes uniform-random tip selection and the
+//! weighted random walk (MCMC) biased by cumulative weight with parameter
+//! `α`. The storage/communication profile measured in Figs. 7–8 is
+//! independent of the strategy, but the walk is implemented (and tested)
+//! because it is the part of IOTA that gives the tangle its convergence
+//! properties.
+
+use crate::iota::tangle::{Tangle, TxId};
+use tldag_sim::DetRng;
+
+/// How an issuer picks the transactions to approve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TipSelection {
+    /// Uniform over the current tip set.
+    UniformRandom,
+    /// Weighted random walk from genesis: step to child `c` with probability
+    /// ∝ `exp(α · w_c)` where `w` is the (approximate) cumulative weight.
+    WeightedWalk {
+        /// Bias strength; `0.0` degenerates to an unweighted walk.
+        alpha: f64,
+    },
+}
+
+/// Selects `k` parents (with replacement collapsed, so between 1 and `k`
+/// distinct ids, as in IOTA where both walks may end at the same tip).
+pub fn select_tips(
+    tangle: &Tangle,
+    strategy: TipSelection,
+    k: usize,
+    rng: &mut DetRng,
+) -> Vec<TxId> {
+    let mut parents = Vec::with_capacity(k);
+    let weights = match strategy {
+        TipSelection::WeightedWalk { .. } => Some(tangle.cumulative_weights_approx()),
+        TipSelection::UniformRandom => None,
+    };
+    for _ in 0..k {
+        let tip = match strategy {
+            TipSelection::UniformRandom => {
+                let tips = tangle.tips();
+                *rng.choose(&tips).expect("tangle always has a tip")
+            }
+            TipSelection::WeightedWalk { alpha } => walk(
+                tangle,
+                weights.as_deref().expect("weights computed"),
+                alpha,
+                rng,
+            ),
+        };
+        if !parents.contains(&tip) {
+            parents.push(tip);
+        }
+    }
+    parents
+}
+
+/// One biased random walk from genesis to a tip.
+fn walk(tangle: &Tangle, weights: &[u64], alpha: f64, rng: &mut DetRng) -> TxId {
+    let mut at = TxId::GENESIS;
+    loop {
+        let children = tangle.children(at);
+        if children.is_empty() {
+            return at;
+        }
+        if children.len() == 1 {
+            at = children[0];
+            continue;
+        }
+        // Subtract the max weight before exponentiating for stability.
+        let max_w = children
+            .iter()
+            .map(|c| weights[c.index()])
+            .max()
+            .expect("non-empty children");
+        let scores: Vec<f64> = children
+            .iter()
+            .map(|c| (alpha * (weights[c.index()] as f64 - max_w as f64)).exp())
+            .collect();
+        let total: f64 = scores.iter().sum();
+        let mut pick = rng.unit_f64() * total;
+        let mut chosen = children[children.len() - 1];
+        for (child, score) in children.iter().zip(&scores) {
+            if pick < *score {
+                chosen = *child;
+                break;
+            }
+            pick -= score;
+        }
+        at = chosen;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tldag_sim::{Bits, NodeId};
+
+    fn tangle_with_chain_and_orphan() -> (Tangle, TxId, TxId) {
+        // Genesis ← heavy chain of 10 txs; plus one orphan branch of 1 tx.
+        let bits = Bits::from_bytes(10);
+        let mut tangle = Tangle::new(bits);
+        let mut prev = TxId::GENESIS;
+        for i in 0..10u32 {
+            prev = tangle.attach(NodeId(1), u64::from(i), vec![prev], bits);
+        }
+        let orphan = tangle.attach(NodeId(2), 1, vec![TxId::GENESIS], bits);
+        (tangle, prev, orphan)
+    }
+
+    #[test]
+    fn uniform_returns_current_tips() {
+        let (tangle, heavy_tip, orphan) = tangle_with_chain_and_orphan();
+        let mut rng = DetRng::seed_from(1);
+        for _ in 0..20 {
+            let tips = select_tips(&tangle, TipSelection::UniformRandom, 2, &mut rng);
+            assert!(!tips.is_empty() && tips.len() <= 2);
+            for t in &tips {
+                assert!(*t == heavy_tip || *t == orphan);
+            }
+        }
+    }
+
+    #[test]
+    fn strong_bias_prefers_heavy_branch() {
+        let (tangle, heavy_tip, _) = tangle_with_chain_and_orphan();
+        let mut rng = DetRng::seed_from(2);
+        let mut heavy_hits = 0;
+        for _ in 0..100 {
+            let tips = select_tips(
+                &tangle,
+                TipSelection::WeightedWalk { alpha: 5.0 },
+                1,
+                &mut rng,
+            );
+            if tips[0] == heavy_tip {
+                heavy_hits += 1;
+            }
+        }
+        assert!(heavy_hits > 95, "alpha=5 should almost always pick the heavy chain, got {heavy_hits}");
+    }
+
+    #[test]
+    fn zero_alpha_visits_both_branches() {
+        let (tangle, heavy_tip, orphan) = tangle_with_chain_and_orphan();
+        let mut rng = DetRng::seed_from(3);
+        let mut seen_heavy = false;
+        let mut seen_orphan = false;
+        for _ in 0..200 {
+            let tips = select_tips(
+                &tangle,
+                TipSelection::WeightedWalk { alpha: 0.0 },
+                1,
+                &mut rng,
+            );
+            seen_heavy |= tips[0] == heavy_tip;
+            seen_orphan |= tips[0] == orphan;
+        }
+        assert!(seen_heavy && seen_orphan);
+    }
+
+    #[test]
+    fn walks_end_at_tips() {
+        let (tangle, _, _) = tangle_with_chain_and_orphan();
+        let mut rng = DetRng::seed_from(4);
+        for _ in 0..50 {
+            let tips = select_tips(
+                &tangle,
+                TipSelection::WeightedWalk { alpha: 0.5 },
+                2,
+                &mut rng,
+            );
+            for t in tips {
+                assert!(tangle.children(t).is_empty(), "{t:?} is not a tip");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_tips_collapse() {
+        // Single-tip tangle: both walks end at the same place → one parent.
+        let bits = Bits::from_bytes(10);
+        let mut tangle = Tangle::new(bits);
+        let only = tangle.attach(NodeId(1), 1, vec![TxId::GENESIS], bits);
+        let mut rng = DetRng::seed_from(5);
+        let tips = select_tips(&tangle, TipSelection::UniformRandom, 2, &mut rng);
+        assert_eq!(tips, vec![only]);
+    }
+}

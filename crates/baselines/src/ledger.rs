@@ -1,0 +1,163 @@
+//! A uniform interface over the three ledgers so the evaluation harness can
+//! sweep them identically (Figs. 7–8 plot all three on shared axes).
+
+use crate::iota::IotaNetwork;
+use crate::pbft::PbftNetwork;
+use tldag_core::network::TldagNetwork;
+use tldag_sim::bus::Accounting;
+use tldag_sim::engine::Slot;
+use tldag_sim::Bits;
+
+/// A slotted ledger simulation with storage/communication accounting.
+pub trait LedgerSim {
+    /// Short system name for report rows ("2LDAG", "PBFT", "IOTA").
+    fn name(&self) -> &'static str;
+
+    /// Executes one time slot.
+    fn step(&mut self);
+
+    /// The next slot to execute (= slots executed so far).
+    fn slot(&self) -> Slot;
+
+    /// Per-node logical storage.
+    fn storage_bits_per_node(&self) -> Vec<Bits>;
+
+    /// Traffic accounting so far.
+    fn accounting(&self) -> &Accounting;
+
+    /// Runs `k` slots.
+    fn run_slots(&mut self, k: u64) {
+        for _ in 0..k {
+            self.step();
+        }
+    }
+
+    /// Mean per-node storage in MB (the Fig. 7 y-axis).
+    fn mean_storage_mb(&self) -> f64 {
+        let per_node = self.storage_bits_per_node();
+        if per_node.is_empty() {
+            return 0.0;
+        }
+        per_node.iter().map(|b| b.as_megabytes()).sum::<f64>() / per_node.len() as f64
+    }
+}
+
+impl LedgerSim for TldagNetwork {
+    fn name(&self) -> &'static str {
+        "2LDAG"
+    }
+
+    fn step(&mut self) {
+        TldagNetwork::step(self);
+    }
+
+    fn slot(&self) -> Slot {
+        TldagNetwork::slot(self)
+    }
+
+    fn storage_bits_per_node(&self) -> Vec<Bits> {
+        TldagNetwork::storage_bits_per_node(self)
+    }
+
+    fn accounting(&self) -> &Accounting {
+        TldagNetwork::accounting(self)
+    }
+}
+
+impl LedgerSim for PbftNetwork {
+    fn name(&self) -> &'static str {
+        "PBFT"
+    }
+
+    fn step(&mut self) {
+        PbftNetwork::step(self);
+    }
+
+    fn slot(&self) -> Slot {
+        PbftNetwork::slot(self)
+    }
+
+    fn storage_bits_per_node(&self) -> Vec<Bits> {
+        PbftNetwork::storage_bits_per_node(self)
+    }
+
+    fn accounting(&self) -> &Accounting {
+        PbftNetwork::accounting(self)
+    }
+}
+
+impl LedgerSim for IotaNetwork {
+    fn name(&self) -> &'static str {
+        "IOTA"
+    }
+
+    fn step(&mut self) {
+        IotaNetwork::step(self);
+    }
+
+    fn slot(&self) -> Slot {
+        IotaNetwork::slot(self)
+    }
+
+    fn storage_bits_per_node(&self) -> Vec<Bits> {
+        IotaNetwork::storage_bits_per_node(self)
+    }
+
+    fn accounting(&self) -> &Accounting {
+        IotaNetwork::accounting(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BaselineConfig;
+    use tldag_core::config::ProtocolConfig;
+    use tldag_sim::engine::GenerationSchedule;
+    use tldag_sim::topology::{Topology, TopologyConfig};
+    use tldag_sim::DetRng;
+
+    fn topo(seed: u64) -> Topology {
+        Topology::random_connected(&TopologyConfig::small(8), &mut DetRng::seed_from(seed))
+    }
+
+    fn all_three(seed: u64) -> Vec<Box<dyn LedgerSim>> {
+        let t = topo(seed);
+        let tldag = TldagNetwork::new(
+            ProtocolConfig::test_default(),
+            t.clone(),
+            GenerationSchedule::uniform(t.len()),
+            seed,
+        );
+        let pbft = PbftNetwork::new(BaselineConfig::test_default(), t.clone(), seed);
+        let iota = IotaNetwork::new(BaselineConfig::test_default(), t, seed);
+        vec![Box::new(tldag), Box::new(pbft), Box::new(iota)]
+    }
+
+    #[test]
+    fn trait_objects_drive_all_three_systems() {
+        for mut ledger in all_three(5) {
+            ledger.run_slots(4);
+            assert_eq!(ledger.slot(), 4, "{}", ledger.name());
+            assert!(ledger.mean_storage_mb() > 0.0, "{}", ledger.name());
+        }
+    }
+
+    #[test]
+    fn tldag_stores_less_than_replicated_ledgers() {
+        let mut ledgers = all_three(6);
+        for ledger in &mut ledgers {
+            ledger.run_slots(10);
+        }
+        let storage: Vec<f64> = ledgers.iter().map(|l| l.mean_storage_mb()).collect();
+        let (tldag, pbft, iota) = (storage[0], storage[1], storage[2]);
+        assert!(
+            tldag < pbft / 4.0,
+            "2LDAG {tldag} MB should be well below PBFT {pbft} MB"
+        );
+        assert!(
+            tldag < iota / 4.0,
+            "2LDAG {tldag} MB should be well below IOTA {iota} MB"
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Baseline costs: one PBFT consensus round (message-driven cluster), the
+//! aggregate-accounted PBFT slot, and IOTA tip selection + attach.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tldag_baselines::iota::{select_tips, IotaNetwork, Tangle, TipSelection};
+use tldag_baselines::pbft::{BlockMeta, PbftCluster, PbftNetwork};
+use tldag_baselines::BaselineConfig;
+use tldag_crypto::Digest;
+use tldag_sim::topology::{Topology, TopologyConfig};
+use tldag_sim::{Bits, DetRng, NodeId};
+
+fn bench_pbft_cluster_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbft_cluster_round");
+    for n in [4usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = BaselineConfig::test_default();
+            let mut tag = 0u64;
+            b.iter(|| {
+                let mut cluster = PbftCluster::new(cfg, n);
+                tag += 1;
+                let mut digest = [0u8; 32];
+                digest[..8].copy_from_slice(&tag.to_be_bytes());
+                let block = BlockMeta {
+                    proposer: NodeId(1),
+                    slot: 0,
+                    digest: Digest::from_bytes(digest),
+                    bits: Bits::from_bytes(128),
+                };
+                black_box(cluster.submit(NodeId(1), block))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pbft_network_slot(c: &mut Criterion) {
+    let topo = Topology::random_connected(
+        &TopologyConfig::paper_default(),
+        &mut DetRng::seed_from(4),
+    );
+    let mut net = PbftNetwork::new(BaselineConfig::test_default(), topo, 4);
+    c.bench_function("pbft_network_slot_50_nodes", |b| {
+        b.iter(|| {
+            net.step();
+            black_box(net.blocks_committed())
+        });
+    });
+}
+
+fn bench_iota_tip_selection(c: &mut Criterion) {
+    let mut tangle = Tangle::new(Bits::from_bytes(100));
+    let mut rng = DetRng::seed_from(5);
+    for i in 0..2000u32 {
+        let parents = select_tips(&tangle, TipSelection::UniformRandom, 2, &mut rng);
+        tangle.attach(NodeId(i % 50), u64::from(i / 50), parents, Bits::from_bytes(100));
+    }
+    let mut group = c.benchmark_group("iota_tip_selection_2000tx");
+    group.bench_function("uniform", |b| {
+        let mut rng = DetRng::seed_from(6);
+        b.iter(|| select_tips(black_box(&tangle), TipSelection::UniformRandom, 2, &mut rng));
+    });
+    group.bench_function("weighted_walk", |b| {
+        let mut rng = DetRng::seed_from(7);
+        b.iter(|| {
+            select_tips(
+                black_box(&tangle),
+                TipSelection::WeightedWalk { alpha: 0.05 },
+                2,
+                &mut rng,
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_iota_network_slot(c: &mut Criterion) {
+    let topo = Topology::random_connected(
+        &TopologyConfig::paper_default(),
+        &mut DetRng::seed_from(8),
+    );
+    let mut net = IotaNetwork::new(BaselineConfig::test_default(), topo, 8);
+    c.bench_function("iota_network_slot_50_nodes", |b| {
+        b.iter(|| {
+            net.step();
+            black_box(net.tangle().len())
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_pbft_cluster_round,
+    bench_pbft_network_slot,
+    bench_iota_tip_selection,
+    bench_iota_network_slot
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Micro-benchmarks for the cryptographic substrate: SHA-256 throughput,
+//! Merkle root construction, and Schnorr sign/verify — the per-block costs
+//! underlying every 2LDAG operation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use tldag_crypto::merkle::{merkle_root, MerkleTree};
+use tldag_crypto::schnorr::KeyPair;
+use tldag_crypto::sha256::sha256;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| sha256(black_box(data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("merkle_root");
+    for leaves in [8usize, 64, 512] {
+        let data: Vec<Vec<u8>> = (0..leaves).map(|i| vec![i as u8; 64]).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(leaves), &data, |b, data| {
+            b.iter(|| merkle_root(black_box(data.iter())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_merkle_proof(c: &mut Criterion) {
+    let data: Vec<Vec<u8>> = (0..256usize).map(|i| vec![i as u8; 64]).collect();
+    let tree = MerkleTree::build(data.iter());
+    let root = tree.root();
+    let proof = tree.proof(100).expect("index in range");
+    c.bench_function("merkle_proof_verify_256", |b| {
+        b.iter(|| black_box(&proof).verify(black_box(&root), black_box(&data[100])));
+    });
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let kp = KeyPair::from_seed(1);
+    let msg = [0x5au8; 32];
+    c.bench_function("schnorr_sign", |b| {
+        b.iter(|| kp.sign(black_box(&msg)));
+    });
+    let sig = kp.sign(&msg);
+    c.bench_function("schnorr_verify", |b| {
+        b.iter(|| kp.public().verify(black_box(&msg), black_box(&sig)));
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_merkle, bench_merkle_proof, bench_schnorr);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! WPS/TPS micro-costs: next-hop selection over growing neighborhoods and
+//! trust-cache extension over growing caches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::HashSet;
+use std::hint::black_box;
+use tldag_core::block::{BlockBody, BlockId, DataBlock, DigestEntry};
+use tldag_core::config::ProtocolConfig;
+use tldag_core::pop::{tps, wps};
+use tldag_core::store::{TrustCache, TrustedHeader};
+use tldag_crypto::schnorr::KeyPair;
+use tldag_crypto::Digest;
+use tldag_sim::topology::{Topology, TopologyConfig};
+use tldag_sim::{DetRng, NodeId};
+
+fn bench_wps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wps_select_next");
+    for n in [10usize, 50, 200] {
+        let topo = Topology::random_connected(
+            &TopologyConfig {
+                nodes: n,
+                side_m: 400.0,
+                ..TopologyConfig::paper_default()
+            },
+            &mut DetRng::seed_from(1),
+        );
+        let candidates: Vec<NodeId> = topo.neighbors(NodeId(0)).to_vec();
+        let ri: HashSet<NodeId> = (0..n as u32 / 4).map(NodeId).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &topo, |b, topo| {
+            let mut rng = DetRng::seed_from(2);
+            b.iter(|| wps::select_next(black_box(topo), black_box(&candidates), &ri, &mut rng));
+        });
+    }
+    group.finish();
+}
+
+fn chain_cache(cfg: &ProtocolConfig, len: usize) -> (TrustCache, Digest) {
+    let kp = KeyPair::from_seed(9);
+    let root = Digest::from_bytes([7; 32]);
+    let mut cache = TrustCache::new();
+    let mut parent = root;
+    for i in 0..len {
+        let block = DataBlock::create(
+            cfg,
+            BlockId::new(NodeId(i as u32 % 16), i as u32 / 16),
+            i as u64,
+            vec![DigestEntry {
+                origin: NodeId((i as u32).wrapping_sub(1) % 16),
+                digest: parent,
+            }],
+            BlockBody::new(vec![i as u8], cfg.body_bits),
+            &kp,
+        );
+        parent = block.header_digest();
+        cache.insert(TrustedHeader {
+            owner: block.id.owner,
+            block_id: block.id,
+            header: block.header,
+        });
+    }
+    (cache, root)
+}
+
+fn bench_tps(c: &mut Criterion) {
+    let cfg = ProtocolConfig::test_default();
+    let mut group = c.benchmark_group("tps_extend");
+    for len in [16usize, 128, 1024] {
+        let (cache, root) = chain_cache(&cfg, len);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &cache, |b, cache| {
+            let skip = HashSet::new();
+            b.iter(|| tps::extend(black_box(cache), black_box(&root), &skip, 64));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wps, bench_tps);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! End-to-end Proof-of-Path cost at several consensus margins γ, on a warm
+//! 2LDAG network — the protocol's reactive-verification cost in wall time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use tldag_core::block::BlockId;
+use tldag_core::config::ProtocolConfig;
+use tldag_core::network::TldagNetwork;
+use tldag_core::workload::VerificationWorkload;
+use tldag_sim::engine::GenerationSchedule;
+use tldag_sim::topology::{Topology, TopologyConfig};
+use tldag_sim::{Bits, DetRng, NodeId};
+
+fn warm_network(gamma: usize) -> TldagNetwork {
+    let nodes = 30;
+    let topo = Topology::random_connected(
+        &TopologyConfig {
+            nodes,
+            side_m: 400.0,
+            ..TopologyConfig::paper_default()
+        },
+        &mut DetRng::seed_from(3),
+    );
+    let cfg = ProtocolConfig::paper_default()
+        .with_body_bits(Bits::from_bytes(256).bits())
+        .with_gamma(gamma)
+        .with_difficulty(0);
+    let mut net = TldagNetwork::new(cfg, topo, GenerationSchedule::uniform(nodes), 3);
+    net.set_verification_workload(VerificationWorkload::Disabled);
+    net.run_slots(nodes as u64 + 40);
+    net
+}
+
+fn bench_pop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pop_verification");
+    group.sample_size(20);
+    for gamma in [4usize, 8, 12] {
+        let mut net = warm_network(gamma);
+        let target = BlockId::new(NodeId(5), 0);
+        group.bench_with_input(BenchmarkId::new("gamma", gamma), &target, |b, &target| {
+            b.iter(|| {
+                let report = net.run_pop(NodeId(0), black_box(target), false);
+                black_box(report.distinct_nodes)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pop_with_warm_cache(c: &mut Criterion) {
+    let mut net = warm_network(8);
+    let target = BlockId::new(NodeId(5), 0);
+    // A committed run populates the trust cache; later runs ride TPS.
+    net.run_pop(NodeId(0), target, true);
+    c.bench_function("pop_verification_warm_cache", |b| {
+        b.iter(|| {
+            let report = net.run_pop(NodeId(0), black_box(target), false);
+            black_box(report.metrics.tps_extensions)
+        });
+    });
+}
+
+criterion_group!(benches, bench_pop, bench_pop_with_warm_cache);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation A3: measured overhead vs the analytic bounds of Sec. V
+//! (Propositions 1–4).
+//!
+//! Usage: `cargo run -p tldag-bench --release --bin ablation_bounds [--quick]`
+
+use tldag_bench::experiments::ablation::{self, AblationConfig};
+use tldag_bench::report;
+use tldag_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let cfg = match scale {
+        Scale::Paper => AblationConfig::paper(),
+        Scale::Quick => AblationConfig::quick(),
+    };
+    eprintln!(
+        "ablation_bounds: {} nodes, γ = {} ({scale:?} scale)",
+        cfg.nodes, cfg.gamma
+    );
+    let rows = ablation::run_bounds_check(&cfg);
+
+    println!("\n== A3: measured vs analytic bounds (Propositions 1–4) ==");
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.proposition.clone(),
+                report::fmt_f64(r.measured),
+                report::fmt_f64(r.bound),
+                if r.holds { "holds".into() } else { "VIOLATED".into() },
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::render_table(&["proposition", "measured", "bound", "status"], &table)
+    );
+    if rows.iter().any(|r| !r.holds) {
+        std::process::exit(1);
+    }
+}

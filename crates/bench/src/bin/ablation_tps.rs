@@ -1,0 +1,41 @@
+//! Ablation A2: Trust Path Selection cache on vs off across repeated
+//! verifications of the same DAG region.
+//!
+//! Usage: `cargo run -p tldag-bench --release --bin ablation_tps [--quick]`
+
+use tldag_bench::experiments::ablation::{self, AblationConfig};
+use tldag_bench::report;
+use tldag_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let cfg = match scale {
+        Scale::Paper => AblationConfig::paper(),
+        Scale::Quick => AblationConfig::quick(),
+    };
+    eprintln!(
+        "ablation_tps: {} nodes, γ = {} ({scale:?} scale)",
+        cfg.nodes, cfg.gamma
+    );
+    let stats = ablation::run_tps_ablation(&cfg);
+
+    println!("\n== A2: trust-cache (TPS) contribution ==");
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|s| {
+            vec![
+                s.label.clone(),
+                s.first_run_requests.to_string(),
+                report::fmt_f64(s.mean_repeat_requests),
+                report::fmt_f64(s.mean_tps_extensions),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::render_table(
+            &["mode", "first-run REQ_CHILD", "repeat REQ_CHILD (mean)", "TPS extensions (mean)"],
+            &rows
+        )
+    );
+}

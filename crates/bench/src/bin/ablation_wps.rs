@@ -1,0 +1,41 @@
+//! Ablation A1: Weighted Path Selection (Algorithm 1) vs random next-hop.
+//!
+//! Usage: `cargo run -p tldag-bench --release --bin ablation_wps [--quick]`
+
+use tldag_bench::experiments::ablation::{self, AblationConfig};
+use tldag_bench::report;
+use tldag_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let cfg = match scale {
+        Scale::Paper => AblationConfig::paper(),
+        Scale::Quick => AblationConfig::quick(),
+    };
+    eprintln!(
+        "ablation_wps: {} nodes, γ = {}, {} probes ({scale:?} scale)",
+        cfg.nodes, cfg.gamma, cfg.probes
+    );
+    let stats = ablation::run_wps_ablation(&cfg);
+
+    println!("\n== A1: next-hop selection strategy ==");
+    let rows: Vec<Vec<String>> = stats
+        .iter()
+        .map(|s| {
+            vec![
+                s.label.clone(),
+                format!("{}/{}", s.successes, s.runs),
+                report::fmt_f64(s.mean_requests),
+                report::fmt_f64(s.mean_path_len),
+                report::fmt_f64(s.mean_rollbacks),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::render_table(
+            &["strategy", "success", "mean REQ_CHILD", "mean path len", "mean rollbacks"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,66 @@
+//! Regenerates Fig. 7: storage overhead of 2LDAG vs PBFT vs IOTA.
+//!
+//! Usage: `cargo run -p tldag-bench --release --bin fig7_storage [--quick]`
+
+use tldag_bench::experiments::fig7::{self, Fig7Config};
+use tldag_bench::report;
+use tldag_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let cfg = Fig7Config::at_scale(scale);
+    eprintln!(
+        "fig7_storage: {} nodes, {} slots, C = {:?} MB ({scale:?} scale)",
+        cfg.nodes, cfg.slots, cfg.bodies_mb
+    );
+    let data = fig7::run(&cfg);
+
+    for (i, panel) in data.panels.iter().enumerate() {
+        let letter = (b'a' + i as u8) as char;
+        println!("\n== Fig. 7({letter}): average node storage (MB), C = {} MB ==", panel.c_mb);
+        let names = panel.series.names().to_vec();
+        let slots = panel.series.series(&names[0]).expect("series exists").slots();
+        let mut rows = Vec::new();
+        for slot in slots {
+            let mut row = vec![slot.to_string()];
+            for name in &names {
+                let v = panel.series.series(name).and_then(|s| s.value_at(slot));
+                row.push(v.map(report::fmt_f64).unwrap_or_default());
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["slot"];
+        headers.extend(names.iter().map(String::as_str));
+        print!("{}", report::render_table(&headers, &rows));
+        if let Some(path) = report::write_csv(
+            &format!("fig7{letter}_storage_c{}", panel.c_mb),
+            &panel.series.to_csv(),
+        ) {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+
+    println!(
+        "\n== Fig. 7(d): CDF of per-node 2LDAG storage at final slot, C = {} MB ==",
+        data.cdf_body_mb
+    );
+    let rows: Vec<Vec<String>> = data
+        .cdf
+        .points()
+        .into_iter()
+        .map(|(x, f)| vec![report::fmt_f64(x), report::fmt_f64(f)])
+        .collect();
+    print!("{}", report::render_table(&["storage_mb", "cdf"], &rows));
+    let csv: String = std::iter::once("storage_mb,cdf".to_string())
+        .chain(
+            data.cdf
+                .points()
+                .into_iter()
+                .map(|(x, f)| format!("{x:.6},{f:.6}")),
+        )
+        .collect::<Vec<_>>()
+        .join("\n");
+    if let Some(path) = report::write_csv("fig7d_storage_cdf", &csv) {
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,93 @@
+//! Regenerates Fig. 8: communication overhead of 2LDAG vs PBFT vs IOTA.
+//!
+//! Usage: `cargo run -p tldag-bench --release --bin fig8_comm [--quick]`
+
+use tldag_bench::experiments::fig8::{self, Fig8Config};
+use tldag_bench::report;
+use tldag_bench::Scale;
+use tldag_sim::metrics::SeriesSet;
+
+fn print_panel(title: &str, csv_name: &str, set: &SeriesSet) {
+    println!("\n== {title} ==");
+    let names = set.names().to_vec();
+    if names.is_empty() {
+        println!("(no data)");
+        return;
+    }
+    let slots = set.series(&names[0]).expect("series exists").slots();
+    let mut rows = Vec::new();
+    for slot in slots {
+        let mut row = vec![slot.to_string()];
+        for name in &names {
+            let v = set.series(name).and_then(|s| s.value_at(slot));
+            row.push(v.map(report::fmt_f64).unwrap_or_default());
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["slot"];
+    headers.extend(names.iter().map(String::as_str));
+    print!("{}", report::render_table(&headers, &rows));
+    if let Some(path) = report::write_csv(csv_name, &set.to_csv()) {
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let cfg = Fig8Config::at_scale(scale);
+    eprintln!(
+        "fig8_comm: {} nodes, {} slots, C = {} MB ({scale:?} scale)",
+        cfg.nodes, cfg.slots, cfg.body_mb
+    );
+    let data = fig8::run(&cfg);
+
+    print_panel(
+        "Fig. 8(a): overall mean node communication (Mb transmitted)",
+        "fig8a_comm_overall",
+        &data.overall,
+    );
+    print_panel(
+        "Fig. 8(b): DAG-construction component (Mb)",
+        "fig8b_comm_dag",
+        &data.dag_construction,
+    );
+    print_panel(
+        "Fig. 8(c): consensus component (Mb)",
+        "fig8c_comm_consensus",
+        &data.consensus,
+    );
+
+    println!("\n== Fig. 8(d): CDF of per-node transmitted Mb at final slot ==");
+    for (label, cdf) in &data.cdfs {
+        println!("-- {label} --");
+        let rows: Vec<Vec<String>> = cdf
+            .points()
+            .into_iter()
+            .map(|(x, f)| vec![report::fmt_f64(x), report::fmt_f64(f)])
+            .collect();
+        print!("{}", report::render_table(&["comm_mb", "cdf"], &rows));
+    }
+
+    println!("\n== PoP diagnostics ==");
+    let rows: Vec<Vec<String>> = data
+        .pop_counters
+        .iter()
+        .map(|(label, attempts, successes)| {
+            let rate = if *attempts == 0 {
+                0.0
+            } else {
+                *successes as f64 / *attempts as f64
+            };
+            vec![
+                label.clone(),
+                attempts.to_string(),
+                successes.to_string(),
+                format!("{:.1}%", rate * 100.0),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::render_table(&["variant", "pop_attempts", "successes", "rate"], &rows)
+    );
+}

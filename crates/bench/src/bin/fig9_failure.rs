@@ -1,0 +1,58 @@
+//! Regenerates Fig. 9: consensus failure probability vs elapsed slots for
+//! γ ∈ {10, 15, 20, 24} under varying malicious-node counts.
+//!
+//! Usage: `cargo run -p tldag-bench --release --bin fig9_failure [--quick]`
+
+use tldag_bench::experiments::fig9::{self, Fig9Config};
+use tldag_bench::report;
+use tldag_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let cfg = Fig9Config::at_scale(scale);
+    eprintln!(
+        "fig9_failure: {} nodes, {} seeds, {} probes/sample ({scale:?} scale)",
+        cfg.nodes, cfg.seeds, cfg.probes_per_sample
+    );
+    let panels = fig9::run(&cfg);
+
+    for (i, panel) in panels.iter().enumerate() {
+        let letter = (b'a' + i as u8) as char;
+        println!(
+            "\n== Fig. 9({letter}): consensus failure probability, γ = {} ==",
+            panel.gamma
+        );
+        let names = panel.series.names().to_vec();
+        let slots = panel
+            .series
+            .series(&names[0])
+            .expect("series exists")
+            .slots();
+        let mut rows = Vec::new();
+        for slot in slots {
+            let mut row = vec![slot.to_string()];
+            for name in &names {
+                let v = panel.series.series(name).and_then(|s| s.value_at(slot));
+                row.push(v.map(report::fmt_f64).unwrap_or_default());
+            }
+            rows.push(row);
+        }
+        let mut headers = vec!["slot"];
+        headers.extend(names.iter().map(String::as_str));
+        print!("{}", report::render_table(&headers, &rows));
+
+        println!("slots to consensus (first sampled slot with zero failures):");
+        for (malicious, reached) in &panel.slots_to_consensus {
+            match reached {
+                Some(slot) => println!("  {malicious} malicious: slot {slot}"),
+                None => println!("  {malicious} malicious: not reached in range"),
+            }
+        }
+        if let Some(path) = report::write_csv(
+            &format!("fig9{letter}_failure_gamma{}", panel.gamma),
+            &panel.series.to_csv(),
+        ) {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}

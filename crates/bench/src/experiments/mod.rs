@@ -1,0 +1,8 @@
+//! Experiment implementations, one module per paper panel group.
+
+pub mod ablation;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod scale;
+pub mod summary;

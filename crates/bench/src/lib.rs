@@ -1,0 +1,25 @@
+//! # tldag-bench — the 2LDAG evaluation harness
+//!
+//! One regeneration target per panel of the paper's evaluation (Sec. VI):
+//!
+//! | Binary | Reproduces |
+//! |---|---|
+//! | `fig7_storage` | Fig. 7(a–c) storage vs slots for C ∈ {0.1, 0.5, 1} MB, and 7(d) per-node storage CDF |
+//! | `fig8_comm` | Fig. 8(a) overall comm, 8(b) DAG construction, 8(c) consensus, 8(d) per-node comm CDF |
+//! | `fig9_failure` | Fig. 9(a–d) consensus-failure probability for γ ∈ {10, 15, 20, 24} |
+//! | `table1_summary` | The abstract's headline ratios (storage ≈2, comm ≈3 orders of magnitude) |
+//! | `ablation_wps` | WPS vs random next-hop selection |
+//! | `ablation_tps` | TPS cache on vs off over repeated verifications |
+//! | `ablation_bounds` | Measured overhead vs the Prop. 1–6 analytic bounds |
+//!
+//! All binaries accept `--quick` (or `TLDAG_QUICK=1`) for a reduced sweep and
+//! print both an aligned table and CSV. Criterion micro-benchmarks live in
+//! `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::scale::Scale;

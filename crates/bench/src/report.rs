@@ -1,0 +1,99 @@
+//! Plain-text reporting: aligned tables and CSV emission.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// Renders rows as an aligned ASCII table with a header rule.
+///
+/// # Example
+///
+/// ```
+/// let table = tldag_bench::report::render_table(
+///     &["system", "storage"],
+///     &[vec!["2LDAG".into(), "99.2".into()]],
+/// );
+/// assert!(table.contains("2LDAG"));
+/// assert!(table.lines().count() >= 3);
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let write_row = |out: &mut String, cells: &[String]| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{cell:<width$}", width = widths[i]);
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    write_row(&mut out, &header_cells);
+    let rule_len = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.push_str(&"-".repeat(rule_len));
+    out.push('\n');
+    for row in rows {
+        write_row(&mut out, row);
+    }
+    out
+}
+
+/// Writes CSV content to `target/experiments/<name>.csv`, creating the
+/// directory if needed. Returns the path written, or `None` on I/O failure
+/// (the harness treats file output as best-effort; stdout always has the
+/// data).
+pub fn write_csv(name: &str, content: &str) -> Option<std::path::PathBuf> {
+    let dir = Path::new("target").join("experiments");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("{name}.csv"));
+    std::fs::write(&path, content).ok()?;
+    Some(path)
+}
+
+/// Formats a float compactly for tables.
+pub fn fmt_f64(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[
+                vec!["xx".into(), "1".into()],
+                vec!["y".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows equal width for the first column block.
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[2].starts_with("xx"));
+    }
+
+    #[test]
+    fn fmt_f64_scales() {
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(12345.6), "12346");
+        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(0.001234), "0.0012");
+    }
+}

@@ -1,0 +1,161 @@
+//! Analytic bounds from Sec. V (Propositions 1–6), as checkable functions.
+//!
+//! The experiments assert simulated runs against these bounds; the bench
+//! harness (`ablation_bounds`) sweeps parameters and reports measured vs
+//! analytic values side by side.
+
+use crate::config::ProtocolConfig;
+use tldag_sim::engine::{GenerationSchedule, Slot};
+use tldag_sim::{Bits, NodeId};
+
+/// Proposition 1: total number of data blocks at time `t` is
+/// `Σ_j ⌊t·r_j / C⌋`. With slotted generation this is the sum of per-node
+/// generation-slot counts in `0..=t`.
+pub fn prop1_total_blocks(schedule: &GenerationSchedule, t: Slot) -> u64 {
+    (0..schedule.len() as u32)
+        .map(|i| schedule.blocks_by(NodeId(i), t))
+        .sum()
+}
+
+/// Proposition 2: upper bound on the trust cache size `|H_i|` at time `t`:
+/// `t (f_c + f_H |V|) / C · Σ_{j≠i} r_j` bits — every header of every other
+/// node, each counted at the maximal header size `f_c + f_H |V|`.
+pub fn prop2_trust_cache_bound(
+    cfg: &ProtocolConfig,
+    schedule: &GenerationSchedule,
+    node: NodeId,
+    t: Slot,
+    network_size: usize,
+) -> Bits {
+    let max_header = cfg.const_header_bits() + cfg.f_h * network_size as u64;
+    let other_blocks: u64 = (0..schedule.len() as u32)
+        .filter(|&j| NodeId(j) != node)
+        .map(|j| schedule.blocks_by(NodeId(j), t))
+        .sum();
+    Bits::from_bits(max_header * other_blocks)
+}
+
+/// Proposition 3: upper bound on total node storage (`S_i + H_i`) at time
+/// `t`: `t·r_i + t (f_c + f_H |V|)/C · Σ_j r_j` bits. Expressed in slotted
+/// form: own bodies plus a maximal header for **every** block in the network.
+pub fn prop3_storage_bound(
+    cfg: &ProtocolConfig,
+    schedule: &GenerationSchedule,
+    node: NodeId,
+    t: Slot,
+    network_size: usize,
+) -> Bits {
+    let own_blocks = schedule.blocks_by(node, t);
+    let own_bodies = cfg.body_bits * own_blocks;
+    let max_header = cfg.const_header_bits() + cfg.f_h * network_size as u64;
+    let all_blocks = prop1_total_blocks(schedule, t);
+    Bits::from_bits(own_bodies + max_header * all_blocks)
+}
+
+/// Proposition 4: a validator with an empty trust cache exchanges at least
+/// `2(γ + 1)` messages to reach consensus.
+pub fn prop4_message_lower_bound(gamma: usize) -> u64 {
+    2 * (gamma as u64 + 1)
+}
+
+/// Proposition 5: the number of blocks inside a micro-loop traversing the
+/// node set `M` is at most `Σ_{i∈M} ⌊r_i / min_{j∉M} r_j⌋`. With slotted
+/// rates `r = 1/period`, the ratio `r_i / r_min` equals
+/// `max_period_outside / period_i`.
+pub fn prop5_microloop_bound(
+    schedule: &GenerationSchedule,
+    loop_nodes: &[NodeId],
+    network_size: usize,
+) -> u64 {
+    let outside_max_period = (0..network_size as u32)
+        .map(NodeId)
+        .filter(|id| !loop_nodes.contains(id))
+        .map(|id| schedule.period(id))
+        .max()
+        .unwrap_or(1);
+    loop_nodes
+        .iter()
+        .map(|&id| outside_max_period / schedule.period(id))
+        .sum()
+}
+
+/// Proposition 6: upper bound on the total messages a validator exchanges,
+/// `(|V| + γ)(Σ_{j=1}^{γ} r_j / r_|V| + γ + 1)`, with rates sorted in
+/// descending order.
+pub fn prop6_message_upper_bound(
+    schedule: &GenerationSchedule,
+    gamma: usize,
+    network_size: usize,
+) -> u64 {
+    let mut rates: Vec<f64> = (0..network_size as u32)
+        .map(|i| schedule.rate(NodeId(i)))
+        .collect();
+    rates.sort_by(|a, b| b.partial_cmp(a).expect("rates are finite"));
+    let r_min = *rates.last().expect("non-empty network");
+    let ratio_sum: f64 = rates.iter().take(gamma).map(|r| r / r_min).sum();
+    let path_bound = ratio_sum + gamma as f64 + 1.0;
+    ((network_size as f64 + gamma as f64) * path_bound).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prop1_counts_uniform_generation() {
+        let sched = GenerationSchedule::uniform(10);
+        // Slots 0..=4 → 5 blocks per node.
+        assert_eq!(prop1_total_blocks(&sched, 4), 50);
+    }
+
+    #[test]
+    fn prop1_counts_mixed_periods() {
+        let sched = GenerationSchedule::from_periods(vec![1, 2]);
+        // Node 0: slots 0..=5 → 6 blocks; node 1 (period 2): slots 0,2,4 → 3.
+        assert_eq!(prop1_total_blocks(&sched, 5), 9);
+    }
+
+    #[test]
+    fn prop2_bound_scales_with_network_size() {
+        let cfg = ProtocolConfig::paper_default();
+        let sched = GenerationSchedule::uniform(10);
+        let small = prop2_trust_cache_bound(&cfg, &sched, NodeId(0), 10, 10);
+        let large = prop2_trust_cache_bound(&cfg, &sched, NodeId(0), 10, 50);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn prop3_dominates_own_chain() {
+        let cfg = ProtocolConfig::paper_default();
+        let sched = GenerationSchedule::uniform(5);
+        let bound = prop3_storage_bound(&cfg, &sched, NodeId(0), 9, 5);
+        // 10 own blocks of C bits each is a strict lower bound.
+        assert!(bound.bits() > cfg.body_bits * 10);
+    }
+
+    #[test]
+    fn prop4_matches_paper_expression() {
+        assert_eq!(prop4_message_lower_bound(16), 34);
+        assert_eq!(prop4_message_lower_bound(24), 50);
+    }
+
+    #[test]
+    fn prop5_fig6_example() {
+        // Fig. 6: B (and A) generate every slot, C every ~5 slots. The
+        // micro-loop set M = {A, B}; slowest outside rate = C's.
+        let sched = GenerationSchedule::from_periods(vec![1, 1, 5]);
+        let bound = prop5_microloop_bound(&sched, &[NodeId(0), NodeId(1)], 3);
+        // Each of A, B may contribute ⌊5/1⌋ = 5 blocks.
+        assert_eq!(bound, 10);
+    }
+
+    #[test]
+    fn prop6_grows_with_gamma() {
+        let sched = GenerationSchedule::uniform(50);
+        let small = prop6_message_upper_bound(&sched, 10, 50);
+        let large = prop6_message_upper_bound(&sched, 24, 50);
+        assert!(large > small);
+        // Uniform rates: ratio sum = γ, so bound = (|V|+γ)(2γ+1).
+        assert_eq!(small, (50 + 10) * (2 * 10 + 1));
+    }
+}

@@ -1,0 +1,118 @@
+//! Adversarial node behaviours (Sec. IV-D).
+//!
+//! The paper analyses 2LDAG against majority, Sybil, man-in-the-middle, DoS,
+//! and selfish attacks. In the simulator an attack is a per-node [`Behavior`]
+//! that perturbs the responder/generation code paths; the network layer
+//! applies it when other nodes interact with the attacker.
+
+use std::fmt;
+
+/// How a node behaves when participating in the protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Behavior {
+    /// Follows the protocol.
+    #[default]
+    Honest,
+    /// Never answers `REQ_CHILD` or block fetches (models crashed, jammed,
+    /// or packet-dropping nodes; the validator sees a timeout).
+    Unresponsive,
+    /// Answers with a header whose digest entry for the requested parent is
+    /// corrupted, so the validator's `GetDigest` consistency check fails
+    /// (Algorithm 3, line 21).
+    CorruptReply,
+    /// Tampers with its own stored block bodies after generation. Serving a
+    /// tampered block fails the Merkle-root check; its headers remain
+    /// internally consistent so only full-block fetches detect it.
+    CorruptStore,
+    /// Generates blocks normally but refuses to serve replies — the selfish
+    /// node of Sec. IV-D.6 that the blacklist punishes.
+    Selfish,
+    /// Replies to `REQ_CHILD` claiming a forged identity (a Sybil persona).
+    /// Validators detect it because the signature does not verify under the
+    /// registered key of the claimed node id.
+    SybilImpersonator {
+        /// The honest node id the attacker claims to be.
+        claimed: u32,
+    },
+    /// Attempts to flood neighbors with digests faster than the difficulty
+    /// puzzle allows (`rate_multiplier` digests per slot). Receivers detect
+    /// the implausible rate and ban the peer (Sec. IV-D.5).
+    Flooder {
+        /// Digest messages attempted per slot.
+        rate_multiplier: u32,
+    },
+}
+
+impl Behavior {
+    /// Whether this behaviour answers protocol requests honestly.
+    pub fn responds_honestly(&self) -> bool {
+        matches!(self, Behavior::Honest | Behavior::Flooder { .. })
+    }
+
+    /// Whether the node refuses to respond at all.
+    pub fn is_silent(&self) -> bool {
+        matches!(self, Behavior::Unresponsive | Behavior::Selfish)
+    }
+
+    /// Whether the node is malicious in the paper's sense (counts toward the
+    /// malicious-node budget `γ` in the experiments).
+    pub fn is_malicious(&self) -> bool {
+        !matches!(self, Behavior::Honest)
+    }
+}
+
+impl fmt::Display for Behavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Behavior::Honest => write!(f, "honest"),
+            Behavior::Unresponsive => write!(f, "unresponsive"),
+            Behavior::CorruptReply => write!(f, "corrupt-reply"),
+            Behavior::CorruptStore => write!(f, "corrupt-store"),
+            Behavior::Selfish => write!(f, "selfish"),
+            Behavior::SybilImpersonator { claimed } => write!(f, "sybil(claims n{claimed})"),
+            Behavior::Flooder { rate_multiplier } => write!(f, "flooder(x{rate_multiplier})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_honest() {
+        assert_eq!(Behavior::default(), Behavior::Honest);
+        assert!(!Behavior::Honest.is_malicious());
+        assert!(Behavior::Honest.responds_honestly());
+    }
+
+    #[test]
+    fn silence_classification() {
+        assert!(Behavior::Unresponsive.is_silent());
+        assert!(Behavior::Selfish.is_silent());
+        assert!(!Behavior::CorruptReply.is_silent());
+    }
+
+    #[test]
+    fn malicious_classification() {
+        for b in [
+            Behavior::Unresponsive,
+            Behavior::CorruptReply,
+            Behavior::CorruptStore,
+            Behavior::Selfish,
+            Behavior::SybilImpersonator { claimed: 0 },
+            Behavior::Flooder { rate_multiplier: 8 },
+        ] {
+            assert!(b.is_malicious(), "{b}");
+        }
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(Behavior::Honest.to_string(), "honest");
+        assert_eq!(
+            Behavior::SybilImpersonator { claimed: 3 }.to_string(),
+            "sybil(claims n3)"
+        );
+    }
+}

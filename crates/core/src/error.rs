@@ -1,0 +1,105 @@
+//! Error types for block validation and the Proof-of-Path protocol.
+
+use std::fmt;
+use tldag_sim::NodeId;
+
+/// Why a retrieved data block or header failed validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValidationError {
+    /// The recomputed Merkle root of the body does not match the header's
+    /// `Root` field (Algorithm 3, line 3).
+    RootMismatch,
+    /// The header signature does not verify under the owner's public key.
+    SignatureInvalid,
+    /// The header nonce does not satisfy the difficulty target (Eq. 5).
+    PuzzleInvalid,
+    /// The header's Digests field does not contain the expected parent digest.
+    DigestMismatch,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::RootMismatch => write!(f, "merkle root does not match block body"),
+            ValidationError::SignatureInvalid => write!(f, "header signature invalid"),
+            ValidationError::PuzzleInvalid => write!(f, "header nonce fails difficulty target"),
+            ValidationError::DigestMismatch => write!(f, "header does not reference expected parent digest"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Why a Proof-of-Path run ended without consensus.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PopError {
+    /// The verifier did not return the target block at all.
+    BlockUnavailable {
+        /// Node that was asked for the block.
+        owner: NodeId,
+    },
+    /// The target block itself failed validation.
+    InvalidBlock {
+        /// Node that served the invalid block.
+        owner: NodeId,
+        /// What failed.
+        reason: ValidationError,
+    },
+    /// Every candidate path was exhausted before `γ + 1` distinct nodes
+    /// vouched for the block (Algorithm 3, line 33).
+    PathExhausted {
+        /// Distinct nodes accumulated before exhaustion.
+        distinct_nodes: usize,
+        /// Consensus threshold `γ + 1` that was required.
+        required: usize,
+    },
+}
+
+impl fmt::Display for PopError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PopError::BlockUnavailable { owner } => {
+                write!(f, "verifier {owner} did not return the requested block")
+            }
+            PopError::InvalidBlock { owner, reason } => {
+                write!(f, "block served by {owner} failed validation: {reason}")
+            }
+            PopError::PathExhausted {
+                distinct_nodes,
+                required,
+            } => write!(
+                f,
+                "proof path exhausted with {distinct_nodes} of {required} required distinct nodes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PopError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = PopError::PathExhausted {
+            distinct_nodes: 3,
+            required: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("3 of 5"));
+        assert!(msg.starts_with(char::is_lowercase));
+        assert_eq!(
+            ValidationError::RootMismatch.to_string(),
+            "merkle root does not match block body"
+        );
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<ValidationError>();
+        assert_error::<PopError>();
+    }
+}

@@ -1,0 +1,784 @@
+//! The slotted 2LDAG network simulation: nodes + topology + accounting.
+//!
+//! [`TldagNetwork`] orchestrates the paper's evaluation loop (Sec. VI):
+//! per slot, every scheduled node generates a block and broadcasts its digest
+//! to its neighbors (DAG construction), then acts as a validator and verifies
+//! one previously generated block via PoP (consensus). Storage and
+//! communication are metered with the paper's logical sizes.
+
+use crate::attack::Behavior;
+use crate::block::BlockId;
+use crate::config::ProtocolConfig;
+use crate::node::LedgerNode;
+use crate::pop::messages::{ChildReply, ChildResponse, PopTransport};
+use crate::pop::validator::{PopReport, Validator};
+use crate::workload::{sensor_payload, VerificationWorkload};
+use tldag_crypto::Digest;
+use tldag_sim::bus::{Accounting, TrafficClass};
+use tldag_sim::engine::{GenerationSchedule, Slot};
+use tldag_sim::fault::{FaultPlan, LinkFaults};
+use tldag_sim::trace::{Trace, TraceKind};
+use tldag_sim::{Bits, DetRng, NodeId, Topology};
+
+/// Transport over the simulated network: synchronous request/response with
+/// behaviour-driven faults and byte accounting at both endpoints.
+struct SimTransport<'a> {
+    cfg: &'a ProtocolConfig,
+    nodes: &'a [LedgerNode],
+    accounting: &'a mut Accounting,
+    /// Per-source BFS parents for multi-hop attribution (present only when
+    /// `cfg.multihop_accounting`).
+    routes: Option<&'a [Vec<Option<NodeId>>]>,
+    /// Lossy-link model: drops requests/replies independently.
+    links: &'a mut LinkFaults,
+    /// Probes (measurement-only PoPs) leave the accounting untouched.
+    meter: bool,
+}
+
+impl SimTransport<'_> {
+    fn record(&mut self, from: NodeId, to: NodeId, size: Bits) {
+        if !self.meter {
+            return;
+        }
+        match self.routes {
+            None => self
+                .accounting
+                .record(from, to, TrafficClass::Consensus, size),
+            Some(routes) => {
+                // Walk the shortest physical path from `to` back to `from`;
+                // every hop costs the sender tx and the receiver rx.
+                let parents = &routes[from.index()];
+                let mut at = to;
+                let mut guard = 0usize;
+                while let Some(prev) = parents[at.index()] {
+                    self.accounting
+                        .record(prev, at, TrafficClass::Consensus, size);
+                    at = prev;
+                    guard += 1;
+                    if guard > parents.len() {
+                        break; // defensive: corrupt parent array
+                    }
+                }
+                if at != from {
+                    // Unreachable over the physical graph (e.g. the peer
+                    // left): account the attempt at the sender only.
+                    self.accounting
+                        .record_tx_only(from, TrafficClass::Consensus, size);
+                }
+            }
+        }
+    }
+}
+
+impl PopTransport for SimTransport<'_> {
+    fn fetch_block(
+        &mut self,
+        validator: NodeId,
+        owner: NodeId,
+        id: BlockId,
+    ) -> Option<crate::block::DataBlock> {
+        // The target block retrieval is application data traffic: the
+        // validator would fetch the sensed data regardless of PoP. It is
+        // accounted under `Other` so the "consensus" panels of Fig. 8 match
+        // the paper's protocol-overhead definition (headers and digests
+        // only); see DESIGN.md.
+        if self.meter {
+            self.accounting.record(
+                validator,
+                owner,
+                TrafficClass::Other,
+                self.cfg.fetch_request_bits(),
+            );
+        }
+        if self.links.drops() {
+            return None; // request lost in the air
+        }
+        let served = self.nodes[owner.index()].serve_block(id)?;
+        if self.links.drops() {
+            return None; // response lost
+        }
+        if self.meter {
+            self.accounting.record(
+                owner,
+                validator,
+                TrafficClass::Other,
+                self.cfg.block_response_bits(served.header.digest_entries()),
+            );
+        }
+        Some(served)
+    }
+
+    fn request_child(
+        &mut self,
+        validator: NodeId,
+        responder: NodeId,
+        target: Digest,
+    ) -> Option<ChildResponse> {
+        self.record(validator, responder, self.cfg.req_child_bits());
+        if self.links.drops() {
+            return None; // REQ_CHILD lost; validator times out after τ
+        }
+        let node = &self.nodes[responder.index()];
+        if node.behavior().is_silent() {
+            return None; // timeout after τ
+        }
+        if self.links.drops() {
+            return None; // RPY_CHILD lost
+        }
+        let Some((block_id, header)) = node.serve_child_request(&target) else {
+            self.record(responder, validator, self.cfg.nack_bits());
+            return Some(ChildResponse::NoChild);
+        };
+        let claimed_owner = match node.behavior() {
+            Behavior::SybilImpersonator { claimed } => NodeId(claimed),
+            _ => responder,
+        };
+        self.record(
+            responder,
+            validator,
+            self.cfg.rpy_child_bits(header.digest_entries()),
+        );
+        Some(ChildResponse::Found(ChildReply {
+            claimed_owner,
+            block_id,
+            header,
+        }))
+    }
+}
+
+/// Summary of one simulated slot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SlotSummary {
+    /// The slot that was executed.
+    pub slot: Slot,
+    /// Blocks generated in this slot.
+    pub blocks_generated: usize,
+    /// PoP runs attempted by generating nodes.
+    pub pop_attempts: usize,
+    /// PoP runs that reached consensus.
+    pub pop_successes: usize,
+}
+
+/// The full 2LDAG network simulation.
+///
+/// # Example
+///
+/// ```
+/// use tldag_core::network::TldagNetwork;
+/// use tldag_core::config::ProtocolConfig;
+/// use tldag_sim::topology::{Topology, TopologyConfig};
+/// use tldag_sim::engine::GenerationSchedule;
+/// use tldag_sim::DetRng;
+///
+/// let mut rng = DetRng::seed_from(1);
+/// let topo = Topology::random_connected(&TopologyConfig::small(8), &mut rng);
+/// let cfg = ProtocolConfig::test_default();
+/// let schedule = GenerationSchedule::uniform(topo.len());
+/// let mut net = TldagNetwork::new(cfg, topo, schedule, 1);
+/// for _ in 0..3 {
+///     net.step();
+/// }
+/// assert_eq!(net.slot(), 3);
+/// assert!(net.total_blocks() >= 24);
+/// ```
+#[derive(Debug)]
+pub struct TldagNetwork {
+    cfg: ProtocolConfig,
+    topology: Topology,
+    nodes: Vec<LedgerNode>,
+    schedule: GenerationSchedule,
+    accounting: Accounting,
+    rng: DetRng,
+    slot: Slot,
+    verification: VerificationWorkload,
+    pop_attempts: u64,
+    pop_successes: u64,
+    /// Per-source shortest-path parents, rebuilt lazily when the topology
+    /// changes; only populated under `cfg.multihop_accounting`.
+    routes: Option<Vec<Vec<Option<NodeId>>>>,
+    /// Nodes that left the network (they stop generating and serving).
+    departed: Vec<bool>,
+    /// Optional event trace (disabled by default).
+    trace: Trace,
+    /// Lossy-link model applied to PoP exchanges (perfect by default).
+    links: LinkFaults,
+}
+
+impl TldagNetwork {
+    /// Builds a network over `topology` with per-node state initialised and
+    /// the paper's verification workload (`min_age = |V|`).
+    pub fn new(
+        cfg: ProtocolConfig,
+        topology: Topology,
+        schedule: GenerationSchedule,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            schedule.len(),
+            topology.len(),
+            "schedule must cover every node"
+        );
+        let nodes: Vec<LedgerNode> = topology
+            .node_ids()
+            .map(|id| LedgerNode::new(id, topology.neighbors(id).to_vec(), &cfg))
+            .collect();
+        let n = topology.len();
+        let mut network = TldagNetwork {
+            cfg,
+            accounting: Accounting::new(n),
+            rng: DetRng::seed_from(seed),
+            slot: 0,
+            verification: VerificationWorkload::paper_default(n),
+            nodes,
+            topology,
+            schedule,
+            pop_attempts: 0,
+            pop_successes: 0,
+            routes: None,
+            departed: vec![false; n],
+            trace: Trace::disabled(),
+            links: LinkFaults::perfect(),
+        };
+        network.rebuild_routes();
+        network
+    }
+
+    fn rebuild_routes(&mut self) {
+        self.routes = self.cfg.multihop_accounting.then(|| {
+            self.topology
+                .node_ids()
+                .map(|id| self.topology.shortest_path_parents(id))
+                .collect()
+        });
+    }
+
+    /// Replaces the verification workload policy.
+    pub fn set_verification_workload(&mut self, workload: VerificationWorkload) {
+        self.verification = workload;
+    }
+
+    /// Installs an event trace (use [`Trace::bounded`] to cap memory).
+    pub fn set_trace(&mut self, trace: Trace) {
+        self.trace = trace;
+    }
+
+    /// Installs a lossy-link model for PoP exchanges. Lost messages surface
+    /// as timeouts; the protocol retries other responders, so moderate loss
+    /// degrades cost, not integrity.
+    pub fn set_link_faults(&mut self, links: LinkFaults) {
+        self.links = links;
+    }
+
+    /// The event trace collected so far.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Marks every node in `plan` as malicious with `behavior`.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan, behavior: Behavior) {
+        for id in plan.malicious_ids() {
+            self.nodes[id.index()].set_behavior(behavior);
+        }
+    }
+
+    /// Sets one node's behaviour.
+    pub fn set_behavior(&mut self, node: NodeId, behavior: Behavior) {
+        self.nodes[node.index()].set_behavior(behavior);
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &ProtocolConfig {
+        &self.cfg
+    }
+
+    /// The physical topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Read access to a node.
+    pub fn node(&self, id: NodeId) -> &LedgerNode {
+        &self.nodes[id.index()]
+    }
+
+    /// All nodes (read-only), for analysis and the logical-DAG oracle.
+    pub fn nodes(&self) -> &[LedgerNode] {
+        &self.nodes
+    }
+
+    /// Communication accounting so far.
+    pub fn accounting(&self) -> &Accounting {
+        &self.accounting
+    }
+
+    /// Next slot to execute.
+    pub fn slot(&self) -> Slot {
+        self.slot
+    }
+
+    /// Lifetime PoP attempt/success counters.
+    pub fn pop_counters(&self) -> (u64, u64) {
+        (self.pop_attempts, self.pop_successes)
+    }
+
+    /// Total blocks across all nodes.
+    pub fn total_blocks(&self) -> usize {
+        self.nodes.iter().map(|n| n.chain_len()).sum()
+    }
+
+    /// Per-node logical storage (`S_i + H_i`), the Fig. 7 quantity.
+    pub fn storage_bits_per_node(&self) -> Vec<Bits> {
+        self.nodes
+            .iter()
+            .map(|n| n.storage_bits(&self.cfg))
+            .collect()
+    }
+
+    /// Mean per-node storage in megabytes.
+    pub fn mean_storage_mb(&self) -> f64 {
+        let per_node = self.storage_bits_per_node();
+        if per_node.is_empty() {
+            return 0.0;
+        }
+        per_node.iter().map(|b| b.as_megabytes()).sum::<f64>() / per_node.len() as f64
+    }
+
+    /// Executes one slot as a synchronous round, matching the paper's slotted
+    /// model: every scheduled node generates its block **from the digests it
+    /// held at slot start**, then all new digests are delivered, then the
+    /// verification workload runs. Delivering after generation means every
+    /// digest a node emits is seen — and referenced — by all its neighbors'
+    /// next blocks, which is what links the whole DAG together.
+    pub fn step(&mut self) -> SlotSummary {
+        let slot = self.slot;
+        for node in &mut self.nodes {
+            node.begin_slot();
+        }
+
+        // --- Phase 1: block generation from slot-start state (Sec. III-D).
+        let mut generated: Vec<NodeId> = Vec::new();
+        let mut outgoing: Vec<(NodeId, Digest)> = Vec::new();
+        for idx in 0..self.nodes.len() {
+            let id = NodeId(idx as u32);
+            if self.departed[idx] || !self.schedule.generates(id, slot) {
+                continue;
+            }
+            let payload = sensor_payload(&mut self.rng, id, slot);
+            let digest = self.nodes[idx]
+                .generate_block(&self.cfg, slot, payload)
+                .header_digest();
+            generated.push(id);
+            outgoing.push((id, digest));
+            if self.trace.is_enabled() {
+                self.trace.record(
+                    slot,
+                    TraceKind::Generate,
+                    format!("{id} generated block #{}", self.nodes[idx].chain_len() - 1),
+                );
+            }
+
+            // Flooders push extra (bogus) digests, which neighbors detect.
+            if let Behavior::Flooder { rate_multiplier } = self.nodes[idx].behavior() {
+                for _ in 1..rate_multiplier {
+                    let mut bytes = [0u8; 32];
+                    for chunk in bytes.chunks_mut(8) {
+                        chunk.copy_from_slice(&self.rng.next_u64().to_be_bytes());
+                    }
+                    outgoing.push((id, Digest::from_bytes(bytes)));
+                }
+            }
+        }
+
+        // --- Phase 2: digest delivery (DAG construction traffic). ---
+        for (from, digest) in outgoing {
+            self.broadcast_digest(from, digest);
+        }
+
+        // --- Verification workload: each honest generator runs one PoP. ---
+        let mut pop_attempts = 0;
+        let mut pop_successes = 0;
+        for &validator in &generated.clone() {
+            if self.nodes[validator.index()].behavior().is_malicious() {
+                continue;
+            }
+            let Some(target) = self.choose_target(validator) else {
+                continue;
+            };
+            pop_attempts += 1;
+            let report = self.run_pop(validator, target, true);
+            if report.is_success() {
+                pop_successes += 1;
+            }
+            if self.trace.is_enabled() {
+                self.trace.record(
+                    slot,
+                    TraceKind::Pop,
+                    format!(
+                        "{validator} verified {target}: {:?} ({} distinct, {} msgs)",
+                        report.outcome.as_ref().map(|_| "ok"),
+                        report.distinct_nodes,
+                        report.metrics.total_messages()
+                    ),
+                );
+            }
+        }
+        self.pop_attempts += pop_attempts as u64;
+        self.pop_successes += pop_successes as u64;
+
+        self.slot += 1;
+        SlotSummary {
+            slot,
+            blocks_generated: generated.len(),
+            pop_attempts,
+            pop_successes,
+        }
+    }
+
+    /// Runs `n` slots, returning the last summary.
+    pub fn run_slots(&mut self, n: u64) -> SlotSummary {
+        let mut last = SlotSummary::default();
+        for _ in 0..n {
+            last = self.step();
+        }
+        last
+    }
+
+    fn broadcast_digest(&mut self, from: NodeId, digest: Digest) {
+        let neighbors: Vec<NodeId> = self.topology.neighbors(from).to_vec();
+        for nb in neighbors {
+            self.accounting.record(
+                from,
+                nb,
+                TrafficClass::DagConstruction,
+                self.cfg.digest_message_bits(),
+            );
+            self.nodes[nb.index()].receive_digest(from, digest);
+        }
+    }
+
+    /// Chooses a verification target for `validator` under the current
+    /// workload policy: a uniformly random qualifying block owned by another
+    /// node.
+    pub fn choose_target(&mut self, validator: NodeId) -> Option<BlockId> {
+        let now = self.slot;
+        let mut candidates: Vec<BlockId> = Vec::new();
+        for node in &self.nodes {
+            if node.id() == validator || self.departed[node.id().index()] {
+                continue;
+            }
+            for block in node.store().iter() {
+                if self.verification.qualifies(block.header.time, now) {
+                    candidates.push(block.id);
+                }
+            }
+        }
+        self.rng.choose(&candidates).copied()
+    }
+
+    /// A node joins the network at `position` with radio range `range_m`
+    /// and the given generation `period` (dynamic membership, Sec. VII
+    /// future work). Existing nodes in range learn the newcomer; it starts
+    /// with an empty chain and generates from the next slot.
+    pub fn node_joins(
+        &mut self,
+        position: tldag_sim::geometry::Point,
+        range_m: f64,
+        period: u64,
+    ) -> NodeId {
+        let id = self.topology.add_node(position, range_m);
+        let neighbors = self.topology.neighbors(id).to_vec();
+        for &nb in &neighbors {
+            self.nodes[nb.index()].add_neighbor(id);
+        }
+        self.nodes
+            .push(LedgerNode::new(id, neighbors, &self.cfg));
+        self.schedule.push(period, self.slot % period);
+        self.accounting.grow();
+        self.departed.push(false);
+        self.rebuild_routes();
+        self.trace
+            .record(self.slot, TraceKind::Membership, format!("{id} joined"));
+        id
+    }
+
+    /// A node leaves the network: it stops generating and serving, and its
+    /// radio links disappear. Its historical blocks stay referenced in the
+    /// DAG (children at former neighbors), but the blocks themselves become
+    /// unavailable — exactly what PoP's `BlockUnavailable` reports.
+    pub fn node_leaves(&mut self, id: NodeId) {
+        let former: Vec<NodeId> = self.topology.neighbors(id).to_vec();
+        self.topology.isolate_node(id);
+        for nb in former {
+            self.nodes[nb.index()].remove_neighbor(id);
+        }
+        self.nodes[id.index()].remove_neighbor(id);
+        for nb in self.nodes[id.index()].neighbors().to_vec() {
+            self.nodes[id.index()].remove_neighbor(nb);
+        }
+        self.nodes[id.index()].set_behavior(Behavior::Unresponsive);
+        self.departed[id.index()] = true;
+        self.rebuild_routes();
+        self.trace
+            .record(self.slot, TraceKind::Membership, format!("{id} left"));
+    }
+
+    /// Whether `id` has left the network.
+    pub fn has_departed(&self, id: NodeId) -> bool {
+        self.departed[id.index()]
+    }
+
+    /// Runs one PoP verification from `validator` on `target`.
+    ///
+    /// With `commit = true` (the normal protocol), the validator's trust
+    /// cache and blacklist are updated and traffic is accounted. With
+    /// `commit = false` the run is a measurement probe: state and accounting
+    /// are untouched (used by the Fig. 9 failure-probability sweeps).
+    pub fn run_pop(&mut self, validator: NodeId, target: BlockId, commit: bool) -> PopReport {
+        let vid = validator.index();
+        let mut trust_cache = if commit {
+            self.nodes[vid].take_trust_cache()
+        } else {
+            self.nodes[vid].trust_cache().clone()
+        };
+        let mut blacklist = if commit {
+            self.nodes[vid].take_blacklist(&self.cfg)
+        } else {
+            self.nodes[vid].blacklist().clone()
+        };
+        let mut pop_rng = DetRng::seed_from(self.rng.next_u64());
+
+        let report = {
+            let mut transport = SimTransport {
+                cfg: &self.cfg,
+                nodes: &self.nodes,
+                accounting: &mut self.accounting,
+                routes: self.routes.as_deref(),
+                links: &mut self.links,
+                meter: commit,
+            };
+            let mut v = Validator::new(
+                &self.cfg,
+                &self.topology,
+                validator,
+                self.nodes[vid].store(),
+                &mut trust_cache,
+                &mut blacklist,
+                &mut pop_rng,
+            );
+            v.run(target, &mut transport)
+        };
+
+        if commit {
+            self.nodes[vid].restore_trust_cache(trust_cache);
+            self.nodes[vid].restore_blacklist(blacklist);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::LogicalDag;
+    use tldag_sim::topology::TopologyConfig;
+
+    fn small_net(seed: u64, nodes: usize, gamma: usize) -> TldagNetwork {
+        let mut rng = DetRng::seed_from(seed);
+        let topo = Topology::random_connected(&TopologyConfig::small(nodes), &mut rng);
+        let cfg = ProtocolConfig::test_default().with_gamma(gamma);
+        let schedule = GenerationSchedule::uniform(topo.len());
+        TldagNetwork::new(cfg, topo, schedule, seed)
+    }
+
+    #[test]
+    fn every_node_generates_each_slot() {
+        let mut net = small_net(1, 10, 2);
+        let summary = net.step();
+        assert_eq!(summary.blocks_generated, 10);
+        assert_eq!(net.total_blocks(), 10);
+        for id in net.topology().node_ids() {
+            assert_eq!(net.node(id).chain_len(), 1);
+        }
+    }
+
+    #[test]
+    fn digests_flow_to_neighbors() {
+        let mut net = small_net(2, 10, 2);
+        net.step();
+        net.step();
+        // After two slots, every node's latest block should reference at
+        // least one neighbor digest (plus its own previous block).
+        for id in net.topology().node_ids() {
+            let latest = net.node(id).store().latest().unwrap();
+            assert!(
+                latest.header.digest_entries() >= 2,
+                "node {id} entries = {}",
+                latest.header.digest_entries()
+            );
+        }
+    }
+
+    #[test]
+    fn dag_construction_traffic_accounted() {
+        let mut net = small_net(3, 10, 2);
+        net.step();
+        let total = net.accounting().network_total(TrafficClass::DagConstruction);
+        // Every edge carries one digest each way per slot (all generate).
+        let edges = net.topology().edge_count() as u64;
+        let per_msg = net.config().digest_message_bits().bits();
+        assert_eq!(total.bits(), edges * 2 * per_msg * 2);
+        // (×2 endpoints ×2 directions: tx+rx counted per node.)
+    }
+
+    #[test]
+    fn pop_succeeds_on_old_blocks_in_honest_network() {
+        let mut net = small_net(4, 8, 2);
+        net.set_verification_workload(VerificationWorkload::RandomPast { min_age_slots: 4 });
+        for _ in 0..10 {
+            net.step();
+        }
+        let (attempts, successes) = net.pop_counters();
+        assert!(attempts > 0, "verification workload must trigger");
+        assert_eq!(attempts, successes, "honest network never fails PoP");
+        // Consensus traffic exists once PoPs start.
+        assert!(
+            net.accounting()
+                .network_total(TrafficClass::Consensus)
+                .bits()
+                > 0
+        );
+    }
+
+    #[test]
+    fn logical_dag_stays_acyclic_through_simulation() {
+        let mut net = small_net(5, 8, 2);
+        net.run_slots(6);
+        let dag = LogicalDag::build(net.nodes());
+        assert!(dag.is_acyclic());
+        assert!(dag.edges_respect_time());
+        assert_eq!(dag.block_count(), net.total_blocks());
+    }
+
+    #[test]
+    fn probe_does_not_change_state_or_accounting() {
+        let mut net = small_net(6, 8, 2);
+        net.set_verification_workload(VerificationWorkload::Disabled);
+        net.run_slots(6);
+        let target = net.node(NodeId(1)).store().get(0).unwrap().id;
+        let before_bits = net
+            .accounting()
+            .network_total(TrafficClass::Consensus)
+            .bits();
+        let before_cache = net.node(NodeId(0)).trust_cache().len();
+
+        let report = net.run_pop(NodeId(0), target, false);
+        assert!(report.is_success());
+
+        assert_eq!(
+            net.accounting()
+                .network_total(TrafficClass::Consensus)
+                .bits(),
+            before_bits,
+            "probe must not meter traffic"
+        );
+        assert_eq!(net.node(NodeId(0)).trust_cache().len(), before_cache);
+    }
+
+    #[test]
+    fn committed_pop_populates_trust_cache() {
+        let mut net = small_net(7, 8, 2);
+        net.set_verification_workload(VerificationWorkload::Disabled);
+        net.run_slots(6);
+        let target = net.node(NodeId(1)).store().get(0).unwrap().id;
+        let report = net.run_pop(NodeId(0), target, true);
+        assert!(report.is_success());
+        assert!(
+            net.node(NodeId(0)).trust_cache().len() >= report.path.len(),
+            "all path headers cached"
+        );
+    }
+
+    #[test]
+    fn pop_path_is_valid_dag_path() {
+        let mut net = small_net(8, 8, 3);
+        net.set_verification_workload(VerificationWorkload::Disabled);
+        net.run_slots(8);
+        let target = net.node(NodeId(2)).store().get(0).unwrap().id;
+        let report = net.run_pop(NodeId(0), target, false);
+        assert!(report.is_success());
+        assert!(report.distinct_nodes >= net.config().consensus_threshold());
+
+        let dag = LogicalDag::build(net.nodes());
+        let digests: Vec<_> = report.path.iter().map(|s| s.digest).collect();
+        assert!(dag.is_valid_path(&digests), "PoP path must be a DAG path");
+        // First step is the target block.
+        assert_eq!(report.path[0].block_id, target);
+    }
+
+    #[test]
+    fn unresponsive_verifier_fails_with_block_unavailable() {
+        let mut net = small_net(9, 8, 2);
+        net.set_verification_workload(VerificationWorkload::Disabled);
+        net.run_slots(4);
+        net.set_behavior(NodeId(1), Behavior::Unresponsive);
+        let target = net.node(NodeId(1)).store().get(0).unwrap().id;
+        let report = net.run_pop(NodeId(0), target, false);
+        assert!(!report.is_success());
+        assert!(matches!(
+            report.outcome,
+            Err(crate::error::PopError::BlockUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupt_store_detected_at_fetch() {
+        let mut net = small_net(10, 8, 2);
+        net.set_verification_workload(VerificationWorkload::Disabled);
+        net.run_slots(4);
+        net.set_behavior(NodeId(1), Behavior::CorruptStore);
+        let target = net.node(NodeId(1)).store().get(0).unwrap().id;
+        let report = net.run_pop(NodeId(0), target, false);
+        assert!(matches!(
+            report.outcome,
+            Err(crate::error::PopError::InvalidBlock { .. })
+        ));
+    }
+
+    #[test]
+    fn pop_routes_around_malicious_responders() {
+        // Enough honest nodes remain for γ+1 = 3 distinct path nodes even
+        // with some unresponsive nodes in the mix.
+        let mut net = small_net(11, 12, 2);
+        net.set_verification_workload(VerificationWorkload::Disabled);
+        net.run_slots(8);
+        // Mark two nodes malicious (not the verifier n1).
+        net.set_behavior(NodeId(3), Behavior::Unresponsive);
+        net.set_behavior(NodeId(4), Behavior::CorruptReply);
+        let target = net.node(NodeId(1)).store().get(0).unwrap().id;
+        let report = net.run_pop(NodeId(0), target, false);
+        assert!(
+            report.is_success(),
+            "PoP should route around malicious nodes: {:?}",
+            report.outcome
+        );
+        for step in &report.path {
+            assert_ne!(step.owner, NodeId(3), "unresponsive node cannot vouch");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut net = small_net(seed, 8, 2);
+            net.run_slots(8);
+            (
+                net.total_blocks(),
+                net.accounting()
+                    .network_total(TrafficClass::Consensus)
+                    .bits(),
+                net.pop_counters(),
+            )
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

@@ -1,0 +1,421 @@
+//! The 2LDAG ledger node: physical-layer state and block generation.
+//!
+//! Per Sec. III, node `i` maintains:
+//!
+//! * `S_i` — its own blocks ([`BlockStore`]); a node never stores another
+//!   node's blocks.
+//! * `A_i` — the latest digest heard from each neighbor.
+//! * `H_i` — headers verified via PoP ([`TrustCache`]).
+//! * a [`Blacklist`] of peers that failed to cooperate.
+//!
+//! Block generation (Sec. III-D): collect `Δ_i = A_i ∪ {H(b^h_{i,t-1})}`,
+//! compute the Merkle root of the sampled data, mine the difficulty nonce,
+//! sign, append to `S_i`, and hand the new digest to every neighbor.
+
+use crate::attack::Behavior;
+use crate::blacklist::Blacklist;
+use crate::block::{BlockBody, BlockHeader, BlockId, DataBlock, DigestEntry};
+use crate::config::ProtocolConfig;
+use crate::store::{BlockStore, TrustCache};
+use std::collections::BTreeMap;
+use tldag_crypto::schnorr::{KeyPair, PublicKey};
+use tldag_crypto::Digest;
+use tldag_sim::engine::Slot;
+use tldag_sim::{Bits, NodeId};
+
+/// A 2LDAG protocol participant.
+#[derive(Clone, Debug)]
+pub struct LedgerNode {
+    id: NodeId,
+    keypair: KeyPair,
+    neighbors: Vec<NodeId>,
+    /// `A_i`: latest digest per neighbor, ordered for determinism.
+    latest_digests: BTreeMap<NodeId, Digest>,
+    store: BlockStore,
+    trust_cache: TrustCache,
+    blacklist: Blacklist,
+    behavior: Behavior,
+    /// Digests received per slot per neighbor, for flood detection.
+    digests_this_slot: BTreeMap<NodeId, u32>,
+    flood_limit_per_slot: u32,
+}
+
+impl LedgerNode {
+    /// Creates a node with the given neighbors (from `G(V,E)`); keys are
+    /// derived from the node id, modelling registration-time provisioning.
+    pub fn new(id: NodeId, neighbors: Vec<NodeId>, cfg: &ProtocolConfig) -> Self {
+        LedgerNode {
+            id,
+            keypair: KeyPair::from_seed(u64::from(id.0)),
+            neighbors,
+            latest_digests: BTreeMap::new(),
+            store: BlockStore::new(),
+            trust_cache: TrustCache::new(),
+            blacklist: Blacklist::new(cfg.blacklist),
+            behavior: Behavior::Honest,
+            digests_this_slot: BTreeMap::new(),
+            flood_limit_per_slot: 2,
+        }
+    }
+
+    /// The node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's public key (every node knows every key, Sec. IV-D).
+    pub fn public_key(&self) -> PublicKey {
+        self.keypair.public()
+    }
+
+    /// The neighbor set `N(i)`.
+    pub fn neighbors(&self) -> &[NodeId] {
+        &self.neighbors
+    }
+
+    /// Registers a new physical neighbor (dynamic membership: a node joined
+    /// within radio range).
+    pub fn add_neighbor(&mut self, neighbor: NodeId) {
+        if !self.neighbors.contains(&neighbor) {
+            self.neighbors.push(neighbor);
+        }
+    }
+
+    /// Forgets a neighbor (dynamic membership: a node left). Its last digest
+    /// is dropped from `A_i`, so future blocks no longer reference it.
+    pub fn remove_neighbor(&mut self, neighbor: NodeId) {
+        self.neighbors.retain(|&n| n != neighbor);
+        self.latest_digests.remove(&neighbor);
+    }
+
+    /// Current behaviour.
+    pub fn behavior(&self) -> Behavior {
+        self.behavior
+    }
+
+    /// Sets the behaviour (used by attack scenarios).
+    pub fn set_behavior(&mut self, behavior: Behavior) {
+        self.behavior = behavior;
+    }
+
+    /// Own block store `S_i`.
+    pub fn store(&self) -> &BlockStore {
+        &self.store
+    }
+
+    /// Trusted-header cache `H_i`.
+    pub fn trust_cache(&self) -> &TrustCache {
+        &self.trust_cache
+    }
+
+    /// Mutable trust cache (the validator updates it during PoP).
+    pub fn trust_cache_mut(&mut self) -> &mut TrustCache {
+        &mut self.trust_cache
+    }
+
+    /// Takes the trust cache out of the node (restored after a PoP run to
+    /// satisfy the borrow checker across node-array accesses).
+    pub fn take_trust_cache(&mut self) -> TrustCache {
+        std::mem::take(&mut self.trust_cache)
+    }
+
+    /// Puts a trust cache back (counterpart of [`Self::take_trust_cache`]).
+    pub fn restore_trust_cache(&mut self, cache: TrustCache) {
+        self.trust_cache = cache;
+    }
+
+    /// The blacklist.
+    pub fn blacklist(&self) -> &Blacklist {
+        &self.blacklist
+    }
+
+    /// Takes the blacklist out of the node (restored after a PoP run, like
+    /// [`Self::take_trust_cache`]).
+    pub fn take_blacklist(&mut self, cfg: &ProtocolConfig) -> Blacklist {
+        std::mem::replace(&mut self.blacklist, Blacklist::new(cfg.blacklist))
+    }
+
+    /// Puts a blacklist back (counterpart of [`Self::take_blacklist`]).
+    pub fn restore_blacklist(&mut self, blacklist: Blacklist) {
+        self.blacklist = blacklist;
+    }
+
+    /// Mutable blacklist access.
+    pub fn blacklist_mut(&mut self) -> &mut Blacklist {
+        &mut self.blacklist
+    }
+
+    /// Latest digest heard from `neighbor` (`A_i` lookup).
+    pub fn latest_digest_from(&self, neighbor: NodeId) -> Option<Digest> {
+        self.latest_digests.get(&neighbor).copied()
+    }
+
+    /// Digest of the node's own latest block.
+    pub fn own_latest_digest(&self) -> Option<Digest> {
+        self.store.latest().map(|b| b.header_digest())
+    }
+
+    /// Number of blocks generated so far.
+    pub fn chain_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Generates the next data block from `payload` at `slot` (Sec. III-D)
+    /// and returns a reference to it. The caller (network layer) is
+    /// responsible for broadcasting `H(b^h)` to the neighbors.
+    ///
+    /// The Digests field contains the latest digest from each neighbor heard
+    /// so far, plus the previous own-block digest (absent for genesis).
+    pub fn generate_block(&mut self, cfg: &ProtocolConfig, slot: Slot, payload: Vec<u8>) -> &DataBlock {
+        let mut digests: Vec<DigestEntry> = self
+            .latest_digests
+            .iter()
+            .map(|(&origin, &digest)| DigestEntry { origin, digest })
+            .collect();
+        if let Some(prev) = self.own_latest_digest() {
+            digests.push(DigestEntry {
+                origin: self.id,
+                digest: prev,
+            });
+        }
+        let id = BlockId::new(self.id, self.store.len() as u32);
+        let body = BlockBody::new(payload, cfg.body_bits);
+        let block = DataBlock::create(cfg, id, slot, digests, body, &self.keypair);
+        self.store.append(block);
+        self.store.latest().expect("just appended")
+    }
+
+    /// Handles a digest received from `from`. Returns `false` when the digest
+    /// is discarded (unknown peer, banned peer, or flood detected).
+    ///
+    /// Flood detection (Sec. IV-D.5): a peer delivering more digests per slot
+    /// than the puzzle plausibly allows is banned.
+    pub fn receive_digest(&mut self, from: NodeId, digest: Digest) -> bool {
+        if !self.neighbors.contains(&from) {
+            return false;
+        }
+        if self.blacklist.is_banned(from) {
+            // Banned peers still earn parole credit by forwarding blocks.
+            self.blacklist.record_service(from);
+            return false;
+        }
+        let count = self.digests_this_slot.entry(from).or_insert(0);
+        *count += 1;
+        if *count > self.flood_limit_per_slot {
+            self.blacklist.record_failure(from);
+            return false;
+        }
+        self.latest_digests.insert(from, digest);
+        self.blacklist.record_service(from);
+        true
+    }
+
+    /// Resets per-slot rate counters; the network calls this at slot start.
+    pub fn begin_slot(&mut self) {
+        self.digests_this_slot.clear();
+    }
+
+    /// Serves a full-block fetch (the verifier role in Algorithm 3 line 2).
+    /// Honest nodes return the block as stored; [`Behavior::CorruptStore`]
+    /// returns a tampered body; silent behaviours return `None`.
+    pub fn serve_block(&self, id: BlockId) -> Option<DataBlock> {
+        if self.behavior.is_silent() {
+            return None;
+        }
+        let block = self.store.get(id.seq)?.clone();
+        match self.behavior {
+            Behavior::CorruptStore => {
+                let mut tampered = block;
+                let mut bytes = tampered.body.payload.to_vec();
+                if bytes.is_empty() {
+                    bytes.push(0xff);
+                } else {
+                    bytes[0] ^= 0xff;
+                }
+                tampered.body = BlockBody::new(bytes, tampered.body.logical_bits);
+                Some(tampered)
+            }
+            _ => Some(block),
+        }
+    }
+
+    /// Serves a `REQ_CHILD` request (Algorithm 4): the oldest own block whose
+    /// header contains `target`. Behaviour hooks: silent nodes return `None`,
+    /// corrupt repliers flip the referenced digest.
+    pub fn serve_child_request(&self, target: &Digest) -> Option<(BlockId, BlockHeader)> {
+        if self.behavior.is_silent() {
+            return None;
+        }
+        let block = self.store.oldest_child_of(target)?;
+        let mut header = block.header.clone();
+        if self.behavior == Behavior::CorruptReply {
+            for entry in &mut header.digests {
+                if entry.digest == *target {
+                    entry.digest = entry.digest.corrupted();
+                }
+            }
+        }
+        Some((block.id, header))
+    }
+
+    /// Total logical storage: `|S_i| + |H_i|` in bits (Prop. 3's quantity).
+    pub fn storage_bits(&self, cfg: &ProtocolConfig) -> Bits {
+        self.store.logical_bits(cfg) + self.trust_cache.logical_bits(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ProtocolConfig {
+        ProtocolConfig::test_default()
+    }
+
+    fn node_with_neighbors(id: u32, neighbors: &[u32]) -> LedgerNode {
+        LedgerNode::new(
+            NodeId(id),
+            neighbors.iter().map(|&n| NodeId(n)).collect(),
+            &cfg(),
+        )
+    }
+
+    #[test]
+    fn genesis_block_has_no_digests() {
+        let cfg = cfg();
+        let mut node = node_with_neighbors(0, &[1, 2]);
+        let block = node.generate_block(&cfg, 0, vec![1, 2, 3]);
+        assert_eq!(block.id, BlockId::genesis(NodeId(0)));
+        assert!(block.header.digests.is_empty());
+        assert_eq!(node.chain_len(), 1);
+    }
+
+    #[test]
+    fn second_block_references_previous_and_neighbors() {
+        let cfg = cfg();
+        let mut node = node_with_neighbors(0, &[1]);
+        node.generate_block(&cfg, 0, vec![0]);
+        let own_digest = node.own_latest_digest().unwrap();
+        let neighbor_digest = Digest::from_bytes([7; 32]);
+        assert!(node.receive_digest(NodeId(1), neighbor_digest));
+
+        let block = node.generate_block(&cfg, 1, vec![1]);
+        assert_eq!(block.header.digest_entries(), 2);
+        assert_eq!(block.header.digest_of(NodeId(0)), Some(own_digest));
+        assert_eq!(block.header.digest_of(NodeId(1)), Some(neighbor_digest));
+    }
+
+    #[test]
+    fn digest_from_non_neighbor_rejected() {
+        let mut node = node_with_neighbors(0, &[1]);
+        assert!(!node.receive_digest(NodeId(9), Digest::ZERO));
+        assert!(node.latest_digest_from(NodeId(9)).is_none());
+    }
+
+    #[test]
+    fn newer_digest_replaces_older() {
+        let cfg = cfg();
+        let mut node = node_with_neighbors(0, &[1]);
+        let d1 = Digest::from_bytes([1; 32]);
+        let d2 = Digest::from_bytes([2; 32]);
+        node.receive_digest(NodeId(1), d1);
+        node.receive_digest(NodeId(1), d2);
+        assert_eq!(node.latest_digest_from(NodeId(1)), Some(d2));
+        // Only the latest appears in a new block (A_i semantics).
+        let block = node.generate_block(&cfg, 1, vec![]);
+        assert_eq!(block.header.digest_of(NodeId(1)), Some(d2));
+    }
+
+    #[test]
+    fn flood_detection_bans_peer() {
+        let mut node = node_with_neighbors(0, &[1]);
+        node.begin_slot();
+        assert!(node.receive_digest(NodeId(1), Digest::from_bytes([1; 32])));
+        assert!(node.receive_digest(NodeId(1), Digest::from_bytes([2; 32])));
+        // Third digest in the same slot exceeds the plausible puzzle rate.
+        assert!(!node.receive_digest(NodeId(1), Digest::from_bytes([3; 32])));
+        assert!(node.blacklist().is_banned(NodeId(1)));
+    }
+
+    #[test]
+    fn slot_reset_clears_flood_counters() {
+        let mut node = node_with_neighbors(0, &[1]);
+        node.begin_slot();
+        node.receive_digest(NodeId(1), Digest::from_bytes([1; 32]));
+        node.receive_digest(NodeId(1), Digest::from_bytes([2; 32]));
+        node.begin_slot();
+        assert!(node.receive_digest(NodeId(1), Digest::from_bytes([3; 32])));
+        assert!(!node.blacklist().is_banned(NodeId(1)));
+    }
+
+    #[test]
+    fn serve_child_request_returns_oldest_match() {
+        let cfg = cfg();
+        let mut node = node_with_neighbors(0, &[1]);
+        let target = Digest::from_bytes([9; 32]);
+        node.receive_digest(NodeId(1), target);
+        node.generate_block(&cfg, 0, vec![0]); // seq 0 contains target
+        node.generate_block(&cfg, 1, vec![1]); // seq 1 contains own prev (target replaced? no: A_i still has it)
+        let (id, header) = node.serve_child_request(&target).unwrap();
+        assert_eq!(id.seq, 0);
+        assert!(header.contains_digest(&target));
+    }
+
+    #[test]
+    fn corrupt_reply_breaks_digest_reference() {
+        let cfg = cfg();
+        let mut node = node_with_neighbors(0, &[1]);
+        let target = Digest::from_bytes([9; 32]);
+        node.receive_digest(NodeId(1), target);
+        node.generate_block(&cfg, 0, vec![0]);
+        node.set_behavior(Behavior::CorruptReply);
+        let (_, header) = node.serve_child_request(&target).unwrap();
+        assert!(!header.contains_digest(&target));
+    }
+
+    #[test]
+    fn unresponsive_serves_nothing() {
+        let cfg = cfg();
+        let mut node = node_with_neighbors(0, &[1]);
+        node.generate_block(&cfg, 0, vec![0]);
+        node.set_behavior(Behavior::Unresponsive);
+        assert!(node.serve_block(BlockId::genesis(NodeId(0))).is_none());
+        assert!(node.serve_child_request(&Digest::ZERO).is_none());
+    }
+
+    #[test]
+    fn corrupt_store_serves_tampered_body() {
+        let cfg = cfg();
+        let mut node = node_with_neighbors(0, &[1]);
+        node.generate_block(&cfg, 0, vec![1, 2, 3]);
+        node.set_behavior(Behavior::CorruptStore);
+        let block = node.serve_block(BlockId::genesis(NodeId(0))).unwrap();
+        // Tampered body no longer matches the signed Merkle root.
+        assert_ne!(
+            block.body.merkle_root(cfg.merkle_chunk_bytes),
+            block.header.root
+        );
+    }
+
+    #[test]
+    fn storage_counts_chain_and_cache() {
+        let cfg = cfg();
+        let mut node = node_with_neighbors(0, &[]);
+        assert_eq!(node.storage_bits(&cfg), Bits::ZERO);
+        node.generate_block(&cfg, 0, vec![0]);
+        assert_eq!(node.storage_bits(&cfg), cfg.block_bits(0));
+    }
+
+    #[test]
+    fn banned_peer_digest_counts_as_service() {
+        let mut node = node_with_neighbors(0, &[1]);
+        // Force a ban.
+        node.blacklist_mut().record_failure(NodeId(1));
+        assert!(node.blacklist().is_banned(NodeId(1)));
+        // Deliver parole_after_services digests.
+        for i in 0..16 {
+            node.receive_digest(NodeId(1), Digest::from_bytes([i; 32]));
+        }
+        assert!(!node.blacklist().is_banned(NodeId(1)));
+    }
+}

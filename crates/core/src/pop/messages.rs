@@ -1,0 +1,110 @@
+//! PoP wire messages and the transport abstraction.
+//!
+//! The protocol uses three exchanges (Sec. IV-C):
+//!
+//! 1. Block retrieval — the validator fetches the full target block from the
+//!    verifier (header + body).
+//! 2. `REQ_CHILD` — the validator sends `H(b^h_v)` to a prospective
+//!    responder.
+//! 3. `RPY_CHILD` — the responder returns the header of its oldest block
+//!    containing that digest.
+//!
+//! [`PopTransport`] abstracts the exchanges so the validator algorithm can be
+//! unit-tested against scripted mocks and driven by the full network
+//! simulator alike. A `None` return models the paper's timeout `τ`.
+
+use crate::block::{BlockHeader, BlockId, DataBlock};
+use tldag_crypto::Digest;
+use tldag_sim::NodeId;
+
+/// A `RPY_CHILD` response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChildReply {
+    /// The node id the responder claims to be (Sybil attackers lie here).
+    pub claimed_owner: NodeId,
+    /// Identity of the child block within the responder's chain.
+    pub block_id: BlockId,
+    /// The child block's header.
+    pub header: BlockHeader,
+}
+
+/// What a responder says to a `REQ_CHILD`.
+///
+/// Distinguishing a cooperative "I have no child of that block" from silence
+/// matters for the blacklist: only silence and invalid replies are offenses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChildResponse {
+    /// The responder has a child block and returns its header.
+    Found(ChildReply),
+    /// The responder cooperated but stores no child of the target.
+    NoChild,
+}
+
+/// Transport used by the validator to reach other nodes.
+///
+/// Implementations account message sizes; returning `None` models a timeout
+/// after `τ` (unresponsive, selfish, or partitioned peers).
+pub trait PopTransport {
+    /// Retrieves the full block `id` from `owner` (validator → verifier).
+    fn fetch_block(&mut self, validator: NodeId, owner: NodeId, id: BlockId)
+        -> Option<DataBlock>;
+
+    /// Sends `REQ_CHILD(target)` to `responder` and waits for `RPY_CHILD`.
+    fn request_child(
+        &mut self,
+        validator: NodeId,
+        responder: NodeId,
+        target: Digest,
+    ) -> Option<ChildResponse>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockBody, DataBlock};
+    use crate::config::ProtocolConfig;
+    use tldag_crypto::schnorr::KeyPair;
+
+    /// A transport that always times out; sanity-checks object safety.
+    struct DeadTransport;
+
+    impl PopTransport for DeadTransport {
+        fn fetch_block(&mut self, _: NodeId, _: NodeId, _: BlockId) -> Option<DataBlock> {
+            None
+        }
+        fn request_child(&mut self, _: NodeId, _: NodeId, _: Digest) -> Option<ChildResponse> {
+            None
+        }
+    }
+
+    #[test]
+    fn transport_is_object_safe() {
+        let mut t: Box<dyn PopTransport> = Box::new(DeadTransport);
+        assert!(t
+            .fetch_block(NodeId(0), NodeId(1), BlockId::genesis(NodeId(1)))
+            .is_none());
+        assert!(t.request_child(NodeId(0), NodeId(1), Digest::ZERO).is_none());
+    }
+
+    #[test]
+    fn child_reply_round_trip() {
+        let cfg = ProtocolConfig::test_default();
+        let kp = KeyPair::from_seed(1);
+        let body = BlockBody::new(vec![1u8], cfg.body_bits);
+        let block = DataBlock::create(
+            &cfg,
+            BlockId::genesis(NodeId(1)),
+            0,
+            vec![],
+            body,
+            &kp,
+        );
+        let reply = ChildReply {
+            claimed_owner: NodeId(1),
+            block_id: block.id,
+            header: block.header.clone(),
+        };
+        assert_eq!(reply.claimed_owner, NodeId(1));
+        assert_eq!(reply.header.digest(), block.header_digest());
+    }
+}

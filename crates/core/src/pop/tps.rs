@@ -1,0 +1,169 @@
+//! Trust Path Selection (Algorithm 2, Sec. IV-B).
+//!
+//! After a successful PoP run the validator caches every header on the proof
+//! path in `H_i`. Later verifications re-use those headers: as long as some
+//! cached header is a child of the current verifying block, the path extends
+//! *for free* — no `REQ_CHILD`/`RPY_CHILD` exchange, no bytes on the air.
+//! This is what makes repeated audits of the same region of the DAG cheap
+//! (the `{C1, D1, E2}` example of Sec. IV-B).
+
+use crate::store::{TrustCache, TrustedHeader};
+use std::collections::HashSet;
+use tldag_crypto::Digest;
+
+/// One cache-driven path extension.
+#[derive(Clone, Debug)]
+pub struct TpsStep {
+    /// The trusted header that extends the path.
+    pub trusted: TrustedHeader,
+    /// Its header digest (the new verifying-block digest).
+    pub digest: Digest,
+}
+
+/// Extends the path from `current` using cached headers until the cache runs
+/// dry or `max_steps` extensions were taken (Algorithm 2's loop).
+///
+/// `skip` contains header digests that must not be used (blocks rolled back
+/// earlier in this PoP run). Acyclicity of the logical DAG guarantees
+/// termination; `max_steps` is a defensive bound.
+pub fn extend(
+    cache: &TrustCache,
+    current: &Digest,
+    skip: &HashSet<Digest>,
+    max_steps: usize,
+) -> Vec<TpsStep> {
+    let mut steps = Vec::new();
+    let mut tip = *current;
+    while steps.len() < max_steps {
+        let Some(next) = cache
+            .children_candidates(&tip)
+            .into_iter()
+            .find(|t| !skip.contains(&t.header.digest()))
+        else {
+            break;
+        };
+        let digest = next.header.digest();
+        steps.push(TpsStep {
+            trusted: next.clone(),
+            digest,
+        });
+        tip = digest;
+    }
+    steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BlockBody, BlockId, DataBlock, DigestEntry};
+    use crate::config::ProtocolConfig;
+    use tldag_crypto::schnorr::KeyPair;
+    use tldag_sim::NodeId;
+
+    fn cfg() -> ProtocolConfig {
+        ProtocolConfig::test_default()
+    }
+
+    fn block_with_parent(
+        cfg: &ProtocolConfig,
+        owner: u32,
+        seq: u32,
+        time: u64,
+        parent: Digest,
+    ) -> DataBlock {
+        let kp = KeyPair::from_seed(u64::from(owner));
+        DataBlock::create(
+            cfg,
+            BlockId::new(NodeId(owner), seq),
+            time,
+            vec![DigestEntry {
+                origin: NodeId(owner.wrapping_sub(1)),
+                digest: parent,
+            }],
+            BlockBody::new(vec![owner as u8], cfg.body_bits),
+            &kp,
+        )
+    }
+
+    fn trusted(block: &DataBlock) -> TrustedHeader {
+        TrustedHeader {
+            owner: block.id.owner,
+            block_id: block.id,
+            header: block.header.clone(),
+        }
+    }
+
+    #[test]
+    fn follows_chain_of_cached_headers() {
+        let cfg = cfg();
+        let root = Digest::from_bytes([1; 32]);
+        let b1 = block_with_parent(&cfg, 1, 0, 1, root);
+        let b2 = block_with_parent(&cfg, 2, 0, 2, b1.header_digest());
+        let b3 = block_with_parent(&cfg, 3, 0, 3, b2.header_digest());
+
+        let mut cache = TrustCache::new();
+        for b in [&b1, &b2, &b3] {
+            cache.insert(trusted(b));
+        }
+        let steps = extend(&cache, &root, &HashSet::new(), 100);
+        assert_eq!(steps.len(), 3);
+        assert_eq!(steps[0].trusted.owner, NodeId(1));
+        assert_eq!(steps[2].trusted.owner, NodeId(3));
+        // Each step's header contains the previous digest.
+        assert!(steps[0].trusted.header.contains_digest(&root));
+        assert!(steps[1].trusted.header.contains_digest(&steps[0].digest));
+    }
+
+    #[test]
+    fn stops_when_cache_runs_dry() {
+        let cfg = cfg();
+        let root = Digest::from_bytes([2; 32]);
+        let b1 = block_with_parent(&cfg, 1, 0, 1, root);
+        let mut cache = TrustCache::new();
+        cache.insert(trusted(&b1));
+        let steps = extend(&cache, &root, &HashSet::new(), 100);
+        assert_eq!(steps.len(), 1);
+    }
+
+    #[test]
+    fn empty_cache_extends_nothing() {
+        let cache = TrustCache::new();
+        let steps = extend(&cache, &Digest::ZERO, &HashSet::new(), 100);
+        assert!(steps.is_empty());
+    }
+
+    #[test]
+    fn skip_set_excludes_rolled_back_blocks() {
+        let cfg = cfg();
+        let root = Digest::from_bytes([3; 32]);
+        let early = block_with_parent(&cfg, 1, 0, 1, root);
+        let late = block_with_parent(&cfg, 2, 0, 5, root);
+        let mut cache = TrustCache::new();
+        cache.insert(trusted(&early));
+        cache.insert(trusted(&late));
+
+        // Without a skip set, TPS picks the earliest child.
+        let steps = extend(&cache, &root, &HashSet::new(), 100);
+        assert_eq!(steps[0].trusted.owner, NodeId(1));
+
+        // Skipping the early block falls back to the alternative child.
+        let skip: HashSet<Digest> = [early.header_digest()].into();
+        let steps = extend(&cache, &root, &skip, 100);
+        assert_eq!(steps[0].trusted.owner, NodeId(2));
+    }
+
+    #[test]
+    fn max_steps_bounds_extension() {
+        let cfg = cfg();
+        let root = Digest::from_bytes([4; 32]);
+        let mut cache = TrustCache::new();
+        let mut parent = root;
+        for i in 0..10 {
+            let b = block_with_parent(&cfg, i + 1, 0, u64::from(i + 1), parent);
+            parent = b.header_digest();
+            cache.insert(trusted(&b));
+        }
+        let steps = extend(&cache, &root, &HashSet::new(), 4);
+        assert_eq!(steps.len(), 4);
+    }
+}

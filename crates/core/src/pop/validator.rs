@@ -1,0 +1,496 @@
+//! The PoP validator (Algorithm 3, Sec. IV-C).
+//!
+//! Verifying block `b_{j,t}` proceeds as:
+//!
+//! 1. Retrieve the full block from the verifier `j`; check its Merkle root
+//!    (and, as hardening, its signature and puzzle).
+//! 2. Initialise the proof path `P_i = [b_{j,t}]` and node set `R_i = {j}`.
+//! 3. Loop until `|R_i| ≥ γ + 1`:
+//!    * **TPS** — extend the path for free from the verified-header cache.
+//!    * **WPS** — pick the most promising untried neighbor of the current
+//!      verifying block's owner and send it `REQ_CHILD`.
+//!    * A valid `RPY_CHILD` (its Digests entry for the owner matches the
+//!      verifying digest, and the header signature/puzzle verify) extends the
+//!      path; timeouts and invalid replies mark the responder tried and feed
+//!      the blacklist.
+//!    * When every neighbor is exhausted, **roll back** one block (lines
+//!      26–31): the popped owner leaves `R_i` and is excluded (`V'`), and the
+//!      search resumes one block earlier.
+//! 4. On success, every header on the path enters the trust cache `H_i`
+//!    (line 39).
+//!
+//! Micro-loops (Fig. 6) arise naturally: when a fast node's blocks alternate
+//! with a slow neighbor's, the path may revisit owners without growing
+//! `|R_i|`; `R_i` is maintained as a multiset so rollbacks through such loops
+//! stay consistent.
+
+use crate::blacklist::Blacklist;
+use crate::block::{BlockHeader, BlockId};
+use crate::config::ProtocolConfig;
+use crate::error::PopError;
+use crate::pop::messages::{ChildReply, ChildResponse, PopTransport};
+use crate::pop::{tps, wps};
+use crate::store::{BlockStore, TrustCache, TrustedHeader};
+use std::collections::{HashMap, HashSet};
+use tldag_crypto::schnorr::{KeyPair, PublicKey};
+use tldag_crypto::Digest;
+use tldag_sim::{Bits, DetRng, NodeId, Topology};
+
+/// Defensive cap on validator loop iterations (the protocol itself
+/// terminates because the logical DAG is finite and acyclic).
+const MAX_ITERATIONS: usize = 1_000_000;
+
+/// One block on the proof path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathStep {
+    /// Node whose block this is.
+    pub owner: NodeId,
+    /// The block's identity.
+    pub block_id: BlockId,
+    /// The block's header digest.
+    pub digest: Digest,
+}
+
+/// Counters describing one PoP run; the raw material for Fig. 8 and the
+/// Proposition 4/6 checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PopMetrics {
+    /// Messages emitted by the validator (block fetch + `REQ_CHILD`s).
+    pub messages_sent: u64,
+    /// Messages received (block + `RPY_CHILD`s).
+    pub messages_received: u64,
+    /// Bits transmitted.
+    pub bits_sent: Bits,
+    /// Bits received.
+    pub bits_received: Bits,
+    /// `REQ_CHILD` messages sent.
+    pub req_child_sent: u64,
+    /// `RPY_CHILD` messages received.
+    pub replies_received: u64,
+    /// Replies rejected by the consistency/signature checks.
+    pub invalid_replies: u64,
+    /// Cooperative "no child stored" replies.
+    pub no_child_replies: u64,
+    /// Requests that timed out.
+    pub timeouts: u64,
+    /// Path extensions served from the trust cache (TPS).
+    pub tps_extensions: u64,
+    /// Path extensions served from the validator's own store.
+    pub own_store_hits: u64,
+    /// Rollbacks performed (Algorithm 3, lines 26–31).
+    pub rollbacks: u64,
+}
+
+impl PopMetrics {
+    /// Total messages exchanged (Prop. 4's quantity).
+    pub fn total_messages(&self) -> u64 {
+        self.messages_sent + self.messages_received
+    }
+
+    /// Total traffic in bits.
+    pub fn total_bits(&self) -> Bits {
+        self.bits_sent + self.bits_received
+    }
+}
+
+/// The result of one PoP run.
+#[derive(Clone, Debug)]
+pub struct PopReport {
+    /// `Ok(())` when consensus was reached, otherwise the failure reason.
+    pub outcome: Result<(), PopError>,
+    /// The proof path (verifier first). On failure, the path at the moment
+    /// the run aborted.
+    pub path: Vec<PathStep>,
+    /// Number of distinct nodes on the path when the run ended.
+    pub distinct_nodes: usize,
+    /// Message/byte counters.
+    pub metrics: PopMetrics,
+}
+
+impl PopReport {
+    /// Whether consensus was reached.
+    pub fn is_success(&self) -> bool {
+        self.outcome.is_ok()
+    }
+}
+
+/// Multiset of path owners; `R_i` is its distinct-element view.
+#[derive(Default)]
+struct OwnerMultiset {
+    counts: HashMap<NodeId, u32>,
+    distinct: HashSet<NodeId>,
+}
+
+impl OwnerMultiset {
+    fn add(&mut self, owner: NodeId) {
+        *self.counts.entry(owner).or_insert(0) += 1;
+        self.distinct.insert(owner);
+    }
+
+    fn remove(&mut self, owner: NodeId) {
+        if let Some(count) = self.counts.get_mut(&owner) {
+            *count -= 1;
+            if *count == 0 {
+                self.counts.remove(&owner);
+                self.distinct.remove(&owner);
+            }
+        }
+    }
+
+    fn len_distinct(&self) -> usize {
+        self.distinct.len()
+    }
+
+    fn set(&self) -> &HashSet<NodeId> {
+        &self.distinct
+    }
+}
+
+/// Internal path entry: a [`PathStep`] plus search bookkeeping.
+struct Entry {
+    owner: NodeId,
+    block_id: BlockId,
+    digest: Digest,
+    header: BlockHeader,
+    tried: HashSet<NodeId>,
+}
+
+impl Entry {
+    fn step(&self) -> PathStep {
+        PathStep {
+            owner: self.owner,
+            block_id: self.block_id,
+            digest: self.digest,
+        }
+    }
+}
+
+/// Looks up the registered public key of a node. Keys are provisioned from
+/// node ids at registration (Sec. IV-D assumes every node knows every public
+/// key), so the directory is computable.
+pub fn registered_key(node: NodeId) -> PublicKey {
+    KeyPair::from_seed(u64::from(node.0)).public()
+}
+
+/// The PoP validator role for one node.
+///
+/// Borrows the validator node's mutable state (`H_i`, blacklist) and
+/// read-only views of the topology and its own store; all remote interaction
+/// goes through the [`PopTransport`].
+pub struct Validator<'a> {
+    cfg: &'a ProtocolConfig,
+    topology: &'a Topology,
+    id: NodeId,
+    own_store: &'a BlockStore,
+    trust_cache: &'a mut TrustCache,
+    blacklist: &'a mut Blacklist,
+    rng: &'a mut DetRng,
+}
+
+impl<'a> Validator<'a> {
+    /// Creates a validator for node `id`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cfg: &'a ProtocolConfig,
+        topology: &'a Topology,
+        id: NodeId,
+        own_store: &'a BlockStore,
+        trust_cache: &'a mut TrustCache,
+        blacklist: &'a mut Blacklist,
+        rng: &'a mut DetRng,
+    ) -> Self {
+        Validator {
+            cfg,
+            topology,
+            id,
+            own_store,
+            trust_cache,
+            blacklist,
+            rng,
+        }
+    }
+
+    /// Runs Algorithm 3 to verify block `target`.
+    pub fn run(&mut self, target: BlockId, transport: &mut dyn PopTransport) -> PopReport {
+        let mut metrics = PopMetrics::default();
+        let threshold = self.cfg.consensus_threshold();
+
+        // --- Initialization: retrieve and validate the target block. ---
+        metrics.messages_sent += 1;
+        metrics.bits_sent += self.cfg.fetch_request_bits();
+        let Some(block) = transport.fetch_block(self.id, target.owner, target) else {
+            return PopReport {
+                outcome: Err(PopError::BlockUnavailable {
+                    owner: target.owner,
+                }),
+                path: Vec::new(),
+                distinct_nodes: 0,
+                metrics,
+            };
+        };
+        metrics.messages_received += 1;
+        metrics.bits_received += self
+            .cfg
+            .block_response_bits(block.header.digest_entries());
+        if let Err(reason) = block.validate(self.cfg, &registered_key(target.owner)) {
+            return PopReport {
+                outcome: Err(PopError::InvalidBlock {
+                    owner: target.owner,
+                    reason,
+                }),
+                path: Vec::new(),
+                distinct_nodes: 0,
+                metrics,
+            };
+        }
+
+        let mut path: Vec<Entry> = vec![Entry {
+            owner: target.owner,
+            block_id: target,
+            digest: block.header_digest(),
+            header: block.header.clone(),
+            tried: HashSet::new(),
+        }];
+        let mut owners = OwnerMultiset::default();
+        owners.add(target.owner);
+        // `V \ V'`: nodes excluded by the current rollback cascade
+        // (Algorithm 3, line 27). Cleared whenever the path extends, because
+        // line 14 re-initialises V' = V on every outer iteration.
+        let mut excluded: HashSet<NodeId> = HashSet::new();
+        // Header digests of rolled-back blocks; TPS must not resurrect them.
+        let mut popped: HashSet<Digest> = HashSet::new();
+
+        // --- Construct the path. ---
+        for _ in 0..MAX_ITERATIONS {
+            if metrics.req_child_sent >= self.cfg.max_requests {
+                break;
+            }
+            // TPS fast-forward (Algorithm 3, line 9).
+            if self.cfg.enable_tps && owners.len_distinct() < threshold {
+                let tip_digest = path.last().expect("path never empty here").digest;
+                let budget = threshold * 4 + 16;
+                for step in tps::extend(self.trust_cache, &tip_digest, &popped, budget) {
+                    metrics.tps_extensions += 1;
+                    owners.add(step.trusted.owner);
+                    path.push(Entry {
+                        owner: step.trusted.owner,
+                        block_id: step.trusted.block_id,
+                        digest: step.digest,
+                        header: step.trusted.header.clone(),
+                        tried: HashSet::new(),
+                    });
+                    excluded.clear();
+                    if owners.len_distinct() >= threshold {
+                        break;
+                    }
+                }
+            }
+            if owners.len_distinct() >= threshold {
+                return self.finish_success(path, owners.len_distinct(), metrics);
+            }
+
+            // WPS candidate selection at the current tip.
+            let tip = path.last().expect("path never empty here");
+            let tip_owner = tip.owner;
+            let tip_digest = tip.digest;
+            let candidates: Vec<NodeId> = self
+                .topology
+                .neighbors(tip_owner)
+                .iter()
+                .copied()
+                .filter(|n| !tip.tried.contains(n))
+                .filter(|n| !excluded.contains(n))
+                .filter(|n| *n == self.id || !self.blacklist.is_banned(*n))
+                .collect();
+
+            let selected = match self.cfg.path_selection {
+                crate::config::PathSelection::Weighted => {
+                    wps::select_next(self.topology, &candidates, owners.set(), self.rng)
+                }
+                crate::config::PathSelection::Random => self.rng.choose(&candidates).copied(),
+            };
+            let Some(responder) = selected
+            else {
+                // Rollback (Algorithm 3, lines 26–34).
+                let entry = path.pop().expect("path never empty here");
+                metrics.rollbacks += 1;
+                owners.remove(entry.owner);
+                excluded.insert(entry.owner);
+                popped.insert(entry.digest);
+                match path.last_mut() {
+                    Some(new_tip) => {
+                        // Re-asking the same responder would deterministically
+                        // reproduce the popped subtree.
+                        new_tip.tried.insert(entry.owner);
+                        continue;
+                    }
+                    None => {
+                        return PopReport {
+                            outcome: Err(PopError::PathExhausted {
+                                distinct_nodes: 0,
+                                required: threshold,
+                            }),
+                            path: Vec::new(),
+                            distinct_nodes: 0,
+                            metrics,
+                        };
+                    }
+                }
+            };
+
+            // Obtain the reply: from our own store for free, otherwise over
+            // the air (lines 17–24).
+            let response: Option<ChildResponse> = if responder == self.id {
+                metrics.own_store_hits += 1;
+                Some(match self.own_store.oldest_child_of(&tip_digest) {
+                    Some(b) => ChildResponse::Found(ChildReply {
+                        claimed_owner: self.id,
+                        block_id: b.id,
+                        header: b.header.clone(),
+                    }),
+                    None => ChildResponse::NoChild,
+                })
+            } else {
+                metrics.req_child_sent += 1;
+                metrics.messages_sent += 1;
+                metrics.bits_sent += self.cfg.req_child_bits();
+                let response = transport.request_child(self.id, responder, tip_digest);
+                if let Some(r) = &response {
+                    metrics.replies_received += 1;
+                    metrics.messages_received += 1;
+                    metrics.bits_received += match r {
+                        ChildResponse::Found(reply) => {
+                            self.cfg.rpy_child_bits(reply.header.digest_entries())
+                        }
+                        ChildResponse::NoChild => self.cfg.nack_bits(),
+                    };
+                }
+                response
+            };
+
+            match response {
+                None => {
+                    // Timeout after τ: an offense (Sec. IV-D.6).
+                    metrics.timeouts += 1;
+                    if responder != self.id {
+                        self.blacklist.record_failure(responder);
+                    }
+                    path.last_mut()
+                        .expect("path never empty here")
+                        .tried
+                        .insert(responder);
+                }
+                Some(ChildResponse::NoChild) => {
+                    // Cooperative miss: not an offense, just try elsewhere.
+                    metrics.no_child_replies += 1;
+                    if responder != self.id {
+                        self.blacklist.record_success(responder);
+                    }
+                    path.last_mut()
+                        .expect("path never empty here")
+                        .tried
+                        .insert(responder);
+                }
+                Some(ChildResponse::Found(reply)) => {
+                    if self.check_reply(responder, tip_owner, &tip_digest, &reply) {
+                        if responder != self.id {
+                            self.blacklist.record_success(responder);
+                        }
+                        let digest = reply.header.digest();
+                        owners.add(responder);
+                        path.push(Entry {
+                            owner: responder,
+                            block_id: reply.block_id,
+                            digest,
+                            header: reply.header,
+                            tried: HashSet::new(),
+                        });
+                        // Successful extension: Algorithm 3 re-initialises
+                        // V' = V (line 14), ending the rollback cascade.
+                        excluded.clear();
+                    } else {
+                        metrics.invalid_replies += 1;
+                        if responder != self.id {
+                            self.blacklist.record_failure(responder);
+                        }
+                        path.last_mut()
+                            .expect("path never empty here")
+                            .tried
+                            .insert(responder);
+                    }
+                }
+            }
+        }
+
+        // Defensive: the iteration cap was hit (cannot happen on a finite DAG).
+        PopReport {
+            outcome: Err(PopError::PathExhausted {
+                distinct_nodes: owners.len_distinct(),
+                required: threshold,
+            }),
+            path: path.iter().map(Entry::step).collect(),
+            distinct_nodes: owners.len_distinct(),
+            metrics,
+        }
+    }
+
+    /// Validates a `RPY_CHILD` header (Algorithm 3, line 21, plus hardening).
+    fn check_reply(
+        &self,
+        responder: NodeId,
+        verifying_owner: NodeId,
+        verifying_digest: &Digest,
+        reply: &ChildReply,
+    ) -> bool {
+        // Sybil defence: the reply must come from the identity we addressed,
+        // and its block must belong to that identity.
+        if reply.claimed_owner != responder || reply.block_id.owner != responder {
+            return false;
+        }
+        // The paper's consistency check (line 21):
+        // H(b^h_v) == GetDigest(b^h_{j'}, v).
+        if reply.header.digest_of(verifying_owner) != Some(*verifying_digest) {
+            return false;
+        }
+        // Hardening: the header must be signed by the registered key of the
+        // responder and satisfy the generation puzzle.
+        if self.cfg.verify_signatures {
+            if !reply.header.verify_signature(&registered_key(responder)) {
+                return false;
+            }
+            if !reply.header.verify_puzzle(self.cfg.difficulty_bits) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Success epilogue: cache every header on the path (line 39).
+    fn finish_success(
+        &mut self,
+        path: Vec<Entry>,
+        distinct_nodes: usize,
+        metrics: PopMetrics,
+    ) -> PopReport {
+        let steps: Vec<PathStep> = path.iter().map(Entry::step).collect();
+        for entry in path {
+            self.trust_cache.insert(TrustedHeader {
+                owner: entry.owner,
+                block_id: entry.block_id,
+                header: entry.header,
+            });
+        }
+        PopReport {
+            outcome: Ok(()),
+            path: steps,
+            distinct_nodes,
+            metrics,
+        }
+    }
+}
+
+/// Convenience check mirroring the digest-consistency rule: true when `reply`'s
+/// header embeds `digest` for `owner`. Exposed for tests and tooling.
+pub fn reply_vouches_for(reply: &ChildReply, owner: NodeId, digest: &Digest) -> bool {
+    reply.header.digest_of(owner) == Some(*digest)
+}

@@ -1,0 +1,75 @@
+//! Minimal hex encoding/decoding helpers (no external dependency).
+
+/// Encodes bytes as a lowercase hex string.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(tldag_crypto::hex::to_hex(&[0xde, 0xad]), "dead");
+/// ```
+pub fn to_hex(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0x0f) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (upper or lower case) into bytes.
+///
+/// Returns `None` if the string has odd length or contains a non-hex character.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(tldag_crypto::hex::from_hex("DEad"), Some(vec![0xde, 0xad]));
+/// assert_eq!(tldag_crypto::hex::from_hex("xy"), None);
+/// ```
+pub fn from_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    fn nibble(c: u8) -> Option<u8> {
+        match c {
+            b'0'..=b'9' => Some(c - b'0'),
+            b'a'..=b'f' => Some(c - b'a' + 10),
+            b'A'..=b'F' => Some(c - b'A' + 10),
+            _ => None,
+        }
+    }
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() / 2);
+    for pair in bytes.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(from_hex(&to_hex(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        assert_eq!(to_hex(&[]), "");
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn odd_length_rejected() {
+        assert_eq!(from_hex("abc"), None);
+    }
+
+    #[test]
+    fn mixed_case_accepted() {
+        assert_eq!(from_hex("AaBb").unwrap(), vec![0xaa, 0xbb]);
+    }
+}

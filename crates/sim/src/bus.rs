@@ -1,0 +1,371 @@
+//! Byte-accounted message bus.
+//!
+//! Fig. 8 of the paper reports *per-node communication overhead* split into
+//! "DAG construction" (digest broadcasts) and "consensus" (PoP header
+//! retrieval), while the PBFT and IOTA baselines report their own traffic.
+//! The bus therefore meters every send at both endpoints, tagged with a
+//! [`TrafficClass`], and exposes per-node/per-class totals for the plots.
+//!
+//! Delivery semantics are synchronous within a slot: the simulator is a
+//! single-threaded discrete-time model, so `send` immediately enqueues to the
+//! destination's inbox and accounting happens at send time. Request/response
+//! exchanges (PoP) are accounted directly by the caller through
+//! [`MessageBus::accounting_mut`].
+
+use crate::topology::NodeId;
+use crate::units::Bits;
+use std::collections::VecDeque;
+
+/// Category of traffic, used to split Fig. 8's panels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TrafficClass {
+    /// Digest broadcast during block generation (2LDAG "DAG construction").
+    DagConstruction,
+    /// PoP `REQ_CHILD` / `RPY_CHILD` / block retrieval ("consensus").
+    Consensus,
+    /// PBFT pre-prepare/prepare/commit/view-change traffic.
+    Pbft,
+    /// IOTA transaction gossip.
+    IotaGossip,
+    /// Anything else (tests, control messages).
+    Other,
+}
+
+impl TrafficClass {
+    /// All classes, for iteration in reports.
+    pub const ALL: [TrafficClass; 5] = [
+        TrafficClass::DagConstruction,
+        TrafficClass::Consensus,
+        TrafficClass::Pbft,
+        TrafficClass::IotaGossip,
+        TrafficClass::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            TrafficClass::DagConstruction => 0,
+            TrafficClass::Consensus => 1,
+            TrafficClass::Pbft => 2,
+            TrafficClass::IotaGossip => 3,
+            TrafficClass::Other => 4,
+        }
+    }
+}
+
+/// Per-node, per-class transmit/receive accounting.
+#[derive(Clone, Debug)]
+pub struct Accounting {
+    tx: Vec<[Bits; 5]>,
+    rx: Vec<[Bits; 5]>,
+}
+
+impl Accounting {
+    /// Creates accounting for `nodes` nodes, all counters zero.
+    pub fn new(nodes: usize) -> Self {
+        Accounting {
+            tx: vec![[Bits::ZERO; 5]; nodes],
+            rx: vec![[Bits::ZERO; 5]; nodes],
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.tx.len()
+    }
+
+    /// True if no nodes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.tx.is_empty()
+    }
+
+    /// Records `size` transmitted by `from` and received by `to`.
+    pub fn record(&mut self, from: NodeId, to: NodeId, class: TrafficClass, size: Bits) {
+        self.tx[from.index()][class.index()] += size;
+        self.rx[to.index()][class.index()] += size;
+    }
+
+    /// Records a transmission with no modelled receiver (e.g. a broadcast
+    /// stub in tests).
+    pub fn record_tx_only(&mut self, from: NodeId, class: TrafficClass, size: Bits) {
+        self.tx[from.index()][class.index()] += size;
+    }
+
+    /// Records a reception with no modelled sender. Together with
+    /// [`Self::record_tx_only`] this lets all-to-all protocol phases (PBFT
+    /// votes) be accounted in `O(n)` aggregate operations instead of `O(n²)`
+    /// per-pair records; the totals are identical.
+    pub fn record_rx_only(&mut self, to: NodeId, class: TrafficClass, size: Bits) {
+        self.rx[to.index()][class.index()] += size;
+    }
+
+    /// Bits transmitted by `node` in `class`.
+    pub fn tx(&self, node: NodeId, class: TrafficClass) -> Bits {
+        self.tx[node.index()][class.index()]
+    }
+
+    /// Bits received by `node` in `class`.
+    pub fn rx(&self, node: NodeId, class: TrafficClass) -> Bits {
+        self.rx[node.index()][class.index()]
+    }
+
+    /// Total (tx + rx) for `node` in `class` — the paper's "communication
+    /// overhead" counts both emitted and received messages (Prop. 4).
+    pub fn node_total(&self, node: NodeId, class: TrafficClass) -> Bits {
+        self.tx(node, class) + self.rx(node, class)
+    }
+
+    /// Total (tx + rx) for `node` across all classes.
+    pub fn node_total_all(&self, node: NodeId) -> Bits {
+        TrafficClass::ALL
+            .iter()
+            .map(|&c| self.node_total(node, c))
+            .sum()
+    }
+
+    /// Sum of per-node totals in `class` across the network.
+    pub fn network_total(&self, class: TrafficClass) -> Bits {
+        (0..self.len() as u32)
+            .map(|i| self.node_total(NodeId(i), class))
+            .sum()
+    }
+
+    /// Mean per-node total (tx + rx) in `class`.
+    pub fn mean_node_total(&self, class: TrafficClass) -> Bits {
+        if self.is_empty() {
+            return Bits::ZERO;
+        }
+        Bits::from_bits(self.network_total(class).bits() / self.len() as u64)
+    }
+
+    /// Per-node totals across all classes, for CDF plots (Fig. 8(d)).
+    pub fn per_node_totals(&self) -> Vec<Bits> {
+        (0..self.len() as u32)
+            .map(|i| self.node_total_all(NodeId(i)))
+            .collect()
+    }
+
+    /// Bits transmitted by `node` across all classes. The paper defines
+    /// communication overhead as "the total amount of data a node transmits",
+    /// so the Fig. 8 series are tx-based.
+    pub fn node_tx_all(&self, node: NodeId) -> Bits {
+        TrafficClass::ALL
+            .iter()
+            .map(|&c| self.tx(node, c))
+            .sum()
+    }
+
+    /// Sum of transmitted bits in `class` across the network.
+    pub fn network_tx(&self, class: TrafficClass) -> Bits {
+        (0..self.len() as u32)
+            .map(|i| self.tx(NodeId(i), class))
+            .sum()
+    }
+
+    /// Mean per-node transmitted bits in `class`.
+    pub fn mean_node_tx(&self, class: TrafficClass) -> Bits {
+        if self.is_empty() {
+            return Bits::ZERO;
+        }
+        Bits::from_bits(self.network_tx(class).bits() / self.len() as u64)
+    }
+
+    /// Per-node transmitted bits across the given classes, for CDFs.
+    pub fn per_node_tx(&self, classes: &[TrafficClass]) -> Vec<Bits> {
+        (0..self.len() as u32)
+            .map(|i| classes.iter().map(|&c| self.tx(NodeId(i), c)).sum())
+            .collect()
+    }
+
+    /// Extends the accounting with one more (zeroed) node slot. Supports
+    /// dynamic membership.
+    pub fn grow(&mut self) {
+        self.tx.push([Bits::ZERO; 5]);
+        self.rx.push([Bits::ZERO; 5]);
+    }
+
+    /// Merges another accounting (same node count) into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ.
+    pub fn merge(&mut self, other: &Accounting) {
+        assert_eq!(self.len(), other.len(), "accounting size mismatch");
+        for i in 0..self.tx.len() {
+            for c in 0..5 {
+                self.tx[i][c] += other.tx[i][c];
+                self.rx[i][c] += other.rx[i][c];
+            }
+        }
+    }
+}
+
+/// An in-flight message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub from: NodeId,
+    /// Destination.
+    pub to: NodeId,
+    /// Traffic category for accounting.
+    pub class: TrafficClass,
+    /// Logical size on the wire.
+    pub size: Bits,
+    /// Payload.
+    pub message: M,
+}
+
+/// A synchronous, accounted message bus between simulated nodes.
+///
+/// # Example
+///
+/// ```
+/// use tldag_sim::bus::{MessageBus, TrafficClass};
+/// use tldag_sim::{Bits, NodeId};
+///
+/// let mut bus: MessageBus<&'static str> = MessageBus::new(2);
+/// bus.send(NodeId(0), NodeId(1), TrafficClass::Other, Bits::from_bytes(4), "ping");
+/// let msg = bus.pop_inbox(NodeId(1)).unwrap();
+/// assert_eq!(msg.message, "ping");
+/// assert_eq!(bus.accounting().tx(NodeId(0), TrafficClass::Other).bits(), 32);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MessageBus<M> {
+    inboxes: Vec<VecDeque<Envelope<M>>>,
+    accounting: Accounting,
+    messages_sent: u64,
+}
+
+impl<M> MessageBus<M> {
+    /// Creates a bus connecting `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        MessageBus {
+            inboxes: (0..nodes).map(|_| VecDeque::new()).collect(),
+            accounting: Accounting::new(nodes),
+            messages_sent: 0,
+        }
+    }
+
+    /// Sends a message, recording its size at both endpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node id is out of bounds.
+    pub fn send(&mut self, from: NodeId, to: NodeId, class: TrafficClass, size: Bits, message: M) {
+        self.accounting.record(from, to, class, size);
+        self.messages_sent += 1;
+        self.inboxes[to.index()].push_back(Envelope {
+            from,
+            to,
+            class,
+            size,
+            message,
+        });
+    }
+
+    /// Pops the oldest message from `node`'s inbox.
+    pub fn pop_inbox(&mut self, node: NodeId) -> Option<Envelope<M>> {
+        self.inboxes[node.index()].pop_front()
+    }
+
+    /// Drains all pending messages for `node`.
+    pub fn drain_inbox(&mut self, node: NodeId) -> Vec<Envelope<M>> {
+        self.inboxes[node.index()].drain(..).collect()
+    }
+
+    /// Number of undelivered messages for `node`.
+    pub fn inbox_len(&self, node: NodeId) -> usize {
+        self.inboxes[node.index()].len()
+    }
+
+    /// Total messages ever sent through the bus.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Read-only accounting view.
+    pub fn accounting(&self) -> &Accounting {
+        &self.accounting
+    }
+
+    /// Mutable accounting, for callers that account request/response pairs
+    /// directly (synchronous exchanges that never sit in an inbox).
+    pub fn accounting_mut(&mut self) -> &mut Accounting {
+        &mut self.accounting
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_receive() {
+        let mut bus: MessageBus<u32> = MessageBus::new(3);
+        bus.send(NodeId(0), NodeId(2), TrafficClass::Other, Bits::from_bits(10), 42);
+        assert_eq!(bus.inbox_len(NodeId(2)), 1);
+        let env = bus.pop_inbox(NodeId(2)).unwrap();
+        assert_eq!(env.message, 42);
+        assert_eq!(env.from, NodeId(0));
+        assert!(bus.pop_inbox(NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn accounting_records_both_endpoints() {
+        let mut bus: MessageBus<()> = MessageBus::new(2);
+        bus.send(NodeId(0), NodeId(1), TrafficClass::Consensus, Bits::from_bits(100), ());
+        let acc = bus.accounting();
+        assert_eq!(acc.tx(NodeId(0), TrafficClass::Consensus).bits(), 100);
+        assert_eq!(acc.rx(NodeId(1), TrafficClass::Consensus).bits(), 100);
+        assert_eq!(acc.rx(NodeId(0), TrafficClass::Consensus).bits(), 0);
+        assert_eq!(acc.node_total(NodeId(0), TrafficClass::Consensus).bits(), 100);
+        assert_eq!(acc.network_total(TrafficClass::Consensus).bits(), 200);
+    }
+
+    #[test]
+    fn classes_are_separate() {
+        let mut acc = Accounting::new(1);
+        acc.record_tx_only(NodeId(0), TrafficClass::DagConstruction, Bits::from_bits(5));
+        acc.record_tx_only(NodeId(0), TrafficClass::Pbft, Bits::from_bits(7));
+        assert_eq!(acc.tx(NodeId(0), TrafficClass::DagConstruction).bits(), 5);
+        assert_eq!(acc.tx(NodeId(0), TrafficClass::Pbft).bits(), 7);
+        assert_eq!(acc.node_total_all(NodeId(0)).bits(), 12);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = Accounting::new(2);
+        let mut b = Accounting::new(2);
+        a.record(NodeId(0), NodeId(1), TrafficClass::Other, Bits::from_bits(3));
+        b.record(NodeId(0), NodeId(1), TrafficClass::Other, Bits::from_bits(4));
+        a.merge(&b);
+        assert_eq!(a.tx(NodeId(0), TrafficClass::Other).bits(), 7);
+        assert_eq!(a.rx(NodeId(1), TrafficClass::Other).bits(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn merge_size_mismatch_panics() {
+        let mut a = Accounting::new(2);
+        let b = Accounting::new(3);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn drain_preserves_order() {
+        let mut bus: MessageBus<u32> = MessageBus::new(2);
+        for i in 0..5 {
+            bus.send(NodeId(0), NodeId(1), TrafficClass::Other, Bits::ZERO, i);
+        }
+        let drained: Vec<u32> = bus.drain_inbox(NodeId(1)).into_iter().map(|e| e.message).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert_eq!(bus.inbox_len(NodeId(1)), 0);
+    }
+
+    #[test]
+    fn mean_node_total() {
+        let mut acc = Accounting::new(2);
+        acc.record(NodeId(0), NodeId(1), TrafficClass::Other, Bits::from_bits(100));
+        // node0 tx 100, node1 rx 100 → each node total 100, mean 100.
+        assert_eq!(acc.mean_node_total(TrafficClass::Other).bits(), 100);
+    }
+}

@@ -1,0 +1,233 @@
+//! Time-slot bookkeeping and block-generation schedules.
+//!
+//! The paper divides time into slots; "each node generates at most one block
+//! in each time slot" (Sec. VI), and for the consensus experiments "each node
+//! has a random block generation rate of one block per {1, 2} time slots"
+//! (Fig. 9 caption). [`GenerationSchedule`] captures both workloads.
+
+use crate::rng::DetRng;
+use crate::topology::NodeId;
+
+/// A discrete time slot (0-based).
+pub type Slot = u64;
+
+/// Simple slot counter with a horizon.
+///
+/// # Example
+///
+/// ```
+/// use tldag_sim::engine::SlotClock;
+///
+/// let mut clock = SlotClock::new(3);
+/// let seen: Vec<u64> = std::iter::from_fn(|| clock.tick()).collect();
+/// assert_eq!(seen, vec![0, 1, 2]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SlotClock {
+    next: Slot,
+    horizon: Slot,
+}
+
+impl SlotClock {
+    /// Creates a clock that yields slots `0..horizon`.
+    pub fn new(horizon: Slot) -> Self {
+        SlotClock { next: 0, horizon }
+    }
+
+    /// Returns the next slot, or `None` once the horizon is reached.
+    pub fn tick(&mut self) -> Option<Slot> {
+        if self.next >= self.horizon {
+            return None;
+        }
+        let s = self.next;
+        self.next += 1;
+        Some(s)
+    }
+
+    /// The current (next unticked) slot.
+    pub fn current(&self) -> Slot {
+        self.next
+    }
+
+    /// Total number of slots this clock will yield.
+    pub fn horizon(&self) -> Slot {
+        self.horizon
+    }
+}
+
+/// Per-node block-generation periods, in slots per block.
+///
+/// A node with period `p` generates a block in every slot `s` with
+/// `s % p == phase`. The paper's storage experiments use `p = 1` for all
+/// nodes; the consensus experiments draw `p` uniformly from `{1, 2}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenerationSchedule {
+    periods: Vec<u64>,
+    phases: Vec<u64>,
+}
+
+impl GenerationSchedule {
+    /// Every node generates one block per slot (Figs. 7–8 workload).
+    pub fn uniform(nodes: usize) -> Self {
+        GenerationSchedule {
+            periods: vec![1; nodes],
+            phases: vec![0; nodes],
+        }
+    }
+
+    /// Every node gets a fixed period drawn uniformly from `periods_choices`
+    /// with a random phase (Fig. 9 workload uses `&[1, 2]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `periods_choices` is empty or contains zero.
+    pub fn random_periods(nodes: usize, periods_choices: &[u64], rng: &mut DetRng) -> Self {
+        assert!(!periods_choices.is_empty(), "need at least one period");
+        assert!(
+            periods_choices.iter().all(|&p| p > 0),
+            "periods must be positive"
+        );
+        let periods: Vec<u64> = (0..nodes)
+            .map(|_| *rng.choose(periods_choices).expect("non-empty"))
+            .collect();
+        let phases = periods.iter().map(|&p| rng.next_below(p)).collect();
+        GenerationSchedule { periods, phases }
+    }
+
+    /// Explicit per-node periods (phase 0), for targeted tests such as the
+    /// micro-loop example of Fig. 6.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any period is zero.
+    pub fn from_periods(periods: Vec<u64>) -> Self {
+        assert!(periods.iter().all(|&p| p > 0), "periods must be positive");
+        let phases = vec![0; periods.len()];
+        GenerationSchedule { periods, phases }
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.periods.len()
+    }
+
+    /// True if the schedule covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.periods.is_empty()
+    }
+
+    /// Whether `node` generates a block in `slot`.
+    pub fn generates(&self, node: NodeId, slot: Slot) -> bool {
+        let p = self.periods[node.index()];
+        slot % p == self.phases[node.index()]
+    }
+
+    /// The node's period in slots per block.
+    pub fn period(&self, node: NodeId) -> u64 {
+        self.periods[node.index()]
+    }
+
+    /// Blocks node will have generated during slots `0..=slot` (inclusive),
+    /// i.e. the count of generation slots so far.
+    pub fn blocks_by(&self, node: NodeId, slot: Slot) -> u64 {
+        let p = self.periods[node.index()];
+        let phase = self.phases[node.index()];
+        // Count s in [0, slot] with s % p == phase.
+        if slot < phase {
+            0
+        } else {
+            (slot - phase) / p + 1
+        }
+    }
+
+    /// Generation rate in blocks per slot (`1/p`).
+    pub fn rate(&self, node: NodeId) -> f64 {
+        1.0 / self.periods[node.index()] as f64
+    }
+
+    /// Extends the schedule with one more node generating every `period`
+    /// slots starting at `phase`. Supports dynamic membership.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0`.
+    pub fn push(&mut self, period: u64, phase: u64) {
+        assert!(period > 0, "periods must be positive");
+        self.periods.push(period);
+        self.phases.push(phase % period);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_yields_horizon_slots() {
+        let mut clock = SlotClock::new(5);
+        let mut n = 0;
+        while clock.tick().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 5);
+        assert!(clock.tick().is_none());
+        assert_eq!(clock.current(), 5);
+    }
+
+    #[test]
+    fn uniform_schedule_generates_every_slot() {
+        let sched = GenerationSchedule::uniform(3);
+        for slot in 0..10 {
+            for node in 0..3u32 {
+                assert!(sched.generates(NodeId(node), slot));
+            }
+        }
+        assert_eq!(sched.blocks_by(NodeId(0), 9), 10);
+    }
+
+    #[test]
+    fn period_two_generates_every_other_slot() {
+        let sched = GenerationSchedule::from_periods(vec![2]);
+        let slots: Vec<bool> = (0..6).map(|s| sched.generates(NodeId(0), s)).collect();
+        assert_eq!(slots, vec![true, false, true, false, true, false]);
+        assert_eq!(sched.blocks_by(NodeId(0), 5), 3);
+    }
+
+    #[test]
+    fn random_periods_uses_choices() {
+        let mut rng = DetRng::seed_from(1);
+        let sched = GenerationSchedule::random_periods(100, &[1, 2], &mut rng);
+        let ones = (0..100u32).filter(|&i| sched.period(NodeId(i)) == 1).count();
+        assert!(ones > 20 && ones < 80, "roughly balanced: {ones}");
+        for i in 0..100u32 {
+            assert!(matches!(sched.period(NodeId(i)), 1 | 2));
+        }
+    }
+
+    #[test]
+    fn blocks_by_counts_generation_slots() {
+        let mut rng = DetRng::seed_from(2);
+        let sched = GenerationSchedule::random_periods(10, &[1, 2, 3], &mut rng);
+        for node in 0..10u32 {
+            let id = NodeId(node);
+            for slot in 0..30 {
+                let manual = (0..=slot).filter(|&s| sched.generates(id, s)).count() as u64;
+                assert_eq!(sched.blocks_by(id, slot), manual, "node {node} slot {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn rate_is_inverse_period() {
+        let sched = GenerationSchedule::from_periods(vec![1, 2, 4]);
+        assert_eq!(sched.rate(NodeId(0)), 1.0);
+        assert_eq!(sched.rate(NodeId(1)), 0.5);
+        assert_eq!(sched.rate(NodeId(2)), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "periods must be positive")]
+    fn zero_period_rejected() {
+        GenerationSchedule::from_periods(vec![0]);
+    }
+}

@@ -1,0 +1,240 @@
+//! Malicious-node selection and link fault injection.
+//!
+//! The consensus experiments (Figs. 8–9) place a configurable number of
+//! malicious nodes in the network; PoP must route verification paths around
+//! them (Fig. 5). [`FaultPlan`] chooses which nodes are malicious and exposes
+//! membership tests; protocol-specific *behaviour* (unresponsive, corrupt
+//! replies, tampered stores…) lives in `tldag-core::attack`.
+
+use crate::rng::DetRng;
+use crate::topology::{NodeId, Topology};
+
+/// How malicious nodes are chosen from the deployment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaliciousPlacement {
+    /// Uniformly at random (the paper's model).
+    Uniform,
+    /// Highest-degree nodes first — models the paper's observation that "a
+    /// few nodes are important for forwarding data, which are vulnerable to
+    /// attacks" (Sec. VI-B).
+    HighestDegree,
+    /// Lowest-degree (leaf) nodes first, a weak adversary for ablations.
+    LowestDegree,
+}
+
+/// The set of malicious nodes for one experiment run.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    malicious: Vec<bool>,
+    count: usize,
+}
+
+impl FaultPlan {
+    /// No malicious nodes.
+    pub fn none(nodes: usize) -> Self {
+        FaultPlan {
+            malicious: vec![false; nodes],
+            count: 0,
+        }
+    }
+
+    /// Marks `count` nodes as malicious according to `placement`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > topology.len()`.
+    pub fn select(
+        topology: &Topology,
+        count: usize,
+        placement: MaliciousPlacement,
+        rng: &mut DetRng,
+    ) -> Self {
+        assert!(
+            count <= topology.len(),
+            "cannot mark {count} of {} nodes malicious",
+            topology.len()
+        );
+        let n = topology.len();
+        let chosen: Vec<usize> = match placement {
+            MaliciousPlacement::Uniform => rng.sample_indices(n, count),
+            MaliciousPlacement::HighestDegree | MaliciousPlacement::LowestDegree => {
+                let mut order: Vec<usize> = (0..n).collect();
+                // Shuffle first so degree ties break randomly but deterministically.
+                rng.shuffle(&mut order);
+                order.sort_by_key(|&i| {
+                    let d = topology.degree(NodeId(i as u32));
+                    match placement {
+                        MaliciousPlacement::HighestDegree => std::cmp::Reverse(d),
+                        _ => std::cmp::Reverse(usize::MAX - d),
+                    }
+                });
+                order.truncate(count);
+                order
+            }
+        };
+        let mut malicious = vec![false; n];
+        for i in chosen {
+            malicious[i] = true;
+        }
+        FaultPlan { malicious, count }
+    }
+
+    /// Marks an explicit set of nodes as malicious.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an id is out of bounds.
+    pub fn explicit(nodes: usize, ids: &[NodeId]) -> Self {
+        let mut malicious = vec![false; nodes];
+        for id in ids {
+            assert!(id.index() < nodes, "node {id} out of bounds");
+            malicious[id.index()] = true;
+        }
+        let count = malicious.iter().filter(|&&m| m).count();
+        FaultPlan { malicious, count }
+    }
+
+    /// Whether `node` is malicious.
+    pub fn is_malicious(&self, node: NodeId) -> bool {
+        self.malicious[node.index()]
+    }
+
+    /// Number of malicious nodes.
+    pub fn malicious_count(&self) -> usize {
+        self.count
+    }
+
+    /// Number of nodes covered by the plan.
+    pub fn len(&self) -> usize {
+        self.malicious.len()
+    }
+
+    /// True if the plan covers no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.malicious.is_empty()
+    }
+
+    /// Ids of all malicious nodes.
+    pub fn malicious_ids(&self) -> Vec<NodeId> {
+        self.malicious
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| m.then_some(NodeId(i as u32)))
+            .collect()
+    }
+
+    /// Ids of all honest nodes.
+    pub fn honest_ids(&self) -> Vec<NodeId> {
+        self.malicious
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &m)| (!m).then_some(NodeId(i as u32)))
+            .collect()
+    }
+}
+
+/// Link-level fault injection: independent message-drop probability.
+#[derive(Clone, Debug)]
+pub struct LinkFaults {
+    drop_probability: f64,
+    rng: DetRng,
+}
+
+impl LinkFaults {
+    /// Perfect links.
+    pub fn perfect() -> Self {
+        LinkFaults {
+            drop_probability: 0.0,
+            rng: DetRng::seed_from(0),
+        }
+    }
+
+    /// Drops each message independently with probability `p` (clamped to
+    /// `[0, 1]`).
+    pub fn lossy(p: f64, rng: DetRng) -> Self {
+        LinkFaults {
+            drop_probability: p.clamp(0.0, 1.0),
+            rng,
+        }
+    }
+
+    /// Decides whether the next message is dropped.
+    pub fn drops(&mut self) -> bool {
+        self.drop_probability > 0.0 && self.rng.chance(self.drop_probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyConfig;
+
+    fn topo() -> Topology {
+        Topology::random_connected(&TopologyConfig::small(20), &mut DetRng::seed_from(3))
+    }
+
+    #[test]
+    fn none_has_no_malicious() {
+        let plan = FaultPlan::none(10);
+        assert_eq!(plan.malicious_count(), 0);
+        assert!(plan.honest_ids().len() == 10);
+    }
+
+    #[test]
+    fn uniform_selection_marks_exact_count() {
+        let topo = topo();
+        let mut rng = DetRng::seed_from(1);
+        let plan = FaultPlan::select(&topo, 7, MaliciousPlacement::Uniform, &mut rng);
+        assert_eq!(plan.malicious_count(), 7);
+        assert_eq!(plan.malicious_ids().len(), 7);
+        assert_eq!(plan.honest_ids().len(), 13);
+    }
+
+    #[test]
+    fn highest_degree_targets_hubs() {
+        let topo = topo();
+        let mut rng = DetRng::seed_from(2);
+        let plan = FaultPlan::select(&topo, 3, MaliciousPlacement::HighestDegree, &mut rng);
+        let min_malicious_degree = plan
+            .malicious_ids()
+            .iter()
+            .map(|&id| topo.degree(id))
+            .min()
+            .unwrap();
+        // The chosen hubs must be at least as connected as the median node.
+        let mut degrees: Vec<usize> = topo.node_ids().map(|id| topo.degree(id)).collect();
+        degrees.sort_unstable();
+        let median = degrees[degrees.len() / 2];
+        assert!(min_malicious_degree >= median.saturating_sub(1));
+    }
+
+    #[test]
+    fn explicit_selection() {
+        let plan = FaultPlan::explicit(5, &[NodeId(1), NodeId(3)]);
+        assert!(plan.is_malicious(NodeId(1)));
+        assert!(plan.is_malicious(NodeId(3)));
+        assert!(!plan.is_malicious(NodeId(0)));
+        assert_eq!(plan.malicious_count(), 2);
+    }
+
+    #[test]
+    fn same_seed_same_plan() {
+        let topo = topo();
+        let p1 = FaultPlan::select(&topo, 5, MaliciousPlacement::Uniform, &mut DetRng::seed_from(9));
+        let p2 = FaultPlan::select(&topo, 5, MaliciousPlacement::Uniform, &mut DetRng::seed_from(9));
+        assert_eq!(p1.malicious_ids(), p2.malicious_ids());
+    }
+
+    #[test]
+    fn perfect_links_never_drop() {
+        let mut links = LinkFaults::perfect();
+        assert!((0..100).all(|_| !links.drops()));
+    }
+
+    #[test]
+    fn lossy_links_drop_roughly_at_rate() {
+        let mut links = LinkFaults::lossy(0.3, DetRng::seed_from(4));
+        let drops = (0..10_000).filter(|_| links.drops()).count();
+        assert!((2_500..3_500).contains(&drops), "drops = {drops}");
+    }
+}

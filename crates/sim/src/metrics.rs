@@ -1,0 +1,187 @@
+//! Time-series recorders for per-slot experiment outputs.
+//!
+//! Figs. 7(a–c) and 8(a–c) plot a metric (average node storage, average node
+//! communication) against the number of elapsed time slots. [`TimeSeries`]
+//! records one `f64` per sampled slot; [`SeriesSet`] groups the named series
+//! of one experiment so harness binaries can emit aligned CSV.
+
+use crate::engine::Slot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A `(slot, value)` series sampled over a run.
+///
+/// # Example
+///
+/// ```
+/// use tldag_sim::metrics::TimeSeries;
+///
+/// let mut ts = TimeSeries::new();
+/// ts.record(25, 1.5);
+/// ts.record(50, 3.0);
+/// assert_eq!(ts.value_at(50), Some(3.0));
+/// assert_eq!(ts.last(), Some((50, 3.0)));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TimeSeries {
+    points: BTreeMap<Slot, f64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `value` at `slot`, overwriting any previous sample there.
+    pub fn record(&mut self, slot: Slot, value: f64) {
+        self.points.insert(slot, value);
+    }
+
+    /// The value sampled exactly at `slot`.
+    pub fn value_at(&self, slot: Slot) -> Option<f64> {
+        self.points.get(&slot).copied()
+    }
+
+    /// The most recent sample.
+    pub fn last(&self) -> Option<(Slot, f64)> {
+        self.points.iter().next_back().map(|(&s, &v)| (s, v))
+    }
+
+    /// All `(slot, value)` points in slot order.
+    pub fn points(&self) -> Vec<(Slot, f64)> {
+        self.points.iter().map(|(&s, &v)| (s, v)).collect()
+    }
+
+    /// Slots at which the series was sampled.
+    pub fn slots(&self) -> Vec<Slot> {
+        self.points.keys().copied().collect()
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// A set of named, slot-aligned series (one experiment panel).
+#[derive(Clone, Debug, Default)]
+pub struct SeriesSet {
+    names: Vec<String>,
+    series: Vec<TimeSeries>,
+}
+
+impl SeriesSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds or fetches the series named `name`, returning a mutable handle.
+    pub fn series_mut(&mut self, name: &str) -> &mut TimeSeries {
+        if let Some(pos) = self.names.iter().position(|n| n == name) {
+            return &mut self.series[pos];
+        }
+        self.names.push(name.to_owned());
+        self.series.push(TimeSeries::new());
+        self.series.last_mut().expect("just pushed")
+    }
+
+    /// Fetches a series by name.
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        let pos = self.names.iter().position(|n| n == name)?;
+        Some(&self.series[pos])
+    }
+
+    /// Names in insertion order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Renders the set as a CSV table with a `slot` column followed by one
+    /// column per series. Slots are the union of all sampled slots; missing
+    /// samples render as empty cells.
+    pub fn to_csv(&self) -> String {
+        let mut slots: Vec<Slot> = Vec::new();
+        for s in &self.series {
+            for slot in s.slots() {
+                if !slots.contains(&slot) {
+                    slots.push(slot);
+                }
+            }
+        }
+        slots.sort_unstable();
+
+        let mut out = String::from("slot");
+        for name in &self.names {
+            // Escape commas defensively; series names are ours, but cheap.
+            let safe = name.replace(',', ";");
+            let _ = write!(out, ",{safe}");
+        }
+        out.push('\n');
+        for slot in slots {
+            let _ = write!(out, "{slot}");
+            for s in &self.series {
+                match s.value_at(slot) {
+                    Some(v) => {
+                        let _ = write!(out, ",{v:.6}");
+                    }
+                    None => out.push(','),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_query() {
+        let mut ts = TimeSeries::new();
+        ts.record(10, 1.0);
+        ts.record(5, 0.5);
+        ts.record(10, 2.0); // overwrite
+        assert_eq!(ts.value_at(10), Some(2.0));
+        assert_eq!(ts.points(), vec![(5, 0.5), (10, 2.0)]);
+        assert_eq!(ts.last(), Some((10, 2.0)));
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn series_set_round_trip() {
+        let mut set = SeriesSet::new();
+        set.series_mut("pbft").record(25, 100.0);
+        set.series_mut("2ldag").record(25, 1.0);
+        set.series_mut("pbft").record(50, 200.0);
+        assert_eq!(set.names(), &["pbft".to_string(), "2ldag".to_string()]);
+        assert_eq!(set.series("pbft").unwrap().value_at(50), Some(200.0));
+        assert!(set.series("iota").is_none());
+    }
+
+    #[test]
+    fn csv_has_header_and_aligned_rows() {
+        let mut set = SeriesSet::new();
+        set.series_mut("a").record(1, 1.0);
+        set.series_mut("b").record(2, 2.0);
+        let csv = set.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "slot,a,b");
+        assert_eq!(lines[1], "1,1.000000,");
+        assert_eq!(lines[2], "2,,2.000000");
+    }
+
+    #[test]
+    fn empty_set_renders_header_only() {
+        let set = SeriesSet::new();
+        assert_eq!(set.to_csv(), "slot\n");
+    }
+}

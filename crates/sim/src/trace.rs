@@ -1,0 +1,225 @@
+//! Lightweight event tracing for simulation debugging.
+//!
+//! A [`Trace`] collects timestamped, categorised events in memory. It is off
+//! by default (`Trace::disabled()` drops everything at zero cost beyond a
+//! branch), can be bounded to the last `N` events, and renders a readable
+//! transcript. Protocol code takes `&mut Trace` so tests can capture runs
+//! without a global logger.
+
+use crate::engine::Slot;
+use std::fmt;
+
+/// Category of a traced event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TraceKind {
+    /// Block generated.
+    Generate,
+    /// Digest transmitted/received.
+    Digest,
+    /// PoP request/response activity.
+    Pop,
+    /// Blacklist/ban activity.
+    Penalty,
+    /// Membership change (join/leave).
+    Membership,
+    /// Anything else.
+    Other,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::Generate => "gen",
+            TraceKind::Digest => "dig",
+            TraceKind::Pop => "pop",
+            TraceKind::Penalty => "pen",
+            TraceKind::Membership => "mem",
+            TraceKind::Other => "oth",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One traced event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Slot at which the event occurred.
+    pub slot: Slot,
+    /// Category.
+    pub kind: TraceKind,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// An in-memory event trace.
+///
+/// # Example
+///
+/// ```
+/// use tldag_sim::trace::{Trace, TraceKind};
+///
+/// let mut trace = Trace::bounded(2);
+/// trace.record(0, TraceKind::Generate, "n0 generated b0");
+/// trace.record(1, TraceKind::Pop, "n1 verified n0#0");
+/// trace.record(2, TraceKind::Pop, "n2 verified n0#0");
+/// assert_eq!(trace.len(), 2, "bounded to the most recent events");
+/// assert!(trace.render().contains("n2 verified"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    events: std::collections::VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace that records everything (unbounded).
+    pub fn enabled() -> Self {
+        Trace {
+            enabled: true,
+            capacity: usize::MAX,
+            events: Default::default(),
+            dropped: 0,
+        }
+    }
+
+    /// A trace that keeps only the most recent `capacity` events.
+    pub fn bounded(capacity: usize) -> Self {
+        Trace {
+            enabled: true,
+            capacity,
+            events: Default::default(),
+            dropped: 0,
+        }
+    }
+
+    /// A trace that drops everything.
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            capacity: 0,
+            events: Default::default(),
+            dropped: 0,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled).
+    pub fn record(&mut self, slot: Slot, kind: TraceKind, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            slot,
+            kind,
+            message: message.into(),
+        });
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained events in arrival order.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Events of one category.
+    pub fn of_kind(&self, kind: TraceKind) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.kind == kind).collect()
+    }
+
+    /// Renders a readable transcript.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        if self.dropped > 0 {
+            let _ = writeln!(out, "… {} earlier events dropped …", self.dropped);
+        }
+        for e in &self.events {
+            let _ = writeln!(out, "[{:>5}] {} {}", e.slot, e.kind, e.message);
+        }
+        out
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(0, TraceKind::Other, "ignored");
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn enabled_keeps_everything_in_order() {
+        let mut t = Trace::enabled();
+        for i in 0..5 {
+            t.record(i, TraceKind::Generate, format!("event {i}"));
+        }
+        assert_eq!(t.len(), 5);
+        let slots: Vec<u64> = t.events().map(|e| e.slot).collect();
+        assert_eq!(slots, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bounded_evicts_oldest() {
+        let mut t = Trace::bounded(3);
+        for i in 0..10 {
+            t.record(i, TraceKind::Pop, format!("e{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 7);
+        assert_eq!(t.events().next().unwrap().slot, 7);
+        assert!(t.render().contains("7 earlier events dropped"));
+    }
+
+    #[test]
+    fn kind_filter() {
+        let mut t = Trace::enabled();
+        t.record(0, TraceKind::Generate, "g");
+        t.record(0, TraceKind::Pop, "p1");
+        t.record(1, TraceKind::Pop, "p2");
+        assert_eq!(t.of_kind(TraceKind::Pop).len(), 2);
+        assert_eq!(t.of_kind(TraceKind::Penalty).len(), 0);
+    }
+
+    #[test]
+    fn render_format() {
+        let mut t = Trace::enabled();
+        t.record(12, TraceKind::Membership, "n9 joined");
+        let rendered = t.render();
+        assert!(rendered.contains("[   12] mem n9 joined"));
+    }
+}

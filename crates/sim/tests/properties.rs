@@ -1,0 +1,136 @@
+//! Property-based tests for the simulation substrate.
+
+use proptest::prelude::*;
+use tldag_sim::bus::{Accounting, TrafficClass};
+use tldag_sim::engine::GenerationSchedule;
+use tldag_sim::geometry::Point;
+use tldag_sim::rng::DetRng;
+use tldag_sim::stats::{percentile, Summary};
+use tldag_sim::topology::{NodeId, Topology, TopologyConfig};
+use tldag_sim::units::Bits;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `next_below` stays in range for arbitrary bounds and seeds.
+    #[test]
+    fn rng_next_below_in_range(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = DetRng::seed_from(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+
+    /// Forked streams are deterministic functions of (parent, label).
+    #[test]
+    fn rng_forks_reproducible(seed in any::<u64>(), label in any::<u64>()) {
+        let a = DetRng::seed_from(seed);
+        let mut f1 = a.fork(label);
+        let mut f2 = DetRng::seed_from(seed).fork(label);
+        for _ in 0..10 {
+            prop_assert_eq!(f1.next_u64(), f2.next_u64());
+        }
+    }
+
+    /// `blocks_by` equals the count of generation slots for any schedule.
+    #[test]
+    fn schedule_blocks_by_consistent(
+        periods in proptest::collection::vec(1u64..5, 1..8),
+        horizon in 0u64..40,
+    ) {
+        let schedule = GenerationSchedule::from_periods(periods.clone());
+        for i in 0..periods.len() as u32 {
+            let id = NodeId(i);
+            let manual = (0..=horizon).filter(|&s| schedule.generates(id, s)).count() as u64;
+            prop_assert_eq!(schedule.blocks_by(id, horizon), manual);
+        }
+    }
+
+    /// Paper-rule topologies are connected, in-range, and symmetric for any
+    /// seed/size/side.
+    #[test]
+    fn topology_construction_invariants(
+        seed in any::<u64>(),
+        nodes in 1usize..30,
+        side in 100.0f64..1200.0,
+    ) {
+        let cfg = TopologyConfig { nodes, side_m: side, ..TopologyConfig::paper_default() };
+        let topo = Topology::random_connected(&cfg, &mut DetRng::seed_from(seed));
+        prop_assert!(topo.is_connected());
+        for a in topo.node_ids() {
+            prop_assert!(topo.position(a).in_square(side));
+            for &b in topo.neighbors(a) {
+                prop_assert!(topo.are_neighbors(b, a));
+                prop_assert!(topo.position(a).in_range(&topo.position(b), cfg.range_m));
+            }
+        }
+    }
+
+    /// Adding then isolating a node restores the original edge set.
+    #[test]
+    fn add_then_isolate_is_neutral(seed in any::<u64>(), nodes in 2usize..20) {
+        let cfg = TopologyConfig { nodes, side_m: 300.0, ..TopologyConfig::paper_default() };
+        let mut topo = Topology::random_connected(&cfg, &mut DetRng::seed_from(seed));
+        let before: Vec<Vec<NodeId>> = topo.node_ids().map(|i| topo.neighbors(i).to_vec()).collect();
+        let center = topo.position(NodeId(0));
+        let id = topo.add_node(Point::new(center.x + 1.0, center.y), cfg.range_m);
+        topo.isolate_node(id);
+        for i in 0..nodes as u32 {
+            prop_assert_eq!(topo.neighbors(NodeId(i)), before[i as usize].as_slice());
+        }
+        prop_assert_eq!(topo.degree(id), 0);
+    }
+
+    /// Network-wide accounting equals tx + rx sums for arbitrary traffic.
+    #[test]
+    fn accounting_totals_balance(
+        transfers in proptest::collection::vec((0u32..8, 0u32..8, 1u64..10_000), 0..40),
+    ) {
+        let mut acc = Accounting::new(8);
+        let mut expected_total = 0u64;
+        for &(from, to, bits) in &transfers {
+            acc.record(NodeId(from), NodeId(to), TrafficClass::Other, Bits::from_bits(bits));
+            expected_total += 2 * bits; // counted at both endpoints
+        }
+        prop_assert_eq!(acc.network_total(TrafficClass::Other).bits(), expected_total);
+        let tx_sum: u64 = (0..8u32).map(|i| acc.tx(NodeId(i), TrafficClass::Other).bits()).sum();
+        let rx_sum: u64 = (0..8u32).map(|i| acc.rx(NodeId(i), TrafficClass::Other).bits()).sum();
+        prop_assert_eq!(tx_sum, rx_sum);
+        prop_assert_eq!(tx_sum + rx_sum, expected_total);
+    }
+
+    /// Summary statistics are order-invariant and bounded by min/max.
+    #[test]
+    fn summary_order_invariant(mut samples in proptest::collection::vec(-1e6f64..1e6, 1..50)) {
+        let s1 = Summary::of(&samples).unwrap();
+        samples.reverse();
+        let s2 = Summary::of(&samples).unwrap();
+        prop_assert!((s1.mean - s2.mean).abs() < 1e-6);
+        prop_assert_eq!(s1.min, s2.min);
+        prop_assert_eq!(s1.max, s2.max);
+        prop_assert!(s1.min <= s1.mean && s1.mean <= s1.max);
+    }
+
+    /// Percentiles are monotone in q and bounded by the sample range.
+    #[test]
+    fn percentiles_monotone(samples in proptest::collection::vec(0.0f64..1e6, 1..50)) {
+        let mut last = f64::NEG_INFINITY;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+            let p = percentile(&samples, q).unwrap();
+            prop_assert!(p >= last);
+            last = p;
+        }
+        let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(percentile(&samples, 1.0).unwrap(), max);
+    }
+
+    /// Bits arithmetic: sums and scalar products agree with u64 math.
+    #[test]
+    fn bits_arithmetic(values in proptest::collection::vec(0u64..1_000_000, 0..20), k in 0u64..50) {
+        let total: Bits = values.iter().map(|&v| Bits::from_bits(v)).sum();
+        prop_assert_eq!(total.bits(), values.iter().sum::<u64>());
+        if let Some(&first) = values.first() {
+            prop_assert_eq!((Bits::from_bits(first) * k).bits(), first * k);
+        }
+    }
+}

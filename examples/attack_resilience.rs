@@ -1,0 +1,170 @@
+//! Attack resilience: walks through the adversaries of Sec. IV-D and shows
+//! how 2LDAG/PoP defeats each one.
+//!
+//! Run with: `cargo run --example attack_resilience`
+
+use tldag::core::attack::Behavior;
+use tldag::core::config::ProtocolConfig;
+use tldag::core::network::TldagNetwork;
+use tldag::core::workload::VerificationWorkload;
+use tldag::sim::engine::GenerationSchedule;
+use tldag::sim::fault::{FaultPlan, MaliciousPlacement};
+use tldag::sim::topology::{Topology, TopologyConfig};
+use tldag::sim::{DetRng, NodeId};
+
+fn fresh_network(seed: u64) -> TldagNetwork {
+    let mut rng = DetRng::seed_from(seed);
+    let topology = Topology::random_connected(
+        &TopologyConfig {
+            nodes: 16,
+            side_m: 220.0,
+            ..TopologyConfig::paper_default()
+        },
+        &mut rng,
+    );
+    let cfg = ProtocolConfig::paper_default()
+        .with_body_bits(8 * 128)
+        .with_gamma(4)
+        .with_difficulty(4);
+    let mut net = TldagNetwork::new(cfg, topology, GenerationSchedule::uniform(16), seed);
+    net.set_verification_workload(VerificationWorkload::Disabled);
+    net.run_slots(24);
+    net
+}
+
+fn verdict(label: &str, ok: bool, detail: String) {
+    println!("{} {label}: {detail}", if ok { "✓" } else { "✗" });
+}
+
+fn main() {
+    let operator = NodeId(0);
+
+    // --- 1. Majority-style attack: a third of the nodes stop cooperating. ---
+    {
+        let mut net = fresh_network(1);
+        let topo = net.topology().clone();
+        let plan = FaultPlan::select(
+            &topo,
+            5,
+            MaliciousPlacement::Uniform,
+            &mut DetRng::seed_from(99),
+        );
+        net.apply_fault_plan(&plan, Behavior::Unresponsive);
+        let honest_owner = plan
+            .honest_ids()
+            .into_iter()
+            .find(|&id| id != operator)
+            .expect("an honest node exists");
+        let target = net.node(honest_owner).store().get(0).unwrap().id;
+        let report = net.run_pop(operator, target, false);
+        verdict(
+            "majority attack (5/16 silent)",
+            report.is_success(),
+            format!(
+                "consensus with {} distinct nodes despite silent third",
+                report.distinct_nodes
+            ),
+        );
+    }
+
+    // --- 2. Sybil attack: a node impersonates another identity. ---
+    {
+        let mut net = fresh_network(2);
+        let sybil = NodeId(3);
+        net.set_behavior(sybil, Behavior::SybilImpersonator { claimed: 11 });
+        let target = net.node(NodeId(5)).store().get(0).unwrap().id;
+        let report = net.run_pop(operator, target, false);
+        let clean_path = report.path.iter().all(|s| s.owner != sybil);
+        verdict(
+            "Sybil impersonation",
+            report.is_success() && clean_path,
+            format!(
+                "forged replies rejected by key check; consensus via {} other nodes",
+                report.distinct_nodes
+            ),
+        );
+    }
+
+    // --- 3. DoS flooding: digests faster than the puzzle allows. ---
+    {
+        let mut net = fresh_network(3);
+        let flooder = NodeId(2);
+        net.set_behavior(flooder, Behavior::Flooder { rate_multiplier: 6 });
+        net.run_slots(2);
+        let banned_by = net
+            .topology()
+            .neighbors(flooder)
+            .iter()
+            .filter(|&&nb| net.node(nb).blacklist().is_banned(flooder))
+            .count();
+        verdict(
+            "DoS flooding",
+            banned_by > 0,
+            format!(
+                "{banned_by}/{} neighbors banned the flooder (puzzle rate check)",
+                net.topology().degree(flooder)
+            ),
+        );
+    }
+
+    // --- 4. Selfish node: generates data but never answers. ---
+    {
+        let mut net = fresh_network(4);
+        let selfish = NodeId(6);
+        net.set_behavior(selfish, Behavior::Selfish);
+        // Its own data becomes unverifiable...
+        let own = net.node(selfish).store().get(0).unwrap().id;
+        let own_report = net.run_pop(operator, own, false);
+        // ...while the rest of the network still reaches consensus.
+        let other = net.node(NodeId(8)).store().get(0).unwrap().id;
+        let other_report = net.run_pop(operator, other, true);
+        verdict(
+            "selfish node",
+            !own_report.is_success() && other_report.is_success(),
+            "its blocks lose verifiability; everyone else's remain fine".to_string(),
+        );
+    }
+
+    // --- 5. Eclipse attack: every neighbor of one victim corrupts its
+    //        replies, and the auditor is outside the ring. The forged
+    //        headers are detected (signature/digest checks), so the attack
+    //        can deny verification of the victim's data but never forge a
+    //        successful audit. ---
+    {
+        let mut net = fresh_network(5);
+        let victim = net
+            .topology()
+            .node_ids()
+            .find(|&id| id != operator && !net.topology().are_neighbors(id, operator))
+            .expect("a non-adjacent victim exists");
+        let neighbors: Vec<NodeId> = net.topology().neighbors(victim).to_vec();
+        for &nb in &neighbors {
+            net.set_behavior(nb, Behavior::CorruptReply);
+        }
+        let target = net.node(victim).store().get(0).unwrap().id;
+        let report = net.run_pop(operator, target, false);
+        verdict(
+            "eclipse ring (corrupt replies)",
+            report.metrics.invalid_replies > 0 && !report.is_success(),
+            format!(
+                "{} forged replies detected; audit denied but never forged ({:?})",
+                report.metrics.invalid_replies,
+                report.outcome.err().map(|e| e.to_string())
+            ),
+        );
+    }
+
+    // --- 6. Tampered storage: rewriting history breaks the Merkle root. ---
+    {
+        let mut net = fresh_network(6);
+        let rogue = NodeId(10);
+        net.set_behavior(rogue, Behavior::CorruptStore);
+        let target = net.node(rogue).store().get(0).unwrap().id;
+        let report = net.run_pop(operator, target, false);
+        verdict(
+            "storage tampering",
+            !report.is_success(),
+            format!("audit outcome: {:?}", report.outcome.err().map(|e| e.to_string())),
+        );
+    }
+}

@@ -1,0 +1,266 @@
+//! `tldag` — command-line driver for the 2LDAG simulator.
+//!
+//! ```text
+//! tldag topology [--nodes N] [--side M] [--seed S]
+//! tldag run      [--nodes N] [--slots T] [--gamma G] [--malicious M]
+//!                [--seed S] [--trace]
+//! tldag verify   --owner K [--seq Q] [--validator V]
+//!                [--nodes N] [--slots T] [--gamma G] [--seed S]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+use tldag::core::attack::Behavior;
+use tldag::core::block::BlockId;
+use tldag::core::config::ProtocolConfig;
+use tldag::core::network::TldagNetwork;
+use tldag::core::workload::VerificationWorkload;
+use tldag::sim::bus::TrafficClass;
+use tldag::sim::engine::GenerationSchedule;
+use tldag::sim::fault::{FaultPlan, MaliciousPlacement};
+use tldag::sim::topology::{Topology, TopologyConfig};
+use tldag::sim::trace::Trace;
+use tldag::sim::{DetRng, NodeId};
+
+const USAGE: &str = "\
+tldag — 2LDAG / Proof-of-Path simulator
+
+USAGE:
+    tldag topology [--nodes N] [--side METERS] [--seed S]
+        Print the deployment produced by the paper's placement rule.
+
+    tldag run [--nodes N] [--slots T] [--gamma G] [--malicious M]
+              [--seed S] [--trace]
+        Run a slotted simulation with the paper's verification workload
+        and print storage/communication/PoP summaries.
+
+    tldag verify --owner K [--seq Q] [--validator V]
+                 [--nodes N] [--slots T] [--gamma G] [--seed S]
+        Run a simulation, then verify block K#Q from node V via
+        Proof-of-Path and print the proof path.
+
+Defaults: --nodes 16, --side 300, --slots 40, --gamma 3, --malicious 0,
+          --seq 0, --validator 0, --seed 42.
+";
+
+struct Args {
+    flags: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut flags = HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let arg = &argv[i];
+            let Some(name) = arg.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{arg}`"));
+            };
+            if i + 1 < argv.len() && !argv[i + 1].starts_with("--") {
+                flags.insert(name.to_string(), argv[i + 1].clone());
+                i += 2;
+            } else {
+                switches.push(name.to_string());
+                i += 1;
+            }
+        }
+        Ok(Args { flags, switches })
+    }
+
+    fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: `{raw}`")),
+        }
+    }
+
+    fn required<T: std::str::FromStr>(&self, name: &str) -> Result<T, String> {
+        let raw = self
+            .flags
+            .get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))?;
+        raw.parse()
+            .map_err(|_| format!("invalid value for --{name}: `{raw}`"))
+    }
+
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn build_topology(args: &Args) -> Result<(Topology, u64), String> {
+    let nodes: usize = args.get("nodes", 16)?;
+    let side: f64 = args.get("side", 300.0)?;
+    let seed: u64 = args.get("seed", 42)?;
+    if nodes == 0 {
+        return Err("--nodes must be positive".into());
+    }
+    let cfg = TopologyConfig {
+        nodes,
+        side_m: side,
+        ..TopologyConfig::paper_default()
+    };
+    Ok((
+        Topology::random_connected(&cfg, &mut DetRng::seed_from(seed)),
+        seed,
+    ))
+}
+
+fn build_network(args: &Args) -> Result<TldagNetwork, String> {
+    let (topology, seed) = build_topology(args)?;
+    let gamma: usize = args.get("gamma", 3)?;
+    let malicious: usize = args.get("malicious", 0)?;
+    if malicious >= topology.len() {
+        return Err("--malicious must be below --nodes".into());
+    }
+    let cfg = ProtocolConfig::paper_default()
+        .with_body_bits(8 * 1024)
+        .with_gamma(gamma)
+        .with_difficulty(6);
+    let schedule = GenerationSchedule::uniform(topology.len());
+    let mut net = TldagNetwork::new(cfg, topology.clone(), schedule, seed);
+    net.set_verification_workload(VerificationWorkload::RandomPast {
+        min_age_slots: topology.len() as u64,
+    });
+    if malicious > 0 {
+        let plan = FaultPlan::select(
+            &topology,
+            malicious,
+            MaliciousPlacement::Uniform,
+            &mut DetRng::seed_from(seed ^ 0xbad),
+        );
+        net.apply_fault_plan(&plan, Behavior::Unresponsive);
+        println!(
+            "malicious (unresponsive): {:?}",
+            plan.malicious_ids()
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+        );
+    }
+    Ok(net)
+}
+
+fn cmd_topology(args: &Args) -> Result<(), String> {
+    let (topo, seed) = build_topology(args)?;
+    println!(
+        "{} nodes, seed {seed}: {} links, mean degree {:.1}, diameter {:?}",
+        topo.len(),
+        topo.edge_count(),
+        topo.mean_degree(),
+        topo.diameter()
+    );
+    for id in topo.node_ids() {
+        let p = topo.position(id);
+        let neighbors: Vec<String> = topo.neighbors(id).iter().map(ToString::to_string).collect();
+        println!(
+            "  {id:>4}  ({:>7.1}, {:>7.1})  deg {:>2}  -> {}",
+            p.x,
+            p.y,
+            topo.degree(id),
+            neighbors.join(" ")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let slots: u64 = args.get("slots", 40)?;
+    let mut net = build_network(args)?;
+    if args.switch("trace") {
+        net.set_trace(Trace::bounded(40));
+    }
+    net.run_slots(slots);
+
+    let (attempts, successes) = net.pop_counters();
+    println!("\nafter {slots} slots:");
+    println!("  blocks network-wide : {}", net.total_blocks());
+    println!("  mean node storage   : {:.3} MB", net.mean_storage_mb());
+    let acc = net.accounting();
+    println!(
+        "  mean node comm (tx) : {:.4} Mb DAG-construction, {:.4} Mb consensus",
+        acc.mean_node_tx(TrafficClass::DagConstruction).as_megabits(),
+        acc.mean_node_tx(TrafficClass::Consensus).as_megabits()
+    );
+    println!(
+        "  PoP verifications   : {successes}/{attempts} succeeded ({:.1}%)",
+        if attempts == 0 { 0.0 } else { 100.0 * successes as f64 / attempts as f64 }
+    );
+    if args.switch("trace") {
+        println!("\nlast events:\n{}", net.trace().render());
+    }
+    Ok(())
+}
+
+fn cmd_verify(args: &Args) -> Result<(), String> {
+    let slots: u64 = args.get("slots", 40)?;
+    let owner: u32 = args.required("owner")?;
+    let seq: u32 = args.get("seq", 0)?;
+    let validator: u32 = args.get("validator", 0)?;
+    let mut net = build_network(args)?;
+    net.set_verification_workload(VerificationWorkload::Disabled);
+    net.run_slots(slots);
+
+    if owner as usize >= net.topology().len() {
+        return Err("--owner out of range".into());
+    }
+    let target = BlockId::new(NodeId(owner), seq);
+    if net.node(NodeId(owner)).store().get(seq).is_none() {
+        return Err(format!("{target} does not exist (chain too short)"));
+    }
+    println!(
+        "verifying {target} from n{validator} (γ = {}, threshold {})",
+        net.config().gamma,
+        net.config().consensus_threshold()
+    );
+    let report = net.run_pop(NodeId(validator), target, false);
+    match &report.outcome {
+        Ok(()) => {
+            println!(
+                "CONSENSUS: {} distinct nodes vouch, {} messages, {} on the air",
+                report.distinct_nodes,
+                report.metrics.total_messages(),
+                report.metrics.total_bits()
+            );
+            println!("proof path:");
+            for step in &report.path {
+                println!("  {} (block {})", step.owner, step.block_id);
+            }
+            Ok(())
+        }
+        Err(e) => Err(format!("verification failed: {e}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        print!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match Args::parse(&argv[1..]) {
+        Err(e) => Err(e),
+        Ok(args) => match command.as_str() {
+            "topology" => cmd_topology(&args),
+            "run" => cmd_run(&args),
+            "verify" => cmd_verify(&args),
+            "help" | "--help" | "-h" => {
+                print!("{USAGE}");
+                Ok(())
+            }
+            other => Err(format!("unknown command `{other}`")),
+        },
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `tldag help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! # tldag — Two-Layer DAG data reliability for IoT networks
+//!
+//! Facade crate re-exporting the workspace:
+//!
+//! * [`crypto`] — SHA-256, Merkle trees, Schnorr signatures, difficulty puzzles.
+//! * [`sim`] — deterministic network simulator (topology, slots, message bus).
+//! * [`core`] — the 2LDAG protocol and Proof-of-Path consensus.
+//! * [`baselines`] — PBFT and IOTA comparators used by the evaluation.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use tldag_crypto as crypto;
+
+pub use tldag_sim as sim;
+
+pub use tldag_core as core;
+
+pub use tldag_baselines as baselines;

@@ -1,0 +1,217 @@
+//! Attack-scenario integration tests covering Sec. IV-D end to end.
+
+use tldag::core::attack::Behavior;
+use tldag::core::config::ProtocolConfig;
+use tldag::core::error::PopError;
+use tldag::core::network::TldagNetwork;
+use tldag::core::workload::VerificationWorkload;
+use tldag::sim::engine::GenerationSchedule;
+use tldag::sim::fault::{FaultPlan, MaliciousPlacement};
+use tldag::sim::topology::{Topology, TopologyConfig};
+use tldag::sim::{DetRng, NodeId};
+
+fn network(seed: u64, nodes: usize, gamma: usize) -> TldagNetwork {
+    let mut rng = DetRng::seed_from(seed);
+    let topology = Topology::random_connected(
+        &TopologyConfig {
+            nodes,
+            side_m: 250.0,
+            ..TopologyConfig::paper_default()
+        },
+        &mut rng,
+    );
+    let cfg = ProtocolConfig::test_default().with_gamma(gamma);
+    let mut net = TldagNetwork::new(cfg, topology, GenerationSchedule::uniform(nodes), seed);
+    net.set_verification_workload(VerificationWorkload::Disabled);
+    net
+}
+
+#[test]
+fn consensus_survives_a_third_of_nodes_silent() {
+    let mut net = network(1, 15, 3);
+    net.run_slots(30);
+    let plan = FaultPlan::select(
+        &net.topology().clone(),
+        5,
+        MaliciousPlacement::Uniform,
+        &mut DetRng::seed_from(42),
+    );
+    net.apply_fault_plan(&plan, Behavior::Unresponsive);
+    let honest = plan.honest_ids();
+    let validator = honest[0];
+    let mut successes = 0;
+    let mut checked = 0;
+    for &owner in honest.iter().skip(1).take(6) {
+        let target = net.node(owner).store().get(0).unwrap().id;
+        checked += 1;
+        if net.run_pop(validator, target, false).is_success() {
+            successes += 1;
+        }
+    }
+    assert!(
+        successes >= checked - 1,
+        "most honest blocks verifiable under 33% silence: {successes}/{checked}"
+    );
+}
+
+#[test]
+fn sybil_identities_never_enter_the_proof_set() {
+    let mut net = network(2, 12, 3);
+    net.run_slots(20);
+    let sybil = NodeId(4);
+    net.set_behavior(sybil, Behavior::SybilImpersonator { claimed: 9 });
+    for owner in [1u32, 2, 6] {
+        let target = net.node(NodeId(owner)).store().get(0).unwrap().id;
+        let report = net.run_pop(NodeId(0), target, false);
+        assert!(report.is_success(), "owner {owner}");
+        assert!(
+            report.path.iter().all(|s| s.owner != sybil),
+            "sybil vouched for {owner}"
+        );
+    }
+}
+
+#[test]
+fn corrupt_reply_is_detected_and_routed_around() {
+    // Crafted topology where WPS deterministically contacts the corrupt
+    // node first (lowest Eq.-7 weight), then routes around it:
+    //
+    //   V(0) — 6 — 5 — H(3) — T(1) — C(2) — {X(4), Y(7)}
+    //
+    // Verifying T's block with γ = 2: T's candidates are {C, H}; C's closed
+    // neighborhood is larger (weight 1/4 < 1/3), so it is asked first, its
+    // forged reply is rejected, and the path proceeds T → H → 5.
+    let topology = Topology::from_edges(
+        8,
+        &[(1, 2), (1, 3), (2, 4), (2, 7), (3, 5), (5, 6), (6, 0)],
+    );
+    let cfg = ProtocolConfig::test_default().with_gamma(2);
+    let mut net = TldagNetwork::new(cfg, topology, GenerationSchedule::uniform(8), 3);
+    net.set_verification_workload(VerificationWorkload::Disabled);
+    net.run_slots(12);
+    let corrupt = NodeId(2);
+    net.set_behavior(corrupt, Behavior::CorruptReply);
+
+    let target = net.node(NodeId(1)).store().get(0).unwrap().id;
+    let report = net.run_pop(NodeId(0), target, false);
+    assert!(report.is_success(), "{:?}", report.outcome);
+    assert!(report.path.iter().all(|s| s.owner != corrupt));
+    assert!(
+        report.metrics.invalid_replies >= 1,
+        "the forged reply must have been seen and rejected"
+    );
+}
+
+#[test]
+fn tampered_block_yields_invalid_block_error() {
+    let mut net = network(4, 10, 2);
+    net.run_slots(10);
+    net.set_behavior(NodeId(3), Behavior::CorruptStore);
+    let target = net.node(NodeId(3)).store().get(0).unwrap().id;
+    let report = net.run_pop(NodeId(0), target, false);
+    assert!(matches!(
+        report.outcome,
+        Err(PopError::InvalidBlock { owner, .. }) if owner == NodeId(3)
+    ));
+}
+
+#[test]
+fn flooder_banned_then_paroled_after_service() {
+    let mut net = network(5, 10, 2);
+    let flooder = NodeId(2);
+    net.set_behavior(flooder, Behavior::Flooder { rate_multiplier: 8 });
+    net.run_slots(2);
+    let victim = net.topology().neighbors(flooder)[0];
+    assert!(
+        net.node(victim).blacklist().is_banned(flooder),
+        "flooding must trigger a ban"
+    );
+    // Reform the flooder; honest digests count as service toward parole.
+    net.set_behavior(flooder, Behavior::Honest);
+    net.run_slots(40);
+    assert!(
+        !net.node(victim).blacklist().is_banned(flooder),
+        "reformed flooder is paroled after forwarding blocks"
+    );
+}
+
+#[test]
+fn selfish_nodes_data_becomes_unverifiable_but_network_functions() {
+    let mut net = network(6, 12, 2);
+    net.run_slots(20);
+    let selfish = NodeId(7);
+    net.set_behavior(selfish, Behavior::Selfish);
+
+    let own = net.node(selfish).store().get(0).unwrap().id;
+    assert!(matches!(
+        net.run_pop(NodeId(0), own, false).outcome,
+        Err(PopError::BlockUnavailable { .. })
+    ));
+
+    let other = net.node(NodeId(3)).store().get(0).unwrap().id;
+    assert!(net.run_pop(NodeId(0), other, false).is_success());
+}
+
+#[test]
+fn hub_targeted_adversaries_hurt_more_than_random() {
+    // The paper observes that a few forwarding-heavy nodes are the natural
+    // attack targets (Sec. VI-B). Degree-targeted silencing should cost at
+    // least as much traffic (or failures) as uniform silencing.
+    let run = |placement: MaliciousPlacement| {
+        let mut net = network(7, 16, 3);
+        net.run_slots(24);
+        let plan = FaultPlan::select(
+            &net.topology().clone(),
+            4,
+            placement,
+            &mut DetRng::seed_from(3),
+        );
+        net.apply_fault_plan(&plan, Behavior::Unresponsive);
+        let honest = plan.honest_ids();
+        let mut failures = 0;
+        let mut requests = 0u64;
+        for k in 0..8 {
+            let validator = honest[k % honest.len()];
+            let owner = honest[(k + 3) % honest.len()];
+            if validator == owner {
+                continue;
+            }
+            let target = net.node(owner).store().get(0).unwrap().id;
+            let report = net.run_pop(validator, target, false);
+            requests += report.metrics.req_child_sent;
+            if !report.is_success() {
+                failures += 1;
+            }
+        }
+        (failures, requests)
+    };
+    let (uniform_fail, uniform_req) = run(MaliciousPlacement::Uniform);
+    let (hub_fail, hub_req) = run(MaliciousPlacement::HighestDegree);
+    assert!(
+        hub_fail > uniform_fail || hub_req >= uniform_req,
+        "hub attack (fail {hub_fail}, req {hub_req}) should be at least as damaging \
+         as uniform (fail {uniform_fail}, req {uniform_req})"
+    );
+}
+
+#[test]
+fn unresponsive_majority_blocks_but_never_forges() {
+    // Even when consensus cannot be reached, no PoP run may return success
+    // on a tampered block — integrity beats availability.
+    let mut net = network(8, 12, 4);
+    net.run_slots(24);
+    let plan = FaultPlan::select(
+        &net.topology().clone(),
+        8,
+        MaliciousPlacement::Uniform,
+        &mut DetRng::seed_from(4),
+    );
+    net.apply_fault_plan(&plan, Behavior::Unresponsive);
+    // Also tamper one of the remaining honest-ish nodes.
+    let honest = plan.honest_ids();
+    let tampered = honest[0];
+    net.set_behavior(tampered, Behavior::CorruptStore);
+    let target = net.node(tampered).store().get(0).unwrap().id;
+    let report = net.run_pop(honest[1], target, false);
+    assert!(!report.is_success(), "tampered block must never verify");
+}

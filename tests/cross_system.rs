@@ -1,0 +1,183 @@
+//! Cross-system comparisons through the `LedgerSim` trait: the workspace's
+//! three ledgers measured under identical topologies and workloads.
+
+use tldag::baselines::iota::{IotaNetwork, TipSelection};
+use tldag::baselines::ledger::LedgerSim;
+use tldag::baselines::pbft::{BlockMeta, PbftCluster, PbftNetwork};
+use tldag::baselines::BaselineConfig;
+use tldag::core::config::ProtocolConfig;
+use tldag::core::network::TldagNetwork;
+use tldag::core::workload::VerificationWorkload;
+use tldag::crypto::Digest;
+use tldag::sim::bus::TrafficClass;
+use tldag::sim::engine::GenerationSchedule;
+use tldag::sim::topology::{Topology, TopologyConfig};
+use tldag::sim::{Bits, DetRng, NodeId};
+
+fn topology(seed: u64, nodes: usize) -> Topology {
+    Topology::random_connected(
+        &TopologyConfig {
+            nodes,
+            side_m: 300.0,
+            ..TopologyConfig::paper_default()
+        },
+        &mut DetRng::seed_from(seed),
+    )
+}
+
+fn three_ledgers(seed: u64, nodes: usize, body_bits: u64) -> Vec<Box<dyn LedgerSim>> {
+    let topo = topology(seed, nodes);
+    let mut tldag = TldagNetwork::new(
+        ProtocolConfig::test_default()
+            .with_body_bits(body_bits)
+            .with_gamma(3),
+        topo.clone(),
+        GenerationSchedule::uniform(nodes),
+        seed,
+    );
+    tldag.set_verification_workload(VerificationWorkload::RandomPast {
+        min_age_slots: nodes as u64,
+    });
+    let base = BaselineConfig::test_default().with_body_bits(body_bits);
+    vec![
+        Box::new(tldag),
+        Box::new(PbftNetwork::new(base, topo.clone(), seed)),
+        Box::new(IotaNetwork::new(base, topo, seed)),
+    ]
+}
+
+#[test]
+fn storage_advantage_grows_with_body_size() {
+    // With tiny bodies, header overhead (and 2LDAG's trust cache) dominates
+    // and the gap narrows; at realistic payloads the replicated ledgers pay
+    // ~|V|× 2LDAG's storage. The ratio must be monotone in C.
+    let ratio_at = |body_bits: u64| {
+        let mut ledgers = three_ledgers(1, 10, body_bits);
+        for ledger in &mut ledgers {
+            ledger.run_slots(20);
+        }
+        let tldag = ledgers[0].mean_storage_mb();
+        (
+            ledgers[1].mean_storage_mb() / tldag,
+            ledgers[2].mean_storage_mb() / tldag,
+        )
+    };
+    let (pbft_small, iota_small) = ratio_at(Bits::from_bytes(64).bits());
+    let (pbft_large, iota_large) = ratio_at(Bits::from_kilobytes(8).bits());
+    assert!(pbft_small > 1.0 && iota_small > 1.0, "replication always costs more");
+    assert!(
+        pbft_large > 5.0 && iota_large > 5.0,
+        "at 8 kB bodies the gap approaches |V|: PBFT {pbft_large}, IOTA {iota_large}"
+    );
+    assert!(pbft_large > pbft_small && iota_large > iota_small);
+}
+
+#[test]
+fn per_node_storage_uniformity_differs_by_design() {
+    // PBFT/IOTA replicate: identical storage at every node. 2LDAG nodes
+    // differ (own chain + own cache), but only within header/cache slack.
+    let mut ledgers = three_ledgers(2, 10, Bits::from_bytes(256).bits());
+    for ledger in &mut ledgers {
+        ledger.run_slots(16);
+    }
+    for replicated in &ledgers[1..] {
+        let per_node = replicated.storage_bits_per_node();
+        assert!(
+            per_node.iter().all(|&b| b == per_node[0]),
+            "{} must replicate identically",
+            replicated.name()
+        );
+    }
+    let tldag_nodes = ledgers[0].storage_bits_per_node();
+    let min = tldag_nodes.iter().min().unwrap().bits() as f64;
+    let max = tldag_nodes.iter().max().unwrap().bits() as f64;
+    assert!(max / min < 2.0, "2LDAG node storage within 2x: {min}..{max}");
+}
+
+#[test]
+fn slot_counts_stay_aligned_across_systems() {
+    let mut ledgers = three_ledgers(3, 8, 512);
+    for ledger in &mut ledgers {
+        ledger.run_slots(9);
+        assert_eq!(ledger.slot(), 9, "{}", ledger.name());
+    }
+}
+
+#[test]
+fn pbft_message_cluster_agrees_with_aggregate_model_at_several_sizes() {
+    for n in [4usize, 7, 10, 13] {
+        let cfg = BaselineConfig::test_default();
+        let block = BlockMeta {
+            proposer: NodeId(1),
+            slot: 0,
+            digest: Digest::from_bytes([n as u8; 32]),
+            bits: cfg.block_bits(),
+        };
+        let mut cluster = PbftCluster::new(cfg, n);
+        assert!(cluster.submit(NodeId(1), block));
+        let mut aggregate = PbftNetwork::new(cfg, topology(9, n), 9);
+        aggregate.commit_block_for_test(block);
+        for i in 0..n as u32 {
+            let id = NodeId(i);
+            assert_eq!(
+                cluster.accounting().tx(id, TrafficClass::Pbft),
+                aggregate.accounting().tx(id, TrafficClass::Pbft),
+                "n={n} node {id} tx"
+            );
+            assert_eq!(
+                cluster.accounting().rx(id, TrafficClass::Pbft),
+                aggregate.accounting().rx(id, TrafficClass::Pbft),
+                "n={n} node {id} rx"
+            );
+        }
+    }
+}
+
+#[test]
+fn iota_tip_strategies_preserve_tangle_invariants() {
+    for strategy in [
+        TipSelection::UniformRandom,
+        TipSelection::WeightedWalk { alpha: 0.2 },
+    ] {
+        let mut net = IotaNetwork::new(
+            BaselineConfig::test_default(),
+            topology(4, 8),
+            4,
+        );
+        net.set_tip_selection(strategy);
+        net.run_slots(8);
+        assert_eq!(net.tangle().len(), 1 + 8 * 8);
+        assert!(net.tangle().all_reach_genesis());
+    }
+}
+
+#[test]
+fn comm_per_byte_of_payload_favors_tldag_more_as_bodies_grow() {
+    // 2LDAG transmits digests/headers regardless of C; baselines ship bodies.
+    // Growing C should widen the communication ratio.
+    let ratio_at = |body_bits: u64| {
+        let mut ledgers = three_ledgers(5, 10, body_bits);
+        for ledger in &mut ledgers {
+            ledger.run_slots(20);
+        }
+        let t = ledgers[0]
+            .accounting()
+            .mean_node_tx(TrafficClass::DagConstruction)
+            .bits() as f64
+            + ledgers[0]
+                .accounting()
+                .mean_node_tx(TrafficClass::Consensus)
+                .bits() as f64;
+        let p = ledgers[1]
+            .accounting()
+            .mean_node_tx(TrafficClass::Pbft)
+            .bits() as f64;
+        p / t.max(1.0)
+    };
+    let small = ratio_at(Bits::from_bytes(64).bits());
+    let large = ratio_at(Bits::from_kilobytes(16).bits());
+    assert!(
+        large > small * 5.0,
+        "ratio should grow with C: small {small:.1}, large {large:.1}"
+    );
+}

@@ -1,0 +1,262 @@
+//! Property-based tests over the core invariants: for arbitrary seeds,
+//! topologies, rates, and adversary placements, the system-wide guarantees
+//! must hold.
+
+use proptest::prelude::*;
+use tldag::core::analysis;
+use tldag::core::attack::Behavior;
+use tldag::core::config::ProtocolConfig;
+use tldag::core::dag::LogicalDag;
+use tldag::core::network::TldagNetwork;
+use tldag::core::workload::VerificationWorkload;
+use tldag::crypto::merkle::{merkle_root, MerkleTree};
+use tldag::crypto::schnorr::KeyPair;
+use tldag::crypto::sha256::{sha256, Sha256};
+use tldag::sim::engine::GenerationSchedule;
+use tldag::sim::fault::{FaultPlan, MaliciousPlacement};
+use tldag::sim::stats::Cdf;
+use tldag::sim::topology::{Topology, TopologyConfig};
+use tldag::sim::{DetRng, NodeId};
+
+fn build_net(seed: u64, nodes: usize, gamma: usize, mixed_rates: bool) -> TldagNetwork {
+    let mut rng = DetRng::seed_from(seed);
+    let topology = Topology::random_connected(
+        &TopologyConfig {
+            nodes,
+            side_m: 280.0,
+            ..TopologyConfig::paper_default()
+        },
+        &mut rng,
+    );
+    let schedule = if mixed_rates {
+        GenerationSchedule::random_periods(nodes, &[1, 2], &mut rng)
+    } else {
+        GenerationSchedule::uniform(nodes)
+    };
+    let cfg = ProtocolConfig::test_default().with_gamma(gamma);
+    let mut net = TldagNetwork::new(cfg, topology, schedule, seed);
+    net.set_verification_workload(VerificationWorkload::Disabled);
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The logical DAG is acyclic and time-consistent for any seed, size,
+    /// and rate mix.
+    #[test]
+    fn dag_always_acyclic(
+        seed in 0u64..500,
+        nodes in 6usize..14,
+        slots in 4u64..24,
+        mixed in any::<bool>(),
+    ) {
+        let mut net = build_net(seed, nodes, 2, mixed);
+        net.run_slots(slots);
+        let dag = LogicalDag::build(net.nodes());
+        prop_assert!(dag.is_acyclic());
+        prop_assert!(dag.edges_respect_time());
+        // Proposition 1 is exact for slotted generation.
+        let schedule = if mixed {
+            // Rebuild the same schedule from the same stream.
+            let mut rng = DetRng::seed_from(seed);
+            let _ = Topology::random_connected(
+                &TopologyConfig { nodes, side_m: 280.0, ..TopologyConfig::paper_default() },
+                &mut rng,
+            );
+            GenerationSchedule::random_periods(nodes, &[1, 2], &mut rng)
+        } else {
+            GenerationSchedule::uniform(nodes)
+        };
+        prop_assert_eq!(
+            dag.block_count() as u64,
+            analysis::prop1_total_blocks(&schedule, slots - 1)
+        );
+    }
+
+    /// Every successful PoP yields a valid DAG path with at least γ+1
+    /// distinct owners whose first element is the target.
+    #[test]
+    fn pop_success_is_sound(
+        seed in 0u64..200,
+        nodes in 8usize..14,
+        gamma in 2usize..4,
+    ) {
+        let mut net = build_net(seed, nodes, gamma, false);
+        net.run_slots(nodes as u64 + 8);
+        let dag = LogicalDag::build(net.nodes());
+        let owner = NodeId(1 + (seed % (nodes as u64 - 1)) as u32);
+        let target = net.node(owner).store().get(0).unwrap().id;
+        let report = net.run_pop(NodeId(0), target, false);
+        if report.is_success() {
+            prop_assert!(report.distinct_nodes >= gamma + 1);
+            prop_assert_eq!(report.path[0].block_id, target);
+            let digests: Vec<_> = report.path.iter().map(|s| s.digest).collect();
+            prop_assert!(dag.is_valid_path(&digests));
+            // Distinct owners on the path match the reported count.
+            let mut owners: Vec<NodeId> = report.path.iter().map(|s| s.owner).collect();
+            owners.sort_unstable();
+            owners.dedup();
+            prop_assert_eq!(owners.len(), report.distinct_nodes);
+            // The proof set is backed by the oracle: every path owner's
+            // block indeed descends from the target.
+            let oracle = dag.pointing_nodes(&digests[0]);
+            for o in owners {
+                prop_assert!(oracle.contains(&o), "owner {} not vouching", o);
+            }
+        }
+    }
+
+    /// Storage never exceeds the Proposition 3 bound, with or without
+    /// verification workload.
+    #[test]
+    fn storage_bounded_by_prop3(
+        seed in 0u64..200,
+        nodes in 6usize..12,
+        slots in 6u64..20,
+    ) {
+        let mut net = build_net(seed, nodes, 2, false);
+        net.set_verification_workload(VerificationWorkload::RandomPast {
+            min_age_slots: nodes as u64,
+        });
+        net.run_slots(slots);
+        let schedule = GenerationSchedule::uniform(nodes);
+        let cfg = *net.config();
+        for id in net.topology().node_ids() {
+            let bound = analysis::prop3_storage_bound(&cfg, &schedule, id, slots - 1, nodes);
+            prop_assert!(net.node(id).storage_bits(&cfg) <= bound);
+        }
+    }
+
+    /// Tampered blocks never verify, for any placement of the tamperer.
+    #[test]
+    fn tampering_never_verifies(
+        seed in 0u64..200,
+        nodes in 8usize..12,
+        rogue_idx in 1u32..8,
+    ) {
+        let mut net = build_net(seed, nodes, 2, false);
+        net.run_slots(12);
+        let rogue = NodeId(rogue_idx % nodes as u32);
+        if rogue == NodeId(0) {
+            return Ok(());
+        }
+        net.set_behavior(rogue, Behavior::CorruptStore);
+        let target = net.node(rogue).store().get(0).unwrap().id;
+        let report = net.run_pop(NodeId(0), target, false);
+        prop_assert!(!report.is_success());
+    }
+
+    /// Unresponsive adversaries can only appear on proof paths as the target
+    /// itself — they can never vouch.
+    #[test]
+    fn silent_nodes_never_vouch(
+        seed in 0u64..200,
+        nodes in 10usize..14,
+        malicious in 1usize..4,
+    ) {
+        let mut net = build_net(seed, nodes, 2, false);
+        net.run_slots(16);
+        let plan = FaultPlan::select(
+            &net.topology().clone(),
+            malicious,
+            MaliciousPlacement::Uniform,
+            &mut DetRng::seed_from(seed ^ 0xff),
+        );
+        net.apply_fault_plan(&plan, Behavior::Unresponsive);
+        let honest = plan.honest_ids();
+        let validator = honest[0];
+        let owner = honest[1];
+        let target = net.node(owner).store().get(0).unwrap().id;
+        let report = net.run_pop(validator, target, false);
+        for step in &report.path {
+            prop_assert!(
+                !plan.is_malicious(step.owner),
+                "silent node {} on path", step.owner
+            );
+        }
+    }
+
+    /// SHA-256 streaming equals one-shot for arbitrary data and split points.
+    #[test]
+    fn sha256_streaming_equivalence(
+        data in proptest::collection::vec(any::<u8>(), 0..400),
+        split in 0usize..400,
+    ) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), sha256(&data));
+    }
+
+    /// Merkle proofs verify for every leaf and fail for any other leaf's
+    /// data, for arbitrary leaf sets.
+    #[test]
+    fn merkle_proofs_sound(
+        leaves in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..32), 1..24),
+    ) {
+        let tree = MerkleTree::build(leaves.iter());
+        prop_assert_eq!(tree.root(), merkle_root(leaves.iter()));
+        for (i, leaf) in leaves.iter().enumerate() {
+            let proof = tree.proof(i).unwrap();
+            prop_assert!(proof.verify(&tree.root(), leaf));
+            // A proof must not validate a different leaf's bytes.
+            for (j, other) in leaves.iter().enumerate() {
+                if other != leaf {
+                    prop_assert!(!proof.verify(&tree.root(), other), "{i} vs {j}");
+                }
+            }
+        }
+    }
+
+    /// Schnorr signatures verify exactly for the signing key and message.
+    #[test]
+    fn schnorr_sound(
+        seed_a in 0u64..1000,
+        seed_b in 0u64..1000,
+        msg in proptest::collection::vec(any::<u8>(), 0..64),
+        tweak in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let alice = KeyPair::from_seed(seed_a);
+        let sig = alice.sign(&msg);
+        prop_assert!(alice.public().verify(&msg, &sig));
+        if tweak != msg {
+            prop_assert!(!alice.public().verify(&tweak, &sig));
+        }
+        if seed_a != seed_b {
+            let bob = KeyPair::from_seed(seed_b);
+            prop_assert!(!bob.public().verify(&msg, &sig));
+        }
+    }
+
+    /// Topologies from the paper's placement are connected and in-range for
+    /// any seed and size.
+    #[test]
+    fn topologies_always_connected(seed in 0u64..1000, nodes in 1usize..40) {
+        let cfg = TopologyConfig { nodes, ..TopologyConfig::paper_default() };
+        let topo = Topology::random_connected(&cfg, &mut DetRng::seed_from(seed));
+        prop_assert!(topo.is_connected());
+        for a in topo.node_ids() {
+            for &b in topo.neighbors(a) {
+                prop_assert!(topo.position(a).in_range(&topo.position(b), cfg.range_m));
+            }
+        }
+    }
+
+    /// Empirical CDFs are monotone with range [0, 1] for arbitrary samples.
+    #[test]
+    fn cdf_monotone(samples in proptest::collection::vec(0.0f64..1e6, 1..100)) {
+        let cdf = Cdf::from_samples(samples.clone());
+        let mut last = 0.0;
+        let (lo, hi) = cdf.range().unwrap();
+        for x in [lo - 1.0, lo, (lo + hi) / 2.0, hi, hi + 1.0] {
+            let f = cdf.fraction_at_or_below(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f >= last - 1e-12);
+            last = f;
+        }
+        prop_assert_eq!(cdf.fraction_at_or_below(hi), 1.0);
+    }
+}

@@ -74,8 +74,7 @@ impl BaselineConfig {
 
     /// Size of an IOTA transaction on the wire: block + two parent hashes.
     pub fn iota_tx_bits(&self) -> Bits {
-        self.block_bits()
-            + Bits::from_bits(self.f_h * self.iota_parents as u64 + self.framing_bits)
+        self.block_bits() + Bits::from_bits(self.f_h * self.iota_parents as u64 + self.framing_bits)
     }
 }
 

@@ -138,7 +138,12 @@ impl IotaNetwork {
         let slot = self.slot;
         for i in 0..self.topology.len() as u32 {
             let issuer = NodeId(i);
-            let parents = select_tips(&self.tangle, self.strategy, self.cfg.iota_parents, &mut self.rng);
+            let parents = select_tips(
+                &self.tangle,
+                self.strategy,
+                self.cfg.iota_parents,
+                &mut self.rng,
+            );
             self.tangle
                 .attach(issuer, slot, parents, self.cfg.iota_tx_bits());
             self.flood_tx(issuer);
@@ -193,10 +198,8 @@ mod tests {
     use tldag_sim::topology::TopologyConfig;
 
     fn net(n: usize, seed: u64) -> IotaNetwork {
-        let topo = Topology::random_connected(
-            &TopologyConfig::small(n),
-            &mut DetRng::seed_from(seed),
-        );
+        let topo =
+            Topology::random_connected(&TopologyConfig::small(n), &mut DetRng::seed_from(seed));
         IotaNetwork::new(BaselineConfig::test_default(), topo, seed)
     }
 

@@ -97,13 +97,7 @@ impl Tangle {
     /// Panics if `parents` is empty or references an unknown transaction —
     /// issuers select tips from their (full) local tangle copy, so a
     /// dangling approval is a programming error in the simulation.
-    pub fn attach(
-        &mut self,
-        issuer: NodeId,
-        slot: Slot,
-        parents: Vec<TxId>,
-        bits: Bits,
-    ) -> TxId {
+    pub fn attach(&mut self, issuer: NodeId, slot: Slot, parents: Vec<TxId>, bits: Bits) -> TxId {
         assert!(!parents.is_empty(), "a transaction must approve parents");
         for p in &parents {
             assert!(p.index() < self.txs.len(), "unknown parent {p:?}");

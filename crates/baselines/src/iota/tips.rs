@@ -138,7 +138,10 @@ mod tests {
                 heavy_hits += 1;
             }
         }
-        assert!(heavy_hits > 95, "alpha=5 should almost always pick the heavy chain, got {heavy_hits}");
+        assert!(
+            heavy_hits > 95,
+            "alpha=5 should almost always pick the heavy chain, got {heavy_hits}"
+        );
     }
 
     #[test]

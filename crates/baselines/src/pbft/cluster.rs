@@ -64,7 +64,7 @@ impl PbftCluster {
             .zip(&self.silenced)
             .filter(|(r, &s)| !s && r.has_committed(&block.digest))
             .count();
-        committed >= 2 * self.replicas[0].f() + 1
+        committed > 2 * self.replicas[0].f()
     }
 
     /// Triggers a view change from every live replica (used when the primary
@@ -204,7 +204,10 @@ mod tests {
             .map(|&n| {
                 let mut cluster = PbftCluster::new(BaselineConfig::test_default(), n);
                 cluster.submit(NodeId(0), block(1));
-                cluster.accounting().network_total(TrafficClass::Pbft).bits()
+                cluster
+                    .accounting()
+                    .network_total(TrafficClass::Pbft)
+                    .bits()
             })
             .collect();
         // Doubling n should far more than double the vote traffic.

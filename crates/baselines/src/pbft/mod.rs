@@ -119,11 +119,8 @@ impl PbftNetwork {
                 .record(block.proposer, primary, TrafficClass::Pbft, request);
         }
         // Pre-prepare: primary → everyone else.
-        self.accounting.record_tx_only(
-            primary,
-            TrafficClass::Pbft,
-            pre_prepare * (n - 1),
-        );
+        self.accounting
+            .record_tx_only(primary, TrafficClass::Pbft, pre_prepare * (n - 1));
         for i in 0..self.n as u32 {
             let id = NodeId(i);
             if id != primary {

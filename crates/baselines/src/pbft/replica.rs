@@ -90,7 +90,9 @@ impl Replica {
     pub fn handle(&mut self, from: NodeId, msg: PbftMessage) -> Vec<(Destination, PbftMessage)> {
         match msg {
             PbftMessage::Request { block } => self.on_request(block),
-            PbftMessage::PrePrepare { view, seq, block } => self.on_pre_prepare(from, view, seq, block),
+            PbftMessage::PrePrepare { view, seq, block } => {
+                self.on_pre_prepare(from, view, seq, block)
+            }
             PbftMessage::Prepare {
                 view,
                 seq,
@@ -216,7 +218,7 @@ impl Replica {
             return out;
         };
         // Prepared: pre-prepare + 2f matching prepares (own vote included).
-        if instance.prepares.len() >= 2 * f + 1 && !instance.commits.contains(&self.id) {
+        if instance.prepares.len() > 2 * f && !instance.commits.contains(&self.id) {
             instance.commits.insert(self.id);
             out.push((
                 Destination::Broadcast,
@@ -229,7 +231,7 @@ impl Replica {
             ));
         }
         // Committed: 2f + 1 commits.
-        if instance.commits.len() >= 2 * f + 1
+        if instance.commits.len() > 2 * f
             && !instance.committed
             && !self.committed_digests.contains(&block.digest)
         {
@@ -240,7 +242,11 @@ impl Replica {
         out
     }
 
-    fn on_view_change(&mut self, new_view: u64, replica: NodeId) -> Vec<(Destination, PbftMessage)> {
+    fn on_view_change(
+        &mut self,
+        new_view: u64,
+        replica: NodeId,
+    ) -> Vec<(Destination, PbftMessage)> {
         if new_view <= self.view {
             return Vec::new();
         }
@@ -328,7 +334,14 @@ mod tests {
     fn equivocating_prepare_is_ignored() {
         let mut r = Replica::new(NodeId(1), 4);
         let b = block(1);
-        r.handle(NodeId(0), PbftMessage::PrePrepare { view: 0, seq: 0, block: b });
+        r.handle(
+            NodeId(0),
+            PbftMessage::PrePrepare {
+                view: 0,
+                seq: 0,
+                block: b,
+            },
+        );
         let out = r.handle(
             NodeId(2),
             PbftMessage::Prepare {
@@ -346,11 +359,30 @@ mod tests {
     fn stale_view_messages_ignored() {
         let mut r = Replica::new(NodeId(1), 4);
         // Move to view 1 via a quorum of view-changes.
-        r.handle(NodeId(2), PbftMessage::ViewChange { new_view: 1, replica: NodeId(2) });
-        r.handle(NodeId(3), PbftMessage::ViewChange { new_view: 1, replica: NodeId(3) });
+        r.handle(
+            NodeId(2),
+            PbftMessage::ViewChange {
+                new_view: 1,
+                replica: NodeId(2),
+            },
+        );
+        r.handle(
+            NodeId(3),
+            PbftMessage::ViewChange {
+                new_view: 1,
+                replica: NodeId(3),
+            },
+        );
         assert_eq!(r.view(), 1);
         // A view-0 pre-prepare is now stale.
-        let out = r.handle(NodeId(0), PbftMessage::PrePrepare { view: 0, seq: 0, block: block(1) });
+        let out = r.handle(
+            NodeId(0),
+            PbftMessage::PrePrepare {
+                view: 0,
+                seq: 0,
+                block: block(1),
+            },
+        );
         assert!(out.is_empty());
     }
 
@@ -358,9 +390,21 @@ mod tests {
     fn view_change_quorum_advances_view() {
         let mut r = Replica::new(NodeId(0), 4);
         assert_eq!(r.view(), 0);
-        r.handle(NodeId(1), PbftMessage::ViewChange { new_view: 1, replica: NodeId(1) });
+        r.handle(
+            NodeId(1),
+            PbftMessage::ViewChange {
+                new_view: 1,
+                replica: NodeId(1),
+            },
+        );
         assert_eq!(r.view(), 0, "one external vote + own echo < quorum of 3");
-        r.handle(NodeId(2), PbftMessage::ViewChange { new_view: 1, replica: NodeId(2) });
+        r.handle(
+            NodeId(2),
+            PbftMessage::ViewChange {
+                new_view: 1,
+                replica: NodeId(2),
+            },
+        );
         assert_eq!(r.view(), 1, "3 votes reach the 2f+1 = 3 quorum");
     }
 }

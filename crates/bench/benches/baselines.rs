@@ -35,10 +35,8 @@ fn bench_pbft_cluster_round(c: &mut Criterion) {
 }
 
 fn bench_pbft_network_slot(c: &mut Criterion) {
-    let topo = Topology::random_connected(
-        &TopologyConfig::paper_default(),
-        &mut DetRng::seed_from(4),
-    );
+    let topo =
+        Topology::random_connected(&TopologyConfig::paper_default(), &mut DetRng::seed_from(4));
     let mut net = PbftNetwork::new(BaselineConfig::test_default(), topo, 4);
     c.bench_function("pbft_network_slot_50_nodes", |b| {
         b.iter(|| {
@@ -53,7 +51,12 @@ fn bench_iota_tip_selection(c: &mut Criterion) {
     let mut rng = DetRng::seed_from(5);
     for i in 0..2000u32 {
         let parents = select_tips(&tangle, TipSelection::UniformRandom, 2, &mut rng);
-        tangle.attach(NodeId(i % 50), u64::from(i / 50), parents, Bits::from_bytes(100));
+        tangle.attach(
+            NodeId(i % 50),
+            u64::from(i / 50),
+            parents,
+            Bits::from_bytes(100),
+        );
     }
     let mut group = c.benchmark_group("iota_tip_selection_2000tx");
     group.bench_function("uniform", |b| {
@@ -75,10 +78,8 @@ fn bench_iota_tip_selection(c: &mut Criterion) {
 }
 
 fn bench_iota_network_slot(c: &mut Criterion) {
-    let topo = Topology::random_connected(
-        &TopologyConfig::paper_default(),
-        &mut DetRng::seed_from(8),
-    );
+    let topo =
+        Topology::random_connected(&TopologyConfig::paper_default(), &mut DetRng::seed_from(8));
     let mut net = IotaNetwork::new(BaselineConfig::test_default(), topo, 8);
     c.bench_function("iota_network_slot_50_nodes", |b| {
         b.iter(|| {

@@ -53,5 +53,11 @@ fn bench_schnorr(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_sha256, bench_merkle, bench_merkle_proof, bench_schnorr);
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_merkle,
+    bench_merkle_proof,
+    bench_schnorr
+);
 criterion_main!(benches);

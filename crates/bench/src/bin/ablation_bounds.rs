@@ -27,7 +27,11 @@ fn main() {
                 r.proposition.clone(),
                 report::fmt_f64(r.measured),
                 report::fmt_f64(r.bound),
-                if r.holds { "holds".into() } else { "VIOLATED".into() },
+                if r.holds {
+                    "holds".into()
+                } else {
+                    "VIOLATED".into()
+                },
             ]
         })
         .collect();

@@ -35,7 +35,12 @@ fn main() {
     print!(
         "{}",
         report::render_table(
-            &["accounting", "consensus Mb/node", "network Mb", "PoP success"],
+            &[
+                "accounting",
+                "consensus Mb/node",
+                "network Mb",
+                "PoP success"
+            ],
             &rows
         )
     );

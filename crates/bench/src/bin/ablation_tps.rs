@@ -34,7 +34,12 @@ fn main() {
     print!(
         "{}",
         report::render_table(
-            &["mode", "first-run REQ_CHILD", "repeat REQ_CHILD (mean)", "TPS extensions (mean)"],
+            &[
+                "mode",
+                "first-run REQ_CHILD",
+                "repeat REQ_CHILD (mean)",
+                "TPS extensions (mean)"
+            ],
             &rows
         )
     );

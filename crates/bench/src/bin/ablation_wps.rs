@@ -34,7 +34,13 @@ fn main() {
     print!(
         "{}",
         report::render_table(
-            &["strategy", "success", "mean REQ_CHILD", "mean path len", "mean rollbacks"],
+            &[
+                "strategy",
+                "success",
+                "mean REQ_CHILD",
+                "mean path len",
+                "mean rollbacks"
+            ],
             &rows
         )
     );

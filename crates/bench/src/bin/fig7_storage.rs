@@ -17,9 +17,16 @@ fn main() {
 
     for (i, panel) in data.panels.iter().enumerate() {
         let letter = (b'a' + i as u8) as char;
-        println!("\n== Fig. 7({letter}): average node storage (MB), C = {} MB ==", panel.c_mb);
+        println!(
+            "\n== Fig. 7({letter}): average node storage (MB), C = {} MB ==",
+            panel.c_mb
+        );
         let names = panel.series.names().to_vec();
-        let slots = panel.series.series(&names[0]).expect("series exists").slots();
+        let slots = panel
+            .series
+            .series(&names[0])
+            .expect("series exists")
+            .slots();
         let mut rows = Vec::new();
         for slot in slots {
             let mut row = vec![slot.to_string()];

@@ -1,0 +1,108 @@
+//! Node-restart recovery experiment: every node's chain lives in the
+//! `tldag-storage` durable engine; scheduled nodes are killed mid-run and
+//! revived from disk. Reports the PoP failure probability on the victims'
+//! pre-crash blocks over time, the per-crash recovery audit, and the
+//! resident-memory/disk ratio of the durable backend.
+//!
+//! Usage: `cargo run -p tldag-bench --release --bin fig9_restart [--quick]`
+
+use tldag_bench::experiments::restart::{self, RestartConfig};
+use tldag_bench::report;
+use tldag_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let cfg = RestartConfig::at_scale(scale);
+    eprintln!(
+        "fig9_restart: {} nodes, {} seeds, {} restarts/run, downtime {} slots ({scale:?} scale)",
+        cfg.nodes, cfg.seeds, cfg.restarts, cfg.downtime_slots
+    );
+    let data = restart::run(&cfg);
+    let _ = std::fs::remove_dir_all(&cfg.storage_root);
+
+    println!(
+        "\n== PoP failure probability around node restarts (γ = {}) ==",
+        cfg.gamma
+    );
+    let names = data.series.names().to_vec();
+    let slots = data
+        .series
+        .series(&names[0])
+        .expect("series exists")
+        .slots();
+    let mut rows = Vec::new();
+    for slot in slots {
+        let mut row = vec![slot.to_string()];
+        for name in &names {
+            let v = data.series.series(name).and_then(|s| s.value_at(slot));
+            row.push(v.map(report::fmt_f64).unwrap_or_default());
+        }
+        rows.push(row);
+    }
+    let mut headers = vec!["slot"];
+    headers.extend(names.iter().map(String::as_str));
+    print!("{}", report::render_table(&headers, &rows));
+
+    println!("\nrecovery audit (crash → reopen):");
+    let rows: Vec<Vec<String>> = data
+        .recoveries
+        .iter()
+        .map(|r| {
+            vec![
+                r.seed.to_string(),
+                r.node.to_string(),
+                format!("{}..{}", r.crash_slot, r.revive_slot),
+                r.blocks_before_crash.to_string(),
+                r.durable_before_crash.to_string(),
+                if r.revived {
+                    r.blocks_recovered.to_string()
+                } else {
+                    "-".into()
+                },
+                if r.lost_committed_blocks() {
+                    "LOST".into()
+                } else if !r.revived {
+                    "still down".into()
+                } else {
+                    "ok".into()
+                },
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::render_table(
+            &[
+                "seed",
+                "node",
+                "down",
+                "blocks",
+                "durable",
+                "recovered",
+                "audit"
+            ],
+            &rows
+        )
+    );
+    let lost = data
+        .recoveries
+        .iter()
+        .filter(|r| r.lost_committed_blocks())
+        .count();
+    println!(
+        "\ncommitted blocks lost across {} crashes: {lost}",
+        data.recoveries.len()
+    );
+    println!(
+        "peak resident block memory: {:.1} KiB (vs {:.1} KiB peak on disk)",
+        data.peak_resident_bytes as f64 / 1024.0,
+        data.peak_disk_bytes as f64 / 1024.0
+    );
+
+    if let Some(path) = report::write_csv("fig9_restart_failure", &data.series.to_csv()) {
+        eprintln!("wrote {}", path.display());
+    }
+    if lost > 0 {
+        std::process::exit(1);
+    }
+}

@@ -13,7 +13,10 @@ fn main() {
     eprintln!("table1_summary ({scale:?} scale)");
     let data = summary::run(scale);
 
-    println!("\n== Headline comparison after {} slots (C = 0.5 MB) ==", data.slots);
+    println!(
+        "\n== Headline comparison after {} slots (C = 0.5 MB) ==",
+        data.slots
+    );
     let rows: Vec<Vec<String>> = data
         .rows
         .iter()

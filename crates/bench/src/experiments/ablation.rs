@@ -258,16 +258,18 @@ pub fn run_multihop_ablation(cfg: &AblationConfig) -> Vec<MultihopStats> {
             proto.multihop_accounting = multihop;
             let schedule = GenerationSchedule::uniform(cfg.nodes);
             let mut net = TldagNetwork::new(proto, topology, schedule, cfg.seed);
-            net.set_verification_workload(
-                tldag_core::workload::VerificationWorkload::RandomPast {
-                    min_age_slots: cfg.nodes as u64,
-                },
-            );
+            net.set_verification_workload(tldag_core::workload::VerificationWorkload::RandomPast {
+                min_age_slots: cfg.nodes as u64,
+            });
             net.run_slots(cfg.warmup_slots + cfg.nodes as u64);
             let (attempts, successes) = net.pop_counters();
             let acc = net.accounting();
             MultihopStats {
-                label: if multihop { "multi-hop".into() } else { "endpoint".into() },
+                label: if multihop {
+                    "multi-hop".into()
+                } else {
+                    "endpoint".into()
+                },
                 mean_node_consensus_mb: acc
                     .mean_node_tx(tldag_sim::bus::TrafficClass::Consensus)
                     .as_megabits(),
@@ -333,7 +335,10 @@ pub fn run_bounds_check(cfg: &AblationConfig) -> Vec<BoundRow> {
         .max_by_key(|&&id| net.node(id).trust_cache().logical_bits(&cfg_proto))
         .copied()
         .expect("network is non-empty");
-    let h_bits = net.node(heaviest_cache).trust_cache().logical_bits(&cfg_proto);
+    let h_bits = net
+        .node(heaviest_cache)
+        .trust_cache()
+        .logical_bits(&cfg_proto);
     let h_bound =
         analysis::prop2_trust_cache_bound(&cfg_proto, &schedule, heaviest_cache, t, cfg.nodes);
     rows.push(BoundRow {
@@ -369,8 +374,8 @@ pub fn run_bounds_check(cfg: &AblationConfig) -> Vec<BoundRow> {
     let mut min_messages = u64::MAX;
     for (validator, target) in probe_targets(&cold, cfg.probes, &mut rng) {
         let report = cold.run_pop(validator, target, false);
-        let pure = report.metrics.tps_extensions == 0
-            && report.path.iter().all(|s| s.owner != validator);
+        let pure =
+            report.metrics.tps_extensions == 0 && report.path.iter().all(|s| s.owner != validator);
         if report.is_success() && pure {
             min_messages = min_messages.min(report.metrics.total_messages());
         }
@@ -441,7 +446,11 @@ mod tests {
     #[test]
     fn all_bounds_hold() {
         for row in run_bounds_check(&AblationConfig::quick()) {
-            assert!(row.holds, "{} violated: {} vs {}", row.proposition, row.measured, row.bound);
+            assert!(
+                row.holds,
+                "{} violated: {} vs {}",
+                row.proposition, row.measured, row.bound
+            );
         }
     }
 }

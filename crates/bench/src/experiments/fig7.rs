@@ -98,8 +98,7 @@ pub fn run(cfg: &Fig7Config) -> Fig7Data {
         let proto = ProtocolConfig::paper_default()
             .with_body_bits(body_bits)
             .with_gamma(cfg.gamma);
-        let mut tldag =
-            TldagNetwork::new(proto, topology.clone(), schedule.clone(), cfg.seed);
+        let mut tldag = TldagNetwork::new(proto, topology.clone(), schedule.clone(), cfg.seed);
         let base = BaselineConfig::paper_default().with_body_bits(body_bits);
         let mut pbft = PbftNetwork::new(base, topology.clone(), cfg.seed);
         let mut iota = IotaNetwork::new(base, topology.clone(), cfg.seed);
@@ -110,8 +109,12 @@ pub fn run(cfg: &Fig7Config) -> Fig7Data {
             LedgerSim::step(&mut pbft);
             LedgerSim::step(&mut iota);
             if slot % cfg.sample_every == 0 {
-                series.series_mut("PBFT").record(slot, pbft.mean_storage_mb());
-                series.series_mut("IOTA").record(slot, iota.mean_storage_mb());
+                series
+                    .series_mut("PBFT")
+                    .record(slot, pbft.mean_storage_mb());
+                series
+                    .series_mut("IOTA")
+                    .record(slot, iota.mean_storage_mb());
                 series
                     .series_mut("2LDAG")
                     .record(slot, tldag.mean_storage_mb());

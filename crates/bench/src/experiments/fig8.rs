@@ -129,7 +129,9 @@ pub fn run(cfg: &Fig8Config) -> Fig8Data {
         if slot % cfg.sample_every == 0 {
             overall.series_mut("PBFT").record(
                 slot,
-                pbft.accounting().mean_node_tx(TrafficClass::Pbft).as_megabits(),
+                pbft.accounting()
+                    .mean_node_tx(TrafficClass::Pbft)
+                    .as_megabits(),
             );
             overall.series_mut("IOTA").record(
                 slot,
@@ -161,10 +163,14 @@ pub fn run(cfg: &Fig8Config) -> Fig8Data {
             net.step();
             if slot % cfg.sample_every == 0 {
                 let acc = net.accounting();
-                let dag = acc.mean_node_tx(TrafficClass::DagConstruction).as_megabits();
+                let dag = acc
+                    .mean_node_tx(TrafficClass::DagConstruction)
+                    .as_megabits();
                 let pop = acc.mean_node_tx(TrafficClass::Consensus).as_megabits();
                 overall.series_mut(&variant.label).record(slot, dag + pop);
-                dag_construction.series_mut(&variant.label).record(slot, dag);
+                dag_construction
+                    .series_mut(&variant.label)
+                    .record(slot, dag);
                 consensus.series_mut(&variant.label).record(slot, pop);
             }
         }

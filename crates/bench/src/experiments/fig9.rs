@@ -10,8 +10,8 @@
 use crate::experiments::scale::Scale;
 use tldag_core::attack::Behavior;
 use tldag_core::block::BlockId;
-use tldag_core::dag::LogicalDag;
 use tldag_core::config::ProtocolConfig;
+use tldag_core::dag::LogicalDag;
 use tldag_core::network::TldagNetwork;
 use tldag_core::workload::VerificationWorkload;
 use tldag_sim::engine::GenerationSchedule;
@@ -147,8 +147,7 @@ fn run_panel(cfg: &Fig9Config, panel: &Fig9Panel) -> Fig9PanelData {
         for seed in 0..cfg.seeds {
             let mut rng = DetRng::seed_from(0x9e37 + seed * 1000 + panel.gamma as u64);
             let topology = Topology::random_connected(&cfg.topology, &mut rng);
-            let schedule =
-                GenerationSchedule::random_periods(cfg.nodes, &[1, 2], &mut rng.fork(1));
+            let schedule = GenerationSchedule::random_periods(cfg.nodes, &[1, 2], &mut rng.fork(1));
             let proto = ProtocolConfig::paper_default()
                 .with_body_bits(Bits::from_megabytes_f(cfg.body_mb).bits())
                 .with_gamma(panel.gamma);

@@ -4,5 +4,6 @@ pub mod ablation;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod restart;
 pub mod scale;
 pub mod summary;

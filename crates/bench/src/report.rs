@@ -77,10 +77,7 @@ mod tests {
     fn table_aligns_columns() {
         let t = render_table(
             &["a", "long-header"],
-            &[
-                vec!["xx".into(), "1".into()],
-                vec!["y".into(), "22".into()],
-            ],
+            &[vec!["xx".into(), "1".into()], vec!["y".into(), "22".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -93,7 +90,7 @@ mod tests {
     fn fmt_f64_scales() {
         assert_eq!(fmt_f64(0.0), "0");
         assert_eq!(fmt_f64(12345.6), "12346");
-        assert_eq!(fmt_f64(3.14159), "3.14");
+        assert_eq!(fmt_f64(2.34567), "2.35");
         assert_eq!(fmt_f64(0.001234), "0.0012");
     }
 }

@@ -35,8 +35,7 @@ impl LogicalDag {
         for node in nodes {
             for block in node.store().iter() {
                 let digest = block.header_digest();
-                let parents: Vec<Digest> =
-                    block.header.digests.iter().map(|e| e.digest).collect();
+                let parents: Vec<Digest> = block.header.digests.iter().map(|e| e.digest).collect();
                 for parent in &parents {
                     dag.children.entry(*parent).or_default().push(digest);
                 }
@@ -178,9 +177,8 @@ impl LogicalDag {
     /// path in the DAG: each successive block's header references the
     /// previous digest. Used by property tests on PoP outcomes.
     pub fn is_valid_path(&self, path: &[Digest]) -> bool {
-        path.windows(2).all(|w| {
-            self.children_of(&w[0]).contains(&w[1])
-        })
+        path.windows(2)
+            .all(|w| self.children_of(&w[0]).contains(&w[1]))
     }
 }
 
@@ -209,7 +207,7 @@ mod tests {
 
         // Slot 0: D (index 3) generates D1 and sends digest to B, C.
         let d1 = {
-            let b = nodes[3].generate_block(&cfg, 0, vec![0xd1]);
+            let b = nodes[3].generate_block(&cfg, 0, vec![0xd1]).unwrap();
             b.header_digest()
         };
         nodes[1].receive_digest(NodeId(3), d1);
@@ -217,7 +215,7 @@ mod tests {
 
         // C generates C1 (contains H(D1)), sends digest to B, D.
         let c1 = {
-            let b = nodes[2].generate_block(&cfg, 1, vec![0xc1]);
+            let b = nodes[2].generate_block(&cfg, 1, vec![0xc1]).unwrap();
             b.header_digest()
         };
         nodes[1].receive_digest(NodeId(2), c1);
@@ -225,13 +223,13 @@ mod tests {
 
         // A generates A1, digest to B.
         let a1 = {
-            let b = nodes[0].generate_block(&cfg, 2, vec![0xa1]);
+            let b = nodes[0].generate_block(&cfg, 2, vec![0xa1]).unwrap();
             b.header_digest()
         };
         nodes[1].receive_digest(NodeId(0), a1);
 
         // B generates B1 containing H(A1), H(C1), H(D1).
-        nodes[1].generate_block(&cfg, 3, vec![0xb1]);
+        nodes[1].generate_block(&cfg, 3, vec![0xb1]).unwrap();
         nodes
     }
 
@@ -286,7 +284,10 @@ mod tests {
         assert!(dag.is_valid_path(&[d1, c1, b1]));
         assert!(dag.is_valid_path(&[d1, b1]));
         assert!(!dag.is_valid_path(&[b1, d1]));
-        assert!(dag.is_valid_path(&[d1]), "singleton path is trivially valid");
+        assert!(
+            dag.is_valid_path(&[d1]),
+            "singleton path is trivially valid"
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@ impl fmt::Display for ValidationError {
             ValidationError::RootMismatch => write!(f, "merkle root does not match block body"),
             ValidationError::SignatureInvalid => write!(f, "header signature invalid"),
             ValidationError::PuzzleInvalid => write!(f, "header nonce fails difficulty target"),
-            ValidationError::DigestMismatch => write!(f, "header does not reference expected parent digest"),
+            ValidationError::DigestMismatch => {
+                write!(f, "header does not reference expected parent digest")
+            }
         }
     }
 }
@@ -76,6 +78,44 @@ impl fmt::Display for PopError {
 }
 
 impl std::error::Error for PopError {}
+
+/// Failures surfaced by block storage backends ([`crate::store::BlockBackend`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TldagError {
+    /// A block was appended whose sequence number is not the next in the
+    /// chain — nodes generate strictly sequential blocks (Sec. III-D).
+    OutOfOrderAppend {
+        /// The sequence number the chain expected next.
+        expected: u32,
+        /// The sequence number the rejected block carried.
+        got: u32,
+    },
+    /// The underlying storage medium failed (I/O error, full disk, …).
+    Storage(String),
+    /// A persisted record failed to decode or its checksum did not match.
+    Corrupt(String),
+}
+
+impl TldagError {
+    /// Wraps an I/O error as a storage failure.
+    pub fn io(context: &str, err: &std::io::Error) -> Self {
+        TldagError::Storage(format!("{context}: {err}"))
+    }
+}
+
+impl fmt::Display for TldagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TldagError::OutOfOrderAppend { expected, got } => {
+                write!(f, "out-of-order append: expected seq {expected}, got {got}")
+            }
+            TldagError::Storage(msg) => write!(f, "storage backend failure: {msg}"),
+            TldagError::Corrupt(msg) => write!(f, "persisted state corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TldagError {}
 
 #[cfg(test)]
 mod tests {

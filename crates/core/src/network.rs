@@ -9,9 +9,11 @@
 use crate::attack::Behavior;
 use crate::block::BlockId;
 use crate::config::ProtocolConfig;
+use crate::error::TldagError;
 use crate::node::LedgerNode;
 use crate::pop::messages::{ChildReply, ChildResponse, PopTransport};
 use crate::pop::validator::{PopReport, Validator};
+use crate::store::{BackendFactory, MemoryBackendFactory};
 use crate::workload::{sensor_payload, VerificationWorkload};
 use tldag_crypto::Digest;
 use tldag_sim::bus::{Accounting, TrafficClass};
@@ -202,16 +204,42 @@ pub struct TldagNetwork {
     trace: Trace,
     /// Lossy-link model applied to PoP exchanges (perfect by default).
     links: LinkFaults,
+    /// Provisions block backends for joining and restarting nodes.
+    factory: Box<dyn BackendFactory>,
+    /// Chain length each crashed node had when it died (guards restarts
+    /// against forking a chain whose sequence numbers are already
+    /// referenced network-wide).
+    crashed_chain_len: Vec<Option<usize>>,
 }
 
 impl TldagNetwork {
     /// Builds a network over `topology` with per-node state initialised and
-    /// the paper's verification workload (`min_age = |V|`).
+    /// the paper's verification workload (`min_age = |V|`). Chains live in
+    /// memory (the seed behaviour); use [`TldagNetwork::with_factory`] for a
+    /// durable engine.
     pub fn new(
         cfg: ProtocolConfig,
         topology: Topology,
         schedule: GenerationSchedule,
         seed: u64,
+    ) -> Self {
+        Self::with_factory(
+            cfg,
+            topology,
+            schedule,
+            seed,
+            Box::new(MemoryBackendFactory),
+        )
+    }
+
+    /// Builds a network whose nodes store their chains in backends provided
+    /// by `factory` (one backend per node, also used for joins and restarts).
+    pub fn with_factory(
+        cfg: ProtocolConfig,
+        topology: Topology,
+        schedule: GenerationSchedule,
+        seed: u64,
+        mut factory: Box<dyn BackendFactory>,
     ) -> Self {
         assert_eq!(
             schedule.len(),
@@ -220,7 +248,14 @@ impl TldagNetwork {
         );
         let nodes: Vec<LedgerNode> = topology
             .node_ids()
-            .map(|id| LedgerNode::new(id, topology.neighbors(id).to_vec(), &cfg))
+            .map(|id| {
+                LedgerNode::with_backend(
+                    id,
+                    topology.neighbors(id).to_vec(),
+                    &cfg,
+                    factory.create(id),
+                )
+            })
             .collect();
         let n = topology.len();
         let mut network = TldagNetwork {
@@ -238,6 +273,8 @@ impl TldagNetwork {
             departed: vec![false; n],
             trace: Trace::disabled(),
             links: LinkFaults::perfect(),
+            factory,
+            crashed_chain_len: vec![None; n],
         };
         network.rebuild_routes();
         network
@@ -350,6 +387,17 @@ impl TldagNetwork {
     /// digest a node emits is seen — and referenced — by all its neighbors'
     /// next blocks, which is what links the whole DAG together.
     pub fn step(&mut self) -> SlotSummary {
+        self.try_step()
+            .expect("storage backend failed during a slot")
+    }
+
+    /// Fallible form of [`Self::step`]: storage failures (disk full, I/O
+    /// errors) surface as [`TldagError`] instead of a panic.
+    ///
+    /// # Errors
+    ///
+    /// The first storage error raised while generating or syncing.
+    pub fn try_step(&mut self) -> Result<SlotSummary, TldagError> {
         let slot = self.slot;
         for node in &mut self.nodes {
             node.begin_slot();
@@ -365,7 +413,7 @@ impl TldagNetwork {
             }
             let payload = sensor_payload(&mut self.rng, id, slot);
             let digest = self.nodes[idx]
-                .generate_block(&self.cfg, slot, payload)
+                .generate_block(&self.cfg, slot, payload)?
                 .header_digest();
             generated.push(id);
             outgoing.push((id, digest));
@@ -425,22 +473,39 @@ impl TldagNetwork {
         self.pop_attempts += pop_attempts as u64;
         self.pop_successes += pop_successes as u64;
 
+        // Slot boundary = commit point: durable backends flush their tail so
+        // a crash loses at most the current slot's blocks. A no-op for the
+        // in-memory store.
+        for node in &mut self.nodes {
+            node.store_mut().sync()?;
+        }
+
         self.slot += 1;
-        SlotSummary {
+        Ok(SlotSummary {
             slot,
             blocks_generated: generated.len(),
             pop_attempts,
             pop_successes,
-        }
+        })
     }
 
     /// Runs `n` slots, returning the last summary.
     pub fn run_slots(&mut self, n: u64) -> SlotSummary {
+        self.try_run_slots(n)
+            .expect("storage backend failed during a slot")
+    }
+
+    /// Fallible form of [`Self::run_slots`].
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first storage error; completed slots remain applied.
+    pub fn try_run_slots(&mut self, n: u64) -> Result<SlotSummary, TldagError> {
         let mut last = SlotSummary::default();
         for _ in 0..n {
-            last = self.step();
+            last = self.try_step()?;
         }
-        last
+        Ok(last)
     }
 
     fn broadcast_digest(&mut self, from: NodeId, digest: Digest) {
@@ -460,15 +525,22 @@ impl TldagNetwork {
     /// workload policy: a uniformly random qualifying block owned by another
     /// node.
     pub fn choose_target(&mut self, validator: NodeId) -> Option<BlockId> {
+        if matches!(self.verification, VerificationWorkload::Disabled) {
+            // Skip the candidate scan entirely — with a disk backend it
+            // would decode every record of every chain just to discard it.
+            return None;
+        }
         let now = self.slot;
         let mut candidates: Vec<BlockId> = Vec::new();
         for node in &self.nodes {
             if node.id() == validator || self.departed[node.id().index()] {
                 continue;
             }
-            for block in node.store().iter() {
-                if self.verification.qualifies(block.header.time, now) {
-                    candidates.push(block.id);
+            // Metadata-only scan: never decodes bodies, so disk-backed
+            // stores answer from their index.
+            for (id, time) in node.store().iter_meta() {
+                if self.verification.qualifies(time, now) {
+                    candidates.push(id);
                 }
             }
         }
@@ -490,11 +562,13 @@ impl TldagNetwork {
         for &nb in &neighbors {
             self.nodes[nb.index()].add_neighbor(id);
         }
+        let backend = self.factory.create(id);
         self.nodes
-            .push(LedgerNode::new(id, neighbors, &self.cfg));
+            .push(LedgerNode::with_backend(id, neighbors, &self.cfg, backend));
         self.schedule.push(period, self.slot % period);
         self.accounting.grow();
         self.departed.push(false);
+        self.crashed_chain_len.push(None);
         self.rebuild_routes();
         self.trace
             .record(self.slot, TraceKind::Membership, format!("{id} joined"));
@@ -525,6 +599,71 @@ impl TldagNetwork {
     /// Whether `id` has left the network.
     pub fn has_departed(&self, id: NodeId) -> bool {
         self.departed[id.index()]
+    }
+
+    /// Kills a node's process **without warning**: all volatile state
+    /// (`A_i`, `H_i`, blacklist, and any unsynced storage tail) is lost and
+    /// the node stops generating and serving. Unlike [`Self::node_leaves`],
+    /// the radio links stay up — the node is expected back.
+    ///
+    /// The dropped backend releases its file handles, so a durable factory
+    /// can later [`Self::restart_node`] from the same directory.
+    pub fn crash_node(&mut self, id: NodeId) {
+        let idx = id.index();
+        // Idempotent: a second crash while already down must not overwrite
+        // the pre-crash chain length with the dead placeholder's (0).
+        if self.crashed_chain_len[idx].is_none() {
+            self.crashed_chain_len[idx] = Some(self.nodes[idx].store().len());
+        }
+        let neighbors = self.nodes[idx].neighbors().to_vec();
+        // Replace the whole node: a crash erases every bit of volatile state.
+        let mut dead = LedgerNode::new(id, neighbors, &self.cfg);
+        dead.set_behavior(Behavior::Unresponsive);
+        self.nodes[idx] = dead;
+        self.departed[idx] = true;
+        self.trace
+            .record(self.slot, TraceKind::Membership, format!("{id} crashed"));
+    }
+
+    /// Restarts a crashed node from its durable storage: the factory reopens
+    /// the node's backend (recovering the synced chain prefix), and the node
+    /// resumes generating from the recovered sequence number. Volatile state
+    /// starts empty, exactly as a real process restart would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the factory's [`TldagError`] when recovery fails, and
+    /// refuses to restart a node that was not taken down by
+    /// [`Self::crash_node`] or whose backend recovered fewer blocks than the
+    /// chain had at crash time; the node stays down in all error cases.
+    pub fn restart_node(&mut self, id: NodeId) -> Result<usize, TldagError> {
+        let idx = id.index();
+        let Some(expected) = self.crashed_chain_len[idx] else {
+            return Err(TldagError::Storage(format!(
+                "{id} was not crashed via crash_node; nothing to restart"
+            )));
+        };
+        let backend = self.factory.reopen(id)?;
+        let recovered = backend.len();
+        if recovered < expected {
+            // Re-generating already-broadcast sequence numbers would put
+            // two distinct blocks behind one BlockId; refuse instead of
+            // silently forking (volatile backends always land here).
+            return Err(TldagError::Storage(format!(
+                "{id} recovered {recovered} of {expected} blocks; \
+restarting would fork its chain"
+            )));
+        }
+        self.crashed_chain_len[idx] = None;
+        let neighbors = self.topology.neighbors(id).to_vec();
+        self.nodes[idx] = LedgerNode::with_backend(id, neighbors, &self.cfg, backend);
+        self.departed[idx] = false;
+        self.trace.record(
+            self.slot,
+            TraceKind::Membership,
+            format!("{id} restarted with {recovered} recovered blocks"),
+        );
+        Ok(recovered)
     }
 
     /// Runs one PoP verification from `validator` on `target`.
@@ -622,7 +761,9 @@ mod tests {
     fn dag_construction_traffic_accounted() {
         let mut net = small_net(3, 10, 2);
         net.step();
-        let total = net.accounting().network_total(TrafficClass::DagConstruction);
+        let total = net
+            .accounting()
+            .network_total(TrafficClass::DagConstruction);
         // Every edge carries one digest each way per slot (all generate).
         let edges = net.topology().edge_count() as u64;
         let per_msg = net.config().digest_message_bits().bits();
@@ -764,6 +905,57 @@ mod tests {
         for step in &report.path {
             assert_ne!(step.owner, NodeId(3), "unresponsive node cannot vouch");
         }
+    }
+
+    #[test]
+    fn memory_backed_restart_refuses_to_fork_chain() {
+        let mut net = small_net(12, 8, 2);
+        net.run_slots(3);
+        net.crash_node(NodeId(2));
+        assert!(net.has_departed(NodeId(2)));
+        // The memory factory recovers nothing; restarting would regenerate
+        // sequence numbers already referenced by neighbors.
+        let err = net.restart_node(NodeId(2)).unwrap_err();
+        assert!(
+            err.to_string().contains("fork"),
+            "refusal must explain itself: {err}"
+        );
+        assert!(net.has_departed(NodeId(2)), "node stays down after refusal");
+    }
+
+    #[test]
+    fn crash_before_generation_restarts_cleanly() {
+        let mut net = small_net(13, 8, 2);
+        // No slots run: nothing generated, nothing to lose.
+        net.crash_node(NodeId(1));
+        let recovered = net.restart_node(NodeId(1)).unwrap();
+        assert_eq!(recovered, 0);
+        assert!(!net.has_departed(NodeId(1)));
+        net.run_slots(2);
+        assert_eq!(net.node(NodeId(1)).chain_len(), 2);
+    }
+
+    #[test]
+    fn double_crash_keeps_fork_guard_armed() {
+        let mut net = small_net(14, 8, 2);
+        net.run_slots(3);
+        net.crash_node(NodeId(2));
+        net.crash_node(NodeId(2)); // placeholder store has len 0 — must not re-arm at 0
+        let err = net.restart_node(NodeId(2)).unwrap_err();
+        assert!(err.to_string().contains("fork"), "guard bypassed: {err}");
+    }
+
+    #[test]
+    fn restart_without_crash_is_refused() {
+        let mut net = small_net(15, 8, 2);
+        net.run_slots(2);
+        // Never crashed — restarting would regenerate live sequence numbers.
+        let err = net.restart_node(NodeId(1)).unwrap_err();
+        assert!(err.to_string().contains("not crashed"), "{err}");
+        // A node that *left* is not a crash either.
+        net.node_leaves(NodeId(3));
+        let err = net.restart_node(NodeId(3)).unwrap_err();
+        assert!(err.to_string().contains("not crashed"), "{err}");
     }
 
     #[test]

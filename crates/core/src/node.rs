@@ -16,7 +16,8 @@ use crate::attack::Behavior;
 use crate::blacklist::Blacklist;
 use crate::block::{BlockBody, BlockHeader, BlockId, DataBlock, DigestEntry};
 use crate::config::ProtocolConfig;
-use crate::store::{BlockStore, TrustCache};
+use crate::error::TldagError;
+use crate::store::{BlockBackend, BlockStore, TrustCache};
 use std::collections::BTreeMap;
 use tldag_crypto::schnorr::{KeyPair, PublicKey};
 use tldag_crypto::Digest;
@@ -24,14 +25,14 @@ use tldag_sim::engine::Slot;
 use tldag_sim::{Bits, NodeId};
 
 /// A 2LDAG protocol participant.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct LedgerNode {
     id: NodeId,
     keypair: KeyPair,
     neighbors: Vec<NodeId>,
     /// `A_i`: latest digest per neighbor, ordered for determinism.
     latest_digests: BTreeMap<NodeId, Digest>,
-    store: BlockStore,
+    store: Box<dyn BlockBackend>,
     trust_cache: TrustCache,
     blacklist: Blacklist,
     behavior: Behavior,
@@ -41,15 +42,30 @@ pub struct LedgerNode {
 }
 
 impl LedgerNode {
-    /// Creates a node with the given neighbors (from `G(V,E)`); keys are
-    /// derived from the node id, modelling registration-time provisioning.
+    /// Creates a node with the given neighbors (from `G(V,E)`) backed by the
+    /// in-memory [`BlockStore`]; keys are derived from the node id, modelling
+    /// registration-time provisioning.
     pub fn new(id: NodeId, neighbors: Vec<NodeId>, cfg: &ProtocolConfig) -> Self {
+        Self::with_backend(id, neighbors, cfg, Box::new(BlockStore::new()))
+    }
+
+    /// Creates a node whose chain `S_i` lives in the given storage backend.
+    ///
+    /// A reopened (recovered) backend is accepted mid-chain: generation
+    /// resumes from `backend.len()`, so a restarted node continues its
+    /// sequence numbers instead of forking its own chain.
+    pub fn with_backend(
+        id: NodeId,
+        neighbors: Vec<NodeId>,
+        cfg: &ProtocolConfig,
+        backend: Box<dyn BlockBackend>,
+    ) -> Self {
         LedgerNode {
             id,
             keypair: KeyPair::from_seed(u64::from(id.0)),
             neighbors,
             latest_digests: BTreeMap::new(),
-            store: BlockStore::new(),
+            store: backend,
             trust_cache: TrustCache::new(),
             blacklist: Blacklist::new(cfg.blacklist),
             behavior: Behavior::Honest,
@@ -99,8 +115,13 @@ impl LedgerNode {
     }
 
     /// Own block store `S_i`.
-    pub fn store(&self) -> &BlockStore {
-        &self.store
+    pub fn store(&self) -> &dyn BlockBackend {
+        self.store.as_ref()
+    }
+
+    /// Mutable access to `S_i` (sync points, compaction hooks).
+    pub fn store_mut(&mut self) -> &mut dyn BlockBackend {
+        self.store.as_mut()
     }
 
     /// Trusted-header cache `H_i`.
@@ -161,12 +182,23 @@ impl LedgerNode {
     }
 
     /// Generates the next data block from `payload` at `slot` (Sec. III-D)
-    /// and returns a reference to it. The caller (network layer) is
-    /// responsible for broadcasting `H(b^h)` to the neighbors.
+    /// and returns it. The caller (network layer) is responsible for
+    /// broadcasting `H(b^h)` to the neighbors.
     ///
     /// The Digests field contains the latest digest from each neighbor heard
     /// so far, plus the previous own-block digest (absent for genesis).
-    pub fn generate_block(&mut self, cfg: &ProtocolConfig, slot: Slot, payload: Vec<u8>) -> &DataBlock {
+    ///
+    /// # Errors
+    ///
+    /// [`TldagError::Storage`] when the backend cannot persist the block.
+    /// The sequence number is derived from the backend's length, so
+    /// [`TldagError::OutOfOrderAppend`] cannot occur here.
+    pub fn generate_block(
+        &mut self,
+        cfg: &ProtocolConfig,
+        slot: Slot,
+        payload: Vec<u8>,
+    ) -> Result<DataBlock, TldagError> {
         let mut digests: Vec<DigestEntry> = self
             .latest_digests
             .iter()
@@ -181,8 +213,8 @@ impl LedgerNode {
         let id = BlockId::new(self.id, self.store.len() as u32);
         let body = BlockBody::new(payload, cfg.body_bits);
         let block = DataBlock::create(cfg, id, slot, digests, body, &self.keypair);
-        self.store.append(block);
-        self.store.latest().expect("just appended")
+        self.store.append(block.clone())?;
+        Ok(block)
     }
 
     /// Handles a digest received from `from`. Returns `false` when the digest
@@ -222,7 +254,7 @@ impl LedgerNode {
         if self.behavior.is_silent() {
             return None;
         }
-        let block = self.store.get(id.seq)?.clone();
+        let block = self.store.get(id.seq)?;
         match self.behavior {
             Behavior::CorruptStore => {
                 let mut tampered = block;
@@ -247,7 +279,7 @@ impl LedgerNode {
             return None;
         }
         let block = self.store.oldest_child_of(target)?;
-        let mut header = block.header.clone();
+        let mut header = block.header;
         if self.behavior == Behavior::CorruptReply {
             for entry in &mut header.digests {
                 if entry.digest == *target {
@@ -284,7 +316,7 @@ mod tests {
     fn genesis_block_has_no_digests() {
         let cfg = cfg();
         let mut node = node_with_neighbors(0, &[1, 2]);
-        let block = node.generate_block(&cfg, 0, vec![1, 2, 3]);
+        let block = node.generate_block(&cfg, 0, vec![1, 2, 3]).unwrap();
         assert_eq!(block.id, BlockId::genesis(NodeId(0)));
         assert!(block.header.digests.is_empty());
         assert_eq!(node.chain_len(), 1);
@@ -294,12 +326,12 @@ mod tests {
     fn second_block_references_previous_and_neighbors() {
         let cfg = cfg();
         let mut node = node_with_neighbors(0, &[1]);
-        node.generate_block(&cfg, 0, vec![0]);
+        node.generate_block(&cfg, 0, vec![0]).unwrap();
         let own_digest = node.own_latest_digest().unwrap();
         let neighbor_digest = Digest::from_bytes([7; 32]);
         assert!(node.receive_digest(NodeId(1), neighbor_digest));
 
-        let block = node.generate_block(&cfg, 1, vec![1]);
+        let block = node.generate_block(&cfg, 1, vec![1]).unwrap();
         assert_eq!(block.header.digest_entries(), 2);
         assert_eq!(block.header.digest_of(NodeId(0)), Some(own_digest));
         assert_eq!(block.header.digest_of(NodeId(1)), Some(neighbor_digest));
@@ -322,7 +354,7 @@ mod tests {
         node.receive_digest(NodeId(1), d2);
         assert_eq!(node.latest_digest_from(NodeId(1)), Some(d2));
         // Only the latest appears in a new block (A_i semantics).
-        let block = node.generate_block(&cfg, 1, vec![]);
+        let block = node.generate_block(&cfg, 1, vec![]).unwrap();
         assert_eq!(block.header.digest_of(NodeId(1)), Some(d2));
     }
 
@@ -354,8 +386,8 @@ mod tests {
         let mut node = node_with_neighbors(0, &[1]);
         let target = Digest::from_bytes([9; 32]);
         node.receive_digest(NodeId(1), target);
-        node.generate_block(&cfg, 0, vec![0]); // seq 0 contains target
-        node.generate_block(&cfg, 1, vec![1]); // seq 1 contains own prev (target replaced? no: A_i still has it)
+        node.generate_block(&cfg, 0, vec![0]).unwrap(); // seq 0 contains target
+        node.generate_block(&cfg, 1, vec![1]).unwrap(); // seq 1 contains own prev (target replaced? no: A_i still has it)
         let (id, header) = node.serve_child_request(&target).unwrap();
         assert_eq!(id.seq, 0);
         assert!(header.contains_digest(&target));
@@ -367,7 +399,7 @@ mod tests {
         let mut node = node_with_neighbors(0, &[1]);
         let target = Digest::from_bytes([9; 32]);
         node.receive_digest(NodeId(1), target);
-        node.generate_block(&cfg, 0, vec![0]);
+        node.generate_block(&cfg, 0, vec![0]).unwrap();
         node.set_behavior(Behavior::CorruptReply);
         let (_, header) = node.serve_child_request(&target).unwrap();
         assert!(!header.contains_digest(&target));
@@ -377,7 +409,7 @@ mod tests {
     fn unresponsive_serves_nothing() {
         let cfg = cfg();
         let mut node = node_with_neighbors(0, &[1]);
-        node.generate_block(&cfg, 0, vec![0]);
+        node.generate_block(&cfg, 0, vec![0]).unwrap();
         node.set_behavior(Behavior::Unresponsive);
         assert!(node.serve_block(BlockId::genesis(NodeId(0))).is_none());
         assert!(node.serve_child_request(&Digest::ZERO).is_none());
@@ -387,7 +419,7 @@ mod tests {
     fn corrupt_store_serves_tampered_body() {
         let cfg = cfg();
         let mut node = node_with_neighbors(0, &[1]);
-        node.generate_block(&cfg, 0, vec![1, 2, 3]);
+        node.generate_block(&cfg, 0, vec![1, 2, 3]).unwrap();
         node.set_behavior(Behavior::CorruptStore);
         let block = node.serve_block(BlockId::genesis(NodeId(0))).unwrap();
         // Tampered body no longer matches the signed Merkle root.
@@ -402,7 +434,7 @@ mod tests {
         let cfg = cfg();
         let mut node = node_with_neighbors(0, &[]);
         assert_eq!(node.storage_bits(&cfg), Bits::ZERO);
-        node.generate_block(&cfg, 0, vec![0]);
+        node.generate_block(&cfg, 0, vec![0]).unwrap();
         assert_eq!(node.storage_bits(&cfg), cfg.block_bits(0));
     }
 

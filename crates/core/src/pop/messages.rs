@@ -46,8 +46,7 @@ pub enum ChildResponse {
 /// after `τ` (unresponsive, selfish, or partitioned peers).
 pub trait PopTransport {
     /// Retrieves the full block `id` from `owner` (validator → verifier).
-    fn fetch_block(&mut self, validator: NodeId, owner: NodeId, id: BlockId)
-        -> Option<DataBlock>;
+    fn fetch_block(&mut self, validator: NodeId, owner: NodeId, id: BlockId) -> Option<DataBlock>;
 
     /// Sends `REQ_CHILD(target)` to `responder` and waits for `RPY_CHILD`.
     fn request_child(
@@ -83,7 +82,9 @@ mod tests {
         assert!(t
             .fetch_block(NodeId(0), NodeId(1), BlockId::genesis(NodeId(1)))
             .is_none());
-        assert!(t.request_child(NodeId(0), NodeId(1), Digest::ZERO).is_none());
+        assert!(t
+            .request_child(NodeId(0), NodeId(1), Digest::ZERO)
+            .is_none());
     }
 
     #[test]
@@ -91,14 +92,7 @@ mod tests {
         let cfg = ProtocolConfig::test_default();
         let kp = KeyPair::from_seed(1);
         let body = BlockBody::new(vec![1u8], cfg.body_bits);
-        let block = DataBlock::create(
-            &cfg,
-            BlockId::genesis(NodeId(1)),
-            0,
-            vec![],
-            body,
-            &kp,
-        );
+        let block = DataBlock::create(&cfg, BlockId::genesis(NodeId(1)), 0, vec![], body, &kp);
         let reply = ChildReply {
             claimed_owner: NodeId(1),
             block_id: block.id,

@@ -30,7 +30,7 @@ use crate::config::ProtocolConfig;
 use crate::error::PopError;
 use crate::pop::messages::{ChildReply, ChildResponse, PopTransport};
 use crate::pop::{tps, wps};
-use crate::store::{BlockStore, TrustCache, TrustedHeader};
+use crate::store::{BlockBackend, TrustCache, TrustedHeader};
 use std::collections::{HashMap, HashSet};
 use tldag_crypto::schnorr::{KeyPair, PublicKey};
 use tldag_crypto::Digest;
@@ -181,7 +181,7 @@ pub struct Validator<'a> {
     cfg: &'a ProtocolConfig,
     topology: &'a Topology,
     id: NodeId,
-    own_store: &'a BlockStore,
+    own_store: &'a dyn BlockBackend,
     trust_cache: &'a mut TrustCache,
     blacklist: &'a mut Blacklist,
     rng: &'a mut DetRng,
@@ -194,7 +194,7 @@ impl<'a> Validator<'a> {
         cfg: &'a ProtocolConfig,
         topology: &'a Topology,
         id: NodeId,
-        own_store: &'a BlockStore,
+        own_store: &'a dyn BlockBackend,
         trust_cache: &'a mut TrustCache,
         blacklist: &'a mut Blacklist,
         rng: &'a mut DetRng,
@@ -229,9 +229,7 @@ impl<'a> Validator<'a> {
             };
         };
         metrics.messages_received += 1;
-        metrics.bits_received += self
-            .cfg
-            .block_response_bits(block.header.digest_entries());
+        metrics.bits_received += self.cfg.block_response_bits(block.header.digest_entries());
         if let Err(reason) = block.validate(self.cfg, &registered_key(target.owner)) {
             return PopReport {
                 outcome: Err(PopError::InvalidBlock {
@@ -309,8 +307,7 @@ impl<'a> Validator<'a> {
                 }
                 crate::config::PathSelection::Random => self.rng.choose(&candidates).copied(),
             };
-            let Some(responder) = selected
-            else {
+            let Some(responder) = selected else {
                 // Rollback (Algorithm 3, lines 26–34).
                 let entry = path.pop().expect("path never empty here");
                 metrics.rollbacks += 1;
@@ -346,7 +343,7 @@ impl<'a> Validator<'a> {
                     Some(b) => ChildResponse::Found(ChildReply {
                         claimed_owner: self.id,
                         block_id: b.id,
-                        header: b.header.clone(),
+                        header: b.header,
                     }),
                     None => ChildResponse::NoChild,
                 })

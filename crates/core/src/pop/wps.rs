@@ -150,7 +150,10 @@ mod tests {
     fn empty_candidates_yield_none() {
         let topo = fig4();
         let ri = HashSet::new();
-        assert_eq!(select_next(&topo, &[], &ri, &mut DetRng::seed_from(0)), None);
+        assert_eq!(
+            select_next(&topo, &[], &ri, &mut DetRng::seed_from(0)),
+            None
+        );
     }
 
     #[test]
@@ -158,7 +161,12 @@ mod tests {
         // Case 2 of Algorithm 1: every candidate in R_i — still returns one.
         let topo = Topology::from_edges(3, &[(0, 1), (0, 2), (1, 2)]);
         let ri: HashSet<NodeId> = [NodeId(0), NodeId(1), NodeId(2)].into();
-        let got = select_next(&topo, &[NodeId(1), NodeId(2)], &ri, &mut DetRng::seed_from(3));
+        let got = select_next(
+            &topo,
+            &[NodeId(1), NodeId(2)],
+            &ri,
+            &mut DetRng::seed_from(3),
+        );
         assert!(matches!(got, Some(NodeId(1)) | Some(NodeId(2))));
     }
 
@@ -186,7 +194,10 @@ mod tests {
                 &ri,
                 &mut DetRng::seed_from(seed),
             );
-            assert!(matches!(got, Some(NodeId(2)) | Some(NodeId(3))), "seed {seed}");
+            assert!(
+                matches!(got, Some(NodeId(2)) | Some(NodeId(3))),
+                "seed {seed}"
+            );
         }
     }
 

@@ -4,14 +4,137 @@
 //! headers it has already verified through PoP (`H_i`, Sec. IV-B). Both are
 //! sized by the overhead model so Propositions 2 and 3 can be checked against
 //! simulated runs.
+//!
+//! `S_i` is accessed through the [`BlockBackend`] trait so a node can run on
+//! either the in-memory [`BlockStore`] (fast, volatile — the original seed
+//! behaviour) or a durable engine such as `tldag-storage`'s segmented block
+//! log, which survives process restarts and keeps resident memory bounded.
 
 use crate::block::{BlockHeader, BlockId, DataBlock};
 use crate::config::ProtocolConfig;
+use crate::error::TldagError;
 use std::collections::HashMap;
+use std::fmt;
 use tldag_crypto::Digest;
 use tldag_sim::{Bits, NodeId};
 
-/// The append-only chain of blocks generated by one node (`S_i`).
+/// Storage abstraction over a node's own chain `S_i`.
+///
+/// Implementations must preserve the append-only, strictly sequential chain
+/// discipline (Sec. III-D) and answer the responder-side lookups of Eq. 10–11.
+/// Methods return **owned** blocks because durable backends decode records
+/// from disk; the in-memory backend clones, which is cheap — block bodies are
+/// reference-counted.
+pub trait BlockBackend: fmt::Debug {
+    /// Appends the next block of the chain.
+    ///
+    /// # Errors
+    ///
+    /// [`TldagError::OutOfOrderAppend`] when `block.id.seq` is not `len()`,
+    /// or [`TldagError::Storage`] when the medium fails.
+    fn append(&mut self, block: DataBlock) -> Result<(), TldagError>;
+
+    /// Number of blocks in the chain.
+    fn len(&self) -> usize;
+
+    /// True if no block has been generated yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The block with sequence number `seq`.
+    fn get(&self, seq: u32) -> Option<DataBlock>;
+
+    /// The most recent block.
+    fn latest(&self) -> Option<DataBlock> {
+        match self.len() {
+            0 => None,
+            n => self.get((n - 1) as u32),
+        }
+    }
+
+    /// Looks a block up by its header digest.
+    fn by_header_digest(&self, digest: &Digest) -> Option<DataBlock>;
+
+    /// The **oldest** own block whose Digests field contains `target` —
+    /// the responder's selection rule (Eq. 11). Multiple blocks may contain
+    /// the digest when this node generates faster than the target's owner.
+    fn oldest_child_of(&self, target: &Digest) -> Option<DataBlock>;
+
+    /// All own blocks whose Digests field contains `target`
+    /// (`C_{j'}(b_v)` of Eq. 10), in generation order.
+    fn children_of(&self, target: &Digest) -> Vec<DataBlock>;
+
+    /// Iterates over all blocks in generation order.
+    fn iter(&self) -> Box<dyn Iterator<Item = DataBlock> + '_>;
+
+    /// Iterates `(id, generation slot)` in generation order **without**
+    /// materialising blocks — the candidate-scan fast path. Durable backends
+    /// serve this from their index; the default decodes full blocks.
+    fn iter_meta(&self) -> Box<dyn Iterator<Item = (BlockId, u64)> + '_> {
+        Box::new(self.iter().map(|b| (b.id, b.header.time)))
+    }
+
+    /// Logical storage footprint of `S_i` (Eq. 2 summed over blocks).
+    fn logical_bits(&self, cfg: &ProtocolConfig) -> Bits;
+
+    /// Approximate bytes of process memory pinned by this backend (full
+    /// blocks for the memory store; index + caches for durable engines).
+    fn resident_bytes(&self) -> usize;
+
+    /// Forces buffered appends onto stable storage.
+    ///
+    /// A no-op for volatile backends. After `sync` returns, every block
+    /// appended so far must survive a crash of the process.
+    ///
+    /// # Errors
+    ///
+    /// [`TldagError::Storage`] when the medium fails.
+    fn sync(&mut self) -> Result<(), TldagError> {
+        Ok(())
+    }
+
+    /// Number of leading chain blocks guaranteed to survive a crash.
+    ///
+    /// Volatile backends report `len()` (nothing survives, but nothing more
+    /// was ever promised); durable engines report the synced watermark.
+    fn durable_len(&self) -> usize {
+        self.len()
+    }
+}
+
+/// Creates block backends for nodes, so `TldagNetwork` can provision storage
+/// without depending on a concrete engine crate.
+pub trait BackendFactory: fmt::Debug {
+    /// A fresh (empty) backend for `node`.
+    fn create(&mut self, node: NodeId) -> Box<dyn BlockBackend>;
+
+    /// Reopens `node`'s backend after a crash, recovering durable state.
+    ///
+    /// # Errors
+    ///
+    /// [`TldagError::Storage`] / [`TldagError::Corrupt`] from the engine;
+    /// volatile factories cannot recover and return an empty store.
+    fn reopen(&mut self, node: NodeId) -> Result<Box<dyn BlockBackend>, TldagError>;
+}
+
+/// The factory for the seed's in-memory stores: `create` and `reopen` both
+/// yield empty [`BlockStore`]s (a crashed memory-backed node loses its chain).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoryBackendFactory;
+
+impl BackendFactory for MemoryBackendFactory {
+    fn create(&mut self, _node: NodeId) -> Box<dyn BlockBackend> {
+        Box::new(BlockStore::new())
+    }
+
+    fn reopen(&mut self, _node: NodeId) -> Result<Box<dyn BlockBackend>, TldagError> {
+        Ok(Box::new(BlockStore::new()))
+    }
+}
+
+/// The append-only chain of blocks generated by one node (`S_i`),
+/// held entirely in memory.
 #[derive(Clone, Debug, Default)]
 pub struct BlockStore {
     blocks: Vec<DataBlock>,
@@ -27,19 +150,16 @@ impl BlockStore {
     pub fn new() -> Self {
         Self::default()
     }
+}
 
-    /// Appends a newly generated block.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the block's sequence number is not the next in the chain —
-    /// nodes generate strictly sequential blocks (Sec. III-D).
-    pub fn append(&mut self, block: DataBlock) {
-        assert_eq!(
-            block.id.seq as usize,
-            self.blocks.len(),
-            "blocks must be appended in sequence"
-        );
+impl BlockBackend for BlockStore {
+    fn append(&mut self, block: DataBlock) -> Result<(), TldagError> {
+        if block.id.seq as usize != self.blocks.len() {
+            return Err(TldagError::OutOfOrderAppend {
+                expected: self.blocks.len() as u32,
+                got: block.id.seq,
+            });
+        }
         let digest = block.header_digest();
         self.by_digest.insert(digest, block.id.seq);
         for entry in &block.header.digests {
@@ -49,62 +169,56 @@ impl BlockStore {
                 .push(block.id.seq);
         }
         self.blocks.push(block);
+        Ok(())
     }
 
-    /// Number of stored blocks.
-    pub fn len(&self) -> usize {
+    fn len(&self) -> usize {
         self.blocks.len()
     }
 
-    /// True if no block has been generated yet.
-    pub fn is_empty(&self) -> bool {
-        self.blocks.is_empty()
+    fn get(&self, seq: u32) -> Option<DataBlock> {
+        self.blocks.get(seq as usize).cloned()
     }
 
-    /// The block with sequence number `seq`.
-    pub fn get(&self, seq: u32) -> Option<&DataBlock> {
-        self.blocks.get(seq as usize)
-    }
-
-    /// The most recent block.
-    pub fn latest(&self) -> Option<&DataBlock> {
-        self.blocks.last()
-    }
-
-    /// Looks a block up by its header digest.
-    pub fn by_header_digest(&self, digest: &Digest) -> Option<&DataBlock> {
+    fn by_header_digest(&self, digest: &Digest) -> Option<DataBlock> {
         self.by_digest.get(digest).and_then(|&seq| self.get(seq))
     }
 
-    /// The **oldest** own block whose Digests field contains `target` —
-    /// the responder's selection rule (Eq. 11). Multiple blocks may contain
-    /// the digest when this node generates faster than the target's owner.
-    pub fn oldest_child_of(&self, target: &Digest) -> Option<&DataBlock> {
+    fn oldest_child_of(&self, target: &Digest) -> Option<DataBlock> {
         let seqs = self.children_of.get(target)?;
         let min_seq = *seqs.iter().min()?;
         self.get(min_seq)
     }
 
-    /// All own blocks whose Digests field contains `target`
-    /// (`C_{j'}(b_v)` of Eq. 10), in generation order.
-    pub fn children_of(&self, target: &Digest) -> Vec<&DataBlock> {
-        let mut seqs = self
-            .children_of
-            .get(target)
-            .cloned()
-            .unwrap_or_default();
+    fn children_of(&self, target: &Digest) -> Vec<DataBlock> {
+        let mut seqs = self.children_of.get(target).cloned().unwrap_or_default();
         seqs.sort_unstable();
         seqs.iter().filter_map(|&s| self.get(s)).collect()
     }
 
-    /// Iterates over all blocks in generation order.
-    pub fn iter(&self) -> impl Iterator<Item = &DataBlock> {
-        self.blocks.iter()
+    fn iter(&self) -> Box<dyn Iterator<Item = DataBlock> + '_> {
+        Box::new(self.blocks.iter().cloned())
     }
 
-    /// Logical storage footprint of `S_i` (Eq. 2 summed over blocks).
-    pub fn logical_bits(&self, cfg: &ProtocolConfig) -> Bits {
+    fn iter_meta(&self) -> Box<dyn Iterator<Item = (BlockId, u64)> + '_> {
+        Box::new(self.blocks.iter().map(|b| (b.id, b.header.time)))
+    }
+
+    fn logical_bits(&self, cfg: &ProtocolConfig) -> Bits {
         self.blocks.iter().map(|b| b.logical_bits(cfg)).sum()
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.blocks
+            .iter()
+            .map(|b| {
+                std::mem::size_of::<DataBlock>()
+                    + b.header.digests.len() * std::mem::size_of::<crate::block::DigestEntry>()
+                    + b.body.payload.len()
+            })
+            .sum::<usize>()
+            + self.by_digest.len() * (32 + 4)
+            + self.children_of.len() * (32 + 8)
     }
 }
 
@@ -234,7 +348,7 @@ mod tests {
         let mut store = BlockStore::new();
         let b0 = make_block(&cfg, NodeId(0), 0, 0, vec![]);
         let d0 = b0.header_digest();
-        store.append(b0);
+        store.append(b0).unwrap();
         let b1 = make_block(
             &cfg,
             NodeId(0),
@@ -245,20 +359,35 @@ mod tests {
                 digest: d0,
             }],
         );
-        store.append(b1);
+        store.append(b1).unwrap();
 
         assert_eq!(store.len(), 2);
         assert_eq!(store.latest().unwrap().id.seq, 1);
         assert!(store.by_header_digest(&d0).is_some());
         assert_eq!(store.oldest_child_of(&d0).unwrap().id.seq, 1);
+        assert_eq!(store.durable_len(), 2);
+        assert!(store.resident_bytes() > 0);
+        store.sync().unwrap();
     }
 
     #[test]
-    #[should_panic(expected = "appended in sequence")]
-    fn out_of_order_append_panics() {
+    fn out_of_order_append_rejected() {
         let cfg = cfg();
         let mut store = BlockStore::new();
-        store.append(make_block(&cfg, NodeId(0), 5, 0, vec![]));
+        let err = store
+            .append(make_block(&cfg, NodeId(0), 5, 0, vec![]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            crate::error::TldagError::OutOfOrderAppend {
+                expected: 0,
+                got: 5
+            }
+        );
+        assert!(
+            store.is_empty(),
+            "rejected append must not mutate the chain"
+        );
     }
 
     #[test]
@@ -267,18 +396,22 @@ mod tests {
         let mut store = BlockStore::new();
         let target = Digest::from_bytes([9; 32]);
         // Block 0 without the digest; blocks 1 and 2 both contain it.
-        store.append(make_block(&cfg, NodeId(1), 0, 0, vec![]));
+        store
+            .append(make_block(&cfg, NodeId(1), 0, 0, vec![]))
+            .unwrap();
         for seq in 1..=2 {
-            store.append(make_block(
-                &cfg,
-                NodeId(1),
-                seq,
-                u64::from(seq),
-                vec![DigestEntry {
-                    origin: NodeId(7),
-                    digest: target,
-                }],
-            ));
+            store
+                .append(make_block(
+                    &cfg,
+                    NodeId(1),
+                    seq,
+                    u64::from(seq),
+                    vec![DigestEntry {
+                        origin: NodeId(7),
+                        digest: target,
+                    }],
+                ))
+                .unwrap();
         }
         assert_eq!(store.oldest_child_of(&target).unwrap().id.seq, 1);
         assert_eq!(store.children_of(&target).len(), 2);
@@ -289,9 +422,24 @@ mod tests {
     fn storage_bits_sum_block_sizes() {
         let cfg = cfg();
         let mut store = BlockStore::new();
-        store.append(make_block(&cfg, NodeId(0), 0, 0, vec![]));
+        store
+            .append(make_block(&cfg, NodeId(0), 0, 0, vec![]))
+            .unwrap();
         let expect = cfg.block_bits(0);
         assert_eq!(store.logical_bits(&cfg), expect);
+    }
+
+    #[test]
+    fn memory_factory_reopens_empty() {
+        let mut factory = MemoryBackendFactory;
+        let mut backend = factory.create(NodeId(0));
+        backend
+            .append(make_block(&cfg(), NodeId(0), 0, 0, vec![]))
+            .unwrap();
+        assert_eq!(backend.len(), 1);
+        // Volatile storage: a reopen after crash recovers nothing.
+        let reopened = factory.reopen(NodeId(0)).unwrap();
+        assert_eq!(reopened.len(), 0);
     }
 
     #[test]

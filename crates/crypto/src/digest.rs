@@ -155,11 +155,9 @@ impl FromStr for Digest {
         let bytes = hex::from_hex(s).ok_or(ParseDigestError {
             kind: ParseDigestErrorKind::InvalidHex,
         })?;
-        let arr: [u8; DIGEST_LEN] = bytes
-            .try_into()
-            .map_err(|_| ParseDigestError {
-                kind: ParseDigestErrorKind::InvalidHex,
-            })?;
+        let arr: [u8; DIGEST_LEN] = bytes.try_into().map_err(|_| ParseDigestError {
+            kind: ParseDigestErrorKind::InvalidHex,
+        })?;
         Ok(Digest(arr))
     }
 }

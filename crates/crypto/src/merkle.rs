@@ -163,7 +163,7 @@ impl MerkleTree {
             };
             siblings.push(ProofStep {
                 sibling,
-                sibling_on_right: pos % 2 == 0,
+                sibling_on_right: pos.is_multiple_of(2),
             });
             pos /= 2;
         }

@@ -47,13 +47,13 @@ fn is_prime_u64(n: u64) -> bool {
         if n == p {
             return true;
         }
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return false;
         }
     }
     let mut d = n - 1;
     let mut r = 0u32;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         r += 1;
     }
@@ -317,8 +317,14 @@ mod tests {
         let kp = KeyPair::from_seed(5);
         let sig = kp.sign(b"message");
         assert!(!kp.public().verify(b"message", &Signature::garbage()));
-        let flipped_e = Signature { e: sig.e ^ 1, ..sig };
-        let flipped_s = Signature { s: sig.s ^ 1, ..sig };
+        let flipped_e = Signature {
+            e: sig.e ^ 1,
+            ..sig
+        };
+        let flipped_s = Signature {
+            s: sig.s ^ 1,
+            ..sig
+        };
         assert!(!kp.public().verify(b"message", &flipped_e));
         assert!(!kp.public().verify(b"message", &flipped_s));
     }
@@ -332,7 +338,9 @@ mod tests {
 
     #[test]
     fn distinct_seeds_distinct_keys() {
-        let keys: Vec<u64> = (0..100).map(|s| KeyPair::from_seed(s).public().to_u64()).collect();
+        let keys: Vec<u64> = (0..100)
+            .map(|s| KeyPair::from_seed(s).public().to_u64())
+            .collect();
         let mut dedup = keys.clone();
         dedup.sort_unstable();
         dedup.dedup();

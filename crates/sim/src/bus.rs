@@ -148,10 +148,7 @@ impl Accounting {
     /// communication overhead as "the total amount of data a node transmits",
     /// so the Fig. 8 series are tx-based.
     pub fn node_tx_all(&self, node: NodeId) -> Bits {
-        TrafficClass::ALL
-            .iter()
-            .map(|&c| self.tx(node, c))
-            .sum()
+        TrafficClass::ALL.iter().map(|&c| self.tx(node, c)).sum()
     }
 
     /// Sum of transmitted bits in `class` across the network.
@@ -301,7 +298,13 @@ mod tests {
     #[test]
     fn send_and_receive() {
         let mut bus: MessageBus<u32> = MessageBus::new(3);
-        bus.send(NodeId(0), NodeId(2), TrafficClass::Other, Bits::from_bits(10), 42);
+        bus.send(
+            NodeId(0),
+            NodeId(2),
+            TrafficClass::Other,
+            Bits::from_bits(10),
+            42,
+        );
         assert_eq!(bus.inbox_len(NodeId(2)), 1);
         let env = bus.pop_inbox(NodeId(2)).unwrap();
         assert_eq!(env.message, 42);
@@ -312,12 +315,21 @@ mod tests {
     #[test]
     fn accounting_records_both_endpoints() {
         let mut bus: MessageBus<()> = MessageBus::new(2);
-        bus.send(NodeId(0), NodeId(1), TrafficClass::Consensus, Bits::from_bits(100), ());
+        bus.send(
+            NodeId(0),
+            NodeId(1),
+            TrafficClass::Consensus,
+            Bits::from_bits(100),
+            (),
+        );
         let acc = bus.accounting();
         assert_eq!(acc.tx(NodeId(0), TrafficClass::Consensus).bits(), 100);
         assert_eq!(acc.rx(NodeId(1), TrafficClass::Consensus).bits(), 100);
         assert_eq!(acc.rx(NodeId(0), TrafficClass::Consensus).bits(), 0);
-        assert_eq!(acc.node_total(NodeId(0), TrafficClass::Consensus).bits(), 100);
+        assert_eq!(
+            acc.node_total(NodeId(0), TrafficClass::Consensus).bits(),
+            100
+        );
         assert_eq!(acc.network_total(TrafficClass::Consensus).bits(), 200);
     }
 
@@ -335,8 +347,18 @@ mod tests {
     fn merge_adds_counters() {
         let mut a = Accounting::new(2);
         let mut b = Accounting::new(2);
-        a.record(NodeId(0), NodeId(1), TrafficClass::Other, Bits::from_bits(3));
-        b.record(NodeId(0), NodeId(1), TrafficClass::Other, Bits::from_bits(4));
+        a.record(
+            NodeId(0),
+            NodeId(1),
+            TrafficClass::Other,
+            Bits::from_bits(3),
+        );
+        b.record(
+            NodeId(0),
+            NodeId(1),
+            TrafficClass::Other,
+            Bits::from_bits(4),
+        );
         a.merge(&b);
         assert_eq!(a.tx(NodeId(0), TrafficClass::Other).bits(), 7);
         assert_eq!(a.rx(NodeId(1), TrafficClass::Other).bits(), 7);
@@ -356,7 +378,11 @@ mod tests {
         for i in 0..5 {
             bus.send(NodeId(0), NodeId(1), TrafficClass::Other, Bits::ZERO, i);
         }
-        let drained: Vec<u32> = bus.drain_inbox(NodeId(1)).into_iter().map(|e| e.message).collect();
+        let drained: Vec<u32> = bus
+            .drain_inbox(NodeId(1))
+            .into_iter()
+            .map(|e| e.message)
+            .collect();
         assert_eq!(drained, vec![0, 1, 2, 3, 4]);
         assert_eq!(bus.inbox_len(NodeId(1)), 0);
     }
@@ -364,7 +390,12 @@ mod tests {
     #[test]
     fn mean_node_total() {
         let mut acc = Accounting::new(2);
-        acc.record(NodeId(0), NodeId(1), TrafficClass::Other, Bits::from_bits(100));
+        acc.record(
+            NodeId(0),
+            NodeId(1),
+            TrafficClass::Other,
+            Bits::from_bits(100),
+        );
         // node0 tx 100, node1 rx 100 → each node total 100, mean 100.
         assert_eq!(acc.mean_node_total(TrafficClass::Other).bits(), 100);
     }

@@ -197,7 +197,9 @@ mod tests {
     fn random_periods_uses_choices() {
         let mut rng = DetRng::seed_from(1);
         let sched = GenerationSchedule::random_periods(100, &[1, 2], &mut rng);
-        let ones = (0..100u32).filter(|&i| sched.period(NodeId(i)) == 1).count();
+        let ones = (0..100u32)
+            .filter(|&i| sched.period(NodeId(i)) == 1)
+            .count();
         assert!(ones > 20 && ones < 80, "roughly balanced: {ones}");
         for i in 0..100u32 {
             assert!(matches!(sched.period(NodeId(i)), 1 | 2));

@@ -133,6 +133,128 @@ impl FaultPlan {
     }
 }
 
+/// One node-restart fault: the node's process dies at `crash_slot` (losing
+/// all volatile state) and comes back at `revive_slot`, recovering whatever
+/// its storage backend persisted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RestartEvent {
+    /// The node that crashes.
+    pub node: NodeId,
+    /// Slot at whose start the process dies.
+    pub crash_slot: u64,
+    /// Slot at whose start the process is back up (`> crash_slot`).
+    pub revive_slot: u64,
+}
+
+/// A schedule of node crash/restart faults for one experiment run.
+///
+/// Placement mirrors [`FaultPlan`]: events can be listed explicitly or drawn
+/// uniformly. The plan only *describes* the schedule; the protocol layer
+/// executes it (dropping volatile state, reopening storage).
+#[derive(Clone, Debug, Default)]
+pub struct RestartPlan {
+    events: Vec<RestartEvent>,
+}
+
+impl RestartPlan {
+    /// No restarts.
+    pub fn none() -> Self {
+        RestartPlan::default()
+    }
+
+    /// An explicit schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event revives no later than it crashes, or if one node
+    /// has overlapping downtimes.
+    pub fn explicit(events: Vec<RestartEvent>) -> Self {
+        for e in &events {
+            assert!(
+                e.revive_slot > e.crash_slot,
+                "{} revives at {} before/at its crash at {}",
+                e.node,
+                e.revive_slot,
+                e.crash_slot
+            );
+        }
+        for (i, a) in events.iter().enumerate() {
+            for b in events.iter().skip(i + 1) {
+                if a.node == b.node {
+                    assert!(
+                        a.revive_slot <= b.crash_slot || b.revive_slot <= a.crash_slot,
+                        "{} has overlapping downtimes",
+                        a.node
+                    );
+                }
+            }
+        }
+        RestartPlan { events }
+    }
+
+    /// Draws `count` distinct nodes uniformly and gives each one crash of
+    /// `downtime_slots` slots, with crash slots uniform in `crash_window`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > topology.len()` or the window is empty.
+    pub fn uniform(
+        topology: &Topology,
+        count: usize,
+        crash_window: std::ops::Range<u64>,
+        downtime_slots: u64,
+        rng: &mut DetRng,
+    ) -> Self {
+        assert!(count <= topology.len(), "more restarts than nodes");
+        assert!(!crash_window.is_empty(), "empty crash window");
+        assert!(downtime_slots > 0, "restart needs positive downtime");
+        let span = crash_window.end - crash_window.start;
+        let events = rng
+            .sample_indices(topology.len(), count)
+            .into_iter()
+            .map(|i| {
+                let crash_slot = crash_window.start + rng.next_below(span);
+                RestartEvent {
+                    node: NodeId(i as u32),
+                    crash_slot,
+                    revive_slot: crash_slot + downtime_slots,
+                }
+            })
+            .collect();
+        RestartPlan { events }
+    }
+
+    /// All scheduled events.
+    pub fn events(&self) -> &[RestartEvent] {
+        &self.events
+    }
+
+    /// Nodes whose process dies at the start of `slot`.
+    pub fn crashes_at(&self, slot: u64) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .filter(|e| e.crash_slot == slot)
+            .map(|e| e.node)
+            .collect()
+    }
+
+    /// Nodes whose process returns at the start of `slot`.
+    pub fn revives_at(&self, slot: u64) -> Vec<NodeId> {
+        self.events
+            .iter()
+            .filter(|e| e.revive_slot == slot)
+            .map(|e| e.node)
+            .collect()
+    }
+
+    /// Whether `node` is down during `slot`.
+    pub fn is_down(&self, node: NodeId, slot: u64) -> bool {
+        self.events
+            .iter()
+            .any(|e| e.node == node && (e.crash_slot..e.revive_slot).contains(&slot))
+    }
+}
+
 /// Link-level fault injection: independent message-drop probability.
 #[derive(Clone, Debug)]
 pub struct LinkFaults {
@@ -220,9 +342,85 @@ mod tests {
     #[test]
     fn same_seed_same_plan() {
         let topo = topo();
-        let p1 = FaultPlan::select(&topo, 5, MaliciousPlacement::Uniform, &mut DetRng::seed_from(9));
-        let p2 = FaultPlan::select(&topo, 5, MaliciousPlacement::Uniform, &mut DetRng::seed_from(9));
+        let p1 = FaultPlan::select(
+            &topo,
+            5,
+            MaliciousPlacement::Uniform,
+            &mut DetRng::seed_from(9),
+        );
+        let p2 = FaultPlan::select(
+            &topo,
+            5,
+            MaliciousPlacement::Uniform,
+            &mut DetRng::seed_from(9),
+        );
         assert_eq!(p1.malicious_ids(), p2.malicious_ids());
+    }
+
+    #[test]
+    fn restart_plan_schedules_and_queries() {
+        let plan = RestartPlan::explicit(vec![
+            RestartEvent {
+                node: NodeId(2),
+                crash_slot: 5,
+                revive_slot: 9,
+            },
+            RestartEvent {
+                node: NodeId(4),
+                crash_slot: 7,
+                revive_slot: 8,
+            },
+        ]);
+        assert_eq!(plan.crashes_at(5), vec![NodeId(2)]);
+        assert_eq!(plan.revives_at(9), vec![NodeId(2)]);
+        assert!(plan.crashes_at(6).is_empty());
+        assert!(plan.is_down(NodeId(2), 5));
+        assert!(plan.is_down(NodeId(2), 8));
+        assert!(!plan.is_down(NodeId(2), 9));
+        assert!(!plan.is_down(NodeId(4), 6));
+        assert!(plan.is_down(NodeId(4), 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlapping downtimes")]
+    fn restart_plan_rejects_overlap_with_equal_crash_slot() {
+        RestartPlan::explicit(vec![
+            RestartEvent {
+                node: NodeId(0),
+                crash_slot: 5,
+                revive_slot: 9,
+            },
+            RestartEvent {
+                node: NodeId(0),
+                crash_slot: 5,
+                revive_slot: 7,
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "revives at")]
+    fn restart_plan_rejects_inverted_event() {
+        RestartPlan::explicit(vec![RestartEvent {
+            node: NodeId(0),
+            crash_slot: 5,
+            revive_slot: 5,
+        }]);
+    }
+
+    #[test]
+    fn uniform_restarts_are_deterministic_and_in_window() {
+        let topo = topo();
+        let p1 = RestartPlan::uniform(&topo, 4, 10..20, 3, &mut DetRng::seed_from(7));
+        let p2 = RestartPlan::uniform(&topo, 4, 10..20, 3, &mut DetRng::seed_from(7));
+        assert_eq!(p1.events(), p2.events());
+        assert_eq!(p1.events().len(), 4);
+        for e in p1.events() {
+            assert!((10..20).contains(&e.crash_slot));
+            assert_eq!(e.revive_slot, e.crash_slot + 3);
+        }
+        let nodes: std::collections::HashSet<NodeId> = p1.events().iter().map(|e| e.node).collect();
+        assert_eq!(nodes.len(), 4, "distinct nodes");
     }
 
     #[test]

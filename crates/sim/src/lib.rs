@@ -44,7 +44,7 @@ pub mod units;
 
 pub use bus::{Accounting, MessageBus, TrafficClass};
 pub use engine::{GenerationSchedule, SlotClock};
-pub use fault::FaultPlan;
+pub use fault::{FaultPlan, RestartEvent, RestartPlan};
 pub use rng::DetRng;
 pub use topology::{NodeId, Topology, TopologyConfig};
 pub use units::Bits;

@@ -48,7 +48,8 @@ impl DetRng {
     /// same label always yields the same child generator, so subsystems can be
     /// given stable streams regardless of draw order elsewhere.
     pub fn fork(&self, stream: u64) -> DetRng {
-        let mut sm = self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0xd1342543de82ef95);
+        let mut sm =
+            self.s[0] ^ self.s[2].rotate_left(17) ^ stream.wrapping_mul(0xd1342543de82ef95);
         let s = [
             splitmix64(&mut sm),
             splitmix64(&mut sm),

@@ -124,10 +124,7 @@ impl Topology {
                 // r = R√u gives area-uniform radius.
                 let r = config.range_m * rng.unit_f64().sqrt();
                 let theta = rng.range_f64(0.0, std::f64::consts::TAU);
-                let candidate = Point::new(
-                    anchor.x + r * theta.cos(),
-                    anchor.y + r * theta.sin(),
-                );
+                let candidate = Point::new(anchor.x + r * theta.cos(), anchor.y + r * theta.sin());
                 if candidate.in_square(config.side_m) {
                     placed = Some(candidate);
                     break;
@@ -178,9 +175,7 @@ impl Topology {
                 adjacency[b as usize].push(NodeId(a));
             }
         }
-        let positions = (0..nodes)
-            .map(|i| Point::new(i as f64, 0.0))
-            .collect();
+        let positions = (0..nodes).map(|i| Point::new(i as f64, 0.0)).collect();
         Topology {
             positions,
             adjacency,
@@ -451,7 +446,11 @@ mod tests {
     #[test]
     fn add_node_wires_in_range_edges() {
         let mut topo = Topology::from_positions(
-            vec![Point::new(0.0, 0.0), Point::new(40.0, 0.0), Point::new(200.0, 0.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(40.0, 0.0),
+                Point::new(200.0, 0.0),
+            ],
             50.0,
         );
         let id = topo.add_node(Point::new(20.0, 0.0), 50.0);
@@ -479,7 +478,11 @@ mod tests {
         let parents = topo.shortest_path_parents(NodeId(0));
         assert_eq!(parents[0], None);
         assert_eq!(parents[1], Some(NodeId(0)));
-        assert_eq!(parents[4], Some(NodeId(0)), "direct edge beats the long way");
+        assert_eq!(
+            parents[4],
+            Some(NodeId(0)),
+            "direct edge beats the long way"
+        );
         // Walk from 3 back to 0: 3 → (2 or 4) → ... terminates at source.
         let mut at = NodeId(3);
         let mut hops = 0;
@@ -499,8 +502,7 @@ mod tests {
         let config = TopologyConfig::paper_default();
         let mut any_multihop = false;
         for seed in 0..5 {
-            let topo =
-                Topology::random_connected(&config, &mut DetRng::seed_from(seed));
+            let topo = Topology::random_connected(&config, &mut DetRng::seed_from(seed));
             if topo.diameter().unwrap_or(0) >= 5 {
                 any_multihop = true;
             }

@@ -1,0 +1,54 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) for record and
+//! snapshot framing. Table-driven, one table baked at first use.
+
+use std::sync::OnceLock;
+
+static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+
+fn table() -> &'static [u32; 256] {
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = !0u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(byte)) & 0xff) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn sensitive_to_any_flip() {
+        let base = crc32(b"hello world");
+        let mut tampered = b"hello world".to_vec();
+        tampered[4] ^= 0x01;
+        assert_ne!(crc32(&tampered), base);
+    }
+}

@@ -1,0 +1,421 @@
+//! The in-memory digest → (segment, offset) index over the block log,
+//! plus its checksummed snapshot encoding.
+//!
+//! The index holds **no block bodies** — per retained block it keeps the
+//! 32-byte header digest, the record's location, and the two numbers the
+//! overhead model needs (digest-entry count, logical body bits). That is what
+//! bounds a durable node's resident memory: `O(index) + O(tail buffer) +
+//! O(cache)` instead of `O(chain)`.
+
+use crate::crc32::crc32;
+use std::collections::HashMap;
+use tldag_core::config::ProtocolConfig;
+use tldag_core::error::TldagError;
+use tldag_core::DataBlock;
+use tldag_crypto::Digest;
+use tldag_sim::Bits;
+
+/// Where one block's record lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordLocation {
+    /// Segment file id.
+    pub segment: u32,
+    /// Byte offset of the record frame within the segment.
+    pub offset: u64,
+    /// Total frame length in bytes.
+    pub len: u32,
+}
+
+/// Per-block index entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IndexEntry {
+    /// Header digest `H(b^h)`.
+    pub digest: Digest,
+    /// Record location.
+    pub location: RecordLocation,
+    /// Generation slot from the block header (`f_t`), kept in the index so
+    /// candidate scans never decode bodies.
+    pub time: u64,
+    /// Number of digest entries in the header (for Eq. 2 sizing).
+    pub digest_entries: u32,
+    /// Logical body bits `C` (for Eq. 2 sizing).
+    pub body_bits: u64,
+    /// Digests contained in the header's Digests field (for the responder's
+    /// `C_{j'}(b_v)` lookup and for snapshot-time children rebuilding).
+    pub contained: Vec<Digest>,
+}
+
+/// The full index over a (possibly pruned) chain prefix.
+#[derive(Clone, Debug, Default)]
+pub struct BlockIndex {
+    /// Owner of the chain (set by the first push; `None` while empty).
+    owner: Option<u32>,
+    /// Sequence number of the first retained entry (> 0 after compaction).
+    base_seq: u32,
+    /// Entries for seqs `base_seq ..`.
+    entries: Vec<IndexEntry>,
+    /// Header digest → seq.
+    by_digest: HashMap<Digest, u32>,
+    /// Contained digest → seqs of retained blocks containing it.
+    children: HashMap<Digest, Vec<u32>>,
+}
+
+impl BlockIndex {
+    /// Empty index starting at seq 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total chain length (next sequence number to append).
+    pub fn next_seq(&self) -> u32 {
+        self.base_seq + self.entries.len() as u32
+    }
+
+    /// First retained sequence number.
+    pub fn base_seq(&self) -> u32 {
+        self.base_seq
+    }
+
+    /// Owner id of the chain, once at least one block has been indexed.
+    pub fn owner(&self) -> Option<u32> {
+        self.owner
+    }
+
+    /// Number of retained entries.
+    pub fn retained(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Looks up a retained entry by sequence number.
+    pub fn entry(&self, seq: u32) -> Option<&IndexEntry> {
+        let idx = seq.checked_sub(self.base_seq)? as usize;
+        self.entries.get(idx)
+    }
+
+    /// Seq of the block with header digest `digest`.
+    pub fn seq_of_digest(&self, digest: &Digest) -> Option<u32> {
+        self.by_digest.get(digest).copied()
+    }
+
+    /// Retained seqs (ascending) of blocks whose header contains `target`.
+    pub fn children_of(&self, target: &Digest) -> Vec<u32> {
+        let mut seqs = self.children.get(target).cloned().unwrap_or_default();
+        seqs.sort_unstable();
+        seqs
+    }
+
+    /// Oldest retained seq of a block whose header contains `target`.
+    pub fn oldest_child_of(&self, target: &Digest) -> Option<u32> {
+        self.children.get(target)?.iter().min().copied()
+    }
+
+    /// Sets the chain base of an **empty** index (full-scan recovery of a
+    /// compacted log, where the oldest surviving record defines the base).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index already has entries or a non-zero base.
+    pub fn start_at(&mut self, seq: u32) {
+        assert!(
+            self.entries.is_empty() && self.base_seq == 0,
+            "start_at requires a pristine index"
+        );
+        self.base_seq = seq;
+    }
+
+    /// Registers the next block of the chain.
+    pub fn push(&mut self, block: &DataBlock, location: RecordLocation) {
+        debug_assert_eq!(block.id.seq, self.next_seq(), "index append out of order");
+        let digest = block.header_digest();
+        let seq = block.id.seq;
+        let contained: Vec<Digest> = block.header.digests.iter().map(|e| e.digest).collect();
+        debug_assert!(
+            self.owner.is_none_or(|o| o == block.id.owner.0),
+            "one chain, one owner"
+        );
+        self.owner = Some(block.id.owner.0);
+        self.by_digest.insert(digest, seq);
+        for d in &contained {
+            self.children.entry(*d).or_default().push(seq);
+        }
+        self.entries.push(IndexEntry {
+            digest,
+            location,
+            time: block.header.time,
+            digest_entries: block.header.digests.len() as u32,
+            body_bits: block.body.logical_bits,
+            contained,
+        });
+    }
+
+    /// Drops every entry below `new_base` (compaction). Returns the number
+    /// of entries removed.
+    pub fn prune_below(&mut self, new_base: u32) -> usize {
+        let new_base = new_base.clamp(self.base_seq, self.next_seq());
+        let drop = (new_base - self.base_seq) as usize;
+        for entry in self.entries.drain(..drop) {
+            self.by_digest.remove(&entry.digest);
+            for d in &entry.contained {
+                if let Some(seqs) = self.children.get_mut(d) {
+                    seqs.retain(|&s| s >= new_base);
+                    if seqs.is_empty() {
+                        self.children.remove(d);
+                    }
+                }
+            }
+        }
+        self.base_seq = new_base;
+        drop
+    }
+
+    /// Logical bits of the retained chain (Eq. 2 summed over blocks).
+    pub fn logical_bits(&self, cfg: &ProtocolConfig) -> Bits {
+        self.entries
+            .iter()
+            .map(|e| cfg.header_bits(e.digest_entries as usize) + Bits::from_bits(e.body_bits))
+            .sum()
+    }
+
+    /// Rough resident-memory estimate in bytes.
+    pub fn resident_bytes(&self) -> usize {
+        let per_entry = std::mem::size_of::<IndexEntry>();
+        let contained: usize = self.entries.iter().map(|e| e.contained.len() * 32).sum();
+        self.entries.len() * per_entry
+            + contained
+            + self.by_digest.len() * (32 + 4)
+            + self.children.len() * (32 + 16)
+    }
+
+    /// Serializes the index (with the log position it covers) into a
+    /// checksummed snapshot blob.
+    pub fn encode_snapshot(&self, covered_segment: u32, covered_offset: u64) -> Vec<u8> {
+        let mut body = Vec::with_capacity(64 + self.entries.len() * 96);
+        body.extend_from_slice(&self.owner.unwrap_or(u32::MAX).to_be_bytes());
+        body.extend_from_slice(&self.base_seq.to_be_bytes());
+        body.extend_from_slice(&(self.entries.len() as u32).to_be_bytes());
+        body.extend_from_slice(&covered_segment.to_be_bytes());
+        body.extend_from_slice(&covered_offset.to_be_bytes());
+        for e in &self.entries {
+            body.extend_from_slice(e.digest.as_bytes());
+            body.extend_from_slice(&e.location.segment.to_be_bytes());
+            body.extend_from_slice(&e.location.offset.to_be_bytes());
+            body.extend_from_slice(&e.location.len.to_be_bytes());
+            body.extend_from_slice(&e.time.to_be_bytes());
+            body.extend_from_slice(&e.digest_entries.to_be_bytes());
+            body.extend_from_slice(&e.body_bits.to_be_bytes());
+            body.extend_from_slice(&(e.contained.len() as u32).to_be_bytes());
+            for d in &e.contained {
+                body.extend_from_slice(d.as_bytes());
+            }
+        }
+        let mut out = Vec::with_capacity(16 + body.len());
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_be_bytes());
+        out.extend_from_slice(&crc32(&body).to_be_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Restores an index from a snapshot blob, returning it together with
+    /// the `(segment, offset)` position up to which the log is covered.
+    ///
+    /// # Errors
+    ///
+    /// [`TldagError::Corrupt`] on any framing, checksum, or structure
+    /// violation — the caller falls back to a full log scan.
+    pub fn decode_snapshot(data: &[u8]) -> Result<(Self, u32, u64), TldagError> {
+        let corrupt = |msg: &str| TldagError::Corrupt(format!("snapshot: {msg}"));
+        if data.len() < 16 || &data[0..8] != SNAPSHOT_MAGIC {
+            return Err(corrupt("missing magic"));
+        }
+        let version = u32::from_be_bytes(data[8..12].try_into().expect("4 bytes"));
+        if version != SNAPSHOT_VERSION {
+            return Err(corrupt("unknown version"));
+        }
+        let expect_crc = u32::from_be_bytes(data[12..16].try_into().expect("4 bytes"));
+        let body = &data[16..];
+        if crc32(body) != expect_crc {
+            return Err(corrupt("checksum mismatch"));
+        }
+
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Result<&[u8], TldagError> {
+            let slice = body
+                .get(pos..pos + n)
+                .ok_or_else(|| TldagError::Corrupt("snapshot: truncated body".into()))?;
+            pos += n;
+            Ok(slice)
+        };
+        let owner_raw = u32::from_be_bytes(take(4)?.try_into().expect("4 bytes"));
+        let base_seq = u32::from_be_bytes(take(4)?.try_into().expect("4 bytes"));
+        let count = u32::from_be_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+        let covered_segment = u32::from_be_bytes(take(4)?.try_into().expect("4 bytes"));
+        let covered_offset = u64::from_be_bytes(take(8)?.try_into().expect("8 bytes"));
+
+        let mut index = BlockIndex {
+            owner: (owner_raw != u32::MAX).then_some(owner_raw),
+            base_seq,
+            entries: Vec::with_capacity(count),
+            by_digest: HashMap::with_capacity(count),
+            children: HashMap::new(),
+        };
+        for i in 0..count {
+            let seq = base_seq + i as u32;
+            let digest = Digest::from_bytes(take(32)?.try_into().expect("32 bytes"));
+            let segment = u32::from_be_bytes(take(4)?.try_into().expect("4 bytes"));
+            let offset = u64::from_be_bytes(take(8)?.try_into().expect("8 bytes"));
+            let len = u32::from_be_bytes(take(4)?.try_into().expect("4 bytes"));
+            let time = u64::from_be_bytes(take(8)?.try_into().expect("8 bytes"));
+            let digest_entries = u32::from_be_bytes(take(4)?.try_into().expect("4 bytes"));
+            let body_bits = u64::from_be_bytes(take(8)?.try_into().expect("8 bytes"));
+            let contained_count =
+                u32::from_be_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+            if contained_count > 1 << 20 {
+                return Err(corrupt("absurd contained-digest count"));
+            }
+            let mut contained = Vec::with_capacity(contained_count);
+            for _ in 0..contained_count {
+                contained.push(Digest::from_bytes(take(32)?.try_into().expect("32 bytes")));
+            }
+            index.by_digest.insert(digest, seq);
+            for d in &contained {
+                index.children.entry(*d).or_default().push(seq);
+            }
+            index.entries.push(IndexEntry {
+                digest,
+                location: RecordLocation {
+                    segment,
+                    offset,
+                    len,
+                },
+                time,
+                digest_entries,
+                body_bits,
+                contained,
+            });
+        }
+        if pos != body.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        Ok((index, covered_segment, covered_offset))
+    }
+}
+
+const SNAPSHOT_MAGIC: &[u8; 8] = b"TLDAGSNP";
+const SNAPSHOT_VERSION: u32 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tldag_core::config::ProtocolConfig;
+    use tldag_core::{BlockBody, BlockId, DataBlock, DigestEntry};
+    use tldag_crypto::schnorr::KeyPair;
+    use tldag_sim::NodeId;
+
+    fn block(seq: u32, contained: Vec<Digest>) -> DataBlock {
+        let cfg = ProtocolConfig::test_default();
+        let digests = contained
+            .into_iter()
+            .map(|digest| DigestEntry {
+                origin: NodeId(9),
+                digest,
+            })
+            .collect();
+        DataBlock::create(
+            &cfg,
+            BlockId::new(NodeId(1), seq),
+            u64::from(seq),
+            digests,
+            BlockBody::new(vec![seq as u8; 8], cfg.body_bits),
+            &KeyPair::from_seed(1),
+        )
+    }
+
+    fn loc(seq: u32) -> RecordLocation {
+        RecordLocation {
+            segment: seq / 4,
+            offset: u64::from(seq % 4) * 100,
+            len: 100,
+        }
+    }
+
+    #[test]
+    fn push_and_lookup() {
+        let mut index = BlockIndex::new();
+        let parent = Digest::from_bytes([7; 32]);
+        let b0 = block(0, vec![]);
+        let b1 = block(1, vec![parent]);
+        let b2 = block(2, vec![parent]);
+        for b in [&b0, &b1, &b2] {
+            index.push(b, loc(b.id.seq));
+        }
+        assert_eq!(index.next_seq(), 3);
+        assert_eq!(index.seq_of_digest(&b1.header_digest()), Some(1));
+        assert_eq!(index.oldest_child_of(&parent), Some(1));
+        assert_eq!(index.children_of(&parent), vec![1, 2]);
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let mut index = BlockIndex::new();
+        let parent = Digest::from_bytes([3; 32]);
+        for seq in 0..5 {
+            let contained = if seq > 0 { vec![parent] } else { vec![] };
+            index.push(&block(seq, contained), loc(seq));
+        }
+        let blob = index.encode_snapshot(1, 777);
+        let (restored, seg, off) = BlockIndex::decode_snapshot(&blob).unwrap();
+        assert_eq!(seg, 1);
+        assert_eq!(off, 777);
+        assert_eq!(restored.next_seq(), 5);
+        assert_eq!(restored.entries, index.entries);
+        assert_eq!(restored.children_of(&parent), index.children_of(&parent));
+    }
+
+    #[test]
+    fn snapshot_corruption_rejected() {
+        let mut index = BlockIndex::new();
+        index.push(&block(0, vec![]), loc(0));
+        let blob = index.encode_snapshot(0, 10);
+        for cut in [0, 8, 15, blob.len() - 1] {
+            assert!(BlockIndex::decode_snapshot(&blob[..cut]).is_err());
+        }
+        let mut flipped = blob.clone();
+        let idx = flipped.len() - 5;
+        flipped[idx] ^= 1;
+        assert!(BlockIndex::decode_snapshot(&flipped).is_err());
+    }
+
+    #[test]
+    fn prune_below_rewrites_base_and_children() {
+        let mut index = BlockIndex::new();
+        let parent = Digest::from_bytes([3; 32]);
+        let blocks: Vec<DataBlock> = (0..6)
+            .map(|seq| block(seq, if seq % 2 == 1 { vec![parent] } else { vec![] }))
+            .collect();
+        for b in &blocks {
+            index.push(b, loc(b.id.seq));
+        }
+        assert_eq!(index.prune_below(3), 3);
+        assert_eq!(index.base_seq(), 3);
+        assert_eq!(index.next_seq(), 6);
+        assert_eq!(index.retained(), 3);
+        assert!(index.entry(2).is_none());
+        assert!(index.entry(3).is_some());
+        assert_eq!(index.seq_of_digest(&blocks[1].header_digest()), None);
+        // Children below the new base (seq 1) are gone; 3 and 5 survive.
+        assert_eq!(index.children_of(&parent), vec![3, 5]);
+        // Appending continues at the chain seq, not the retained count.
+        index.push(&block(6, vec![]), loc(6));
+        assert_eq!(index.next_seq(), 7);
+    }
+
+    #[test]
+    fn logical_bits_match_blocks() {
+        let cfg = ProtocolConfig::test_default();
+        let mut index = BlockIndex::new();
+        let b = block(0, vec![Digest::from_bytes([1; 32])]);
+        index.push(&b, loc(0));
+        assert_eq!(index.logical_bits(&cfg), b.logical_bits(&cfg));
+    }
+}

@@ -164,7 +164,10 @@ fn main() {
         verdict(
             "storage tampering",
             !report.is_success(),
-            format!("audit outcome: {:?}", report.outcome.err().map(|e| e.to_string())),
+            format!(
+                "audit outcome: {:?}",
+                report.outcome.err().map(|e| e.to_string())
+            ),
         );
     }
 }

@@ -33,12 +33,7 @@ fn main() {
         .with_body_bits(8 * 256)
         .with_gamma(4)
         .with_difficulty(6);
-    let mut plant = TldagNetwork::new(
-        cfg,
-        topology,
-        GenerationSchedule::uniform(20),
-        7,
-    );
+    let mut plant = TldagNetwork::new(cfg, topology, GenerationSchedule::uniform(20), 7);
     plant.set_verification_workload(VerificationWorkload::Disabled);
     plant.run_slots(30);
 

@@ -55,7 +55,10 @@ fn main() {
     }
 
     println!("== fleet of {nodes} sensors, {slots} slots, 64 kB blocks ==\n");
-    println!("{:<8} {:>16} {:>20}", "system", "storage MB/node", "comm Mb/node (tx)");
+    println!(
+        "{:<8} {:>16} {:>20}",
+        "system", "storage MB/node", "comm Mb/node (tx)"
+    );
     let tldag_comm = tldag
         .accounting()
         .mean_node_tx(TrafficClass::DagConstruction)
@@ -74,7 +77,9 @@ fn main() {
         "{:<8} {:>16.2} {:>20.3}",
         "PBFT",
         pbft.storage_bits_per_node()[0].as_megabytes(),
-        pbft.accounting().mean_node_tx(TrafficClass::Pbft).as_megabits()
+        pbft.accounting()
+            .mean_node_tx(TrafficClass::Pbft)
+            .as_megabits()
     );
     println!(
         "{:<8} {:>16.2} {:>20.3}",
@@ -107,6 +112,9 @@ fn main() {
         );
         println!("  path owners: {}", owners.join(" → "));
     } else {
-        println!("\nproof for {target} did not complete: {:?}", report.outcome);
+        println!(
+            "\nproof for {target} did not complete: {:?}",
+            report.outcome
+        );
     }
 }

@@ -48,7 +48,12 @@ fn main() {
     );
 
     // 5. A digital twin asks node n0 to verify node n7's first reading.
-    let target = network.node(NodeId(7)).store().get(0).expect("block exists").id;
+    let target = network
+        .node(NodeId(7))
+        .store()
+        .get(0)
+        .expect("block exists")
+        .id;
     let report = network.run_pop(NodeId(0), target, true);
     match report.outcome {
         Ok(()) => {

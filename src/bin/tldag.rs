@@ -3,9 +3,11 @@
 //! ```text
 //! tldag topology [--nodes N] [--side M] [--seed S]
 //! tldag run      [--nodes N] [--slots T] [--gamma G] [--malicious M]
-//!                [--seed S] [--trace]
+//!                [--seed S] [--trace] [--storage memory|disk]
+//!                [--storage-dir PATH]
 //! tldag verify   --owner K [--seq Q] [--validator V]
 //!                [--nodes N] [--slots T] [--gamma G] [--seed S]
+//!                [--storage memory|disk] [--storage-dir PATH]
 //! ```
 
 use std::collections::HashMap;
@@ -21,6 +23,7 @@ use tldag::sim::fault::{FaultPlan, MaliciousPlacement};
 use tldag::sim::topology::{Topology, TopologyConfig};
 use tldag::sim::trace::Trace;
 use tldag::sim::{DetRng, NodeId};
+use tldag::storage::{DiskFactory, StorageOptions};
 
 const USAGE: &str = "\
 tldag — 2LDAG / Proof-of-Path simulator
@@ -30,17 +33,23 @@ USAGE:
         Print the deployment produced by the paper's placement rule.
 
     tldag run [--nodes N] [--slots T] [--gamma G] [--malicious M]
-              [--seed S] [--trace]
+              [--seed S] [--trace] [--storage memory|disk] [--storage-dir P]
         Run a slotted simulation with the paper's verification workload
         and print storage/communication/PoP summaries.
 
     tldag verify --owner K [--seq Q] [--validator V]
                  [--nodes N] [--slots T] [--gamma G] [--seed S]
+                 [--storage memory|disk] [--storage-dir P]
         Run a simulation, then verify block K#Q from node V via
         Proof-of-Path and print the proof path.
 
+Storage backends: `memory` (default) keeps every chain in RAM; `disk` puts
+each node's chain in a durable segmented block log under --storage-dir
+(default: a fresh directory under the system temp dir) with crash recovery
+and bounded resident memory.
+
 Defaults: --nodes 16, --side 300, --slots 40, --gamma 3, --malicious 0,
-          --seq 0, --validator 0, --seed 42.
+          --seq 0, --validator 0, --seed 42, --storage memory.
 ";
 
 struct Args {
@@ -122,7 +131,27 @@ fn build_network(args: &Args) -> Result<TldagNetwork, String> {
         .with_gamma(gamma)
         .with_difficulty(6);
     let schedule = GenerationSchedule::uniform(topology.len());
-    let mut net = TldagNetwork::new(cfg, topology.clone(), schedule, seed);
+    let storage: String = args.get("storage", "memory".to_string())?;
+    let mut net = match storage.as_str() {
+        "memory" => TldagNetwork::new(cfg, topology.clone(), schedule, seed),
+        "disk" => {
+            let default_dir = std::env::temp_dir()
+                .join(format!("tldag-run-{}", std::process::id()))
+                .display()
+                .to_string();
+            let dir: String = args.get("storage-dir", default_dir)?;
+            std::fs::create_dir_all(&dir)
+                .map_err(|e| format!("cannot use --storage-dir {dir}: {e}"))?;
+            println!("storage backend: disk ({dir})");
+            let factory = DiskFactory::new(dir, StorageOptions::default());
+            TldagNetwork::with_factory(cfg, topology.clone(), schedule, seed, Box::new(factory))
+        }
+        other => {
+            return Err(format!(
+                "invalid value for --storage: `{other}` (memory|disk)"
+            ))
+        }
+    };
     net.set_verification_workload(VerificationWorkload::RandomPast {
         min_age_slots: topology.len() as u64,
     });
@@ -174,21 +203,36 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     if args.switch("trace") {
         net.set_trace(Trace::bounded(40));
     }
-    net.run_slots(slots);
+    net.try_run_slots(slots)
+        .map_err(|e| format!("simulation stopped: {e}"))?;
 
     let (attempts, successes) = net.pop_counters();
     println!("\nafter {slots} slots:");
     println!("  blocks network-wide : {}", net.total_blocks());
     println!("  mean node storage   : {:.3} MB", net.mean_storage_mb());
+    let resident: usize = net
+        .topology()
+        .node_ids()
+        .map(|id| net.node(id).store().resident_bytes())
+        .sum();
+    println!(
+        "  resident block mem  : {:.1} KiB total across nodes",
+        resident as f64 / 1024.0
+    );
     let acc = net.accounting();
     println!(
         "  mean node comm (tx) : {:.4} Mb DAG-construction, {:.4} Mb consensus",
-        acc.mean_node_tx(TrafficClass::DagConstruction).as_megabits(),
+        acc.mean_node_tx(TrafficClass::DagConstruction)
+            .as_megabits(),
         acc.mean_node_tx(TrafficClass::Consensus).as_megabits()
     );
     println!(
         "  PoP verifications   : {successes}/{attempts} succeeded ({:.1}%)",
-        if attempts == 0 { 0.0 } else { 100.0 * successes as f64 / attempts as f64 }
+        if attempts == 0 {
+            0.0
+        } else {
+            100.0 * successes as f64 / attempts as f64
+        }
     );
     if args.switch("trace") {
         println!("\nlast events:\n{}", net.trace().render());
@@ -203,7 +247,8 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     let validator: u32 = args.get("validator", 0)?;
     let mut net = build_network(args)?;
     net.set_verification_workload(VerificationWorkload::Disabled);
-    net.run_slots(slots);
+    net.try_run_slots(slots)
+        .map_err(|e| format!("simulation stopped: {e}"))?;
 
     if owner as usize >= net.topology().len() {
         return Err("--owner out of range".into());

@@ -5,6 +5,7 @@
 //! * [`crypto`] — SHA-256, Merkle trees, Schnorr signatures, difficulty puzzles.
 //! * [`sim`] — deterministic network simulator (topology, slots, message bus).
 //! * [`core`] — the 2LDAG protocol and Proof-of-Path consensus.
+//! * [`storage`] — durable segmented block-log engine with crash recovery.
 //! * [`baselines`] — PBFT and IOTA comparators used by the evaluation.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
@@ -14,5 +15,7 @@ pub use tldag_crypto as crypto;
 pub use tldag_sim as sim;
 
 pub use tldag_core as core;
+
+pub use tldag_storage as storage;
 
 pub use tldag_baselines as baselines;

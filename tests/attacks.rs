@@ -81,10 +81,8 @@ fn corrupt_reply_is_detected_and_routed_around() {
     // Verifying T's block with γ = 2: T's candidates are {C, H}; C's closed
     // neighborhood is larger (weight 1/4 < 1/3), so it is asked first, its
     // forged reply is rejected, and the path proceeds T → H → 5.
-    let topology = Topology::from_edges(
-        8,
-        &[(1, 2), (1, 3), (2, 4), (2, 7), (3, 5), (5, 6), (6, 0)],
-    );
+    let topology =
+        Topology::from_edges(8, &[(1, 2), (1, 3), (2, 4), (2, 7), (3, 5), (5, 6), (6, 0)]);
     let cfg = ProtocolConfig::test_default().with_gamma(2);
     let mut net = TldagNetwork::new(cfg, topology, GenerationSchedule::uniform(8), 3);
     net.set_verification_workload(VerificationWorkload::Disabled);

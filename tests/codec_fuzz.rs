@@ -9,7 +9,13 @@ use tldag::crypto::schnorr::KeyPair;
 use tldag::crypto::Digest;
 use tldag::sim::NodeId;
 
-fn block_from(owner: u32, seq: u32, time: u64, payload: Vec<u8>, entries: Vec<(u32, [u8; 32])>) -> DataBlock {
+fn block_from(
+    owner: u32,
+    seq: u32,
+    time: u64,
+    payload: Vec<u8>,
+    entries: Vec<(u32, [u8; 32])>,
+) -> DataBlock {
     let cfg = ProtocolConfig::test_default();
     let kp = KeyPair::from_seed(u64::from(owner));
     let digests = entries

@@ -64,7 +64,10 @@ fn storage_advantage_grows_with_body_size() {
     };
     let (pbft_small, iota_small) = ratio_at(Bits::from_bytes(64).bits());
     let (pbft_large, iota_large) = ratio_at(Bits::from_kilobytes(8).bits());
-    assert!(pbft_small > 1.0 && iota_small > 1.0, "replication always costs more");
+    assert!(
+        pbft_small > 1.0 && iota_small > 1.0,
+        "replication always costs more"
+    );
     assert!(
         pbft_large > 5.0 && iota_large > 5.0,
         "at 8 kB bodies the gap approaches |V|: PBFT {pbft_large}, IOTA {iota_large}"
@@ -91,7 +94,10 @@ fn per_node_storage_uniformity_differs_by_design() {
     let tldag_nodes = ledgers[0].storage_bits_per_node();
     let min = tldag_nodes.iter().min().unwrap().bits() as f64;
     let max = tldag_nodes.iter().max().unwrap().bits() as f64;
-    assert!(max / min < 2.0, "2LDAG node storage within 2x: {min}..{max}");
+    assert!(
+        max / min < 2.0,
+        "2LDAG node storage within 2x: {min}..{max}"
+    );
 }
 
 #[test]
@@ -139,11 +145,7 @@ fn iota_tip_strategies_preserve_tangle_invariants() {
         TipSelection::UniformRandom,
         TipSelection::WeightedWalk { alpha: 0.2 },
     ] {
-        let mut net = IotaNetwork::new(
-            BaselineConfig::test_default(),
-            topology(4, 8),
-            4,
-        );
+        let mut net = IotaNetwork::new(BaselineConfig::test_default(), topology(4, 8), 4);
         net.set_tip_selection(strategy);
         net.run_slots(8);
         assert_eq!(net.tangle().len(), 1 + 8 * 8);

@@ -74,7 +74,7 @@ fn trust_caches_grow_only_through_successful_pops() {
     }
     let target = net.node(NodeId(1)).store().get(0).unwrap().id;
     net.run_pop(NodeId(0), target, true);
-    assert!(net.node(NodeId(0)).trust_cache().len() > 0);
+    assert!(!net.node(NodeId(0)).trust_cache().is_empty());
     assert_eq!(net.node(NodeId(2)).trust_cache().len(), 0);
 }
 

@@ -36,10 +36,7 @@ fn joined_node_integrates_and_becomes_verifiable() {
     let anchor = net.topology().position(NodeId(0));
     let newcomer = net.node_joins(Point::new(anchor.x + 10.0, anchor.y), 50.0, 1);
     assert!(net.topology().degree(newcomer) >= 1, "wired to the anchor");
-    assert!(net
-        .node(NodeId(0))
-        .neighbors()
-        .contains(&newcomer));
+    assert!(net.node(NodeId(0)).neighbors().contains(&newcomer));
 
     // It generates from the next slots and its digests reach neighbors.
     net.run_slots(12);
@@ -208,5 +205,8 @@ fn lossy_links_degrade_cost_not_integrity() {
     assert_eq!(clean_timeouts, 0);
     assert!(lossy_timeouts > 0, "loss must surface as timeouts");
     // Retrying other responders keeps most verifications alive.
-    assert!(lossy_ok >= 4, "moderate loss should not collapse PoP: {lossy_ok}/6");
+    assert!(
+        lossy_ok >= 4,
+        "moderate loss should not collapse PoP: {lossy_ok}/6"
+    );
 }

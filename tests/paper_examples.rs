@@ -145,7 +145,10 @@ fn fig5_exhaustion_when_no_honest_corridor_remains() {
     let target = net.node(NodeId(1)).store().get(0).unwrap().id;
     let report = net.run_pop(NodeId(0), target, false);
     assert!(!report.is_success());
-    assert!(report.metrics.rollbacks > 0, "rollback must have been tried");
+    assert!(
+        report.metrics.rollbacks > 0,
+        "rollback must have been tried"
+    );
 }
 
 /// Prop. 4 exactness on the paper's workload: a cold-cache validator needs

@@ -89,7 +89,7 @@ proptest! {
         let target = net.node(owner).store().get(0).unwrap().id;
         let report = net.run_pop(NodeId(0), target, false);
         if report.is_success() {
-            prop_assert!(report.distinct_nodes >= gamma + 1);
+            prop_assert!(report.distinct_nodes > gamma);
             prop_assert_eq!(report.path[0].block_id, target);
             let digests: Vec<_> = report.path.iter().map(|s| s.digest).collect();
             prop_assert!(dag.is_valid_path(&digests));

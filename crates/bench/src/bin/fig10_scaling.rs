@@ -1,0 +1,155 @@
+//! Slot-loop scaling experiment: shard-parallel engine throughput across
+//! thread counts (with a byte-identity check on the resulting chains) and
+//! disk-mode throughput across sync policies (per-node fsync vs the
+//! group-commit shard log).
+//!
+//! Usage: `cargo run -p tldag-bench --release --bin fig10_scaling [--quick]`
+
+use tldag_bench::experiments::scaling::{self, ScalingConfig};
+use tldag_bench::report;
+use tldag_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let cfg = ScalingConfig::at_scale(scale);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "fig10_scaling: {} nodes × {} slots (thread sweep), {} nodes × {} slots \
+(sync sweep), {cores} core(s) available ({scale:?} scale)",
+        cfg.thread_sweep_nodes, cfg.thread_sweep_slots, cfg.sync_sweep_nodes, cfg.sync_sweep_slots
+    );
+    if cores == 1 {
+        eprintln!(
+            "fig10_scaling: WARNING — single-core host; thread-sweep speedups \
+will be ~1x (the determinism check still runs)"
+        );
+    }
+    let data = scaling::run(&cfg);
+
+    println!(
+        "\n== slot-loop throughput vs worker threads ({} nodes, {} slots, memory) ==",
+        cfg.thread_sweep_nodes, cfg.thread_sweep_slots
+    );
+    let rows: Vec<Vec<String>> = data
+        .thread_samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.threads.to_string(),
+                report::fmt_f64(s.wall_ms),
+                report::fmt_f64(s.blocks_per_sec),
+                format!("{:.2}x", s.speedup),
+                s.digest.clone(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::render_table(
+            &[
+                "threads",
+                "wall_ms",
+                "blocks/s",
+                "speedup",
+                "net digest[..16]"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "chain digests across thread counts: {}",
+        if data.digests_identical {
+            "IDENTICAL (determinism holds)"
+        } else {
+            "DIVERGED — determinism violated!"
+        }
+    );
+
+    println!(
+        "\n== determinism with PoP + lossy links on ({} nodes, {} slots, memory) ==",
+        cfg.verify_sweep_nodes, cfg.verify_sweep_slots
+    );
+    let rows: Vec<Vec<String>> = data
+        .verify_samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.threads.to_string(),
+                report::fmt_f64(s.wall_ms),
+                format!("{}/{}", s.pop_counters.1, s.pop_counters.0),
+                s.digest.clone(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::render_table(
+            &["threads", "wall_ms", "pop ok/attempts", "net digest[..16]"],
+            &rows
+        )
+    );
+    println!(
+        "PoP-phase digests and counters across thread counts: {}",
+        if data.verify_identical {
+            "IDENTICAL (determinism holds)"
+        } else {
+            "DIVERGED — determinism violated!"
+        }
+    );
+
+    println!(
+        "\n== disk-mode throughput vs sync policy ({} nodes, {} slots, {} shards) ==",
+        cfg.sync_sweep_nodes, cfg.sync_sweep_slots, cfg.sync_sweep_shards
+    );
+    let rows: Vec<Vec<String>> = data
+        .sync_samples
+        .iter()
+        .map(|s| {
+            vec![
+                s.config.clone(),
+                report::fmt_f64(s.wall_ms),
+                report::fmt_f64(s.blocks_per_sec),
+                s.fsyncs.to_string(),
+                format!("{:.2}x", s.speedup),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::render_table(
+            &["storage config", "wall_ms", "blocks/s", "fsyncs", "speedup"],
+            &rows
+        )
+    );
+
+    let mut csv = String::from("sweep,config,wall_ms,blocks_per_sec,fsyncs,speedup\n");
+    for s in &data.thread_samples {
+        csv.push_str(&format!(
+            "threads,{},{:.3},{:.1},,{:.3}\n",
+            s.threads, s.wall_ms, s.blocks_per_sec, s.speedup
+        ));
+    }
+    for s in &data.sync_samples {
+        csv.push_str(&format!(
+            "sync,{},{:.3},{:.1},{},{:.3}\n",
+            s.config.replace(',', ";"),
+            s.wall_ms,
+            s.blocks_per_sec,
+            s.fsyncs,
+            s.speedup
+        ));
+    }
+    if let Some(path) = report::write_csv("fig10_scaling", &csv) {
+        eprintln!("wrote {}", path.display());
+    }
+    assert!(
+        data.digests_identical,
+        "fig10_scaling: thread counts produced different chains"
+    );
+    assert!(
+        data.verify_identical,
+        "fig10_scaling: PoP-enabled runs diverged across thread counts"
+    );
+}

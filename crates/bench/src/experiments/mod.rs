@@ -6,4 +6,5 @@ pub mod fig8;
 pub mod fig9;
 pub mod restart;
 pub mod scale;
+pub mod scaling;
 pub mod summary;

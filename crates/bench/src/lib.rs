@@ -7,6 +7,8 @@
 //! | `fig7_storage` | Fig. 7(a–c) storage vs slots for C ∈ {0.1, 0.5, 1} MB, and 7(d) per-node storage CDF |
 //! | `fig8_comm` | Fig. 8(a) overall comm, 8(b) DAG construction, 8(c) consensus, 8(d) per-node comm CDF |
 //! | `fig9_failure` | Fig. 9(a–d) consensus-failure probability for γ ∈ {10, 15, 20, 24} |
+//! | `fig9_restart` | Node kill + disk recovery: PoP availability through the outage |
+//! | `fig10_scaling` | Sharded-engine throughput vs threads; disk throughput vs sync policy |
 //! | `table1_summary` | The abstract's headline ratios (storage ≈2, comm ≈3 orders of magnitude) |
 //! | `ablation_wps` | WPS vs random next-hop selection |
 //! | `ablation_tps` | TPS cache on vs off over repeated verifications |

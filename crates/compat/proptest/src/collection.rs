@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::Range;
 
-/// A length specification for [`vec`].
+/// A length specification for [`vec()`].
 pub trait IntoSizeRange {
     /// Lower (inclusive) and upper (exclusive) length bounds.
     fn bounds(&self) -> (usize, usize);

@@ -5,22 +5,112 @@
 //! to its neighbors (DAG construction), then acts as a validator and verifies
 //! one previously generated block via PoP (consensus). Storage and
 //! communication are metered with the paper's logical sizes.
+//!
+//! ## The sharded slot engine
+//!
+//! DAG ledgers admit leaderless, parallel progress, and the slot loop
+//! exploits exactly that: nodes are partitioned into contiguous shards
+//! ([`Sharding`]) and each slot runs as a sequence of shard-parallel phases
+//! with deterministic cross-shard exchanges at the phase boundaries:
+//!
+//! 1. **Generate** — every scheduled node mines, signs, and appends its
+//!    block (each worker owns a disjoint `&mut` slice of the node array).
+//! 2. **Exchange** — new digests are routed into per-receiver inboxes in
+//!    sender-id order, and DAG-construction traffic is accounted.
+//! 3. **Gossip** — each shard drains its nodes' inboxes (`A_i` updates,
+//!    flood detection).
+//! 4. **Verify** — generating honest nodes run PoP shard-parallel: peer
+//!    chains are read through shared references, each validator mutates
+//!    only its own trust cache/blacklist (taken out of the array for the
+//!    phase), and traffic lands in per-shard accounting deltas merged in
+//!    shard order.
+//! 5. **Commit** — backends sync per [`SyncPolicy`]; with the group-commit
+//!    shard log in `tldag-storage` this is one fsync per shard per slot.
+//!
+//! Results are **byte-identical for every thread count** under a fixed
+//! seed: all per-node randomness (payloads, target choice, PoP tie-breaks,
+//! link faults) is derived from `(seed, slot, node)` instead of a shared
+//! sequential stream, and every merge happens in node-id order while the
+//! remaining cross-shard sums (accounting) are commutative.
 
 use crate::attack::Behavior;
+use crate::blacklist::Blacklist;
 use crate::block::BlockId;
 use crate::config::ProtocolConfig;
 use crate::error::TldagError;
 use crate::node::LedgerNode;
 use crate::pop::messages::{ChildReply, ChildResponse, PopTransport};
 use crate::pop::validator::{PopReport, Validator};
-use crate::store::{BackendFactory, MemoryBackendFactory};
+use crate::store::{BackendFactory, MemoryBackendFactory, SyncPolicy, TrustCache};
 use crate::workload::{sensor_payload, VerificationWorkload};
+use std::ops::Range;
+use tldag_crypto::sha256::sha256;
 use tldag_crypto::Digest;
 use tldag_sim::bus::{Accounting, TrafficClass};
-use tldag_sim::engine::{GenerationSchedule, Slot};
+use tldag_sim::engine::{GenerationSchedule, Sharding, Slot};
 use tldag_sim::fault::{FaultPlan, LinkFaults};
 use tldag_sim::trace::{Trace, TraceKind};
 use tldag_sim::{Bits, DetRng, NodeId, Topology};
+
+/// Purpose labels for the per-(seed, slot, node) derived RNG streams. Keeping
+/// the purposes distinct means adding draws to one phase never perturbs
+/// another — the same property [`DetRng::fork`] gives subsystems.
+mod stream {
+    /// Sensor payload + flooder digests during generation.
+    pub const GENERATE: u64 = 1;
+    /// Verification-target choice.
+    pub const TARGET: u64 = 2;
+    /// PoP next-hop tie-breaks.
+    pub const POP: u64 = 3;
+    /// Link-fault decisions during one validator's PoP exchanges.
+    pub const LINKS: u64 = 4;
+}
+
+/// The RNG for `purpose` at `(seed, slot, node)` — the derivation that makes
+/// the slot loop independent of execution order, and therefore of the thread
+/// count.
+fn derived_rng(seed: u64, purpose: u64, slot: Slot, node: NodeId) -> DetRng {
+    DetRng::seed_from(seed)
+        .fork(slot)
+        .fork((u64::from(node.0) << 3) | purpose)
+}
+
+/// Runs `worker` over the chunks of `items` described by `ranges`: inline
+/// when there is at most one chunk, on scoped worker threads otherwise.
+/// Results are returned in range order, so merges stay deterministic.
+fn run_sharded<I, T, F>(items: &mut [I], ranges: &[Range<usize>], worker: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(Range<usize>, &mut [I]) -> T + Sync,
+{
+    if ranges.len() <= 1 {
+        return ranges
+            .iter()
+            .map(|r| worker(r.clone(), &mut items[r.clone()]))
+            .collect();
+    }
+    let mut chunks: Vec<(Range<usize>, &mut [I])> = Vec::with_capacity(ranges.len());
+    let mut rest = items;
+    let mut consumed = 0;
+    for r in ranges {
+        let (head, tail) = rest.split_at_mut(r.end - consumed);
+        chunks.push((r.clone(), head));
+        rest = tail;
+        consumed = r.end;
+    }
+    let worker = &worker;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|(r, chunk)| scope.spawn(move || worker(r, chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    })
+}
 
 /// Transport over the simulated network: synchronous request/response with
 /// behaviour-driven faults and byte accounting at both endpoints.
@@ -190,8 +280,16 @@ pub struct TldagNetwork {
     nodes: Vec<LedgerNode>,
     schedule: GenerationSchedule,
     accounting: Accounting,
+    /// The experiment seed; every per-(slot, node) stream derives from it.
+    seed: u64,
+    /// Sequential stream for out-of-loop draws (ad-hoc [`Self::run_pop`] /
+    /// [`Self::choose_target`] calls from experiments).
     rng: DetRng,
     slot: Slot,
+    /// Shard-parallel execution policy for the slot loop.
+    sharding: Sharding,
+    /// When appended blocks are forced onto stable storage.
+    sync_policy: SyncPolicy,
     verification: VerificationWorkload,
     pop_attempts: u64,
     pop_successes: u64,
@@ -261,8 +359,11 @@ impl TldagNetwork {
         let mut network = TldagNetwork {
             cfg,
             accounting: Accounting::new(n),
+            seed,
             rng: DetRng::seed_from(seed),
             slot: 0,
+            sharding: Sharding::single(),
+            sync_policy: SyncPolicy::default(),
             verification: VerificationWorkload::paper_default(n),
             nodes,
             topology,
@@ -292,6 +393,30 @@ impl TldagNetwork {
     /// Replaces the verification workload policy.
     pub fn set_verification_workload(&mut self, workload: VerificationWorkload) {
         self.verification = workload;
+    }
+
+    /// Sets the shard-parallel execution policy. A fixed seed produces
+    /// byte-identical chains, accounting, and PoP counters for **every**
+    /// thread count — sharding changes wall-clock time, never results.
+    pub fn set_sharding(&mut self, sharding: Sharding) {
+        self.sharding = sharding;
+    }
+
+    /// The current sharding policy.
+    pub fn sharding(&self) -> Sharding {
+        self.sharding
+    }
+
+    /// Sets when appended blocks are forced onto stable storage (a no-op
+    /// for volatile backends). Default: [`SyncPolicy::PerSlot`], the seed's
+    /// slot-boundary commit point.
+    pub fn set_sync_policy(&mut self, policy: SyncPolicy) {
+        self.sync_policy = policy;
+    }
+
+    /// The current sync policy.
+    pub fn sync_policy(&self) -> SyncPolicy {
+        self.sync_policy
     }
 
     /// Installs an event trace (use [`Trace::bounded`] to cap memory).
@@ -386,6 +511,9 @@ impl TldagNetwork {
     /// verification workload runs. Delivering after generation means every
     /// digest a node emits is seen — and referenced — by all its neighbors'
     /// next blocks, which is what links the whole DAG together.
+    ///
+    /// The slot runs shard-parallel under the configured [`Sharding`]; see
+    /// the module docs for the phase structure and the determinism argument.
     pub fn step(&mut self) -> SlotSummary {
         self.try_step()
             .expect("storage backend failed during a slot")
@@ -396,88 +524,244 @@ impl TldagNetwork {
     ///
     /// # Errors
     ///
-    /// The first storage error raised while generating or syncing.
+    /// The first storage error raised while generating or syncing, reported
+    /// in shard order. The slot is left partially applied: blocks appended
+    /// before the error surfaced stay appended, and with `threads > 1` the
+    /// *other* shards complete their phase before the error is returned — so
+    /// the post-error chain state (unlike every successful run) depends on
+    /// the thread count. Callers that need reproducible error states should
+    /// run single-threaded; successful slots are byte-identical either way.
     pub fn try_step(&mut self) -> Result<SlotSummary, TldagError> {
         let slot = self.slot;
-        for node in &mut self.nodes {
-            node.begin_slot();
-        }
+        let n = self.nodes.len();
+        let ranges = self.sharding.chunk_ranges(n);
+        let seed = self.seed;
 
         // --- Phase 1: block generation from slot-start state (Sec. III-D).
+        // Each worker owns a disjoint slice of the node array; payloads and
+        // flooder digests come from the node's derived stream.
+        struct ShardGen {
+            generated: Vec<NodeId>,
+            outgoing: Vec<(NodeId, Digest)>,
+        }
+        let gen_results: Vec<Result<ShardGen, TldagError>> = {
+            let cfg = &self.cfg;
+            let schedule = &self.schedule;
+            let departed = &self.departed;
+            let per_append_sync = self.sync_policy.syncs_per_append();
+            run_sharded(&mut self.nodes, &ranges, move |range, chunk| {
+                let mut out = ShardGen {
+                    generated: Vec::new(),
+                    outgoing: Vec::new(),
+                };
+                for (offset, node) in chunk.iter_mut().enumerate() {
+                    let id = NodeId((range.start + offset) as u32);
+                    node.begin_slot();
+                    if departed[id.index()] || !schedule.generates(id, slot) {
+                        continue;
+                    }
+                    let mut rng = derived_rng(seed, stream::GENERATE, slot, id);
+                    let payload = sensor_payload(&mut rng, id, slot);
+                    let digest = node.generate_block(cfg, slot, payload)?.header_digest();
+                    if per_append_sync {
+                        node.store_mut().sync()?;
+                    }
+                    out.generated.push(id);
+                    out.outgoing.push((id, digest));
+
+                    // Flooders push extra (bogus) digests, which neighbors
+                    // detect.
+                    if let Behavior::Flooder { rate_multiplier } = node.behavior() {
+                        for _ in 1..rate_multiplier {
+                            let mut bytes = [0u8; 32];
+                            for word in bytes.chunks_mut(8) {
+                                word.copy_from_slice(&rng.next_u64().to_be_bytes());
+                            }
+                            out.outgoing.push((id, Digest::from_bytes(bytes)));
+                        }
+                    }
+                }
+                Ok(out)
+            })
+        };
+        // Merging in shard order = node-id order (chunks are contiguous).
         let mut generated: Vec<NodeId> = Vec::new();
         let mut outgoing: Vec<(NodeId, Digest)> = Vec::new();
-        for idx in 0..self.nodes.len() {
-            let id = NodeId(idx as u32);
-            if self.departed[idx] || !self.schedule.generates(id, slot) {
-                continue;
-            }
-            let payload = sensor_payload(&mut self.rng, id, slot);
-            let digest = self.nodes[idx]
-                .generate_block(&self.cfg, slot, payload)?
-                .header_digest();
-            generated.push(id);
-            outgoing.push((id, digest));
-            if self.trace.is_enabled() {
+        for result in gen_results {
+            let shard = result?;
+            generated.extend(shard.generated);
+            outgoing.extend(shard.outgoing);
+        }
+        if self.trace.is_enabled() {
+            for &id in &generated {
                 self.trace.record(
                     slot,
                     TraceKind::Generate,
-                    format!("{id} generated block #{}", self.nodes[idx].chain_len() - 1),
-                );
-            }
-
-            // Flooders push extra (bogus) digests, which neighbors detect.
-            if let Behavior::Flooder { rate_multiplier } = self.nodes[idx].behavior() {
-                for _ in 1..rate_multiplier {
-                    let mut bytes = [0u8; 32];
-                    for chunk in bytes.chunks_mut(8) {
-                        chunk.copy_from_slice(&self.rng.next_u64().to_be_bytes());
-                    }
-                    outgoing.push((id, Digest::from_bytes(bytes)));
-                }
-            }
-        }
-
-        // --- Phase 2: digest delivery (DAG construction traffic). ---
-        for (from, digest) in outgoing {
-            self.broadcast_digest(from, digest);
-        }
-
-        // --- Verification workload: each honest generator runs one PoP. ---
-        let mut pop_attempts = 0;
-        let mut pop_successes = 0;
-        for &validator in &generated.clone() {
-            if self.nodes[validator.index()].behavior().is_malicious() {
-                continue;
-            }
-            let Some(target) = self.choose_target(validator) else {
-                continue;
-            };
-            pop_attempts += 1;
-            let report = self.run_pop(validator, target, true);
-            if report.is_success() {
-                pop_successes += 1;
-            }
-            if self.trace.is_enabled() {
-                self.trace.record(
-                    slot,
-                    TraceKind::Pop,
                     format!(
-                        "{validator} verified {target}: {:?} ({} distinct, {} msgs)",
-                        report.outcome.as_ref().map(|_| "ok"),
-                        report.distinct_nodes,
-                        report.metrics.total_messages()
+                        "{id} generated block #{}",
+                        self.nodes[id.index()].chain_len() - 1
                     ),
                 );
+            }
+        }
+
+        // --- Phase 2: deterministic cross-shard exchange. Digests are routed
+        // into per-receiver inboxes in sender-id order and the DAG
+        // construction traffic is accounted (cheap, serial).
+        let mut inboxes: Vec<Vec<(NodeId, Digest)>> = vec![Vec::new(); n];
+        for &(from, digest) in &outgoing {
+            for &nb in self.topology.neighbors(from) {
+                self.accounting.record(
+                    from,
+                    nb,
+                    TrafficClass::DagConstruction,
+                    self.cfg.digest_message_bits(),
+                );
+                inboxes[nb.index()].push((from, digest));
+            }
+        }
+
+        // --- Phase 3: gossip — each shard drains its nodes' inboxes.
+        {
+            let inboxes = &inboxes;
+            run_sharded(&mut self.nodes, &ranges, |range, chunk| {
+                for (offset, node) in chunk.iter_mut().enumerate() {
+                    for &(from, digest) in &inboxes[range.start + offset] {
+                        node.receive_digest(from, digest);
+                    }
+                }
+            });
+        }
+
+        // --- Phase 4: verification workload — each honest generator runs one
+        // PoP. Validators read peer chains through shared references and
+        // mutate only their own trust cache/blacklist (taken out of the node
+        // array for the phase); traffic lands in per-shard accounting deltas.
+        let validators: Vec<NodeId> = generated
+            .iter()
+            .copied()
+            .filter(|v| !self.nodes[v.index()].behavior().is_malicious())
+            .collect();
+        let mut pop_attempts = 0usize;
+        let mut pop_successes = 0usize;
+        if !validators.is_empty() {
+            let mut states: Vec<(TrustCache, Blacklist)> = validators
+                .iter()
+                .map(|v| {
+                    let node = &mut self.nodes[v.index()];
+                    (node.take_trust_cache(), node.take_blacklist(&self.cfg))
+                })
+                .collect();
+
+            struct ShardPop {
+                attempts: usize,
+                successes: usize,
+                accounting: Accounting,
+                traced: Vec<(NodeId, BlockId, PopReport)>,
+            }
+            let v_ranges = self.sharding.chunk_ranges(validators.len());
+            let pop_results: Vec<ShardPop> = {
+                let cfg = &self.cfg;
+                let topology = &self.topology;
+                let nodes = &self.nodes;
+                let departed = &self.departed;
+                let routes = self.routes.as_deref();
+                let links = &self.links;
+                let verification = self.verification;
+                let validators = &validators;
+                let trace_enabled = self.trace.is_enabled();
+                run_sharded(&mut states, &v_ranges, move |range, chunk| {
+                    let mut out = ShardPop {
+                        attempts: 0,
+                        successes: 0,
+                        accounting: Accounting::new(n),
+                        traced: Vec::new(),
+                    };
+                    for (offset, (trust_cache, blacklist)) in chunk.iter_mut().enumerate() {
+                        let validator = validators[range.start + offset];
+                        let mut target_rng = derived_rng(seed, stream::TARGET, slot, validator);
+                        let Some(target) = choose_target_from(
+                            nodes,
+                            departed,
+                            verification,
+                            slot,
+                            validator,
+                            &mut target_rng,
+                        ) else {
+                            continue;
+                        };
+                        out.attempts += 1;
+                        let mut pop_rng = derived_rng(seed, stream::POP, slot, validator);
+                        let mut links = links
+                            .fork(slot.wrapping_mul(stream::LINKS << 32) ^ u64::from(validator.0));
+                        let report = execute_pop(
+                            cfg,
+                            topology,
+                            nodes,
+                            routes,
+                            &mut out.accounting,
+                            &mut links,
+                            validator,
+                            target,
+                            true,
+                            trust_cache,
+                            blacklist,
+                            &mut pop_rng,
+                        );
+                        if report.is_success() {
+                            out.successes += 1;
+                        }
+                        if trace_enabled {
+                            out.traced.push((validator, target, report));
+                        }
+                    }
+                    out
+                })
+            };
+
+            for (&validator, (trust_cache, blacklist)) in validators.iter().zip(states) {
+                let node = &mut self.nodes[validator.index()];
+                node.restore_trust_cache(trust_cache);
+                node.restore_blacklist(blacklist);
+            }
+            // Shard deltas merge in shard order; the counters are sums, so
+            // the totals are order-independent anyway.
+            for shard in pop_results {
+                pop_attempts += shard.attempts;
+                pop_successes += shard.successes;
+                self.accounting.merge(&shard.accounting);
+                for (validator, target, report) in shard.traced {
+                    self.trace.record(
+                        slot,
+                        TraceKind::Pop,
+                        format!(
+                            "{validator} verified {target}: {:?} ({} distinct, {} msgs)",
+                            report.outcome.as_ref().map(|_| "ok"),
+                            report.distinct_nodes,
+                            report.metrics.total_messages()
+                        ),
+                    );
+                }
             }
         }
         self.pop_attempts += pop_attempts as u64;
         self.pop_successes += pop_successes as u64;
 
-        // Slot boundary = commit point: durable backends flush their tail so
-        // a crash loses at most the current slot's blocks. A no-op for the
-        // in-memory store.
-        for node in &mut self.nodes {
-            node.store_mut().sync()?;
+        // --- Phase 5: commit point. Under `PerSlot`/`Grouped(n)` durable
+        // backends flush their tail so a crash loses at most the uncommitted
+        // slots; group-commit backends collapse a whole shard into one fsync.
+        // A no-op for the in-memory store.
+        if self.sync_policy.syncs_at_slot_end(slot) {
+            let sync_results: Vec<Result<(), TldagError>> =
+                run_sharded(&mut self.nodes, &ranges, |_, chunk| {
+                    for node in chunk.iter_mut() {
+                        node.store_mut().sync()?;
+                    }
+                    Ok(())
+                });
+            for result in sync_results {
+                result?;
+            }
         }
 
         self.slot += 1;
@@ -487,6 +771,23 @@ impl TldagNetwork {
             pop_attempts,
             pop_successes,
         })
+    }
+
+    /// Flushes every node's backend to stable storage, regardless of the
+    /// sync policy. The clean-shutdown counterpart of a database `close()`:
+    /// under [`SyncPolicy::Grouped`] the slots since the last group boundary
+    /// are only staged in memory, and dropping the network would lose them
+    /// — call this when a run ends and its chains must survive. A no-op
+    /// per shard when nothing is staged (and always for volatile backends).
+    ///
+    /// # Errors
+    ///
+    /// The first storage error, in node order.
+    pub fn sync_storage(&mut self) -> Result<(), TldagError> {
+        for node in &mut self.nodes {
+            node.store_mut().sync()?;
+        }
+        Ok(())
     }
 
     /// Runs `n` slots, returning the last summary.
@@ -508,43 +809,19 @@ impl TldagNetwork {
         Ok(last)
     }
 
-    fn broadcast_digest(&mut self, from: NodeId, digest: Digest) {
-        let neighbors: Vec<NodeId> = self.topology.neighbors(from).to_vec();
-        for nb in neighbors {
-            self.accounting.record(
-                from,
-                nb,
-                TrafficClass::DagConstruction,
-                self.cfg.digest_message_bits(),
-            );
-            self.nodes[nb.index()].receive_digest(from, digest);
-        }
-    }
-
     /// Chooses a verification target for `validator` under the current
     /// workload policy: a uniformly random qualifying block owned by another
-    /// node.
+    /// node. Draws from the network's sequential stream; the slot loop uses
+    /// per-validator derived streams instead.
     pub fn choose_target(&mut self, validator: NodeId) -> Option<BlockId> {
-        if matches!(self.verification, VerificationWorkload::Disabled) {
-            // Skip the candidate scan entirely — with a disk backend it
-            // would decode every record of every chain just to discard it.
-            return None;
-        }
-        let now = self.slot;
-        let mut candidates: Vec<BlockId> = Vec::new();
-        for node in &self.nodes {
-            if node.id() == validator || self.departed[node.id().index()] {
-                continue;
-            }
-            // Metadata-only scan: never decodes bodies, so disk-backed
-            // stores answer from their index.
-            for (id, time) in node.store().iter_meta() {
-                if self.verification.qualifies(time, now) {
-                    candidates.push(id);
-                }
-            }
-        }
-        self.rng.choose(&candidates).copied()
+        choose_target_from(
+            &self.nodes,
+            &self.departed,
+            self.verification,
+            self.slot,
+            validator,
+            &mut self.rng,
+        )
     }
 
     /// A node joins the network at `position` with radio range `range_m`
@@ -686,26 +963,20 @@ restarting would fork its chain"
         };
         let mut pop_rng = DetRng::seed_from(self.rng.next_u64());
 
-        let report = {
-            let mut transport = SimTransport {
-                cfg: &self.cfg,
-                nodes: &self.nodes,
-                accounting: &mut self.accounting,
-                routes: self.routes.as_deref(),
-                links: &mut self.links,
-                meter: commit,
-            };
-            let mut v = Validator::new(
-                &self.cfg,
-                &self.topology,
-                validator,
-                self.nodes[vid].store(),
-                &mut trust_cache,
-                &mut blacklist,
-                &mut pop_rng,
-            );
-            v.run(target, &mut transport)
-        };
+        let report = execute_pop(
+            &self.cfg,
+            &self.topology,
+            &self.nodes,
+            self.routes.as_deref(),
+            &mut self.accounting,
+            &mut self.links,
+            validator,
+            target,
+            commit,
+            &mut trust_cache,
+            &mut blacklist,
+            &mut pop_rng,
+        );
 
         if commit {
             self.nodes[vid].restore_trust_cache(trust_cache);
@@ -713,6 +984,99 @@ restarting would fork its chain"
         }
         report
     }
+
+    /// A digest committing to node `id`'s whole chain: the hash of all
+    /// header digests in sequence order. Two runs that produce the same
+    /// chain digest for every node produced byte-identical chains — the
+    /// check behind the thread-count determinism guarantee.
+    pub fn chain_digest(&self, id: NodeId) -> Digest {
+        let mut bytes = Vec::new();
+        for block in self.nodes[id.index()].store().iter() {
+            bytes.extend_from_slice(block.header_digest().as_bytes());
+        }
+        sha256(&bytes)
+    }
+
+    /// A digest committing to every node's chain (in node order).
+    pub fn network_digest(&self) -> Digest {
+        let mut bytes = Vec::with_capacity(self.nodes.len() * 32);
+        for id in self.topology.node_ids() {
+            bytes.extend_from_slice(self.chain_digest(id).as_bytes());
+        }
+        sha256(&bytes)
+    }
+}
+
+/// Chooses a verification target for `validator`: a uniformly random
+/// qualifying block owned by another live node. Free-standing so the
+/// shard-parallel verify phase can run it with per-validator streams while
+/// the public [`TldagNetwork::choose_target`] keeps its sequential contract.
+fn choose_target_from(
+    nodes: &[LedgerNode],
+    departed: &[bool],
+    verification: VerificationWorkload,
+    now: Slot,
+    validator: NodeId,
+    rng: &mut DetRng,
+) -> Option<BlockId> {
+    if matches!(verification, VerificationWorkload::Disabled) {
+        // Skip the candidate scan entirely — with a disk backend it would
+        // decode every record of every chain just to discard it.
+        return None;
+    }
+    let mut candidates: Vec<BlockId> = Vec::new();
+    for node in nodes {
+        if node.id() == validator || departed[node.id().index()] {
+            continue;
+        }
+        // Metadata-only scan: never decodes bodies, so disk-backed stores
+        // answer from their index.
+        for (id, time) in node.store().iter_meta() {
+            if verification.qualifies(time, now) {
+                candidates.push(id);
+            }
+        }
+    }
+    rng.choose(&candidates).copied()
+}
+
+/// Runs one PoP verification with every dependency passed explicitly, so
+/// both the sequential API and the shard-parallel verify phase share one
+/// implementation. The validator's own state arrives via `trust_cache` /
+/// `blacklist`; `nodes` is only ever read.
+#[allow(clippy::too_many_arguments)]
+fn execute_pop(
+    cfg: &ProtocolConfig,
+    topology: &Topology,
+    nodes: &[LedgerNode],
+    routes: Option<&[Vec<Option<NodeId>>]>,
+    accounting: &mut Accounting,
+    links: &mut LinkFaults,
+    validator: NodeId,
+    target: BlockId,
+    meter: bool,
+    trust_cache: &mut TrustCache,
+    blacklist: &mut Blacklist,
+    pop_rng: &mut DetRng,
+) -> PopReport {
+    let mut transport = SimTransport {
+        cfg,
+        nodes,
+        accounting,
+        routes,
+        links,
+        meter,
+    };
+    let mut v = Validator::new(
+        cfg,
+        topology,
+        validator,
+        nodes[validator.index()].store(),
+        trust_cache,
+        blacklist,
+        pop_rng,
+    );
+    v.run(target, &mut transport)
 }
 
 #[cfg(test)]

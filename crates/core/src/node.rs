@@ -11,6 +11,13 @@
 //! Block generation (Sec. III-D): collect `Δ_i = A_i ∪ {H(b^h_{i,t-1})}`,
 //! compute the Merkle root of the sampled data, mine the difficulty nonce,
 //! sign, append to `S_i`, and hand the new digest to every neighbor.
+//!
+//! Concurrency: a `LedgerNode` is `Send + Sync` (its storage backend is
+//! required to be). The sharded slot engine mutates a node only from the
+//! worker thread that owns its shard; the read-only responder surface
+//! ([`LedgerNode::serve_block`], [`LedgerNode::serve_child_request`],
+//! [`LedgerNode::store`]) is safely shared across validator threads during
+//! the PoP phase.
 
 use crate::attack::Behavior;
 use crate::blacklist::Blacklist;

@@ -9,6 +9,11 @@
 //! either the in-memory [`BlockStore`] (fast, volatile — the original seed
 //! behaviour) or a durable engine such as `tldag-storage`'s segmented block
 //! log, which survives process restarts and keeps resident memory bounded.
+//!
+//! [`SyncPolicy`] decides **when** appended blocks are forced to stable
+//! storage: per append, per slot (the default commit point), or every `n`
+//! slots. The policy is enforced by the slot engine
+//! (`tldag_core::network::TldagNetwork`), not by the backends themselves.
 
 use crate::block::{BlockHeader, BlockId, DataBlock};
 use crate::config::ProtocolConfig;
@@ -18,6 +23,82 @@ use std::fmt;
 use tldag_crypto::Digest;
 use tldag_sim::{Bits, NodeId};
 
+/// When appended blocks are forced onto stable storage.
+///
+/// The slot engine drives the cadence: `PerAppend` syncs inside the
+/// generation phase right after each append, the other two sync at slot
+/// boundaries. Durable backends translate a sync into an `fsync`; the
+/// group-commit shard log in `tldag-storage` additionally collapses the
+/// slot-boundary syncs of all nodes sharing a shard into **one** `fsync`
+/// per shard per slot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Every append is made durable immediately (one fsync per block).
+    /// Maximum durability, minimum throughput.
+    PerAppend,
+    /// Sync once per slot at the slot boundary (the seed behaviour): a crash
+    /// loses at most the current slot's blocks.
+    #[default]
+    PerSlot,
+    /// Sync every `n` slots: a crash loses at most `n` slots of blocks.
+    /// `Grouped(1)` is equivalent to [`SyncPolicy::PerSlot`]. Slots after
+    /// the last group boundary are only staged — a clean shutdown must
+    /// flush them explicitly (`TldagNetwork::sync_storage`), or they are
+    /// lost exactly as in a crash.
+    Grouped(u32),
+}
+
+impl SyncPolicy {
+    /// Whether the engine should sync backends at the **end** of `slot`.
+    pub fn syncs_at_slot_end(self, slot: u64) -> bool {
+        match self {
+            SyncPolicy::PerAppend => false, // already durable per append
+            SyncPolicy::PerSlot => true,
+            SyncPolicy::Grouped(n) => {
+                let n = u64::from(n.max(1));
+                slot % n == n - 1
+            }
+        }
+    }
+
+    /// Whether the engine should sync right after each append.
+    pub fn syncs_per_append(self) -> bool {
+        matches!(self, SyncPolicy::PerAppend)
+    }
+}
+
+impl fmt::Display for SyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncPolicy::PerAppend => write!(f, "per-append"),
+            SyncPolicy::PerSlot => write!(f, "per-slot"),
+            SyncPolicy::Grouped(n) => write!(f, "grouped:{n}"),
+        }
+    }
+}
+
+impl std::str::FromStr for SyncPolicy {
+    type Err = String;
+
+    /// Parses `per-append`, `per-slot`, or `grouped:N` (N ≥ 1).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "per-append" => Ok(SyncPolicy::PerAppend),
+            "per-slot" => Ok(SyncPolicy::PerSlot),
+            other => {
+                let n = other
+                    .strip_prefix("grouped:")
+                    .and_then(|raw| raw.parse::<u32>().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| {
+                        format!("invalid sync policy `{other}` (per-append|per-slot|grouped:N)")
+                    })?;
+                Ok(SyncPolicy::Grouped(n))
+            }
+        }
+    }
+}
+
 /// Storage abstraction over a node's own chain `S_i`.
 ///
 /// Implementations must preserve the append-only, strictly sequential chain
@@ -25,7 +106,58 @@ use tldag_sim::{Bits, NodeId};
 /// Methods return **owned** blocks because durable backends decode records
 /// from disk; the in-memory backend clones, which is cheap — block bodies are
 /// reference-counted.
-pub trait BlockBackend: fmt::Debug {
+///
+/// Backends must be `Send + Sync`: the shard-parallel engine reads peer
+/// stores from several worker threads at once (PoP responder lookups), so
+/// interior caches need thread-safe interior mutability.
+///
+/// # Example
+///
+/// The in-memory [`BlockStore`] is the reference implementation:
+///
+/// ```
+/// use tldag_core::config::ProtocolConfig;
+/// use tldag_core::store::{BlockBackend, BlockStore};
+/// use tldag_core::{BlockBody, BlockId, DataBlock};
+/// use tldag_crypto::schnorr::KeyPair;
+/// use tldag_sim::NodeId;
+///
+/// let cfg = ProtocolConfig::test_default();
+/// let keypair = KeyPair::from_seed(7);
+/// let mut store = BlockStore::new();
+///
+/// // Appends must follow the chain: seq 0, then 1, then 2, …
+/// let genesis = DataBlock::create(
+///     &cfg,
+///     BlockId::new(NodeId(7), 0),
+///     0,
+///     vec![],
+///     BlockBody::new(vec![1, 2, 3], cfg.body_bits),
+///     &keypair,
+/// );
+/// let digest = genesis.header_digest();
+/// store.append(genesis.clone()).unwrap();
+///
+/// assert_eq!(store.len(), 1);
+/// assert_eq!(store.latest(), Some(genesis.clone()));
+/// assert_eq!(store.by_header_digest(&digest), Some(genesis));
+///
+/// // Skipping a sequence number is refused.
+/// let wrong = DataBlock::create(
+///     &cfg,
+///     BlockId::new(NodeId(7), 5),
+///     1,
+///     vec![],
+///     BlockBody::new(vec![], cfg.body_bits),
+///     &keypair,
+/// );
+/// assert!(store.append(wrong).is_err());
+///
+/// // Volatile backends treat sync as a no-op but still report durability.
+/// store.sync().unwrap();
+/// assert_eq!(store.durable_len(), 1);
+/// ```
+pub trait BlockBackend: fmt::Debug + Send + Sync {
     /// Appends the next block of the chain.
     ///
     /// # Errors
@@ -100,6 +232,16 @@ pub trait BlockBackend: fmt::Debug {
     /// was ever promised); durable engines report the synced watermark.
     fn durable_len(&self) -> usize {
         self.len()
+    }
+
+    /// Number of physical `fsync` calls this backend has issued so far.
+    ///
+    /// Volatile backends report 0. Group-committed backends sharing one log
+    /// report the **shared** log's count, so summing over the members of one
+    /// shard overcounts; sum one backend per shard instead (the experiment
+    /// harness reads counts from the factory, which does exactly that).
+    fn fsync_count(&self) -> u64 {
+        0
     }
 }
 
@@ -502,6 +644,38 @@ mod tests {
         }
         assert_eq!(cache.len(), 2, "duplicate insert ignored");
         assert_eq!(cache.child_of(&target).unwrap().owner, NodeId(3));
+    }
+
+    #[test]
+    fn sync_policy_slot_cadence() {
+        for slot in 0..8 {
+            assert!(!SyncPolicy::PerAppend.syncs_at_slot_end(slot));
+            assert!(SyncPolicy::PerSlot.syncs_at_slot_end(slot));
+            assert!(SyncPolicy::Grouped(1).syncs_at_slot_end(slot));
+            assert_eq!(
+                SyncPolicy::Grouped(3).syncs_at_slot_end(slot),
+                slot % 3 == 2
+            );
+        }
+        assert!(SyncPolicy::PerAppend.syncs_per_append());
+        assert!(!SyncPolicy::PerSlot.syncs_per_append());
+        // Grouped(0) is clamped to Grouped(1) rather than dividing by zero.
+        assert!(SyncPolicy::Grouped(0).syncs_at_slot_end(0));
+    }
+
+    #[test]
+    fn sync_policy_parse_round_trip() {
+        for policy in [
+            SyncPolicy::PerAppend,
+            SyncPolicy::PerSlot,
+            SyncPolicy::Grouped(4),
+        ] {
+            let parsed: SyncPolicy = policy.to_string().parse().unwrap();
+            assert_eq!(parsed, policy);
+        }
+        assert!("grouped:0".parse::<SyncPolicy>().is_err());
+        assert!("grouped:x".parse::<SyncPolicy>().is_err());
+        assert!("sometimes".parse::<SyncPolicy>().is_err());
     }
 
     #[test]

@@ -11,6 +11,100 @@ use crate::topology::NodeId;
 /// A discrete time slot (0-based).
 pub type Slot = u64;
 
+/// Shard-parallel execution policy for a slotted simulation loop.
+///
+/// The engine partitions nodes into `threads` contiguous shards and runs
+/// each slot phase shard-parallel, with a deterministic cross-shard message
+/// exchange between phases. Results are **identical for every thread count**
+/// given the same seed: all per-node randomness is derived from
+/// `(seed, slot, node)` rather than drawn from one shared stream, and
+/// per-shard results are merged in shard (= node id) order.
+///
+/// # Example
+///
+/// ```
+/// use tldag_sim::engine::Sharding;
+///
+/// let sharding = Sharding::threads(4);
+/// let ranges = sharding.chunk_ranges(10);
+/// assert_eq!(ranges, vec![0..3, 3..6, 6..8, 8..10]);
+/// // Chunks cover every node exactly once, in order.
+/// assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 10);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sharding {
+    /// Number of worker threads (= shards). `1` runs the loop inline.
+    pub threads: usize,
+}
+
+impl Default for Sharding {
+    fn default() -> Self {
+        Sharding::single()
+    }
+}
+
+impl Sharding {
+    /// Single-threaded execution (the seed behaviour).
+    pub fn single() -> Self {
+        Sharding { threads: 1 }
+    }
+
+    /// Shard the loop across `threads` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(threads: usize) -> Self {
+        assert!(threads > 0, "sharding needs at least one thread");
+        Sharding { threads }
+    }
+
+    /// The shard (chunk index) that `index` falls into when `0..n` is split
+    /// by [`Sharding::chunk_ranges`], in O(1). Indices at or beyond `n`
+    /// (e.g. nodes that joined after sizing) land in the last shard.
+    /// Storage factories use this to give each worker thread its own shard
+    /// log — appends then never cross a shard boundary, so the log mutexes
+    /// stay uncontended.
+    pub fn shard_of(&self, n: usize, index: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let shards = self.threads.min(n).max(1);
+        let base = n / shards;
+        let extra = n % shards;
+        // The first `extra` chunks hold `base + 1` items.
+        let boundary = extra * (base + 1);
+        if index >= n {
+            shards - 1
+        } else if index < boundary {
+            index / (base + 1)
+        } else {
+            extra + (index - boundary) / base
+        }
+    }
+
+    /// Splits `0..n` into at most `threads` contiguous, near-equal, non-empty
+    /// ranges (fewer when `n < threads`). Concatenating the ranges in order
+    /// visits every index exactly once in ascending order, which is what
+    /// keeps shard-merge order equal to node-id order.
+    pub fn chunk_ranges(&self, n: usize) -> Vec<std::ops::Range<usize>> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let shards = self.threads.min(n).max(1);
+        let base = n / shards;
+        let extra = n % shards;
+        let mut ranges = Vec::with_capacity(shards);
+        let mut start = 0;
+        for s in 0..shards {
+            let len = base + usize::from(s < extra);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        ranges
+    }
+}
+
 /// Simple slot counter with a horizon.
 ///
 /// # Example
@@ -231,5 +325,52 @@ mod tests {
     #[should_panic(expected = "periods must be positive")]
     fn zero_period_rejected() {
         GenerationSchedule::from_periods(vec![0]);
+    }
+
+    #[test]
+    fn chunk_ranges_partition_in_order() {
+        for n in [0usize, 1, 5, 16, 17, 1000] {
+            for threads in [1usize, 2, 3, 4, 7, 32] {
+                let ranges = Sharding::threads(threads).chunk_ranges(n);
+                assert!(ranges.len() <= threads);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(!r.is_empty(), "no empty shard for n={n} t={threads}");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "covers all of 0..{n}");
+                if n > 0 {
+                    let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                    let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                    assert!(max - min <= 1, "near-equal chunks: {sizes:?}");
+                }
+            }
+        }
+        assert!(Sharding::threads(4).chunk_ranges(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        Sharding::threads(0);
+    }
+
+    #[test]
+    fn shard_of_matches_chunk_ranges() {
+        for n in [1usize, 5, 16, 17, 100] {
+            for threads in [1usize, 2, 3, 4, 7] {
+                let sharding = Sharding::threads(threads);
+                let ranges = sharding.chunk_ranges(n);
+                for (shard, r) in ranges.iter().enumerate() {
+                    for i in r.clone() {
+                        assert_eq!(sharding.shard_of(n, i), shard, "n={n} t={threads} i={i}");
+                    }
+                }
+                // Late joiners land in the last shard.
+                assert_eq!(sharding.shard_of(n, n + 3), ranges.len() - 1);
+            }
+        }
+        assert_eq!(Sharding::threads(4).shard_of(0, 9), 0);
     }
 }

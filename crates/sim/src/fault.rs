@@ -284,6 +284,17 @@ impl LinkFaults {
     pub fn drops(&mut self) -> bool {
         self.drop_probability > 0.0 && self.rng.chance(self.drop_probability)
     }
+
+    /// Derives an independent fault stream labelled by `stream`, keeping the
+    /// drop probability. The shard-parallel engine forks one stream per
+    /// (slot, validator) so loss decisions do not depend on the order PoP
+    /// runs execute in — and therefore not on the thread count.
+    pub fn fork(&self, stream: u64) -> LinkFaults {
+        LinkFaults {
+            drop_probability: self.drop_probability,
+            rng: self.rng.fork(stream),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -427,6 +438,21 @@ mod tests {
     fn perfect_links_never_drop() {
         let mut links = LinkFaults::perfect();
         assert!((0..100).all(|_| !links.drops()));
+    }
+
+    #[test]
+    fn forked_links_are_stable_and_keep_rate() {
+        let links = LinkFaults::lossy(0.3, DetRng::seed_from(11));
+        let mut a = links.fork(7);
+        let mut b = links.fork(7);
+        let mut c = links.fork(8);
+        let seq_a: Vec<bool> = (0..200).map(|_| a.drops()).collect();
+        let seq_b: Vec<bool> = (0..200).map(|_| b.drops()).collect();
+        let seq_c: Vec<bool> = (0..200).map(|_| c.drops()).collect();
+        assert_eq!(seq_a, seq_b, "same label, same stream");
+        assert_ne!(seq_a, seq_c, "labels are independent");
+        let drops = seq_a.iter().filter(|&&d| d).count();
+        assert!((20..100).contains(&drops), "rate preserved: {drops}");
     }
 
     #[test]

@@ -41,11 +41,11 @@
 
 use crate::index::{BlockIndex, RecordLocation};
 use crate::record::{self, RecordRead};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fs::{self, File, OpenOptions};
 use std::os::unix::fs::FileExt;
 use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 use tldag_core::config::ProtocolConfig;
 use tldag_core::error::TldagError;
 use tldag_core::store::{BackendFactory, BlockBackend};
@@ -173,7 +173,9 @@ pub struct DurableStore {
     /// Blocks guaranteed on stable storage (advanced by [`Self::sync`]).
     durable_seq: u32,
     appends_since_snapshot: u32,
-    cache: RefCell<BlockCache>,
+    cache: Mutex<BlockCache>,
+    /// Physical fsync calls issued so far (`sync_data` on any file).
+    fsyncs: u64,
 }
 
 impl DurableStore {
@@ -248,7 +250,8 @@ impl DurableStore {
         let durable_seq = index.next_seq();
 
         Ok(DurableStore {
-            cache: RefCell::new(BlockCache::new(opts.cache_blocks)),
+            cache: Mutex::new(BlockCache::new(opts.cache_blocks)),
+            fsyncs: 0,
             dir,
             opts,
             index,
@@ -377,6 +380,7 @@ impl DurableStore {
         self.readers[&self.tail_id]
             .sync_data()
             .map_err(|e| TldagError::io("sync sealed segment", &e))?;
+        self.fsyncs += 1;
         let next = self.tail_id + 1;
         let file = OpenOptions::new()
             .read(true)
@@ -442,7 +446,10 @@ impl DurableStore {
                 break;
             }
             pruned_total += self.index.prune_below(next_seq_after);
-            self.cache.borrow_mut().evict_below(next_seq_after);
+            self.cache
+                .lock()
+                .expect("cache lock")
+                .evict_below(next_seq_after);
             self.readers.remove(&oldest);
             removed.push(oldest);
         }
@@ -466,6 +473,7 @@ impl DurableStore {
         self.readers[&self.tail_id]
             .sync_data()
             .map_err(|e| TldagError::io("sync before snapshot", &e))?;
+        self.fsyncs += 1;
         let blob = self.index.encode_snapshot(self.tail_id, self.tail_flushed);
         let tmp = self.dir.join("index.snap.tmp");
         fs::write(&tmp, &blob).map_err(|e| TldagError::io("write snapshot", &e))?;
@@ -506,7 +514,7 @@ impl DurableStore {
 
     fn get_inner(&self, seq: u32) -> Option<DataBlock> {
         let entry = self.index.entry(seq)?;
-        if let Some(block) = self.cache.borrow().get(seq) {
+        if let Some(block) = self.cache.lock().expect("cache lock").get(seq) {
             return Some(block);
         }
         // Index and log are maintained together; a read failure here is
@@ -514,7 +522,10 @@ impl DurableStore {
         let block = self
             .read_location(entry.location)
             .expect("indexed record must decode");
-        self.cache.borrow_mut().insert(seq, block.clone());
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(seq, block.clone());
         Some(block)
     }
 }
@@ -540,7 +551,10 @@ impl BlockBackend for DurableStore {
         };
         self.buffer.extend_from_slice(&rec);
         self.index.push(&block, location);
-        self.cache.borrow_mut().insert(block.id.seq, block);
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(block.id.seq, block);
         self.appends_since_snapshot += 1;
         if self.buffer.len() >= self.opts.flush_buffer_bytes {
             self.flush_buffer()?;
@@ -596,7 +610,9 @@ impl BlockBackend for DurableStore {
     }
 
     fn resident_bytes(&self) -> usize {
-        self.index.resident_bytes() + self.buffer.len() + self.cache.borrow().resident_bytes()
+        self.index.resident_bytes()
+            + self.buffer.len()
+            + self.cache.lock().expect("cache lock").resident_bytes()
     }
 
     fn sync(&mut self) -> Result<(), TldagError> {
@@ -604,6 +620,7 @@ impl BlockBackend for DurableStore {
         self.readers[&self.tail_id]
             .sync_data()
             .map_err(|e| TldagError::io("fsync tail", &e))?;
+        self.fsyncs += 1;
         self.durable_seq = self.index.next_seq();
         if self.appends_since_snapshot >= self.opts.snapshot_every {
             self.write_snapshot()?;
@@ -613,6 +630,10 @@ impl BlockBackend for DurableStore {
 
     fn durable_len(&self) -> usize {
         self.durable_seq as usize
+    }
+
+    fn fsync_count(&self) -> u64 {
+        self.fsyncs
     }
 }
 

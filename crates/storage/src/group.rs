@@ -1,0 +1,771 @@
+//! Group-commit storage: one multiplexed block log per **shard** of nodes.
+//!
+//! The per-node [`DurableStore`](crate::engine::DurableStore) issues one
+//! `fsync` per node per sync point; at the 10⁴–10⁵-node scale the ROADMAP
+//! targets, that makes the sync syscall — not the protocol — the slot-loop
+//! bottleneck in disk mode. This module batches durability the way real
+//! databases do (group commit): all nodes of a shard append CRC-framed
+//! records into **one** shared log file, staged writes accumulate per shard,
+//! and a slot-boundary sync costs **one** `fsync` per shard per slot no
+//! matter how many nodes the shard holds.
+//!
+//! ## Layout
+//!
+//! ```text
+//! root/
+//!   shard-0000.log     records of the first contiguous band of node ids
+//!   shard-0001.log     …  (bands follow Sharding::chunk_ranges, so each
+//!                          engine worker thread owns one log)
+//! ```
+//!
+//! Records reuse the [`crate::record`] frame; no extra framing is needed
+//! because the canonical block encoding already carries the owner id
+//! ([`DataBlock::id`]), which is what demultiplexes the log back into
+//! per-node chains on recovery.
+//!
+//! ## Durability contract
+//!
+//! [`ShardLog::sync`] is idempotent per batch: the first member handle that
+//! syncs after an append flushes the shared buffer and `fsync`s the file;
+//! subsequent syncs in the same slot see a clean log and do nothing. A crash
+//! (dropping the log without sync) loses at most the records staged since
+//! the last sync — for [`SyncPolicy::PerSlot`](tldag_core::store::SyncPolicy)
+//! that is at most the current slot, and **never** a block whose sync point
+//! already returned.
+//!
+//! Unlike the per-node engine, one crash takes down a whole shard *process*:
+//! `TldagNetwork::crash_node` only drops the node's handle, so its staged
+//! records survive in the shard log held by its neighbours' handles, exactly
+//! like a thread dying inside a surviving storage process. Dropping every
+//! handle (and the factory) models the whole process dying.
+
+use crate::index::{BlockIndex, RecordLocation};
+use crate::record::{self, RecordRead};
+use std::collections::BTreeMap;
+use std::fs::{self, File, OpenOptions};
+use std::os::unix::fs::FileExt;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use tldag_core::config::ProtocolConfig;
+use tldag_core::error::TldagError;
+use tldag_core::store::{BackendFactory, BlockBackend};
+use tldag_core::{BlockId, DataBlock};
+use tldag_crypto::Digest;
+use tldag_sim::engine::Sharding;
+use tldag_sim::{Bits, NodeId};
+
+/// Default staging-buffer size that triggers a (non-fsync) write to the file.
+pub const DEFAULT_FLUSH_BUFFER_BYTES: usize = 256 * 1024;
+
+/// A multiplexed, group-committed block log shared by every node of a shard.
+///
+/// Appends from any member node are staged into one buffer and indexed
+/// per-node; [`ShardLog::sync`] makes the whole batch durable with a single
+/// `fsync`. Reads are index-driven and served from the file (or the staging
+/// buffer for records not yet written out).
+#[derive(Debug)]
+pub struct ShardLog {
+    path: PathBuf,
+    file: File,
+    /// Bytes already written to the file.
+    flushed: u64,
+    /// Records appended but not yet written to the file.
+    buffer: Vec<u8>,
+    /// Whether any record since the last fsync is not yet durable. This flag
+    /// is what collapses N member syncs into one fsync per batch.
+    dirty: bool,
+    flush_buffer_bytes: usize,
+    /// Per-node chain indexes over the shared log (`segment` is always 0).
+    indexes: BTreeMap<u32, BlockIndex>,
+    /// Per-node durable chain length (next seq covered by the last fsync).
+    durable: BTreeMap<u32, u32>,
+    /// Physical fsync calls issued so far.
+    fsyncs: u64,
+}
+
+impl ShardLog {
+    /// Opens (or creates) the shard log at `path`, replaying existing
+    /// records into per-node indexes. An invalid frame marks the torn tail:
+    /// the file is truncated to the last valid record boundary (single-file
+    /// logs have no sealed/tail distinction — any invalid suffix is treated
+    /// as a crash artifact).
+    ///
+    /// # Errors
+    ///
+    /// [`TldagError::Storage`] on I/O failure, [`TldagError::Corrupt`] when
+    /// a checksummed record decodes to an out-of-order sequence number
+    /// (which no torn write can produce).
+    pub fn open(path: impl Into<PathBuf>, flush_buffer_bytes: usize) -> Result<Self, TldagError> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent).map_err(|e| TldagError::io("create shard log dir", &e))?;
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|e| TldagError::io("open shard log", &e))?;
+
+        let file_len = file
+            .metadata()
+            .map_err(|e| TldagError::io("stat shard log", &e))?
+            .len();
+
+        // Streaming replay: the log holds every member chain of the shard,
+        // so recovery must not materialise the whole file — read it in
+        // chunks, carrying the partial record at a chunk boundary over into
+        // the next window. Resident memory stays O(chunk + largest record).
+        const REPLAY_CHUNK: usize = 4 * 1024 * 1024;
+        let mut indexes: BTreeMap<u32, BlockIndex> = BTreeMap::new();
+        let mut window: Vec<u8> = Vec::new();
+        let mut window_start = 0u64; // file offset of window[0]
+        let mut parsed = 0usize; // bytes of the window already consumed
+        let mut read_to = 0u64; // file offset up to which we have read
+        let flushed = loop {
+            match record::read_record(&window[parsed..]) {
+                RecordRead::Complete { block, consumed } => {
+                    let owner = block.id.owner.0;
+                    let index = indexes.entry(owner).or_default();
+                    let expected = index.next_seq();
+                    if block.id.seq != expected {
+                        return Err(TldagError::Corrupt(format!(
+                            "shard log {}: node {owner} expected seq {expected}, found {}",
+                            path.display(),
+                            block.id.seq
+                        )));
+                    }
+                    index.push(
+                        &block,
+                        RecordLocation {
+                            segment: 0,
+                            offset: window_start + parsed as u64,
+                            len: consumed as u32,
+                        },
+                    );
+                    parsed += consumed;
+                }
+                RecordRead::Torn if read_to < file_len => {
+                    // The window ends mid-record but the file has more:
+                    // drop the parsed prefix and pull in the next chunk.
+                    window.drain(..parsed);
+                    window_start += parsed as u64;
+                    parsed = 0;
+                    let take = REPLAY_CHUNK.min((file_len - read_to) as usize);
+                    let old_len = window.len();
+                    window.resize(old_len + take, 0);
+                    file.read_exact_at(&mut window[old_len..], read_to)
+                        .map_err(|e| TldagError::io("read shard log", &e))?;
+                    read_to += take as u64;
+                }
+                RecordRead::Torn | RecordRead::Corrupt(_) => {
+                    // End of the valid prefix: clean end-of-log, or a crash
+                    // artifact (torn/garbled tail) that gets truncated away.
+                    let valid = window_start + parsed as u64;
+                    if valid < file_len {
+                        file.set_len(valid)
+                            .map_err(|e| TldagError::io("truncate torn shard tail", &e))?;
+                    }
+                    break valid;
+                }
+            }
+        };
+        // Everything replayed from the file was covered by a prior fsync (or
+        // is about to be overwritten) — report it as durable, like the
+        // per-node engine does after recovery.
+        let durable = indexes
+            .iter()
+            .map(|(&n, idx)| (n, idx.next_seq()))
+            .collect();
+
+        Ok(ShardLog {
+            path,
+            file,
+            flushed,
+            buffer: Vec::new(),
+            dirty: false,
+            flush_buffer_bytes: flush_buffer_bytes.max(1),
+            indexes,
+            durable,
+            fsyncs: 0,
+        })
+    }
+
+    /// The log's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Registers `node` as a member (so empty chains have an index and the
+    /// resident-memory attribution knows the member count).
+    pub fn register(&mut self, node: NodeId) {
+        self.indexes.entry(node.0).or_default();
+        self.durable.entry(node.0).or_insert(0);
+    }
+
+    /// Number of member nodes (registered or recovered).
+    pub fn members(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Physical fsync calls issued so far.
+    pub fn fsync_count(&self) -> u64 {
+        self.fsyncs
+    }
+
+    /// Chain length of `node`.
+    pub fn len_of(&self, node: NodeId) -> usize {
+        self.indexes
+            .get(&node.0)
+            .map_or(0, |idx| idx.next_seq() as usize)
+    }
+
+    /// Durable chain length of `node` (blocks covered by the last fsync).
+    pub fn durable_len_of(&self, node: NodeId) -> usize {
+        self.durable.get(&node.0).copied().unwrap_or(0) as usize
+    }
+
+    /// Appends the next block of its owner's chain.
+    ///
+    /// # Errors
+    ///
+    /// [`TldagError::OutOfOrderAppend`] when the block skips a sequence
+    /// number, [`TldagError::Storage`] when the medium fails.
+    pub fn append(&mut self, block: DataBlock) -> Result<(), TldagError> {
+        let index = self.indexes.entry(block.id.owner.0).or_default();
+        let expected = index.next_seq();
+        if block.id.seq != expected {
+            return Err(TldagError::OutOfOrderAppend {
+                expected,
+                got: block.id.seq,
+            });
+        }
+        let rec = record::encode_record(&block);
+        let location = RecordLocation {
+            segment: 0,
+            offset: self.flushed + self.buffer.len() as u64,
+            len: rec.len() as u32,
+        };
+        index.push(&block, location);
+        self.buffer.extend_from_slice(&rec);
+        self.dirty = true;
+        if self.buffer.len() >= self.flush_buffer_bytes {
+            self.flush_buffer()?;
+        }
+        Ok(())
+    }
+
+    /// Writes the staged records to the file (no fsync).
+    fn flush_buffer(&mut self) -> Result<(), TldagError> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        self.file
+            .write_all_at(&self.buffer, self.flushed)
+            .map_err(|e| TldagError::io("flush shard buffer", &e))?;
+        self.flushed += self.buffer.len() as u64;
+        self.buffer.clear();
+        Ok(())
+    }
+
+    /// Makes every staged append durable with (at most) one `fsync`.
+    ///
+    /// The first member to sync after an append pays the syscall; everyone
+    /// else in the same batch gets a no-op. This is the group-commit dedup
+    /// that turns N per-node slot syncs into one fsync per shard per slot.
+    ///
+    /// # Errors
+    ///
+    /// [`TldagError::Storage`] when the medium fails.
+    pub fn sync(&mut self) -> Result<(), TldagError> {
+        if !self.dirty {
+            return Ok(());
+        }
+        self.flush_buffer()?;
+        self.file
+            .sync_data()
+            .map_err(|e| TldagError::io("fsync shard log", &e))?;
+        self.fsyncs += 1;
+        self.dirty = false;
+        for (&node, index) in &self.indexes {
+            self.durable.insert(node, index.next_seq());
+        }
+        Ok(())
+    }
+
+    /// Reads the record at `location`, from the staging buffer when it has
+    /// not been written out yet.
+    fn read_location(&self, location: RecordLocation) -> Result<DataBlock, TldagError> {
+        let mut frame = vec![0u8; location.len as usize];
+        if location.offset >= self.flushed {
+            let start = (location.offset - self.flushed) as usize;
+            frame.copy_from_slice(&self.buffer[start..start + location.len as usize]);
+        } else {
+            self.file
+                .read_exact_at(&mut frame, location.offset)
+                .map_err(|e| TldagError::io("read shard record", &e))?;
+        }
+        record::decode_indexed(&frame)
+    }
+
+    fn get_of(&self, node: NodeId, seq: u32) -> Option<DataBlock> {
+        let entry = self.indexes.get(&node.0)?.entry(seq)?;
+        // Index and log are maintained together; a decode failure here is
+        // real corruption, which the simulator treats as fatal.
+        Some(
+            self.read_location(entry.location)
+                .expect("indexed shard record must decode"),
+        )
+    }
+
+    fn by_header_digest_of(&self, node: NodeId, digest: &Digest) -> Option<DataBlock> {
+        let seq = self.indexes.get(&node.0)?.seq_of_digest(digest)?;
+        self.get_of(node, seq)
+    }
+
+    fn oldest_child_of(&self, node: NodeId, target: &Digest) -> Option<DataBlock> {
+        let seq = self.indexes.get(&node.0)?.oldest_child_of(target)?;
+        self.get_of(node, seq)
+    }
+
+    fn children_of(&self, node: NodeId, target: &Digest) -> Vec<DataBlock> {
+        let Some(index) = self.indexes.get(&node.0) else {
+            return Vec::new();
+        };
+        index
+            .children_of(target)
+            .into_iter()
+            .filter_map(|seq| self.get_of(node, seq))
+            .collect()
+    }
+
+    fn iter_of(&self, node: NodeId) -> Vec<DataBlock> {
+        (0..self.len_of(node) as u32)
+            .filter_map(|seq| self.get_of(node, seq))
+            .collect()
+    }
+
+    fn iter_meta_of(&self, node: NodeId) -> Vec<(BlockId, u64)> {
+        let Some(index) = self.indexes.get(&node.0) else {
+            return Vec::new();
+        };
+        (0..index.next_seq())
+            .filter_map(|seq| index.entry(seq).map(|e| (BlockId::new(node, seq), e.time)))
+            .collect()
+    }
+
+    fn logical_bits_of(&self, node: NodeId, cfg: &ProtocolConfig) -> Bits {
+        self.indexes
+            .get(&node.0)
+            .map_or(Bits::ZERO, |idx| idx.logical_bits(cfg))
+    }
+
+    /// Approximate resident bytes of the whole log (indexes + staging
+    /// buffer).
+    pub fn resident_bytes(&self) -> usize {
+        self.buffer.len()
+            + self
+                .indexes
+                .values()
+                .map(BlockIndex::resident_bytes)
+                .sum::<usize>()
+    }
+}
+
+/// One node's [`BlockBackend`] view over a shared [`ShardLog`].
+///
+/// Handles of the same shard share the log through an `Arc<Mutex<…>>`;
+/// within the shard-parallel engine each shard is driven by one worker
+/// thread, so the mutex is effectively uncontended.
+#[derive(Debug)]
+pub struct ShardedNodeStore {
+    log: Arc<Mutex<ShardLog>>,
+    node: NodeId,
+}
+
+impl ShardedNodeStore {
+    /// Creates a member handle for `node` and registers it with the log.
+    pub fn new(log: Arc<Mutex<ShardLog>>, node: NodeId) -> Self {
+        log.lock().expect("shard log lock").register(node);
+        ShardedNodeStore { log, node }
+    }
+
+    fn log(&self) -> std::sync::MutexGuard<'_, ShardLog> {
+        self.log.lock().expect("shard log lock")
+    }
+}
+
+impl BlockBackend for ShardedNodeStore {
+    fn append(&mut self, block: DataBlock) -> Result<(), TldagError> {
+        if block.id.owner != self.node {
+            return Err(TldagError::Storage(format!(
+                "node {} cannot append a block owned by {}",
+                self.node, block.id.owner
+            )));
+        }
+        self.log().append(block)
+    }
+
+    fn len(&self) -> usize {
+        self.log().len_of(self.node)
+    }
+
+    fn get(&self, seq: u32) -> Option<DataBlock> {
+        self.log().get_of(self.node, seq)
+    }
+
+    fn by_header_digest(&self, digest: &Digest) -> Option<DataBlock> {
+        self.log().by_header_digest_of(self.node, digest)
+    }
+
+    fn oldest_child_of(&self, target: &Digest) -> Option<DataBlock> {
+        self.log().oldest_child_of(self.node, target)
+    }
+
+    fn children_of(&self, target: &Digest) -> Vec<DataBlock> {
+        self.log().children_of(self.node, target)
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = DataBlock> + '_> {
+        Box::new(self.log().iter_of(self.node).into_iter())
+    }
+
+    fn iter_meta(&self) -> Box<dyn Iterator<Item = (BlockId, u64)> + '_> {
+        Box::new(self.log().iter_meta_of(self.node).into_iter())
+    }
+
+    fn logical_bits(&self, cfg: &ProtocolConfig) -> Bits {
+        self.log().logical_bits_of(self.node, cfg)
+    }
+
+    fn resident_bytes(&self) -> usize {
+        let log = self.log();
+        log.resident_bytes() / log.members().max(1)
+    }
+
+    fn sync(&mut self) -> Result<(), TldagError> {
+        self.log().sync()
+    }
+
+    fn durable_len(&self) -> usize {
+        self.log().durable_len_of(self.node)
+    }
+
+    /// The **shared** shard log's count — see the trait docs for the
+    /// double-counting caveat when summing over members.
+    fn fsync_count(&self) -> u64 {
+        self.log().fsync_count()
+    }
+}
+
+/// Provisions group-committed storage: `shards` shard logs under a root
+/// directory, each shared by one **contiguous band** of node ids — the same
+/// bands `tldag_sim::engine::Sharding::chunk_ranges` deals to the engine's
+/// worker threads. With the shard count equal to `--threads`, every worker
+/// appends only to its own shard's log, so the log mutexes stay
+/// uncontended and the record order within each file is the worker's own
+/// deterministic append order.
+///
+/// Implements [`BackendFactory`], so `TldagNetwork::with_factory` can run
+/// any experiment with one fsync per shard per sync point.
+#[derive(Debug)]
+pub struct ShardedDiskFactory {
+    root: PathBuf,
+    sharding: Sharding,
+    /// Node count the bands were sized for (joiners beyond it land in the
+    /// last shard). Must be the same on reattach for chains to be found.
+    nodes: usize,
+    flush_buffer_bytes: usize,
+    logs: Vec<Option<Arc<Mutex<ShardLog>>>>,
+}
+
+impl ShardedDiskFactory {
+    /// A **fresh** factory rooted at `root`, with `shards` shard logs sized
+    /// for `nodes` node ids: shard logs left by a previous run are deleted.
+    /// Only `shard-*.log` files are touched — the directory may hold other
+    /// data (it is often a user-supplied `--storage-dir`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(root: impl Into<PathBuf>, shards: usize, nodes: usize) -> Self {
+        let root = root.into();
+        if let Ok(entries) = fs::read_dir(&root) {
+            for entry in entries.flatten() {
+                let name = entry.file_name();
+                let is_shard_log = name
+                    .to_str()
+                    .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".log"));
+                if is_shard_log {
+                    let _ = fs::remove_file(entry.path());
+                }
+            }
+        }
+        Self::attach(root, shards, nodes)
+    }
+
+    /// Attaches to an existing root **without wiping**, recovering whatever
+    /// the shard logs persisted — the whole-process restart path. `shards`
+    /// and `nodes` must match the values the directory was created with,
+    /// or chains will be looked up in the wrong log.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn attach(root: impl Into<PathBuf>, shards: usize, nodes: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedDiskFactory {
+            root: root.into(),
+            sharding: Sharding::threads(shards),
+            nodes,
+            flush_buffer_bytes: DEFAULT_FLUSH_BUFFER_BYTES,
+            logs: vec![None; shards.min(nodes).max(1)],
+        }
+    }
+
+    /// Overrides the staging-buffer flush threshold (tests use a large value
+    /// to keep unsynced records in memory, so a simulated crash loses them).
+    pub fn with_flush_buffer(mut self, bytes: usize) -> Self {
+        self.flush_buffer_bytes = bytes.max(1);
+        self
+    }
+
+    /// The shard a node's chain lives in: the contiguous band of
+    /// [`Sharding::chunk_ranges`] over the sized node count. Stable under
+    /// joins — ids at or beyond the sized count use the last shard.
+    pub fn shard_of(&self, node: NodeId) -> usize {
+        self.sharding.shard_of(self.nodes, node.index())
+    }
+
+    /// Number of shard logs (capped at the sized node count).
+    pub fn shards(&self) -> usize {
+        self.logs.len()
+    }
+
+    /// The shard log file path for `shard`.
+    pub fn shard_path(&self, shard: usize) -> PathBuf {
+        self.root.join(format!("shard-{shard:04}.log"))
+    }
+
+    /// Handles on every currently open shard log (experiments read fsync
+    /// counts through these after moving the factory into the network).
+    pub fn open_logs(&self) -> Vec<Arc<Mutex<ShardLog>>> {
+        self.logs.iter().flatten().cloned().collect()
+    }
+
+    /// Total fsyncs across all open shard logs.
+    pub fn total_fsyncs(&self) -> u64 {
+        self.open_logs()
+            .iter()
+            .map(|l| l.lock().expect("shard log lock").fsync_count())
+            .sum()
+    }
+
+    fn log_for(&mut self, shard: usize) -> Result<Arc<Mutex<ShardLog>>, TldagError> {
+        if let Some(log) = &self.logs[shard] {
+            return Ok(Arc::clone(log));
+        }
+        let log = Arc::new(Mutex::new(ShardLog::open(
+            self.shard_path(shard),
+            self.flush_buffer_bytes,
+        )?));
+        self.logs[shard] = Some(Arc::clone(&log));
+        Ok(log)
+    }
+}
+
+impl BackendFactory for ShardedDiskFactory {
+    /// Attaches `node` to its shard log (creating the log on first use).
+    /// Unlike `DiskFactory::create`, nothing is wiped here — the wipe
+    /// happened once in [`ShardedDiskFactory::new`] — because a joining
+    /// node must not erase its shard-mates' chains.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the shard log cannot be opened — a simulation cannot
+    /// proceed without its storage root.
+    fn create(&mut self, node: NodeId) -> Box<dyn BlockBackend> {
+        let shard = self.shard_of(node);
+        let log = self
+            .log_for(shard)
+            .unwrap_or_else(|e| panic!("cannot open shard log {shard}: {e}"));
+        Box::new(ShardedNodeStore::new(log, node))
+    }
+
+    /// Reattaches `node` to its shard log. While the factory (or any member
+    /// handle) is alive the log keeps its staged state — the shard process
+    /// survived the node's crash; a factory built with
+    /// [`ShardedDiskFactory::attach`] over a cold directory recovers only
+    /// what was fsynced.
+    fn reopen(&mut self, node: NodeId) -> Result<Box<dyn BlockBackend>, TldagError> {
+        let log = self.log_for(self.shard_of(node))?;
+        Ok(Box::new(ShardedNodeStore::new(log, node)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tldag_core::config::ProtocolConfig;
+    use tldag_core::BlockBody;
+    use tldag_crypto::schnorr::KeyPair;
+
+    fn block(owner: u32, seq: u32) -> DataBlock {
+        let cfg = ProtocolConfig::test_default();
+        DataBlock::create(
+            &cfg,
+            BlockId::new(NodeId(owner), seq),
+            u64::from(seq),
+            vec![],
+            BlockBody::new(vec![owner as u8, seq as u8], cfg.body_bits),
+            &KeyPair::from_seed(u64::from(owner)),
+        )
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tldag-group-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn multiplexed_chains_round_trip() {
+        let dir = temp_dir("mux");
+        let mut log = ShardLog::open(dir.join("shard.log"), 64).unwrap();
+        for seq in 0..3 {
+            log.append(block(1, seq)).unwrap();
+            log.append(block(5, seq)).unwrap();
+        }
+        assert_eq!(log.len_of(NodeId(1)), 3);
+        assert_eq!(log.len_of(NodeId(5)), 3);
+        assert_eq!(
+            log.get_of(NodeId(5), 2).unwrap().id,
+            BlockId::new(NodeId(5), 2)
+        );
+        assert_eq!(log.get_of(NodeId(9), 0), None);
+        let err = log.append(block(1, 7)).unwrap_err();
+        assert!(matches!(
+            err,
+            TldagError::OutOfOrderAppend {
+                expected: 3,
+                got: 7
+            }
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_is_deduplicated_per_batch() {
+        let dir = temp_dir("dedup");
+        let mut log = ShardLog::open(dir.join("shard.log"), 1 << 20).unwrap();
+        log.append(block(0, 0)).unwrap();
+        log.append(block(2, 0)).unwrap();
+        log.sync().unwrap();
+        log.sync().unwrap(); // second member of the same slot: no-op
+        log.sync().unwrap();
+        assert_eq!(log.fsync_count(), 1, "one fsync per batch");
+        assert_eq!(log.durable_len_of(NodeId(0)), 1);
+        assert_eq!(log.durable_len_of(NodeId(2)), 1);
+        log.append(block(0, 1)).unwrap();
+        assert_eq!(log.durable_len_of(NodeId(0)), 1, "staged, not durable");
+        log.sync().unwrap();
+        assert_eq!(log.fsync_count(), 2);
+        assert_eq!(log.durable_len_of(NodeId(0)), 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopen_recovers_synced_records_only() {
+        let dir = temp_dir("recover");
+        let path = dir.join("shard.log");
+        {
+            // Large flush buffer: unsynced records stay in process memory,
+            // so dropping the log models a crash that loses them.
+            let mut log = ShardLog::open(&path, 1 << 20).unwrap();
+            log.append(block(0, 0)).unwrap();
+            log.append(block(2, 0)).unwrap();
+            log.sync().unwrap();
+            log.append(block(0, 1)).unwrap(); // never synced
+        }
+        let log = ShardLog::open(&path, 1 << 20).unwrap();
+        assert_eq!(log.len_of(NodeId(0)), 1, "unsynced append lost");
+        assert_eq!(log.len_of(NodeId(2)), 1);
+        assert_eq!(log.durable_len_of(NodeId(0)), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated() {
+        let dir = temp_dir("torn");
+        let path = dir.join("shard.log");
+        {
+            let mut log = ShardLog::open(&path, 1).unwrap();
+            log.append(block(0, 0)).unwrap();
+            log.append(block(0, 1)).unwrap();
+            log.sync().unwrap();
+        }
+        // Tear the last record mid-frame.
+        let len = fs::metadata(&path).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+        let log = ShardLog::open(&path, 1).unwrap();
+        assert_eq!(log.len_of(NodeId(0)), 1, "torn record discarded");
+        assert!(
+            fs::metadata(&path).unwrap().len() < len - 3,
+            "file truncated"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn factory_routes_nodes_to_shards() {
+        let dir = temp_dir("factory");
+        let mut factory = ShardedDiskFactory::new(&dir, 2, 4);
+        let mut stores: Vec<Box<dyn BlockBackend>> =
+            (0..4).map(|i| factory.create(NodeId(i))).collect();
+        for (i, store) in stores.iter_mut().enumerate() {
+            store.append(block(i as u32, 0)).unwrap();
+        }
+        for store in &mut stores {
+            store.sync().unwrap();
+        }
+        // 4 nodes, 2 shards, 1 batch: exactly 2 fsyncs.
+        assert_eq!(factory.total_fsyncs(), 2);
+        assert_eq!(factory.open_logs().len(), 2);
+        assert_eq!(factory.shard_of(NodeId(3)), 1);
+        for store in &stores {
+            assert_eq!(store.durable_len(), 1);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fresh_factory_wipes_only_its_own_shard_logs() {
+        let dir = temp_dir("wipe");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("precious.txt"), b"user data").unwrap();
+        fs::write(dir.join("shard-0000.log"), b"stale log").unwrap();
+        let _factory = ShardedDiskFactory::new(&dir, 2, 4);
+        assert!(
+            dir.join("precious.txt").exists(),
+            "unrelated files must survive"
+        );
+        assert!(
+            !dir.join("shard-0000.log").exists(),
+            "stale shard logs are wiped"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_owner_append_is_refused() {
+        let dir = temp_dir("owner");
+        let mut factory = ShardedDiskFactory::new(&dir, 1, 4);
+        let mut store = factory.create(NodeId(0));
+        let err = store.append(block(1, 0)).unwrap_err();
+        assert!(err.to_string().contains("owned by"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -14,6 +14,9 @@
 //!   its checksummed snapshot form.
 //! * [`engine`] — [`DurableStore`] (the backend) and [`DiskFactory`] (one
 //!   store per node for `TldagNetwork::with_factory`).
+//! * [`group`] — the group-commit layer: [`ShardLog`] multiplexes every
+//!   node of a shard into one log file so a slot-boundary sync costs **one**
+//!   fsync per shard per slot ([`ShardedDiskFactory`] provisions it).
 //!
 //! ## Example
 //!
@@ -55,7 +58,10 @@
 
 pub mod crc32;
 pub mod engine;
+pub mod group;
 pub mod index;
 pub mod record;
 
 pub use engine::{DiskFactory, DurableStore, StorageOptions};
+pub use group::{ShardLog, ShardedDiskFactory, ShardedNodeStore};
+pub use tldag_core::store::SyncPolicy;

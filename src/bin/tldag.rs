@@ -3,11 +3,13 @@
 //! ```text
 //! tldag topology [--nodes N] [--side M] [--seed S]
 //! tldag run      [--nodes N] [--slots T] [--gamma G] [--malicious M]
-//!                [--seed S] [--trace] [--storage memory|disk]
-//!                [--storage-dir PATH]
+//!                [--seed S] [--trace] [--threads W]
+//!                [--sync-policy per-append|per-slot|grouped:N]
+//!                [--storage memory|disk|disk-sharded] [--storage-dir PATH]
 //! tldag verify   --owner K [--seq Q] [--validator V]
 //!                [--nodes N] [--slots T] [--gamma G] [--seed S]
-//!                [--storage memory|disk] [--storage-dir PATH]
+//!                [--threads W] [--sync-policy P]
+//!                [--storage memory|disk|disk-sharded] [--storage-dir PATH]
 //! ```
 
 use std::collections::HashMap;
@@ -16,14 +18,16 @@ use tldag::core::attack::Behavior;
 use tldag::core::block::BlockId;
 use tldag::core::config::ProtocolConfig;
 use tldag::core::network::TldagNetwork;
+use tldag::core::store::SyncPolicy;
 use tldag::core::workload::VerificationWorkload;
 use tldag::sim::bus::TrafficClass;
 use tldag::sim::engine::GenerationSchedule;
+use tldag::sim::engine::Sharding;
 use tldag::sim::fault::{FaultPlan, MaliciousPlacement};
 use tldag::sim::topology::{Topology, TopologyConfig};
 use tldag::sim::trace::Trace;
 use tldag::sim::{DetRng, NodeId};
-use tldag::storage::{DiskFactory, StorageOptions};
+use tldag::storage::{DiskFactory, ShardedDiskFactory, StorageOptions};
 
 const USAGE: &str = "\
 tldag — 2LDAG / Proof-of-Path simulator
@@ -33,23 +37,35 @@ USAGE:
         Print the deployment produced by the paper's placement rule.
 
     tldag run [--nodes N] [--slots T] [--gamma G] [--malicious M]
-              [--seed S] [--trace] [--storage memory|disk] [--storage-dir P]
+              [--seed S] [--trace] [--threads W] [--sync-policy P]
+              [--storage memory|disk|disk-sharded] [--storage-dir P]
         Run a slotted simulation with the paper's verification workload
         and print storage/communication/PoP summaries.
 
     tldag verify --owner K [--seq Q] [--validator V]
                  [--nodes N] [--slots T] [--gamma G] [--seed S]
-                 [--storage memory|disk] [--storage-dir P]
+                 [--threads W] [--sync-policy P]
+                 [--storage memory|disk|disk-sharded] [--storage-dir P]
         Run a simulation, then verify block K#Q from node V via
         Proof-of-Path and print the proof path.
 
 Storage backends: `memory` (default) keeps every chain in RAM; `disk` puts
 each node's chain in a durable segmented block log under --storage-dir
 (default: a fresh directory under the system temp dir) with crash recovery
-and bounded resident memory.
+and bounded resident memory; `disk-sharded` group-commits all nodes of a
+shard into one multiplexed log (one fsync per shard per sync point, shard
+count = --threads).
+
+--threads W shards the slot loop across W worker threads. Results are
+byte-identical for every thread count under a fixed seed.
+
+--sync-policy picks the durability cadence: `per-append` (fsync every
+block), `per-slot` (fsync at each slot boundary; default), or `grouped:N`
+(fsync every N slots).
 
 Defaults: --nodes 16, --side 300, --slots 40, --gamma 3, --malicious 0,
-          --seq 0, --validator 0, --seed 42, --storage memory.
+          --seq 0, --validator 0, --seed 42, --storage memory,
+          --threads 1, --sync-policy per-slot.
 ";
 
 struct Args {
@@ -131,27 +147,44 @@ fn build_network(args: &Args) -> Result<TldagNetwork, String> {
         .with_gamma(gamma)
         .with_difficulty(6);
     let schedule = GenerationSchedule::uniform(topology.len());
+    let threads: usize = args.get("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
+    let sync_policy: SyncPolicy = args.get("sync-policy", SyncPolicy::PerSlot)?;
     let storage: String = args.get("storage", "memory".to_string())?;
+    let storage_dir = |args: &Args| -> Result<String, String> {
+        let default_dir = std::env::temp_dir()
+            .join(format!("tldag-run-{}", std::process::id()))
+            .display()
+            .to_string();
+        let dir: String = args.get("storage-dir", default_dir)?;
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| format!("cannot use --storage-dir {dir}: {e}"))?;
+        Ok(dir)
+    };
     let mut net = match storage.as_str() {
         "memory" => TldagNetwork::new(cfg, topology.clone(), schedule, seed),
         "disk" => {
-            let default_dir = std::env::temp_dir()
-                .join(format!("tldag-run-{}", std::process::id()))
-                .display()
-                .to_string();
-            let dir: String = args.get("storage-dir", default_dir)?;
-            std::fs::create_dir_all(&dir)
-                .map_err(|e| format!("cannot use --storage-dir {dir}: {e}"))?;
+            let dir = storage_dir(args)?;
             println!("storage backend: disk ({dir})");
             let factory = DiskFactory::new(dir, StorageOptions::default());
             TldagNetwork::with_factory(cfg, topology.clone(), schedule, seed, Box::new(factory))
         }
+        "disk-sharded" => {
+            let dir = storage_dir(args)?;
+            println!("storage backend: disk-sharded ({dir}, {threads} shard logs)");
+            let factory = ShardedDiskFactory::new(dir, threads, topology.len());
+            TldagNetwork::with_factory(cfg, topology.clone(), schedule, seed, Box::new(factory))
+        }
         other => {
             return Err(format!(
-                "invalid value for --storage: `{other}` (memory|disk)"
+                "invalid value for --storage: `{other}` (memory|disk|disk-sharded)"
             ))
         }
     };
+    net.set_sharding(Sharding::threads(threads));
+    net.set_sync_policy(sync_policy);
     net.set_verification_workload(VerificationWorkload::RandomPast {
         min_age_slots: topology.len() as u64,
     });
@@ -205,9 +238,17 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     }
     net.try_run_slots(slots)
         .map_err(|e| format!("simulation stopped: {e}"))?;
+    // Clean shutdown: flush slots staged since the last Grouped(n) boundary.
+    net.sync_storage()
+        .map_err(|e| format!("final storage flush failed: {e}"))?;
 
     let (attempts, successes) = net.pop_counters();
     println!("\nafter {slots} slots:");
+    println!(
+        "  engine              : {} thread(s), sync policy {}",
+        net.sharding().threads,
+        net.sync_policy()
+    );
     println!("  blocks network-wide : {}", net.total_blocks());
     println!("  mean node storage   : {:.3} MB", net.mean_storage_mb());
     let resident: usize = net
@@ -249,6 +290,8 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     net.set_verification_workload(VerificationWorkload::Disabled);
     net.try_run_slots(slots)
         .map_err(|e| format!("simulation stopped: {e}"))?;
+    net.sync_storage()
+        .map_err(|e| format!("final storage flush failed: {e}"))?;
 
     if owner as usize >= net.topology().len() {
         return Err("--owner out of range".into());

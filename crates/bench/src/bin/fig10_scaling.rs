@@ -6,7 +6,7 @@
 //! Usage: `cargo run -p tldag-bench --release --bin fig10_scaling [--quick]`
 
 use tldag_bench::experiments::scaling::{self, ScalingConfig};
-use tldag_bench::report;
+use tldag_bench::report::{self, json_array, JsonMap};
 use tldag_bench::Scale;
 
 fn main() {
@@ -142,6 +142,39 @@ will be ~1x (the determinism check still runs)"
         ));
     }
     if let Some(path) = report::write_csv("fig10_scaling", &csv) {
+        eprintln!("wrote {}", path.display());
+    }
+
+    // Machine-readable summary: the numbers the perf trajectory tracks.
+    let thread_samples = json_array(data.thread_samples.iter().map(|s| {
+        JsonMap::new()
+            .int("threads", s.threads as u64)
+            .num("wall_ms", s.wall_ms)
+            .num("blocks_per_sec", s.blocks_per_sec)
+            .num("speedup", s.speedup)
+            .render()
+    }));
+    let sync_samples = json_array(data.sync_samples.iter().map(|s| {
+        JsonMap::new()
+            .str("config", &s.config)
+            .num("wall_ms", s.wall_ms)
+            .num("blocks_per_sec", s.blocks_per_sec)
+            .int("fsyncs", s.fsyncs)
+            .num("speedup", s.speedup)
+            .render()
+    }));
+    let json = JsonMap::new()
+        .str("experiment", "fig10_scaling")
+        .str("scale", &format!("{scale:?}"))
+        .int("cores_available", cores as u64)
+        .int("thread_sweep_nodes", cfg.thread_sweep_nodes as u64)
+        .int("sync_sweep_nodes", cfg.sync_sweep_nodes as u64)
+        .bool("digests_identical", data.digests_identical)
+        .bool("verify_identical", data.verify_identical)
+        .raw("thread_samples", thread_samples)
+        .raw("sync_samples", sync_samples)
+        .render();
+    if let Some(path) = report::write_bench_json("fig10_scaling", &json) {
         eprintln!("wrote {}", path.display());
     }
     assert!(

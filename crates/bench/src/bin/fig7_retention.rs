@@ -1,0 +1,173 @@
+//! Retention-budget experiment: Eq. 2 storage budgets enforced by the
+//! segmented engines' compaction, PoP availability by block age (graceful
+//! `TargetPruned` misses for compacted blocks), and the TPS cache hit-rate
+//! of a warm (persisted `H_i`) vs cold node restart.
+//!
+//! Usage: `cargo run -p tldag-bench --release --bin fig7_retention [--quick]`
+
+use tldag_bench::experiments::retention::{self, RetentionConfig};
+use tldag_bench::report::{self, json_array, JsonMap};
+use tldag_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let cfg = RetentionConfig::at_scale(scale);
+    eprintln!(
+        "fig7_retention: {} nodes × {} slots, {} budgets, γ = {} ({scale:?} scale)",
+        cfg.nodes,
+        cfg.slots,
+        cfg.horizons.len(),
+        cfg.gamma
+    );
+    let data = retention::run(&cfg);
+
+    println!("\n== disk usage & PoP availability vs retention budget (Eq. 2 horizons) ==");
+    let rows: Vec<Vec<String>> = data
+        .budgets
+        .iter()
+        .map(|b| {
+            vec![
+                b.horizon_blocks
+                    .map_or("unbounded".into(), |h| format!("{h} blocks")),
+                b.budget_bytes
+                    .map_or("-".into(), |v| format!("{:.1}", v as f64 / 1024.0)),
+                format!("{:.1}", b.mean_disk_bytes / 1024.0),
+                format!("{:.1}", b.eq2_retained_bytes / 1024.0),
+                report::fmt_f64(b.mean_retained_blocks),
+                report::fmt_f64(b.mean_pruned_floor),
+                format!("{}/{}", b.old_success.0, b.old_success.1),
+                b.old_pruned_misses.to_string(),
+                format!("{}/{}", b.mid_success.0, b.mid_success.1),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::render_table(
+            &[
+                "budget", "cap KiB", "disk KiB", "eq2 KiB", "retained", "floor", "old ok",
+                "pruned", "mid ok"
+            ],
+            &rows
+        )
+    );
+
+    println!("\n== TPS after restart: cold vs warm (persisted H_i) ==");
+    let rows: Vec<Vec<String>> = data
+        .warm
+        .iter()
+        .map(|w| {
+            vec![
+                if w.persist {
+                    "warm (persisted)"
+                } else {
+                    "cold"
+                }
+                .to_string(),
+                w.headers_after_restart.to_string(),
+                w.tps_extensions.to_string(),
+                w.req_child_sent.to_string(),
+                format!("{}/{}", w.successes, cfg.warm_targets),
+                format!("{:.1}%", w.hit_rate * 100.0),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::render_table(
+            &[
+                "restart",
+                "H_i headers",
+                "tps ext",
+                "req_child",
+                "ok",
+                "hit rate"
+            ],
+            &rows
+        )
+    );
+
+    // CSV + machine-readable summary.
+    let mut csv = String::from(
+        "budget,cap_bytes,disk_bytes,eq2_bytes,retained,floor,old_ok,old_n,pruned,mid_ok,mid_n\n",
+    );
+    for b in &data.budgets {
+        csv.push_str(&format!(
+            "{},{},{:.0},{:.0},{:.2},{:.2},{},{},{},{},{}\n",
+            b.horizon_blocks.map_or(0, |h| h),
+            b.budget_bytes.unwrap_or(0),
+            b.mean_disk_bytes,
+            b.eq2_retained_bytes,
+            b.mean_retained_blocks,
+            b.mean_pruned_floor,
+            b.old_success.0,
+            b.old_success.1,
+            b.old_pruned_misses,
+            b.mid_success.0,
+            b.mid_success.1,
+        ));
+    }
+    if let Some(path) = report::write_csv("fig7_retention", &csv) {
+        eprintln!("wrote {}", path.display());
+    }
+
+    let budgets = json_array(data.budgets.iter().map(|b| {
+        JsonMap::new()
+            .int("horizon_blocks", u64::from(b.horizon_blocks.unwrap_or(0)))
+            .int("budget_bytes", b.budget_bytes.unwrap_or(0))
+            .num("mean_disk_bytes", b.mean_disk_bytes)
+            .num("eq2_retained_bytes", b.eq2_retained_bytes)
+            .num("mean_retained_blocks", b.mean_retained_blocks)
+            .num("mean_pruned_floor", b.mean_pruned_floor)
+            .int("old_ok", b.old_success.0)
+            .int("old_attempts", b.old_success.1)
+            .int("old_pruned_misses", b.old_pruned_misses)
+            .int("mid_ok", b.mid_success.0)
+            .int("mid_attempts", b.mid_success.1)
+            .render()
+    }));
+    let warm = json_array(data.warm.iter().map(|w| {
+        JsonMap::new()
+            .bool("persist", w.persist)
+            .int("headers_after_restart", w.headers_after_restart as u64)
+            .int("tps_extensions", w.tps_extensions)
+            .int("req_child_sent", w.req_child_sent)
+            .int("successes", w.successes)
+            .num("hit_rate", w.hit_rate)
+            .render()
+    }));
+    let json = JsonMap::new()
+        .str("experiment", "fig7_retention")
+        .str("scale", &format!("{scale:?}"))
+        .int("nodes", cfg.nodes as u64)
+        .int("slots", cfg.slots)
+        .raw("budgets", budgets)
+        .raw("warm_restart", warm)
+        .render();
+    if let Some(path) = report::write_bench_json("fig7_retention", &json) {
+        eprintln!("wrote {}", path.display());
+    }
+
+    // Acceptance: pruned targets must surface as graceful misses, and a
+    // persisted H_i must measurably beat a cold restart.
+    let tightest = data.budgets.last().expect("at least one budget");
+    if tightest.horizon_blocks.is_some() {
+        assert!(
+            tightest.mean_pruned_floor > 0.0,
+            "fig7_retention: the tightest budget never pruned"
+        );
+        assert_eq!(
+            tightest.old_success.0 + tightest.old_pruned_misses,
+            tightest.old_success.1,
+            "fig7_retention: old probes must succeed or miss gracefully"
+        );
+    }
+    let cold = &data.warm[0];
+    let warm = &data.warm[1];
+    assert!(
+        warm.hit_rate > cold.hit_rate,
+        "fig7_retention: warm restart ({:.3}) must beat cold ({:.3})",
+        warm.hit_rate,
+        cold.hit_rate
+    );
+}

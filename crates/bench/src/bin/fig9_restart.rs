@@ -7,7 +7,7 @@
 //! Usage: `cargo run -p tldag-bench --release --bin fig9_restart [--quick]`
 
 use tldag_bench::experiments::restart::{self, RestartConfig};
-use tldag_bench::report;
+use tldag_bench::report::{self, JsonMap};
 use tldag_bench::Scale;
 
 fn main() {
@@ -100,6 +100,31 @@ fn main() {
     );
 
     if let Some(path) = report::write_csv("fig9_restart_failure", &data.series.to_csv()) {
+        eprintln!("wrote {}", path.display());
+    }
+
+    // Machine-readable summary: the numbers the perf trajectory tracks.
+    let last_of = |name: &str| {
+        data.series
+            .series(name)
+            .and_then(|s| s.points().last().map(|&(_, v)| v))
+            .unwrap_or(f64::NAN)
+    };
+    let revived = data.recoveries.iter().filter(|r| r.revived).count();
+    let json = JsonMap::new()
+        .str("experiment", "fig9_restart")
+        .str("scale", &format!("{scale:?}"))
+        .int("nodes", cfg.nodes as u64)
+        .int("seeds", cfg.seeds)
+        .int("crashes", data.recoveries.len() as u64)
+        .int("revived", revived as u64)
+        .int("lost_committed_blocks", lost as u64)
+        .num("final_victim_failure", last_of("victim blocks"))
+        .num("final_control_failure", last_of("control blocks"))
+        .int("peak_resident_bytes", data.peak_resident_bytes as u64)
+        .int("peak_disk_bytes", data.peak_disk_bytes)
+        .render();
+    if let Some(path) = report::write_bench_json("fig9_restart", &json) {
         eprintln!("wrote {}", path.display());
     }
     if lost > 0 {

@@ -5,6 +5,7 @@
 //! | Binary | Reproduces |
 //! |---|---|
 //! | `fig7_storage` | Fig. 7(a–c) storage vs slots for C ∈ {0.1, 0.5, 1} MB, and 7(d) per-node storage CDF |
+//! | `fig7_retention` | Eq. 2 retention budgets: disk vs budget, PoP availability by block age, warm vs cold restart TPS |
 //! | `fig8_comm` | Fig. 8(a) overall comm, 8(b) DAG construction, 8(c) consensus, 8(d) per-node comm CDF |
 //! | `fig9_failure` | Fig. 9(a–d) consensus-failure probability for γ ∈ {10, 15, 20, 24} |
 //! | `fig9_restart` | Node kill + disk recovery: PoP availability through the outage |

@@ -1,4 +1,6 @@
-//! Plain-text reporting: aligned tables and CSV emission.
+//! Plain-text reporting: aligned tables, CSV emission, and the
+//! machine-readable `BENCH_*.json` summaries that track the perf
+//! trajectory across PRs.
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -56,6 +58,118 @@ pub fn write_csv(name: &str, content: &str) -> Option<std::path::PathBuf> {
     Some(path)
 }
 
+/// Writes a machine-readable benchmark summary to
+/// `target/experiments/BENCH_<name>.json`, creating the directory if
+/// needed. Returns the path written, or `None` on I/O failure (file output
+/// is best-effort; stdout always has the data). The JSON is assembled with
+/// [`JsonMap`] so the perf trajectory of each experiment can be tracked
+/// across PRs by any tooling that reads the directory.
+pub fn write_bench_json(name: &str, json: &str) -> Option<std::path::PathBuf> {
+    let dir = Path::new("target").join("experiments");
+    std::fs::create_dir_all(&dir).ok()?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, json).ok()?;
+    Some(path)
+}
+
+/// Minimal JSON object builder (the build environment has no serde): keys
+/// are emitted in insertion order, values are either pre-rendered raw JSON
+/// (numbers, booleans, arrays of nested maps) or escaped strings.
+#[derive(Debug, Default)]
+pub struct JsonMap {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonMap {
+    /// An empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.fields
+            .push((key.to_string(), format!("\"{}\"", json_escape(value))));
+        self
+    }
+
+    /// Adds a numeric field. Non-finite floats become `null`.
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        let rendered = if value.is_finite() {
+            // Trim to a stable, diff-friendly precision.
+            let v = format!("{value:.6}");
+            v.trim_end_matches('0').trim_end_matches('.').to_string()
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.fields.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Adds a pre-rendered raw JSON value (e.g. an array built with
+    /// [`json_array`]).
+    pub fn raw(mut self, key: &str, value: String) -> Self {
+        self.fields.push((key.to_string(), value));
+        self
+    }
+
+    /// Renders the object.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(k));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders pre-rendered JSON values as an array.
+pub fn json_array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Formats a float compactly for tables.
 pub fn fmt_f64(v: f64) -> String {
     if v == 0.0 {
@@ -92,5 +206,27 @@ mod tests {
         assert_eq!(fmt_f64(12345.6), "12346");
         assert_eq!(fmt_f64(2.34567), "2.35");
         assert_eq!(fmt_f64(0.001234), "0.0012");
+    }
+
+    #[test]
+    fn json_map_renders_escaped_and_ordered() {
+        let json = JsonMap::new()
+            .str("name", "a \"quoted\" value\n")
+            .int("count", 7)
+            .num("rate", 0.5)
+            .bool("ok", true)
+            .raw("items", json_array([JsonMap::new().int("x", 1).render()]))
+            .render();
+        assert_eq!(
+            json,
+            "{\"name\":\"a \\\"quoted\\\" value\\n\",\"count\":7,\
+\"rate\":0.5,\"ok\":true,\"items\":[{\"x\":1}]}"
+        );
+    }
+
+    #[test]
+    fn json_num_handles_edge_values() {
+        assert!(JsonMap::new().num("v", f64::NAN).render().contains("null"));
+        assert!(JsonMap::new().num("v", 3.0).render().contains(":3"));
     }
 }

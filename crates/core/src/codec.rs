@@ -223,6 +223,15 @@ pub enum WireMessage {
         /// Responding node.
         from: NodeId,
     },
+    /// Cooperative "chain prefix pruned" — the responder compacted its log
+    /// under a retention budget, so a child (or the requested block) may
+    /// have been dropped. `retained_from` is its pruned floor.
+    PrunedNack {
+        /// Responding node.
+        from: NodeId,
+        /// First sequence number the responder still retains.
+        retained_from: u32,
+    },
     /// Full-block request.
     FetchBlock {
         /// Requesting validator.
@@ -240,6 +249,7 @@ const TAG_RPY_CHILD: u8 = 0x03;
 const TAG_NACK: u8 = 0x04;
 const TAG_FETCH: u8 = 0x05;
 const TAG_BLOCK: u8 = 0x06;
+const TAG_PRUNED_NACK: u8 = 0x07;
 
 /// Encodes a wire message with a leading type tag.
 pub fn encode_message(msg: &WireMessage) -> Vec<u8> {
@@ -269,6 +279,15 @@ pub fn encode_message(msg: &WireMessage) -> Vec<u8> {
         WireMessage::Nack { from } => {
             let mut out = vec![TAG_NACK];
             out.extend_from_slice(&from.0.to_be_bytes());
+            out
+        }
+        WireMessage::PrunedNack {
+            from,
+            retained_from,
+        } => {
+            let mut out = vec![TAG_PRUNED_NACK];
+            out.extend_from_slice(&from.0.to_be_bytes());
+            out.extend_from_slice(&retained_from.to_be_bytes());
             out
         }
         WireMessage::FetchBlock { from, id } => {
@@ -320,6 +339,10 @@ pub fn decode_message(data: &[u8]) -> Result<WireMessage, CodecError> {
         TAG_NACK => WireMessage::Nack {
             from: NodeId(r.u32()?),
         },
+        TAG_PRUNED_NACK => WireMessage::PrunedNack {
+            from: NodeId(r.u32()?),
+            retained_from: r.u32()?,
+        },
         TAG_FETCH => {
             let from = NodeId(r.u32()?);
             let owner = NodeId(r.u32()?);
@@ -339,11 +362,77 @@ pub fn decode_message(data: &[u8]) -> Result<WireMessage, CodecError> {
     Ok(msg)
 }
 
-/// Converts a [`ChildResponse`] into its wire form.
-pub fn response_to_wire(from: NodeId, response: &ChildResponse) -> WireMessage {
+/// Magic + version prefix of a persisted trust cache (`H_i`) blob.
+const TRUST_CACHE_MAGIC: &[u8; 8] = b"TLDAGTC\x01";
+
+/// Encodes a trusted-header cache `H_i` for persistence.
+///
+/// Entries are sorted by `(owner, seq, digest)` so the encoding is
+/// deterministic regardless of hash-map iteration order. The format is
+/// `magic ‖ count ‖ [owner, block-owner, seq, header-len, header]*` with the
+/// header in the canonical [`encode_header`] form.
+pub fn encode_trust_cache(cache: &crate::store::TrustCache) -> Vec<u8> {
+    let mut entries: Vec<&crate::store::TrustedHeader> = cache.iter().collect();
+    // The digest is a SHA-256 over the serialized header — cache the sort
+    // key, or every comparison would recompute it (this encoder runs at
+    // every commit point once persistence is on).
+    entries.sort_by_cached_key(|t| (t.owner, t.block_id.seq, t.header.digest()));
+    let mut out = Vec::with_capacity(16 + entries.len() * 96);
+    out.extend_from_slice(TRUST_CACHE_MAGIC);
+    out.extend_from_slice(&(entries.len() as u32).to_be_bytes());
+    for t in entries {
+        let header = encode_header(&t.header);
+        out.extend_from_slice(&t.owner.0.to_be_bytes());
+        out.extend_from_slice(&t.block_id.owner.0.to_be_bytes());
+        out.extend_from_slice(&t.block_id.seq.to_be_bytes());
+        out.extend_from_slice(&(header.len() as u32).to_be_bytes());
+        out.extend_from_slice(&header);
+    }
+    out
+}
+
+/// Decodes a persisted trust cache `H_i`.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] on any framing violation — callers treat a
+/// failed decode as "no cache" (a cold restart), never as data loss.
+pub fn decode_trust_cache(data: &[u8]) -> Result<crate::store::TrustCache, CodecError> {
+    let mut r = Reader::new(data);
+    if r.take(8)? != TRUST_CACHE_MAGIC {
+        return Err(CodecError::BadTag(data.first().copied().unwrap_or(0)));
+    }
+    let count = r.u32()? as usize;
+    if count > 1 << 24 {
+        return Err(CodecError::LengthOverflow);
+    }
+    let mut cache = crate::store::TrustCache::new();
+    for _ in 0..count {
+        let owner = NodeId(r.u32()?);
+        let block_owner = NodeId(r.u32()?);
+        let seq = r.u32()?;
+        let header_len = r.u32()? as usize;
+        let header = decode_header(r.take(header_len)?)?;
+        cache.insert(crate::store::TrustedHeader {
+            owner,
+            block_id: BlockId::new(block_owner, seq),
+            header,
+        });
+    }
+    r.finish()?;
+    Ok(cache)
+}
+
+/// Converts a [`ChildResponse`] into its wire form. A pruned miss carries
+/// `retained_from`, the responder's pruned floor.
+pub fn response_to_wire(from: NodeId, response: &ChildResponse, retained_from: u32) -> WireMessage {
     match response {
         ChildResponse::Found(reply) => WireMessage::RpyChild(reply.clone()),
         ChildResponse::NoChild => WireMessage::Nack { from },
+        ChildResponse::Pruned => WireMessage::PrunedNack {
+            from,
+            retained_from,
+        },
     }
 }
 
@@ -437,6 +526,10 @@ mod tests {
                 header: block.header.clone(),
             }),
             WireMessage::Nack { from: NodeId(4) },
+            WireMessage::PrunedNack {
+                from: NodeId(4),
+                retained_from: 17,
+            },
             WireMessage::FetchBlock {
                 from: NodeId(5),
                 id: BlockId::new(NodeId(6), 9),
@@ -464,13 +557,56 @@ mod tests {
             header: block.header.clone(),
         });
         assert!(matches!(
-            response_to_wire(NodeId(1), &found),
+            response_to_wire(NodeId(1), &found, 0),
             WireMessage::RpyChild(_)
         ));
         assert_eq!(
-            response_to_wire(NodeId(2), &ChildResponse::NoChild),
+            response_to_wire(NodeId(2), &ChildResponse::NoChild, 0),
             WireMessage::Nack { from: NodeId(2) }
         );
+        assert_eq!(
+            response_to_wire(NodeId(2), &ChildResponse::Pruned, 9),
+            WireMessage::PrunedNack {
+                from: NodeId(2),
+                retained_from: 9
+            }
+        );
+    }
+
+    #[test]
+    fn trust_cache_round_trip_is_deterministic() {
+        use crate::store::{TrustCache, TrustedHeader};
+        let mut cache = TrustCache::new();
+        for owner in [3u32, 1, 2] {
+            let block = sample_block(2);
+            let kp = KeyPair::from_seed(u64::from(owner));
+            let cfg = ProtocolConfig::test_default();
+            let owned = DataBlock::create(
+                &cfg,
+                BlockId::new(NodeId(owner), owner),
+                u64::from(owner),
+                block.header.digests.clone(),
+                BlockBody::new(vec![owner as u8], cfg.body_bits),
+                &kp,
+            );
+            cache.insert(TrustedHeader {
+                owner: NodeId(owner),
+                block_id: owned.id,
+                header: owned.header,
+            });
+        }
+        let blob = encode_trust_cache(&cache);
+        assert_eq!(blob, encode_trust_cache(&cache), "encoding is stable");
+        let decoded = decode_trust_cache(&blob).unwrap();
+        assert_eq!(decoded.len(), cache.len());
+        for t in cache.iter() {
+            let hit = decoded.get(&t.header.digest()).expect("entry survives");
+            assert_eq!(hit, t);
+        }
+        // Any truncation is rejected, never silently partial.
+        for cut in [0, 4, 11, blob.len() - 1] {
+            assert!(decode_trust_cache(&blob[..cut]).is_err());
+        }
     }
 
     #[test]

@@ -47,6 +47,15 @@ pub enum PopError {
         /// What failed.
         reason: ValidationError,
     },
+    /// The verifier retained the chain's tail but has **compacted away** the
+    /// requested block under its storage budget (Eq. 2): a graceful miss,
+    /// not an offense — the owner cooperated but the data is gone.
+    TargetPruned {
+        /// Node that pruned the block.
+        owner: NodeId,
+        /// First sequence number the owner still retains.
+        retained_from: u32,
+    },
     /// Every candidate path was exhausted before `γ + 1` distinct nodes
     /// vouched for the block (Algorithm 3, line 33).
     PathExhausted {
@@ -66,6 +75,13 @@ impl fmt::Display for PopError {
             PopError::InvalidBlock { owner, reason } => {
                 write!(f, "block served by {owner} failed validation: {reason}")
             }
+            PopError::TargetPruned {
+                owner,
+                retained_from,
+            } => write!(
+                f,
+                "verifier {owner} pruned the requested block (retains seq {retained_from} onward)"
+            ),
             PopError::PathExhausted {
                 distinct_nodes,
                 required,
@@ -94,6 +110,15 @@ pub enum TldagError {
     Storage(String),
     /// A persisted record failed to decode or its checksum did not match.
     Corrupt(String),
+    /// Another live handle already owns the storage directory. Two engines
+    /// appending to the same log would silently corrupt it; the lock file
+    /// turns that into this refusal.
+    Locked {
+        /// The contested storage directory.
+        dir: String,
+        /// PID recorded in the directory's lock file.
+        holder_pid: u32,
+    },
 }
 
 impl TldagError {
@@ -111,6 +136,10 @@ impl fmt::Display for TldagError {
             }
             TldagError::Storage(msg) => write!(f, "storage backend failure: {msg}"),
             TldagError::Corrupt(msg) => write!(f, "persisted state corrupt: {msg}"),
+            TldagError::Locked { dir, holder_pid } => write!(
+                f,
+                "storage directory {dir} is locked by live process {holder_pid}"
+            ),
         }
     }
 }

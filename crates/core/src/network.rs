@@ -38,8 +38,8 @@ use crate::blacklist::Blacklist;
 use crate::block::BlockId;
 use crate::config::ProtocolConfig;
 use crate::error::TldagError;
-use crate::node::LedgerNode;
-use crate::pop::messages::{ChildReply, ChildResponse, PopTransport};
+use crate::node::{BlockFetch, ChildServe, LedgerNode};
+use crate::pop::messages::{ChildReply, ChildResponse, FetchResponse, PopTransport};
 use crate::pop::validator::{PopReport, Validator};
 use crate::store::{BackendFactory, MemoryBackendFactory, SyncPolicy, TrustCache};
 use crate::workload::{sensor_payload, VerificationWorkload};
@@ -168,7 +168,7 @@ impl PopTransport for SimTransport<'_> {
         validator: NodeId,
         owner: NodeId,
         id: BlockId,
-    ) -> Option<crate::block::DataBlock> {
+    ) -> Option<FetchResponse> {
         // The target block retrieval is application data traffic: the
         // validator would fetch the sensed data regardless of PoP. It is
         // accounted under `Other` so the "consensus" panels of Fig. 8 match
@@ -185,19 +185,40 @@ impl PopTransport for SimTransport<'_> {
         if self.links.drops() {
             return None; // request lost in the air
         }
-        let served = self.nodes[owner.index()].serve_block(id)?;
+        let served = match self.nodes[owner.index()].serve_block(id) {
+            BlockFetch::Unavailable => return None, // silent / never generated
+            served => served,
+        };
         if self.links.drops() {
             return None; // response lost
         }
-        if self.meter {
-            self.accounting.record(
-                owner,
-                validator,
-                TrafficClass::Other,
-                self.cfg.block_response_bits(served.header.digest_entries()),
-            );
+        match served {
+            BlockFetch::Served(block) => {
+                if self.meter {
+                    self.accounting.record(
+                        owner,
+                        validator,
+                        TrafficClass::Other,
+                        self.cfg.block_response_bits(block.header.digest_entries()),
+                    );
+                }
+                Some(FetchResponse::Block(Box::new(block)))
+            }
+            BlockFetch::Pruned { retained_from } => {
+                // Graceful miss: the owner compacted the block away. The
+                // reply is nack-sized application traffic.
+                if self.meter {
+                    self.accounting.record(
+                        owner,
+                        validator,
+                        TrafficClass::Other,
+                        self.cfg.nack_bits(),
+                    );
+                }
+                Some(FetchResponse::Pruned { retained_from })
+            }
+            BlockFetch::Unavailable => unreachable!("handled before the reply-loss check"),
         }
-        Some(served)
     }
 
     fn request_child(
@@ -217,24 +238,33 @@ impl PopTransport for SimTransport<'_> {
         if self.links.drops() {
             return None; // RPY_CHILD lost
         }
-        let Some((block_id, header)) = node.serve_child_request(&target) else {
-            self.record(responder, validator, self.cfg.nack_bits());
-            return Some(ChildResponse::NoChild);
-        };
-        let claimed_owner = match node.behavior() {
-            Behavior::SybilImpersonator { claimed } => NodeId(claimed),
-            _ => responder,
-        };
-        self.record(
-            responder,
-            validator,
-            self.cfg.rpy_child_bits(header.digest_entries()),
-        );
-        Some(ChildResponse::Found(ChildReply {
-            claimed_owner,
-            block_id,
-            header,
-        }))
+        match node.serve_child_request(&target) {
+            None => None, // silent (already screened above; defensive)
+            Some(ChildServe::NoChild) => {
+                self.record(responder, validator, self.cfg.nack_bits());
+                Some(ChildResponse::NoChild)
+            }
+            Some(ChildServe::Pruned) => {
+                self.record(responder, validator, self.cfg.nack_bits());
+                Some(ChildResponse::Pruned)
+            }
+            Some(ChildServe::Found(block_id, header)) => {
+                let claimed_owner = match node.behavior() {
+                    Behavior::SybilImpersonator { claimed } => NodeId(claimed),
+                    _ => responder,
+                };
+                self.record(
+                    responder,
+                    validator,
+                    self.cfg.rpy_child_bits(header.digest_entries()),
+                );
+                Some(ChildResponse::Found(ChildReply {
+                    claimed_owner,
+                    block_id,
+                    header,
+                }))
+            }
+        }
     }
 }
 
@@ -308,6 +338,12 @@ pub struct TldagNetwork {
     /// against forking a chain whose sequence numbers are already
     /// referenced network-wide).
     crashed_chain_len: Vec<Option<usize>>,
+    /// Whether `H_i` is persisted through the factory at commit points and
+    /// restored on `restart_node` (TPS resumes warm after a crash).
+    persist_trust_cache: bool,
+    /// Cache size at the last save, per node — skips no-op writes
+    /// (`TrustCache` is insert-only, so a changed size ⇔ new entries).
+    trust_saved_len: Vec<usize>,
 }
 
 impl TldagNetwork {
@@ -376,6 +412,8 @@ impl TldagNetwork {
             links: LinkFaults::perfect(),
             factory,
             crashed_chain_len: vec![None; n],
+            persist_trust_cache: false,
+            trust_saved_len: vec![0; n],
         };
         network.rebuild_routes();
         network
@@ -417,6 +455,40 @@ impl TldagNetwork {
     /// The current sync policy.
     pub fn sync_policy(&self) -> SyncPolicy {
         self.sync_policy
+    }
+
+    /// Enables (or disables) trusted-header cache persistence: at every
+    /// storage commit point each node's `H_i` is saved through the backend
+    /// factory (codec-encoded, atomically replaced), and
+    /// [`Self::restart_node`] restores it so TPS resumes warm instead of
+    /// re-verifying paths from scratch. A no-op with volatile factories.
+    pub fn set_persist_trust_cache(&mut self, on: bool) {
+        self.persist_trust_cache = on;
+    }
+
+    /// Whether trust-cache persistence is enabled.
+    pub fn persists_trust_cache(&self) -> bool {
+        self.persist_trust_cache
+    }
+
+    /// Saves every live node's `H_i` that changed since its last save.
+    /// Serial on purpose: the factory is a single object, and the writes are
+    /// small (headers only).
+    fn save_trust_caches(&mut self) -> Result<(), TldagError> {
+        for node in &self.nodes {
+            let idx = node.id().index();
+            if self.departed[idx] {
+                continue;
+            }
+            let len = node.trust_cache().len();
+            if len == self.trust_saved_len[idx] {
+                continue;
+            }
+            self.factory
+                .save_trust_cache(node.id(), node.trust_cache())?;
+            self.trust_saved_len[idx] = len;
+        }
+        Ok(())
     }
 
     /// Installs an event trace (use [`Trace::bounded`] to cap memory).
@@ -762,6 +834,9 @@ impl TldagNetwork {
             for result in sync_results {
                 result?;
             }
+            if self.persist_trust_cache {
+                self.save_trust_caches()?;
+            }
         }
 
         self.slot += 1;
@@ -786,6 +861,9 @@ impl TldagNetwork {
     pub fn sync_storage(&mut self) -> Result<(), TldagError> {
         for node in &mut self.nodes {
             node.store_mut().sync()?;
+        }
+        if self.persist_trust_cache {
+            self.save_trust_caches()?;
         }
         Ok(())
     }
@@ -846,6 +924,7 @@ impl TldagNetwork {
         self.accounting.grow();
         self.departed.push(false);
         self.crashed_chain_len.push(None);
+        self.trust_saved_len.push(0);
         self.rebuild_routes();
         self.trace
             .record(self.slot, TraceKind::Membership, format!("{id} joined"));
@@ -933,12 +1012,28 @@ restarting would fork its chain"
         }
         self.crashed_chain_len[idx] = None;
         let neighbors = self.topology.neighbors(id).to_vec();
-        self.nodes[idx] = LedgerNode::with_backend(id, neighbors, &self.cfg, backend);
+        let mut node = LedgerNode::with_backend(id, neighbors, &self.cfg, backend);
+        // Warm restart: restore the persisted `H_i` so TPS resumes from the
+        // pre-crash trust state instead of re-verifying paths from scratch.
+        let mut warm_headers = 0usize;
+        if self.persist_trust_cache {
+            if let Some(cache) = self.factory.load_trust_cache(id)? {
+                warm_headers = cache.len();
+                self.trust_saved_len[idx] = warm_headers;
+                node.restore_trust_cache(cache);
+            } else {
+                self.trust_saved_len[idx] = 0;
+            }
+        }
+        self.nodes[idx] = node;
         self.departed[idx] = false;
         self.trace.record(
             self.slot,
             TraceKind::Membership,
-            format!("{id} restarted with {recovered} recovered blocks"),
+            format!(
+                "{id} restarted with {recovered} recovered blocks, \
+{warm_headers} trusted headers"
+            ),
         );
         Ok(recovered)
     }

@@ -31,6 +31,40 @@ use tldag_crypto::Digest;
 use tldag_sim::engine::Slot;
 use tldag_sim::{Bits, NodeId};
 
+/// What a verifier says to a full-block fetch (Algorithm 3 line 2).
+///
+/// Distinguishing "compacted away under the storage budget" from plain
+/// unavailability matters for both the blacklist (pruning is cooperative,
+/// not an offense) and the Eq. 2 retention experiments, which count pruned
+/// misses separately from failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlockFetch {
+    /// The block as stored (possibly tampered by a malicious behaviour).
+    Served(DataBlock),
+    /// The block existed but was compacted away under the retention budget;
+    /// the verifier retains `retained_from` onward.
+    Pruned {
+        /// First sequence number still retained.
+        retained_from: u32,
+    },
+    /// No response: the node is silent or never generated the block.
+    Unavailable,
+}
+
+/// What a responder says to a `REQ_CHILD` (Algorithm 4), before transport
+/// faults are applied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChildServe {
+    /// The oldest own block whose Digests field contains the target.
+    Found(BlockId, BlockHeader),
+    /// No such block stored (and nothing has been pruned, so none ever
+    /// existed in the retained history).
+    NoChild,
+    /// No such block retained **and** the chain prefix has been compacted
+    /// away — a matching child may have existed below the pruned floor.
+    Pruned,
+}
+
 /// A 2LDAG protocol participant.
 #[derive(Debug)]
 pub struct LedgerNode {
@@ -254,14 +288,30 @@ impl LedgerNode {
         self.digests_this_slot.clear();
     }
 
+    /// First sequence number of `S_i` still retained — the node's pruned
+    /// floor (0 until a retention budget compacts the chain prefix).
+    pub fn pruned_floor(&self) -> u32 {
+        self.store.pruned_floor()
+    }
+
     /// Serves a full-block fetch (the verifier role in Algorithm 3 line 2).
     /// Honest nodes return the block as stored; [`Behavior::CorruptStore`]
-    /// returns a tampered body; silent behaviours return `None`.
-    pub fn serve_block(&self, id: BlockId) -> Option<DataBlock> {
+    /// returns a tampered body; silent behaviours are
+    /// [`BlockFetch::Unavailable`]; a block below the pruned floor is a
+    /// graceful [`BlockFetch::Pruned`] miss, never a panic.
+    pub fn serve_block(&self, id: BlockId) -> BlockFetch {
         if self.behavior.is_silent() {
-            return None;
+            return BlockFetch::Unavailable;
         }
-        let block = self.store.get(id.seq)?;
+        let Some(block) = self.store.get(id.seq) else {
+            let floor = self.store.pruned_floor();
+            if id.seq < floor {
+                return BlockFetch::Pruned {
+                    retained_from: floor,
+                };
+            }
+            return BlockFetch::Unavailable;
+        };
         match self.behavior {
             Behavior::CorruptStore => {
                 let mut tampered = block;
@@ -272,20 +322,29 @@ impl LedgerNode {
                     bytes[0] ^= 0xff;
                 }
                 tampered.body = BlockBody::new(bytes, tampered.body.logical_bits);
-                Some(tampered)
+                BlockFetch::Served(tampered)
             }
-            _ => Some(block),
+            _ => BlockFetch::Served(block),
         }
     }
 
     /// Serves a `REQ_CHILD` request (Algorithm 4): the oldest own block whose
-    /// header contains `target`. Behaviour hooks: silent nodes return `None`,
-    /// corrupt repliers flip the referenced digest.
-    pub fn serve_child_request(&self, target: &Digest) -> Option<(BlockId, BlockHeader)> {
+    /// header contains `target`. Silent nodes return `None` (the requester
+    /// times out); corrupt repliers flip the referenced digest; a miss on a
+    /// compacted chain is reported as [`ChildServe::Pruned`] — the child may
+    /// have lived below the pruned floor, which `REQ_CHILD` cannot
+    /// distinguish from "never existed".
+    pub fn serve_child_request(&self, target: &Digest) -> Option<ChildServe> {
         if self.behavior.is_silent() {
             return None;
         }
-        let block = self.store.oldest_child_of(target)?;
+        let Some(block) = self.store.oldest_child_of(target) else {
+            return Some(if self.store.pruned_floor() > 0 {
+                ChildServe::Pruned
+            } else {
+                ChildServe::NoChild
+            });
+        };
         let mut header = block.header;
         if self.behavior == Behavior::CorruptReply {
             for entry in &mut header.digests {
@@ -294,7 +353,7 @@ impl LedgerNode {
                 }
             }
         }
-        Some((block.id, header))
+        Some(ChildServe::Found(block.id, header))
     }
 
     /// Total logical storage: `|S_i| + |H_i|` in bits (Prop. 3's quantity).
@@ -395,9 +454,16 @@ mod tests {
         node.receive_digest(NodeId(1), target);
         node.generate_block(&cfg, 0, vec![0]).unwrap(); // seq 0 contains target
         node.generate_block(&cfg, 1, vec![1]).unwrap(); // seq 1 contains own prev (target replaced? no: A_i still has it)
-        let (id, header) = node.serve_child_request(&target).unwrap();
+        let Some(ChildServe::Found(id, header)) = node.serve_child_request(&target) else {
+            panic!("expected a child");
+        };
         assert_eq!(id.seq, 0);
         assert!(header.contains_digest(&target));
+        // A miss on an unpruned chain is a definitive NoChild.
+        assert_eq!(
+            node.serve_child_request(&Digest::ZERO),
+            Some(ChildServe::NoChild)
+        );
     }
 
     #[test]
@@ -408,7 +474,9 @@ mod tests {
         node.receive_digest(NodeId(1), target);
         node.generate_block(&cfg, 0, vec![0]).unwrap();
         node.set_behavior(Behavior::CorruptReply);
-        let (_, header) = node.serve_child_request(&target).unwrap();
+        let Some(ChildServe::Found(_, header)) = node.serve_child_request(&target) else {
+            panic!("expected a child");
+        };
         assert!(!header.contains_digest(&target));
     }
 
@@ -418,7 +486,10 @@ mod tests {
         let mut node = node_with_neighbors(0, &[1]);
         node.generate_block(&cfg, 0, vec![0]).unwrap();
         node.set_behavior(Behavior::Unresponsive);
-        assert!(node.serve_block(BlockId::genesis(NodeId(0))).is_none());
+        assert_eq!(
+            node.serve_block(BlockId::genesis(NodeId(0))),
+            BlockFetch::Unavailable
+        );
         assert!(node.serve_child_request(&Digest::ZERO).is_none());
     }
 
@@ -428,7 +499,9 @@ mod tests {
         let mut node = node_with_neighbors(0, &[1]);
         node.generate_block(&cfg, 0, vec![1, 2, 3]).unwrap();
         node.set_behavior(Behavior::CorruptStore);
-        let block = node.serve_block(BlockId::genesis(NodeId(0))).unwrap();
+        let BlockFetch::Served(block) = node.serve_block(BlockId::genesis(NodeId(0))) else {
+            panic!("corrupt store still serves");
+        };
         // Tampered body no longer matches the signed Merkle root.
         assert_ne!(
             block.body.merkle_root(cfg.merkle_chunk_bytes),

@@ -32,12 +32,35 @@ pub struct ChildReply {
 ///
 /// Distinguishing a cooperative "I have no child of that block" from silence
 /// matters for the blacklist: only silence and invalid replies are offenses.
+/// A [`ChildResponse::Pruned`] miss is equally cooperative — the responder
+/// compacted its chain prefix under a storage budget (Eq. 2), so a matching
+/// child may once have existed.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ChildResponse {
     /// The responder has a child block and returns its header.
     Found(ChildReply),
     /// The responder cooperated but stores no child of the target.
     NoChild,
+    /// The responder cooperated but has pruned its chain prefix; any child
+    /// of the target may have been compacted away.
+    Pruned,
+}
+
+/// What a verifier says to a full-block fetch.
+///
+/// Returned inside an `Option` by [`PopTransport::fetch_block`]: `None`
+/// still models the timeout `τ`, while [`FetchResponse::Pruned`] is a
+/// cooperative answer — the owner is alive but compacted the block away
+/// under its retention budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FetchResponse {
+    /// The requested block, as served by its owner.
+    Block(Box<DataBlock>),
+    /// The owner pruned the block; it retains `retained_from` onward.
+    Pruned {
+        /// First sequence number the owner still retains.
+        retained_from: u32,
+    },
 }
 
 /// Transport used by the validator to reach other nodes.
@@ -46,7 +69,12 @@ pub enum ChildResponse {
 /// after `τ` (unresponsive, selfish, or partitioned peers).
 pub trait PopTransport {
     /// Retrieves the full block `id` from `owner` (validator → verifier).
-    fn fetch_block(&mut self, validator: NodeId, owner: NodeId, id: BlockId) -> Option<DataBlock>;
+    fn fetch_block(
+        &mut self,
+        validator: NodeId,
+        owner: NodeId,
+        id: BlockId,
+    ) -> Option<FetchResponse>;
 
     /// Sends `REQ_CHILD(target)` to `responder` and waits for `RPY_CHILD`.
     fn request_child(
@@ -68,7 +96,7 @@ mod tests {
     struct DeadTransport;
 
     impl PopTransport for DeadTransport {
-        fn fetch_block(&mut self, _: NodeId, _: NodeId, _: BlockId) -> Option<DataBlock> {
+        fn fetch_block(&mut self, _: NodeId, _: NodeId, _: BlockId) -> Option<FetchResponse> {
             None
         }
         fn request_child(&mut self, _: NodeId, _: NodeId, _: Digest) -> Option<ChildResponse> {

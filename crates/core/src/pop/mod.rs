@@ -22,5 +22,5 @@ pub mod tps;
 pub mod validator;
 pub mod wps;
 
-pub use messages::{ChildReply, ChildResponse, PopTransport};
+pub use messages::{ChildReply, ChildResponse, FetchResponse, PopTransport};
 pub use validator::{PathStep, PopMetrics, PopReport, Validator};

@@ -28,7 +28,7 @@ use crate::blacklist::Blacklist;
 use crate::block::{BlockHeader, BlockId};
 use crate::config::ProtocolConfig;
 use crate::error::PopError;
-use crate::pop::messages::{ChildReply, ChildResponse, PopTransport};
+use crate::pop::messages::{ChildReply, ChildResponse, FetchResponse, PopTransport};
 use crate::pop::{tps, wps};
 use crate::store::{BlockBackend, TrustCache, TrustedHeader};
 use std::collections::{HashMap, HashSet};
@@ -71,6 +71,10 @@ pub struct PopMetrics {
     pub invalid_replies: u64,
     /// Cooperative "no child stored" replies.
     pub no_child_replies: u64,
+    /// Graceful pruned misses: the target block was compacted away at the
+    /// verifier, or a responder's pruned chain could not rule out a child
+    /// (Eq. 2 retention budgets in action — cooperative, never an offense).
+    pub pruned_misses: u64,
     /// Requests that timed out.
     pub timeouts: u64,
     /// Path extensions served from the trust cache (TPS).
@@ -218,15 +222,34 @@ impl<'a> Validator<'a> {
         // --- Initialization: retrieve and validate the target block. ---
         metrics.messages_sent += 1;
         metrics.bits_sent += self.cfg.fetch_request_bits();
-        let Some(block) = transport.fetch_block(self.id, target.owner, target) else {
-            return PopReport {
-                outcome: Err(PopError::BlockUnavailable {
-                    owner: target.owner,
-                }),
-                path: Vec::new(),
-                distinct_nodes: 0,
-                metrics,
-            };
+        let block = match transport.fetch_block(self.id, target.owner, target) {
+            None => {
+                return PopReport {
+                    outcome: Err(PopError::BlockUnavailable {
+                        owner: target.owner,
+                    }),
+                    path: Vec::new(),
+                    distinct_nodes: 0,
+                    metrics,
+                };
+            }
+            Some(FetchResponse::Pruned { retained_from }) => {
+                // Graceful miss: the owner compacted the block away under
+                // its storage budget. Cooperative — no offense, no retry.
+                metrics.messages_received += 1;
+                metrics.bits_received += self.cfg.nack_bits();
+                metrics.pruned_misses += 1;
+                return PopReport {
+                    outcome: Err(PopError::TargetPruned {
+                        owner: target.owner,
+                        retained_from,
+                    }),
+                    path: Vec::new(),
+                    distinct_nodes: 0,
+                    metrics,
+                };
+            }
+            Some(FetchResponse::Block(block)) => *block,
         };
         metrics.messages_received += 1;
         metrics.bits_received += self.cfg.block_response_bits(block.header.digest_entries());
@@ -345,6 +368,7 @@ impl<'a> Validator<'a> {
                         block_id: b.id,
                         header: b.header,
                     }),
+                    None if self.own_store.pruned_floor() > 0 => ChildResponse::Pruned,
                     None => ChildResponse::NoChild,
                 })
             } else {
@@ -359,7 +383,7 @@ impl<'a> Validator<'a> {
                         ChildResponse::Found(reply) => {
                             self.cfg.rpy_child_bits(reply.header.digest_entries())
                         }
-                        ChildResponse::NoChild => self.cfg.nack_bits(),
+                        ChildResponse::NoChild | ChildResponse::Pruned => self.cfg.nack_bits(),
                     };
                 }
                 response
@@ -380,6 +404,19 @@ impl<'a> Validator<'a> {
                 Some(ChildResponse::NoChild) => {
                     // Cooperative miss: not an offense, just try elsewhere.
                     metrics.no_child_replies += 1;
+                    if responder != self.id {
+                        self.blacklist.record_success(responder);
+                    }
+                    path.last_mut()
+                        .expect("path never empty here")
+                        .tried
+                        .insert(responder);
+                }
+                Some(ChildResponse::Pruned) => {
+                    // Equally cooperative: the responder compacted its chain
+                    // prefix, so a child may be gone. Counted separately —
+                    // this is the Eq. 2 budget showing up in the protocol.
+                    metrics.pruned_misses += 1;
                     if responder != self.id {
                         self.blacklist.record_success(responder);
                     }

@@ -234,6 +234,18 @@ pub trait BlockBackend: fmt::Debug + Send + Sync {
         self.len()
     }
 
+    /// First sequence number still retained — the **pruned floor**.
+    ///
+    /// 0 until a retention budget compacts the chain prefix away; after
+    /// compaction, `get(seq)` returns `None` for every `seq` below the
+    /// floor even though `len()` keeps counting the full chain. The PoP
+    /// responder path uses the floor to answer requests for compacted
+    /// blocks with a graceful miss instead of feigning silence. Volatile
+    /// backends never prune.
+    fn pruned_floor(&self) -> u32 {
+        0
+    }
+
     /// Number of physical `fsync` calls this backend has issued so far.
     ///
     /// Volatile backends report 0. Group-committed backends sharing one log
@@ -258,6 +270,29 @@ pub trait BackendFactory: fmt::Debug {
     /// [`TldagError::Storage`] / [`TldagError::Corrupt`] from the engine;
     /// volatile factories cannot recover and return an empty store.
     fn reopen(&mut self, node: NodeId) -> Result<Box<dyn BlockBackend>, TldagError>;
+
+    /// Persists `node`'s trusted-header cache `H_i` alongside its chain, so
+    /// a restarted node can resume Trust Path Selection warm instead of
+    /// re-verifying paths from scratch. Volatile factories ignore the call.
+    ///
+    /// # Errors
+    ///
+    /// [`TldagError::Storage`] when the medium fails.
+    fn save_trust_cache(&mut self, _node: NodeId, _cache: &TrustCache) -> Result<(), TldagError> {
+        Ok(())
+    }
+
+    /// Loads `node`'s persisted `H_i`, if any. `H_i` is a cache, not ledger
+    /// state: a missing or unreadable file means a cold restart (`None`),
+    /// never an error.
+    ///
+    /// # Errors
+    ///
+    /// [`TldagError::Storage`] for genuine medium failures (durable
+    /// implementations treat decode failures as `None`).
+    fn load_trust_cache(&mut self, _node: NodeId) -> Result<Option<TrustCache>, TldagError> {
+        Ok(None)
+    }
 }
 
 /// The factory for the seed's in-memory stores: `create` and `reopen` both

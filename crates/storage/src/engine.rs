@@ -1,5 +1,6 @@
-//! The durable block-log engine: segmented append-only files + in-memory
-//! index + snapshot/tail-replay recovery + segment-aware compaction.
+//! The durable block-log engine: the shared segmented-log core
+//! ([`crate::segment::SegmentSet`]) plus an in-memory index, snapshot/
+//! tail-replay recovery, and segment-aware compaction.
 //!
 //! ## Layout
 //!
@@ -11,11 +12,11 @@
 //!   seg-000001.log     …
 //!   seg-000002.log     tail segment (appends go here)
 //!   index.snap         checksummed index snapshot + covered log position
+//!   LOCK               single-writer guard (holder PID)
 //! ```
 //!
 //! Records are CRC-framed codec-encoded blocks ([`crate::record`]); a record
-//! never spans segments. Appends accumulate in a write buffer that is written
-//! to the tail file when it exceeds [`StorageOptions::flush_buffer_bytes`];
+//! never spans segments. Appends accumulate in the core's write buffer and
 //! [`DurableStore::sync`] flushes, `fsync`s, and advances the durability
 //! watermark. A crash (dropping the store without sync) loses at most the
 //! buffered tail — exactly the contract [`BlockBackend::durable_len`]
@@ -25,10 +26,9 @@
 //!
 //! `open` loads `index.snap` if present and valid, then replays only the log
 //! records after the snapshot's covered position; without a usable snapshot
-//! it scans every segment. A torn record in the **final** segment truncates
-//! the file to the last valid boundary (a torn tail write is an expected
-//! crash artifact); anything invalid in an earlier segment is reported as
-//! corruption.
+//! it scans every segment. The core handles torn-tail truncation (a torn
+//! write in the final segment is an expected crash artifact) and reports
+//! damage in earlier segments as corruption.
 //!
 //! ## Compaction
 //!
@@ -37,63 +37,24 @@
 //! budget is naturally expressed through the paper's storage-overhead model
 //! (Eq. 2): pick a block-count horizon, multiply by `cfg.block_bits`, and the
 //! engine keeps disk usage within it while `len()` keeps counting the full
-//! chain so sequence numbers never regress.
+//! chain so sequence numbers never regress. The first still-retained
+//! sequence number is the **pruned floor** surfaced through
+//! [`BlockBackend::pruned_floor`] — the responder side of PoP uses it to
+//! answer requests for compacted blocks gracefully.
 
-use crate::index::{BlockIndex, RecordLocation};
-use crate::record::{self, RecordRead};
-use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::fs::{self, File, OpenOptions};
-use std::os::unix::fs::FileExt;
+use crate::index::BlockIndex;
+use crate::record;
+use crate::segment::{SegmentSet, StorageOptions};
+use std::collections::{HashMap, VecDeque};
+use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use tldag_core::config::ProtocolConfig;
 use tldag_core::error::TldagError;
-use tldag_core::store::{BackendFactory, BlockBackend};
-use tldag_core::{BlockId, DataBlock};
+use tldag_core::store::{BackendFactory, BlockBackend, TrustCache};
+use tldag_core::{codec, BlockId, DataBlock};
 use tldag_crypto::Digest;
 use tldag_sim::{Bits, NodeId};
-
-/// Tuning knobs for the durable engine.
-#[derive(Clone, Debug)]
-pub struct StorageOptions {
-    /// Target maximum bytes per segment file (records never span segments).
-    pub segment_bytes: u64,
-    /// Appends between automatic index snapshots (taken at sync points).
-    pub snapshot_every: u32,
-    /// Decoded blocks kept in the read cache.
-    pub cache_blocks: usize,
-    /// Write-buffer size that triggers a (non-fsync) flush to the tail file.
-    pub flush_buffer_bytes: usize,
-    /// Optional disk budget in bytes; exceeding it triggers compaction at
-    /// segment rolls (oldest sealed segments are dropped first).
-    pub retain_disk_bytes: Option<u64>,
-}
-
-impl Default for StorageOptions {
-    fn default() -> Self {
-        StorageOptions {
-            segment_bytes: 4 * 1024 * 1024,
-            snapshot_every: 1024,
-            cache_blocks: 32,
-            flush_buffer_bytes: 256 * 1024,
-            retain_disk_bytes: None,
-        }
-    }
-}
-
-impl StorageOptions {
-    /// Small segments / frequent snapshots, for tests that exercise rolls
-    /// and recovery paths quickly.
-    pub fn compact_test() -> Self {
-        StorageOptions {
-            segment_bytes: 4 * 1024,
-            snapshot_every: 8,
-            cache_blocks: 4,
-            flush_buffer_bytes: 512,
-            retain_disk_bytes: None,
-        }
-    }
-}
 
 /// Bounded FIFO cache of decoded blocks.
 #[derive(Debug, Default)]
@@ -143,10 +104,6 @@ impl BlockCache {
     }
 }
 
-fn segment_path(dir: &Path, id: u32) -> PathBuf {
-    dir.join(format!("seg-{id:06}.log"))
-}
-
 fn snapshot_path(dir: &Path) -> PathBuf {
     dir.join("index.snap")
 }
@@ -159,23 +116,13 @@ fn snapshot_path(dir: &Path) -> PathBuf {
 /// process restarts.
 #[derive(Debug)]
 pub struct DurableStore {
-    dir: PathBuf,
+    set: SegmentSet,
     opts: StorageOptions,
     index: BlockIndex,
-    /// Read handles, one per live segment (including the tail).
-    readers: BTreeMap<u32, File>,
-    /// Tail segment id.
-    tail_id: u32,
-    /// Bytes of the tail segment already written to the file.
-    tail_flushed: u64,
-    /// Records appended but not yet written to the file.
-    buffer: Vec<u8>,
     /// Blocks guaranteed on stable storage (advanced by [`Self::sync`]).
     durable_seq: u32,
     appends_since_snapshot: u32,
     cache: Mutex<BlockCache>,
-    /// Physical fsync calls issued so far (`sync_data` on any file).
-    fsyncs: u64,
 }
 
 impl DurableStore {
@@ -184,230 +131,62 @@ impl DurableStore {
     ///
     /// # Errors
     ///
+    /// [`TldagError::Locked`] when another live handle owns the directory,
     /// [`TldagError::Storage`] on I/O failure, [`TldagError::Corrupt`] when
     /// a **sealed** segment fails validation (a corrupt snapshot alone is
     /// not fatal — it falls back to a full scan).
     pub fn open(dir: impl Into<PathBuf>, opts: StorageOptions) -> Result<Self, TldagError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir).map_err(|e| TldagError::io("create storage dir", &e))?;
-
-        let mut segment_ids = Self::list_segments(&dir)?;
-        if segment_ids.is_empty() {
-            File::create(segment_path(&dir, 0))
-                .map_err(|e| TldagError::io("create first segment", &e))?;
-            segment_ids.push(0);
-        }
+        let mut set = SegmentSet::open(&dir, "seg", opts.segment_bytes, opts.flush_buffer_bytes)?;
+        let segment_ids = set.segment_ids();
 
         // Snapshot load is best-effort: any inconsistency downgrades to a
         // full log scan starting at the oldest live segment.
         let snapshot = fs::read(snapshot_path(&dir))
             .ok()
             .and_then(|blob| BlockIndex::decode_snapshot(&blob).ok())
-            .filter(|(_, seg, _)| segment_ids.contains(seg));
-        let (mut index, mut replay_segment, mut replay_offset) = match snapshot {
-            Some((index, seg, off)) => (index, seg, off),
-            None => (BlockIndex::new(), segment_ids[0], 0),
+            .filter(|(_, seg, _)| segment_ids.contains(seg))
+            // If the snapshot claims coverage beyond its segment's file (it
+            // was taken right before a crash that also tore the tail),
+            // rescan from scratch.
+            .filter(|&(_, seg, off)| set.segment_len(seg).is_ok_and(|len| off <= len));
+        let (mut index, replay_start) = match snapshot {
+            Some((index, seg, off)) => (index, Some((seg, off))),
+            None => (BlockIndex::new(), None),
         };
 
-        let mut readers = BTreeMap::new();
-        for &id in &segment_ids {
-            let file = OpenOptions::new()
-                .read(true)
-                .write(true)
-                .open(segment_path(&dir, id))
-                .map_err(|e| TldagError::io("open segment", &e))?;
-            readers.insert(id, file);
-        }
-
-        // If the snapshot claims coverage beyond the tail file (it was taken
-        // right before a crash that also tore the tail), rescan from scratch.
-        let covered_len = readers[&replay_segment]
-            .metadata()
-            .map_err(|e| TldagError::io("stat segment", &e))?
-            .len();
-        if replay_offset > covered_len {
-            index = BlockIndex::new();
-            replay_segment = segment_ids[0];
-            replay_offset = 0;
-        }
-
-        let tail_id = *segment_ids.last().expect("at least one segment");
-        let mut tail_flushed = 0u64;
-        for &id in segment_ids.iter().filter(|&&id| id >= replay_segment) {
-            let start = if id == replay_segment {
-                replay_offset
-            } else {
-                0
-            };
-            let valid_len =
-                Self::replay_segment(&readers[&id], id, start, &mut index, id == tail_id)?;
-            if id == tail_id {
-                tail_flushed = valid_len;
+        set.replay(replay_start, &mut |block, location| {
+            let fresh = index.retained() == 0 && index.base_seq() == 0;
+            if fresh && block.id.seq != 0 {
+                // Full scan after compaction: the first surviving record
+                // defines the chain base.
+                index.start_at(block.id.seq);
             }
-        }
-        // A full scan must land on a contiguous chain; sanity-check against
-        // the recovered base (the first record of the oldest segment).
+            let expected = index.next_seq();
+            if block.id.seq != expected {
+                return Err(TldagError::Corrupt(format!(
+                    "segment {}: expected seq {expected}, found {}",
+                    location.segment, block.id.seq
+                )));
+            }
+            index.push(&block, location);
+            Ok(())
+        })?;
         let durable_seq = index.next_seq();
 
         Ok(DurableStore {
             cache: Mutex::new(BlockCache::new(opts.cache_blocks)),
-            fsyncs: 0,
-            dir,
+            set,
             opts,
             index,
-            readers,
-            tail_id,
-            tail_flushed,
-            buffer: Vec::new(),
             durable_seq,
             appends_since_snapshot: 0,
         })
     }
 
-    fn list_segments(dir: &Path) -> Result<Vec<u32>, TldagError> {
-        let mut ids = Vec::new();
-        let entries = fs::read_dir(dir);
-        let Ok(entries) = entries else {
-            return Ok(ids); // directory does not exist yet
-        };
-        for entry in entries {
-            let entry = entry.map_err(|e| TldagError::io("read storage dir", &e))?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
-            if let Some(id) = name
-                .strip_prefix("seg-")
-                .and_then(|rest| rest.strip_suffix(".log"))
-                .and_then(|digits| digits.parse::<u32>().ok())
-            {
-                ids.push(id);
-            }
-        }
-        ids.sort_unstable();
-        Ok(ids)
-    }
-
-    /// Replays one segment from `start`, appending records to `index`.
-    /// Returns the length of the valid prefix. Invalid bytes truncate the
-    /// file when `is_tail`, and are fatal otherwise.
-    fn replay_segment(
-        file: &File,
-        id: u32,
-        start: u64,
-        index: &mut BlockIndex,
-        is_tail: bool,
-    ) -> Result<u64, TldagError> {
-        let file_len = file
-            .metadata()
-            .map_err(|e| TldagError::io("stat segment", &e))?
-            .len();
-        let mut bytes = vec![0u8; (file_len - start.min(file_len)) as usize];
-        file.read_exact_at(&mut bytes, start)
-            .map_err(|e| TldagError::io("read segment", &e))?;
-
-        let mut pos = 0usize;
-        loop {
-            if pos == bytes.len() {
-                return Ok(start + pos as u64);
-            }
-            match record::read_record(&bytes[pos..]) {
-                RecordRead::Complete { block, consumed } => {
-                    let fresh = index.retained() == 0 && index.base_seq() == 0;
-                    if fresh && block.id.seq != 0 {
-                        // Full scan after compaction: the first surviving
-                        // record defines the chain base.
-                        index.start_at(block.id.seq);
-                    }
-                    let expected = index.next_seq();
-                    if block.id.seq != expected {
-                        return Err(TldagError::Corrupt(format!(
-                            "segment {id}: expected seq {expected}, found {}",
-                            block.id.seq
-                        )));
-                    }
-                    let location = RecordLocation {
-                        segment: id,
-                        offset: start + pos as u64,
-                        len: consumed as u32,
-                    };
-                    index.push(&block, location);
-                    pos += consumed;
-                }
-                RecordRead::Torn => {
-                    return Self::handle_invalid(file, id, start + pos as u64, is_tail, "torn");
-                }
-                RecordRead::Corrupt(msg) => {
-                    return Self::handle_invalid(file, id, start + pos as u64, is_tail, &msg);
-                }
-            }
-        }
-    }
-
-    fn handle_invalid(
-        file: &File,
-        id: u32,
-        valid_len: u64,
-        is_tail: bool,
-        reason: &str,
-    ) -> Result<u64, TldagError> {
-        if is_tail {
-            // Expected crash artifact: discard the invalid tail.
-            file.set_len(valid_len)
-                .map_err(|e| TldagError::io("truncate torn tail", &e))?;
-            Ok(valid_len)
-        } else {
-            Err(TldagError::Corrupt(format!(
-                "sealed segment {id} invalid at offset {valid_len}: {reason}"
-            )))
-        }
-    }
-
-    /// Writes the buffered tail records to the file (no fsync).
-    fn flush_buffer(&mut self) -> Result<(), TldagError> {
-        if self.buffer.is_empty() {
-            return Ok(());
-        }
-        let file = self.readers.get(&self.tail_id).expect("tail reader");
-        file.write_all_at(&self.buffer, self.tail_flushed)
-            .map_err(|e| TldagError::io("flush tail buffer", &e))?;
-        self.tail_flushed += self.buffer.len() as u64;
-        self.buffer.clear();
-        Ok(())
-    }
-
-    /// Seals the tail segment and starts a new one.
-    fn roll_segment(&mut self) -> Result<(), TldagError> {
-        self.flush_buffer()?;
-        self.readers[&self.tail_id]
-            .sync_data()
-            .map_err(|e| TldagError::io("sync sealed segment", &e))?;
-        self.fsyncs += 1;
-        let next = self.tail_id + 1;
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(segment_path(&self.dir, next))
-            .map_err(|e| TldagError::io("create segment", &e))?;
-        self.readers.insert(next, file);
-        self.tail_id = next;
-        self.tail_flushed = 0;
-        if let Some(budget) = self.opts.retain_disk_bytes {
-            self.compact_to_budget(budget)?;
-        }
-        Ok(())
-    }
-
     /// Total bytes on disk (flushed) plus the pending write buffer.
     pub fn disk_usage_bytes(&self) -> u64 {
-        let sealed: u64 = self
-            .readers
-            .iter()
-            .filter(|(&id, _)| id != self.tail_id)
-            .filter_map(|(_, f)| f.metadata().ok())
-            .map(|m| m.len())
-            .sum();
-        sealed + self.tail_flushed + self.buffer.len() as u64
+        self.set.disk_usage_bytes()
     }
 
     /// Drops whole sealed segments, oldest first, until disk usage is within
@@ -424,13 +203,10 @@ impl DurableStore {
     pub fn compact_to_budget(&mut self, max_bytes: u64) -> Result<usize, TldagError> {
         let mut pruned_total = 0usize;
         let mut removed: Vec<u32> = Vec::new();
-        while self.disk_usage_bytes() > max_bytes {
-            let Some((&oldest, _)) = self.readers.iter().next() else {
-                break;
+        while self.set.disk_usage_bytes() > max_bytes {
+            let Some(oldest) = self.set.oldest_sealed() else {
+                break; // only the tail is left
             };
-            if oldest == self.tail_id {
-                break; // never drop the tail
-            }
             // The first seq stored past the dropped segment becomes the base.
             let next_seq_after = (self.index.base_seq()..self.index.next_seq())
                 .find(|&seq| {
@@ -450,7 +226,7 @@ impl DurableStore {
                 .lock()
                 .expect("cache lock")
                 .evict_below(next_seq_after);
-            self.readers.remove(&oldest);
+            self.set.retire_segment(oldest);
             removed.push(oldest);
         }
         if pruned_total > 0 {
@@ -461,23 +237,21 @@ impl DurableStore {
             self.write_snapshot()?;
         }
         for id in removed {
-            fs::remove_file(segment_path(&self.dir, id))
-                .map_err(|e| TldagError::io("remove compacted segment", &e))?;
+            self.set.delete_segment_file(id)?;
         }
         Ok(pruned_total)
     }
 
     /// Flushes, fsyncs, and writes a fresh snapshot covering the whole log.
     fn write_snapshot(&mut self) -> Result<(), TldagError> {
-        self.flush_buffer()?;
-        self.readers[&self.tail_id]
-            .sync_data()
-            .map_err(|e| TldagError::io("sync before snapshot", &e))?;
-        self.fsyncs += 1;
-        let blob = self.index.encode_snapshot(self.tail_id, self.tail_flushed);
-        let tmp = self.dir.join("index.snap.tmp");
+        self.set.sync()?;
+        let blob = self.index.encode_snapshot(
+            self.set.tail_id(),
+            self.set.segment_len(self.set.tail_id())?,
+        );
+        let tmp = self.set.dir().join("index.snap.tmp");
         fs::write(&tmp, &blob).map_err(|e| TldagError::io("write snapshot", &e))?;
-        fs::rename(&tmp, snapshot_path(&self.dir))
+        fs::rename(&tmp, snapshot_path(self.set.dir()))
             .map_err(|e| TldagError::io("publish snapshot", &e))?;
         self.appends_since_snapshot = 0;
         Ok(())
@@ -485,31 +259,12 @@ impl DurableStore {
 
     /// The directory this store lives in.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        self.set.dir()
     }
 
     /// First sequence number still retained (> 0 after compaction).
     pub fn base_seq(&self) -> u32 {
         self.index.base_seq()
-    }
-
-    fn read_location(&self, location: RecordLocation) -> Result<DataBlock, TldagError> {
-        let mut frame = vec![0u8; location.len as usize];
-        if location.segment == self.tail_id && location.offset >= self.tail_flushed {
-            // Records are appended and flushed whole, so a buffered record
-            // lies entirely within the buffer.
-            let start = (location.offset - self.tail_flushed) as usize;
-            let end = start + location.len as usize;
-            frame.copy_from_slice(&self.buffer[start..end]);
-        } else {
-            let file = self
-                .readers
-                .get(&location.segment)
-                .ok_or_else(|| TldagError::Corrupt("index references dropped segment".into()))?;
-            file.read_exact_at(&mut frame, location.offset)
-                .map_err(|e| TldagError::io("read record", &e))?;
-        }
-        record::decode_indexed(&frame)
     }
 
     fn get_inner(&self, seq: u32) -> Option<DataBlock> {
@@ -520,7 +275,8 @@ impl DurableStore {
         // Index and log are maintained together; a read failure here is
         // storage corruption, which the simulator treats as fatal.
         let block = self
-            .read_location(entry.location)
+            .set
+            .read(entry.location)
             .expect("indexed record must decode");
         self.cache
             .lock()
@@ -540,24 +296,22 @@ impl BlockBackend for DurableStore {
             });
         }
         let rec = record::encode_record(&block);
-        let tail_size = self.tail_flushed + self.buffer.len() as u64;
-        if tail_size > 0 && tail_size + rec.len() as u64 > self.opts.segment_bytes {
-            self.roll_segment()?;
-        }
-        let location = RecordLocation {
-            segment: self.tail_id,
-            offset: self.tail_flushed + self.buffer.len() as u64,
-            len: rec.len() as u32,
-        };
-        self.buffer.extend_from_slice(&rec);
-        self.index.push(&block, location);
+        let outcome = self.set.append_record(&rec)?;
+        // Index BEFORE any compaction: a roll-triggered compaction writes a
+        // snapshot covering the tail — including the record just staged —
+        // so the record's index entry must already exist or a reopen from
+        // that snapshot would replay past an unindexed block and fail with
+        // a bogus sequence-gap corruption error.
+        self.index.push(&block, outcome.location);
         self.cache
             .lock()
             .expect("cache lock")
             .insert(block.id.seq, block);
         self.appends_since_snapshot += 1;
-        if self.buffer.len() >= self.opts.flush_buffer_bytes {
-            self.flush_buffer()?;
+        if outcome.rolled {
+            if let Some(budget) = self.opts.retain_disk_bytes {
+                self.compact_to_budget(budget)?;
+            }
         }
         Ok(())
     }
@@ -611,16 +365,12 @@ impl BlockBackend for DurableStore {
 
     fn resident_bytes(&self) -> usize {
         self.index.resident_bytes()
-            + self.buffer.len()
+            + self.set.buffered_bytes()
             + self.cache.lock().expect("cache lock").resident_bytes()
     }
 
     fn sync(&mut self) -> Result<(), TldagError> {
-        self.flush_buffer()?;
-        self.readers[&self.tail_id]
-            .sync_data()
-            .map_err(|e| TldagError::io("fsync tail", &e))?;
-        self.fsyncs += 1;
+        self.set.sync()?;
         self.durable_seq = self.index.next_seq();
         if self.appends_since_snapshot >= self.opts.snapshot_every {
             self.write_snapshot()?;
@@ -632,14 +382,20 @@ impl BlockBackend for DurableStore {
         self.durable_seq as usize
     }
 
+    fn pruned_floor(&self) -> u32 {
+        self.index.base_seq()
+    }
+
     fn fsync_count(&self) -> u64 {
-        self.fsyncs
+        self.set.fsync_count()
     }
 }
 
 /// Provisions one [`DurableStore`] per node under a root directory
 /// (`root/node-<id>/`), implementing [`BackendFactory`] so
-/// `TldagNetwork::with_factory` can run any experiment disk-backed.
+/// `TldagNetwork::with_factory` can run any experiment disk-backed. Also
+/// persists each node's trusted-header cache `H_i` (`trust.cache` in the
+/// node directory) when the network opts in.
 #[derive(Debug)]
 pub struct DiskFactory {
     root: PathBuf,
@@ -658,6 +414,10 @@ impl DiskFactory {
     /// The per-node storage directory.
     pub fn node_dir(&self, node: NodeId) -> PathBuf {
         self.root.join(format!("node-{}", node.0))
+    }
+
+    fn trust_path(&self, node: NodeId) -> PathBuf {
+        self.node_dir(node).join("trust.cache")
     }
 }
 
@@ -685,4 +445,30 @@ impl BackendFactory for DiskFactory {
             self.opts.clone(),
         )?))
     }
+
+    fn save_trust_cache(&mut self, node: NodeId, cache: &TrustCache) -> Result<(), TldagError> {
+        write_trust_cache(&self.trust_path(node), cache)
+    }
+
+    fn load_trust_cache(&mut self, node: NodeId) -> Result<Option<TrustCache>, TldagError> {
+        Ok(read_trust_cache(&self.trust_path(node)))
+    }
+}
+
+/// Atomically persists `H_i` (tmp + rename over the previous file).
+pub(crate) fn write_trust_cache(path: &Path, cache: &TrustCache) -> Result<(), TldagError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).map_err(|e| TldagError::io("create trust-cache dir", &e))?;
+    }
+    let blob = codec::encode_trust_cache(cache);
+    let tmp = path.with_extension("cache.tmp");
+    fs::write(&tmp, &blob).map_err(|e| TldagError::io("write trust cache", &e))?;
+    fs::rename(&tmp, path).map_err(|e| TldagError::io("publish trust cache", &e))
+}
+
+/// Loads a persisted `H_i`; a missing or undecodable file yields `None`
+/// (the node simply restarts cold — `H_i` is a cache, not ledger state).
+pub(crate) fn read_trust_cache(path: &Path) -> Option<TrustCache> {
+    let blob = fs::read(path).ok()?;
+    codec::decode_trust_cache(&blob).ok()
 }

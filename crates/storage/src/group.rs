@@ -5,16 +5,24 @@
 //! targets, that makes the sync syscall — not the protocol — the slot-loop
 //! bottleneck in disk mode. This module batches durability the way real
 //! databases do (group commit): all nodes of a shard append CRC-framed
-//! records into **one** shared log file, staged writes accumulate per shard,
-//! and a slot-boundary sync costs **one** `fsync` per shard per slot no
-//! matter how many nodes the shard holds.
+//! records into **one** shared segmented log, staged writes accumulate per
+//! shard, and a slot-boundary sync costs **one** `fsync` per shard per slot
+//! no matter how many nodes the shard holds.
 //!
 //! ## Layout
 //!
+//! Since the segmented-core refactor each shard owns a **directory** of
+//! segment files (the same [`crate::segment::SegmentSet`] the per-node
+//! engine uses), so the shard log rolls and compacts exactly like a
+//! per-node log:
+//!
 //! ```text
 //! root/
-//!   shard-0000.log     records of the first contiguous band of node ids
-//!   shard-0001.log     …  (bands follow Sharding::chunk_ranges, so each
+//!   shard-0000/
+//!     seg-000000.log   sealed segment (records of the shard's node band)
+//!     seg-000001.log   tail segment
+//!     LOCK             single-writer guard
+//!   shard-0001/        …  (bands follow Sharding::chunk_ranges, so each
 //!                          engine worker thread owns one log)
 //! ```
 //!
@@ -22,6 +30,19 @@
 //! because the canonical block encoding already carries the owner id
 //! ([`DataBlock::id`]), which is what demultiplexes the log back into
 //! per-node chains on recovery.
+//!
+//! ## Retention
+//!
+//! With [`StorageOptions::retain_disk_bytes`] set, a segment roll compacts
+//! the log to the budget: the oldest sealed segment is dropped **only** when
+//! every member chain keeps its newest retained block in a later segment
+//! (dropping a chain head would break that node's own prev-digest linkage).
+//! Because appends from all members interleave in generation order, a
+//! dropped segment removes a *prefix* of every member chain — each member's
+//! index is pruned below its first sequence number stored beyond the dropped
+//! segment, and [`ShardLog::pruned_floor_of`] reports the per-member floor.
+//! Recovery demultiplexes the surviving segments: the first record seen for
+//! an owner re-establishes that chain's base.
 //!
 //! ## Durability contract
 //!
@@ -39,16 +60,16 @@
 //! like a thread dying inside a surviving storage process. Dropping every
 //! handle (and the factory) models the whole process dying.
 
-use crate::index::{BlockIndex, RecordLocation};
-use crate::record::{self, RecordRead};
+use crate::index::BlockIndex;
+use crate::record;
+use crate::segment::{SegmentSet, StorageOptions};
 use std::collections::BTreeMap;
-use std::fs::{self, File, OpenOptions};
-use std::os::unix::fs::FileExt;
+use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use tldag_core::config::ProtocolConfig;
 use tldag_core::error::TldagError;
-use tldag_core::store::{BackendFactory, BlockBackend};
+use tldag_core::store::{BackendFactory, BlockBackend, TrustCache};
 use tldag_core::{BlockId, DataBlock};
 use tldag_crypto::Digest;
 use tldag_sim::engine::Sharding;
@@ -61,118 +82,56 @@ pub const DEFAULT_FLUSH_BUFFER_BYTES: usize = 256 * 1024;
 ///
 /// Appends from any member node are staged into one buffer and indexed
 /// per-node; [`ShardLog::sync`] makes the whole batch durable with a single
-/// `fsync`. Reads are index-driven and served from the file (or the staging
-/// buffer for records not yet written out).
+/// `fsync`. Reads are index-driven and served from the segment files (or the
+/// staging buffer for records not yet written out).
 #[derive(Debug)]
 pub struct ShardLog {
-    path: PathBuf,
-    file: File,
-    /// Bytes already written to the file.
-    flushed: u64,
-    /// Records appended but not yet written to the file.
-    buffer: Vec<u8>,
+    set: SegmentSet,
+    opts: StorageOptions,
     /// Whether any record since the last fsync is not yet durable. This flag
     /// is what collapses N member syncs into one fsync per batch.
     dirty: bool,
-    flush_buffer_bytes: usize,
-    /// Per-node chain indexes over the shared log (`segment` is always 0).
+    /// Per-node chain indexes over the shared log.
     indexes: BTreeMap<u32, BlockIndex>,
     /// Per-node durable chain length (next seq covered by the last fsync).
     durable: BTreeMap<u32, u32>,
-    /// Physical fsync calls issued so far.
-    fsyncs: u64,
 }
 
 impl ShardLog {
-    /// Opens (or creates) the shard log at `path`, replaying existing
-    /// records into per-node indexes. An invalid frame marks the torn tail:
-    /// the file is truncated to the last valid record boundary (single-file
-    /// logs have no sealed/tail distinction — any invalid suffix is treated
-    /// as a crash artifact).
+    /// Opens (or creates) the shard log in directory `dir`, replaying the
+    /// surviving segments into per-node indexes. The segmented core handles
+    /// torn-tail truncation (an invalid frame in the tail segment marks a
+    /// crash artifact) and treats sealed-segment damage as fatal.
     ///
     /// # Errors
     ///
+    /// [`TldagError::Locked`] when another live handle owns the directory,
     /// [`TldagError::Storage`] on I/O failure, [`TldagError::Corrupt`] when
     /// a checksummed record decodes to an out-of-order sequence number
-    /// (which no torn write can produce).
-    pub fn open(path: impl Into<PathBuf>, flush_buffer_bytes: usize) -> Result<Self, TldagError> {
-        let path = path.into();
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent).map_err(|e| TldagError::io("create shard log dir", &e))?;
-        }
-        let file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)
-            .map_err(|e| TldagError::io("open shard log", &e))?;
-
-        let file_len = file
-            .metadata()
-            .map_err(|e| TldagError::io("stat shard log", &e))?
-            .len();
-
-        // Streaming replay: the log holds every member chain of the shard,
-        // so recovery must not materialise the whole file — read it in
-        // chunks, carrying the partial record at a chunk boundary over into
-        // the next window. Resident memory stays O(chunk + largest record).
-        const REPLAY_CHUNK: usize = 4 * 1024 * 1024;
+    /// (which no torn write can produce) or a sealed segment is damaged.
+    pub fn open(dir: impl Into<PathBuf>, opts: StorageOptions) -> Result<Self, TldagError> {
+        let mut set = SegmentSet::open(dir, "seg", opts.segment_bytes, opts.flush_buffer_bytes)?;
         let mut indexes: BTreeMap<u32, BlockIndex> = BTreeMap::new();
-        let mut window: Vec<u8> = Vec::new();
-        let mut window_start = 0u64; // file offset of window[0]
-        let mut parsed = 0usize; // bytes of the window already consumed
-        let mut read_to = 0u64; // file offset up to which we have read
-        let flushed = loop {
-            match record::read_record(&window[parsed..]) {
-                RecordRead::Complete { block, consumed } => {
-                    let owner = block.id.owner.0;
-                    let index = indexes.entry(owner).or_default();
-                    let expected = index.next_seq();
-                    if block.id.seq != expected {
-                        return Err(TldagError::Corrupt(format!(
-                            "shard log {}: node {owner} expected seq {expected}, found {}",
-                            path.display(),
-                            block.id.seq
-                        )));
-                    }
-                    index.push(
-                        &block,
-                        RecordLocation {
-                            segment: 0,
-                            offset: window_start + parsed as u64,
-                            len: consumed as u32,
-                        },
-                    );
-                    parsed += consumed;
-                }
-                RecordRead::Torn if read_to < file_len => {
-                    // The window ends mid-record but the file has more:
-                    // drop the parsed prefix and pull in the next chunk.
-                    window.drain(..parsed);
-                    window_start += parsed as u64;
-                    parsed = 0;
-                    let take = REPLAY_CHUNK.min((file_len - read_to) as usize);
-                    let old_len = window.len();
-                    window.resize(old_len + take, 0);
-                    file.read_exact_at(&mut window[old_len..], read_to)
-                        .map_err(|e| TldagError::io("read shard log", &e))?;
-                    read_to += take as u64;
-                }
-                RecordRead::Torn | RecordRead::Corrupt(_) => {
-                    // End of the valid prefix: clean end-of-log, or a crash
-                    // artifact (torn/garbled tail) that gets truncated away.
-                    let valid = window_start + parsed as u64;
-                    if valid < file_len {
-                        file.set_len(valid)
-                            .map_err(|e| TldagError::io("truncate torn shard tail", &e))?;
-                    }
-                    break valid;
-                }
+        set.replay(None, &mut |block, location| {
+            let owner = block.id.owner.0;
+            let index = indexes.entry(owner).or_default();
+            if index.retained() == 0 && index.base_seq() == 0 && block.id.seq != 0 {
+                // Compacted log: the first surviving record of this owner
+                // defines its chain base.
+                index.start_at(block.id.seq);
             }
-        };
-        // Everything replayed from the file was covered by a prior fsync (or
-        // is about to be overwritten) — report it as durable, like the
+            let expected = index.next_seq();
+            if block.id.seq != expected {
+                return Err(TldagError::Corrupt(format!(
+                    "shard segment {}: node {owner} expected seq {expected}, found {}",
+                    location.segment, block.id.seq
+                )));
+            }
+            index.push(&block, location);
+            Ok(())
+        })?;
+        // Everything replayed from the files was covered by a prior fsync
+        // (or is about to be overwritten) — report it as durable, like the
         // per-node engine does after recovery.
         let durable = indexes
             .iter()
@@ -180,21 +139,17 @@ impl ShardLog {
             .collect();
 
         Ok(ShardLog {
-            path,
-            file,
-            flushed,
-            buffer: Vec::new(),
+            set,
+            opts,
             dirty: false,
-            flush_buffer_bytes: flush_buffer_bytes.max(1),
             indexes,
             durable,
-            fsyncs: 0,
         })
     }
 
-    /// The log's file path.
-    pub fn path(&self) -> &Path {
-        &self.path
+    /// The directory holding the log's segments.
+    pub fn dir(&self) -> &Path {
+        self.set.dir()
     }
 
     /// Registers `node` as a member (so empty chains have an index and the
@@ -211,7 +166,12 @@ impl ShardLog {
 
     /// Physical fsync calls issued so far.
     pub fn fsync_count(&self) -> u64 {
-        self.fsyncs
+        self.set.fsync_count()
+    }
+
+    /// Total bytes on disk (flushed) plus the pending staging buffer.
+    pub fn disk_usage_bytes(&self) -> u64 {
+        self.set.disk_usage_bytes()
     }
 
     /// Chain length of `node`.
@@ -226,7 +186,15 @@ impl ShardLog {
         self.durable.get(&node.0).copied().unwrap_or(0) as usize
     }
 
-    /// Appends the next block of its owner's chain.
+    /// First sequence number of `node`'s chain still retained (> 0 once
+    /// compaction has pruned its prefix).
+    pub fn pruned_floor_of(&self, node: NodeId) -> u32 {
+        self.indexes.get(&node.0).map_or(0, BlockIndex::base_seq)
+    }
+
+    /// Appends the next block of its owner's chain. A segment roll under an
+    /// active [`StorageOptions::retain_disk_bytes`] budget triggers
+    /// compaction.
     ///
     /// # Errors
     ///
@@ -242,31 +210,92 @@ impl ShardLog {
             });
         }
         let rec = record::encode_record(&block);
-        let location = RecordLocation {
-            segment: 0,
-            offset: self.flushed + self.buffer.len() as u64,
-            len: rec.len() as u32,
-        };
-        index.push(&block, location);
-        self.buffer.extend_from_slice(&rec);
+        let outcome = self.set.append_record(&rec)?;
+        self.indexes
+            .get_mut(&block.id.owner.0)
+            .expect("index created above")
+            .push(&block, outcome.location);
         self.dirty = true;
-        if self.buffer.len() >= self.flush_buffer_bytes {
-            self.flush_buffer()?;
+        if outcome.rolled {
+            if let Some(budget) = self.opts.retain_disk_bytes {
+                self.compact_to_budget(budget)?;
+            }
         }
         Ok(())
     }
 
-    /// Writes the staged records to the file (no fsync).
-    fn flush_buffer(&mut self) -> Result<(), TldagError> {
-        if self.buffer.is_empty() {
-            return Ok(());
+    /// Drops whole sealed segments, oldest first, until disk usage is within
+    /// `max_bytes`. A segment is only droppable when **every** member chain
+    /// keeps its newest retained block in a later segment (a node's own
+    /// prev-digest linkage needs `latest()`); each member's index is pruned
+    /// below its first sequence number stored beyond the dropped segment.
+    /// Returns the number of blocks pruned across all members.
+    ///
+    /// # Errors
+    ///
+    /// [`TldagError::Storage`] on I/O failure.
+    pub fn compact_to_budget(&mut self, max_bytes: u64) -> Result<usize, TldagError> {
+        let mut pruned_total = 0usize;
+        let mut synced_for_drop = false;
+        while self.set.disk_usage_bytes() > max_bytes {
+            let Some(oldest) = self.set.oldest_sealed() else {
+                break; // only the tail is left
+            };
+            // Per member: the first retained seq located beyond `oldest`
+            // becomes the new base. A member whose retained head still
+            // lives in `oldest` blocks the drop entirely.
+            let mut cuts: Vec<(u32, u32)> = Vec::new();
+            let mut head_guard = false;
+            for (&owner, index) in &self.indexes {
+                if index.retained() == 0 {
+                    continue; // empty chain, nothing in any segment
+                }
+                let head = index
+                    .entry(index.next_seq() - 1)
+                    .expect("retained head exists");
+                if head.location.segment <= oldest {
+                    head_guard = true;
+                    break;
+                }
+                let new_base = (index.base_seq()..index.next_seq())
+                    .find(|&seq| {
+                        index
+                            .entry(seq)
+                            .is_some_and(|e| e.location.segment > oldest)
+                    })
+                    .expect("head lies beyond the dropped segment");
+                cuts.push((owner, new_base));
+            }
+            if head_guard {
+                break;
+            }
+            // The head guard trusts index entries whose records may still
+            // sit in the volatile staging buffer (the roll-triggering
+            // append). Make the tail durable BEFORE deleting any sealed
+            // segment, or a crash right after the deletion could lose a
+            // member's only fsynced block together with its buffered head.
+            if !synced_for_drop {
+                self.set.sync()?;
+                self.dirty = false;
+                for (&node, index) in &self.indexes {
+                    self.durable.insert(node, index.next_seq());
+                }
+                synced_for_drop = true;
+            }
+            for (owner, new_base) in cuts {
+                pruned_total += self
+                    .indexes
+                    .get_mut(&owner)
+                    .expect("owner indexed")
+                    .prune_below(new_base);
+            }
+            // Dropping oldest-first keeps the surviving segment set
+            // contiguous even if a crash interrupts between deletions, so
+            // recovery (a full scan) never sees a gap in any member chain.
+            self.set.retire_segment(oldest);
+            self.set.delete_segment_file(oldest)?;
         }
-        self.file
-            .write_all_at(&self.buffer, self.flushed)
-            .map_err(|e| TldagError::io("flush shard buffer", &e))?;
-        self.flushed += self.buffer.len() as u64;
-        self.buffer.clear();
-        Ok(())
+        Ok(pruned_total)
     }
 
     /// Makes every staged append durable with (at most) one `fsync`.
@@ -282,11 +311,7 @@ impl ShardLog {
         if !self.dirty {
             return Ok(());
         }
-        self.flush_buffer()?;
-        self.file
-            .sync_data()
-            .map_err(|e| TldagError::io("fsync shard log", &e))?;
-        self.fsyncs += 1;
+        self.set.sync()?;
         self.dirty = false;
         for (&node, index) in &self.indexes {
             self.durable.insert(node, index.next_seq());
@@ -294,32 +319,21 @@ impl ShardLog {
         Ok(())
     }
 
-    /// Reads the record at `location`, from the staging buffer when it has
-    /// not been written out yet.
-    fn read_location(&self, location: RecordLocation) -> Result<DataBlock, TldagError> {
-        let mut frame = vec![0u8; location.len as usize];
-        if location.offset >= self.flushed {
-            let start = (location.offset - self.flushed) as usize;
-            frame.copy_from_slice(&self.buffer[start..start + location.len as usize]);
-        } else {
-            self.file
-                .read_exact_at(&mut frame, location.offset)
-                .map_err(|e| TldagError::io("read shard record", &e))?;
-        }
-        record::decode_indexed(&frame)
-    }
-
-    fn get_of(&self, node: NodeId, seq: u32) -> Option<DataBlock> {
+    /// The block at `seq` of `node`'s chain (`None` below the pruned floor
+    /// or beyond the tip).
+    pub fn get_of(&self, node: NodeId, seq: u32) -> Option<DataBlock> {
         let entry = self.indexes.get(&node.0)?.entry(seq)?;
         // Index and log are maintained together; a decode failure here is
         // real corruption, which the simulator treats as fatal.
         Some(
-            self.read_location(entry.location)
+            self.set
+                .read(entry.location)
                 .expect("indexed shard record must decode"),
         )
     }
 
-    fn by_header_digest_of(&self, node: NodeId, digest: &Digest) -> Option<DataBlock> {
+    /// Looks a block of `node`'s chain up by its header digest.
+    pub fn by_header_digest_of(&self, node: NodeId, digest: &Digest) -> Option<DataBlock> {
         let seq = self.indexes.get(&node.0)?.seq_of_digest(digest)?;
         self.get_of(node, seq)
     }
@@ -341,7 +355,10 @@ impl ShardLog {
     }
 
     fn iter_of(&self, node: NodeId) -> Vec<DataBlock> {
-        (0..self.len_of(node) as u32)
+        let Some(index) = self.indexes.get(&node.0) else {
+            return Vec::new();
+        };
+        (index.base_seq()..index.next_seq())
             .filter_map(|seq| self.get_of(node, seq))
             .collect()
     }
@@ -350,7 +367,7 @@ impl ShardLog {
         let Some(index) = self.indexes.get(&node.0) else {
             return Vec::new();
         };
-        (0..index.next_seq())
+        (index.base_seq()..index.next_seq())
             .filter_map(|seq| index.entry(seq).map(|e| (BlockId::new(node, seq), e.time)))
             .collect()
     }
@@ -364,7 +381,7 @@ impl ShardLog {
     /// Approximate resident bytes of the whole log (indexes + staging
     /// buffer).
     pub fn resident_bytes(&self) -> usize {
-        self.buffer.len()
+        self.set.buffered_bytes()
             + self
                 .indexes
                 .values()
@@ -452,6 +469,10 @@ impl BlockBackend for ShardedNodeStore {
         self.log().durable_len_of(self.node)
     }
 
+    fn pruned_floor(&self) -> u32 {
+        self.log().pruned_floor_of(self.node)
+    }
+
     /// The **shared** shard log's count — see the trait docs for the
     /// double-counting caveat when summing over members.
     fn fsync_count(&self) -> u64 {
@@ -468,7 +489,9 @@ impl BlockBackend for ShardedNodeStore {
 /// deterministic append order.
 ///
 /// Implements [`BackendFactory`], so `TldagNetwork::with_factory` can run
-/// any experiment with one fsync per shard per sync point.
+/// any experiment with one fsync per shard per sync point. Trust caches
+/// (`H_i`) are persisted per node under `root/trust/` when the network opts
+/// in.
 #[derive(Debug)]
 pub struct ShardedDiskFactory {
     root: PathBuf,
@@ -476,15 +499,17 @@ pub struct ShardedDiskFactory {
     /// Node count the bands were sized for (joiners beyond it land in the
     /// last shard). Must be the same on reattach for chains to be found.
     nodes: usize,
-    flush_buffer_bytes: usize,
+    opts: StorageOptions,
     logs: Vec<Option<Arc<Mutex<ShardLog>>>>,
 }
 
 impl ShardedDiskFactory {
     /// A **fresh** factory rooted at `root`, with `shards` shard logs sized
-    /// for `nodes` node ids: shard logs left by a previous run are deleted.
-    /// Only `shard-*.log` files are touched — the directory may hold other
-    /// data (it is often a user-supplied `--storage-dir`).
+    /// for `nodes` node ids: shard-log directories (and persisted trust
+    /// caches) left by a previous run are deleted. Only `shard-*`
+    /// directories, legacy `shard-*.log` files, and the `trust/` directory
+    /// are touched — the root may hold other data (it is often a
+    /// user-supplied `--storage-dir`).
     ///
     /// # Panics
     ///
@@ -494,14 +519,17 @@ impl ShardedDiskFactory {
         if let Ok(entries) = fs::read_dir(&root) {
             for entry in entries.flatten() {
                 let name = entry.file_name();
-                let is_shard_log = name
-                    .to_str()
-                    .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".log"));
-                if is_shard_log {
+                let Some(name) = name.to_str() else { continue };
+                let is_shard_dir = name.starts_with("shard-") && entry.path().is_dir();
+                let is_legacy_log = name.starts_with("shard-") && name.ends_with(".log");
+                if is_shard_dir {
+                    let _ = fs::remove_dir_all(entry.path());
+                } else if is_legacy_log {
                     let _ = fs::remove_file(entry.path());
                 }
             }
         }
+        let _ = fs::remove_dir_all(root.join("trust"));
         Self::attach(root, shards, nodes)
     }
 
@@ -519,15 +547,25 @@ impl ShardedDiskFactory {
             root: root.into(),
             sharding: Sharding::threads(shards),
             nodes,
-            flush_buffer_bytes: DEFAULT_FLUSH_BUFFER_BYTES,
+            opts: StorageOptions {
+                flush_buffer_bytes: DEFAULT_FLUSH_BUFFER_BYTES,
+                ..StorageOptions::default()
+            },
             logs: vec![None; shards.min(nodes).max(1)],
         }
+    }
+
+    /// Overrides the engine options (segment size, flush threshold,
+    /// retention budget) used for every shard log opened from now on.
+    pub fn with_options(mut self, opts: StorageOptions) -> Self {
+        self.opts = opts;
+        self
     }
 
     /// Overrides the staging-buffer flush threshold (tests use a large value
     /// to keep unsynced records in memory, so a simulated crash loses them).
     pub fn with_flush_buffer(mut self, bytes: usize) -> Self {
-        self.flush_buffer_bytes = bytes.max(1);
+        self.opts.flush_buffer_bytes = bytes.max(1);
         self
     }
 
@@ -543,9 +581,15 @@ impl ShardedDiskFactory {
         self.logs.len()
     }
 
-    /// The shard log file path for `shard`.
-    pub fn shard_path(&self, shard: usize) -> PathBuf {
-        self.root.join(format!("shard-{shard:04}.log"))
+    /// The shard log directory for `shard`.
+    pub fn shard_dir(&self, shard: usize) -> PathBuf {
+        self.root.join(format!("shard-{shard:04}"))
+    }
+
+    fn trust_path(&self, node: NodeId) -> PathBuf {
+        self.root
+            .join("trust")
+            .join(format!("node-{}.cache", node.0))
     }
 
     /// Handles on every currently open shard log (experiments read fsync
@@ -567,8 +611,8 @@ impl ShardedDiskFactory {
             return Ok(Arc::clone(log));
         }
         let log = Arc::new(Mutex::new(ShardLog::open(
-            self.shard_path(shard),
-            self.flush_buffer_bytes,
+            self.shard_dir(shard),
+            self.opts.clone(),
         )?));
         self.logs[shard] = Some(Arc::clone(&log));
         Ok(log)
@@ -602,6 +646,14 @@ impl BackendFactory for ShardedDiskFactory {
         let log = self.log_for(self.shard_of(node))?;
         Ok(Box::new(ShardedNodeStore::new(log, node)))
     }
+
+    fn save_trust_cache(&mut self, node: NodeId, cache: &TrustCache) -> Result<(), TldagError> {
+        crate::engine::write_trust_cache(&self.trust_path(node), cache)
+    }
+
+    fn load_trust_cache(&mut self, node: NodeId) -> Result<Option<TrustCache>, TldagError> {
+        Ok(crate::engine::read_trust_cache(&self.trust_path(node)))
+    }
 }
 
 #[cfg(test)]
@@ -612,13 +664,17 @@ mod tests {
     use tldag_crypto::schnorr::KeyPair;
 
     fn block(owner: u32, seq: u32) -> DataBlock {
+        block_with_payload(owner, seq, 2)
+    }
+
+    fn block_with_payload(owner: u32, seq: u32, payload: usize) -> DataBlock {
         let cfg = ProtocolConfig::test_default();
         DataBlock::create(
             &cfg,
             BlockId::new(NodeId(owner), seq),
             u64::from(seq),
             vec![],
-            BlockBody::new(vec![owner as u8, seq as u8], cfg.body_bits),
+            BlockBody::new(vec![owner as u8 ^ seq as u8; payload], cfg.body_bits),
             &KeyPair::from_seed(u64::from(owner)),
         )
     }
@@ -629,10 +685,17 @@ mod tests {
         dir
     }
 
+    fn opts(flush_buffer_bytes: usize) -> StorageOptions {
+        StorageOptions {
+            flush_buffer_bytes,
+            ..StorageOptions::default()
+        }
+    }
+
     #[test]
     fn multiplexed_chains_round_trip() {
         let dir = temp_dir("mux");
-        let mut log = ShardLog::open(dir.join("shard.log"), 64).unwrap();
+        let mut log = ShardLog::open(dir.join("shard"), opts(64)).unwrap();
         for seq in 0..3 {
             log.append(block(1, seq)).unwrap();
             log.append(block(5, seq)).unwrap();
@@ -652,13 +715,14 @@ mod tests {
                 got: 7
             }
         ));
+        drop(log);
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn sync_is_deduplicated_per_batch() {
         let dir = temp_dir("dedup");
-        let mut log = ShardLog::open(dir.join("shard.log"), 1 << 20).unwrap();
+        let mut log = ShardLog::open(dir.join("shard"), opts(1 << 20)).unwrap();
         log.append(block(0, 0)).unwrap();
         log.append(block(2, 0)).unwrap();
         log.sync().unwrap();
@@ -672,50 +736,156 @@ mod tests {
         log.sync().unwrap();
         assert_eq!(log.fsync_count(), 2);
         assert_eq!(log.durable_len_of(NodeId(0)), 2);
+        drop(log);
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn reopen_recovers_synced_records_only() {
         let dir = temp_dir("recover");
-        let path = dir.join("shard.log");
+        let path = dir.join("shard");
         {
             // Large flush buffer: unsynced records stay in process memory,
             // so dropping the log models a crash that loses them.
-            let mut log = ShardLog::open(&path, 1 << 20).unwrap();
+            let mut log = ShardLog::open(&path, opts(1 << 20)).unwrap();
             log.append(block(0, 0)).unwrap();
             log.append(block(2, 0)).unwrap();
             log.sync().unwrap();
             log.append(block(0, 1)).unwrap(); // never synced
         }
-        let log = ShardLog::open(&path, 1 << 20).unwrap();
+        let log = ShardLog::open(&path, opts(1 << 20)).unwrap();
         assert_eq!(log.len_of(NodeId(0)), 1, "unsynced append lost");
         assert_eq!(log.len_of(NodeId(2)), 1);
         assert_eq!(log.durable_len_of(NodeId(0)), 1);
+        drop(log);
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn torn_tail_is_truncated() {
         let dir = temp_dir("torn");
-        let path = dir.join("shard.log");
+        let path = dir.join("shard");
         {
-            let mut log = ShardLog::open(&path, 1).unwrap();
+            let mut log = ShardLog::open(&path, opts(1)).unwrap();
             log.append(block(0, 0)).unwrap();
             log.append(block(0, 1)).unwrap();
             log.sync().unwrap();
         }
         // Tear the last record mid-frame.
-        let len = fs::metadata(&path).unwrap().len();
-        let file = OpenOptions::new().write(true).open(&path).unwrap();
+        let seg = path.join("seg-000000.log");
+        let len = fs::metadata(&seg).unwrap().len();
+        let file = fs::OpenOptions::new().write(true).open(&seg).unwrap();
         file.set_len(len - 3).unwrap();
         drop(file);
-        let log = ShardLog::open(&path, 1).unwrap();
+        let log = ShardLog::open(&path, opts(1)).unwrap();
         assert_eq!(log.len_of(NodeId(0)), 1, "torn record discarded");
         assert!(
-            fs::metadata(&path).unwrap().len() < len - 3,
+            fs::metadata(&seg).unwrap().len() < len - 3,
             "file truncated"
         );
+        drop(log);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn two_live_handles_on_one_shard_dir_are_refused() {
+        let dir = temp_dir("locked");
+        let first = ShardLog::open(dir.join("shard"), opts(64)).unwrap();
+        let err = ShardLog::open(dir.join("shard"), opts(64)).unwrap_err();
+        assert!(matches!(err, TldagError::Locked { .. }), "{err}");
+        drop(first);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn retention_budget_prunes_prefixes_and_recovers_bases() {
+        let dir = temp_dir("retention");
+        let path = dir.join("shard");
+        let small = StorageOptions {
+            segment_bytes: 2 * 1024,
+            flush_buffer_bytes: 1,
+            retain_disk_bytes: Some(4 * 1024),
+            ..StorageOptions::default()
+        };
+        let rounds = 60u32;
+        {
+            let mut log = ShardLog::open(&path, small.clone()).unwrap();
+            for seq in 0..rounds {
+                log.append(block(0, seq)).unwrap();
+                log.append(block(1, seq)).unwrap();
+            }
+            log.sync().unwrap();
+            assert!(
+                log.disk_usage_bytes() <= 4 * 1024 + 2 * 1024,
+                "budget bounds disk usage up to one tail segment of slack"
+            );
+            for owner in [0u32, 1] {
+                let floor = log.pruned_floor_of(NodeId(owner));
+                assert!(floor > 0, "node {owner} must have pruned its prefix");
+                assert_eq!(log.len_of(NodeId(owner)), rounds as usize);
+                assert_eq!(log.get_of(NodeId(owner), floor - 1), None);
+                assert!(log.get_of(NodeId(owner), floor).is_some());
+                // The chain head always survives (head guard).
+                assert!(log.get_of(NodeId(owner), rounds - 1).is_some());
+            }
+        }
+        // Recovery re-derives the same floors from the surviving segments.
+        let log = ShardLog::open(&path, small).unwrap();
+        for owner in [0u32, 1] {
+            assert!(log.pruned_floor_of(NodeId(owner)) > 0);
+            assert_eq!(log.len_of(NodeId(owner)), rounds as usize);
+            assert!(log.get_of(NodeId(owner), rounds - 1).is_some());
+        }
+        drop(log);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_never_sacrifices_durable_blocks_to_a_buffered_head() {
+        // Regression: the head guard trusts index entries whose records may
+        // only exist in the volatile staging buffer (the roll-triggering
+        // append). Compaction must make the tail durable before deleting a
+        // sealed segment, or a crash loses both the deleted durable block
+        // and the buffered head that justified deleting it.
+        let dir = temp_dir("durable-head");
+        let path = dir.join("shard");
+        let opts = StorageOptions {
+            segment_bytes: 1024,
+            flush_buffer_bytes: 1 << 20, // staged records stay in memory
+            retain_disk_bytes: Some(2 * 1024),
+            ..StorageOptions::default()
+        };
+        {
+            let mut log = ShardLog::open(&path, opts.clone()).unwrap();
+            log.append(block(0, 0)).unwrap();
+            log.sync().unwrap();
+            assert_eq!(log.durable_len_of(NodeId(0)), 1);
+            // Filler pushes usage past the budget, but node 0's head still
+            // sits in segment 0, so the head guard blocks every compaction.
+            for seq in 0..20 {
+                log.append(block(1, seq)).unwrap();
+            }
+            assert_eq!(log.pruned_floor_of(NodeId(0)), 0, "guard must hold");
+            // Node 0's big seq-1 record triggers the roll itself: at
+            // compaction time it is the only record in the staging buffer,
+            // and it is what unblocks pruning node 0's durable seq 0.
+            log.append(block_with_payload(0, 1, 900)).unwrap();
+            assert!(
+                log.pruned_floor_of(NodeId(0)) > 0,
+                "compaction must prune node 0's prefix for this test to bite"
+            );
+            // Crash: drop without sync — the staging buffer dies with us.
+        }
+        let log = ShardLog::open(&path, opts).unwrap();
+        assert_eq!(
+            log.len_of(NodeId(0)),
+            2,
+            "node 0's chain must survive: seq 0 was durable before compaction \
+traded it for seq 1"
+        );
+        assert!(log.get_of(NodeId(0), 1).is_some());
+        assert_eq!(log.pruned_floor_of(NodeId(0)), 1);
+        drop(log);
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -738,24 +908,34 @@ mod tests {
         for store in &stores {
             assert_eq!(store.durable_len(), 1);
         }
+        drop(stores);
+        drop(factory);
         fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn fresh_factory_wipes_only_its_own_shard_logs() {
+    fn fresh_factory_wipes_only_its_own_shard_state() {
         let dir = temp_dir("wipe");
-        fs::create_dir_all(&dir).unwrap();
+        fs::create_dir_all(dir.join("shard-0000")).unwrap();
         fs::write(dir.join("precious.txt"), b"user data").unwrap();
-        fs::write(dir.join("shard-0000.log"), b"stale log").unwrap();
+        fs::write(dir.join("shard-0000").join("seg-000000.log"), b"stale").unwrap();
+        fs::write(dir.join("shard-0001.log"), b"legacy single-file log").unwrap();
+        fs::create_dir_all(dir.join("trust")).unwrap();
+        fs::write(dir.join("trust").join("node-0.cache"), b"stale").unwrap();
         let _factory = ShardedDiskFactory::new(&dir, 2, 4);
         assert!(
             dir.join("precious.txt").exists(),
             "unrelated files must survive"
         );
         assert!(
-            !dir.join("shard-0000.log").exists(),
-            "stale shard logs are wiped"
+            !dir.join("shard-0000").exists(),
+            "stale shard directories are wiped"
         );
+        assert!(
+            !dir.join("shard-0001.log").exists(),
+            "legacy shard logs are wiped"
+        );
+        assert!(!dir.join("trust").exists(), "stale trust caches are wiped");
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -766,6 +946,8 @@ mod tests {
         let mut store = factory.create(NodeId(0));
         let err = store.append(block(1, 0)).unwrap_err();
         assert!(err.to_string().contains("owned by"), "{err}");
+        drop(store);
+        drop(factory);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -10,13 +10,19 @@
 //!
 //! * [`record`] — CRC-32-framed records around the canonical
 //!   `tldag_core::codec` block encoding; torn writes are detectable.
+//! * [`segment`] — the shared segmented-log core ([`SegmentSet`]): segment
+//!   files, rolls, streaming replay with torn-tail truncation, retention
+//!   accounting, and the single-writer directory lock. Both engines are
+//!   built on it.
 //! * [`index`] — the digest → (segment, offset) index rebuilt on open, plus
 //!   its checksummed snapshot form.
 //! * [`engine`] — [`DurableStore`] (the backend) and [`DiskFactory`] (one
 //!   store per node for `TldagNetwork::with_factory`).
 //! * [`group`] — the group-commit layer: [`ShardLog`] multiplexes every
-//!   node of a shard into one log file so a slot-boundary sync costs **one**
-//!   fsync per shard per slot ([`ShardedDiskFactory`] provisions it).
+//!   node of a shard into one segmented log so a slot-boundary sync costs
+//!   **one** fsync per shard per slot ([`ShardedDiskFactory`] provisions
+//!   it); under a retention budget it rolls and compacts like the per-node
+//!   engine, respecting every member band's chain head.
 //!
 //! ## Example
 //!
@@ -61,7 +67,9 @@ pub mod engine;
 pub mod group;
 pub mod index;
 pub mod record;
+pub mod segment;
 
-pub use engine::{DiskFactory, DurableStore, StorageOptions};
+pub use engine::{DiskFactory, DurableStore};
 pub use group::{ShardLog, ShardedDiskFactory, ShardedNodeStore};
+pub use segment::{SegmentSet, StorageOptions};
 pub use tldag_core::store::SyncPolicy;

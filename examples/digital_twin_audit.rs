@@ -53,10 +53,10 @@ fn main() {
 
     // The operator can additionally audit one sample inside the body with a
     // Merkle inclusion proof — no need to trust the transport.
-    let block = plant
-        .node(sensor)
-        .serve_block(block_id)
-        .expect("honest sensor serves its block");
+    let tldag::core::node::BlockFetch::Served(block) = plant.node(sensor).serve_block(block_id)
+    else {
+        panic!("honest sensor serves its block");
+    };
     let chunk_bytes = plant.config().merkle_chunk_bytes;
     let chunks: Vec<&[u8]> = block.body.payload.chunks(chunk_bytes).collect();
     let tree = MerkleTree::build(chunks.iter());

@@ -6,10 +6,12 @@
 //!                [--seed S] [--trace] [--threads W]
 //!                [--sync-policy per-append|per-slot|grouped:N]
 //!                [--storage memory|disk|disk-sharded] [--storage-dir PATH]
+//!                [--retain-bytes B] [--persist-trust-cache]
 //! tldag verify   --owner K [--seq Q] [--validator V]
 //!                [--nodes N] [--slots T] [--gamma G] [--seed S]
 //!                [--threads W] [--sync-policy P]
 //!                [--storage memory|disk|disk-sharded] [--storage-dir PATH]
+//!                [--retain-bytes B] [--persist-trust-cache]
 //! ```
 
 use std::collections::HashMap;
@@ -39,6 +41,7 @@ USAGE:
     tldag run [--nodes N] [--slots T] [--gamma G] [--malicious M]
               [--seed S] [--trace] [--threads W] [--sync-policy P]
               [--storage memory|disk|disk-sharded] [--storage-dir P]
+              [--retain-bytes B] [--persist-trust-cache]
         Run a slotted simulation with the paper's verification workload
         and print storage/communication/PoP summaries.
 
@@ -46,6 +49,7 @@ USAGE:
                  [--nodes N] [--slots T] [--gamma G] [--seed S]
                  [--threads W] [--sync-policy P]
                  [--storage memory|disk|disk-sharded] [--storage-dir P]
+                 [--retain-bytes B] [--persist-trust-cache]
         Run a simulation, then verify block K#Q from node V via
         Proof-of-Path and print the proof path.
 
@@ -63,9 +67,16 @@ byte-identical for every thread count under a fixed seed.
 block), `per-slot` (fsync at each slot boundary; default), or `grouped:N`
 (fsync every N slots).
 
+--retain-bytes B caps each log's disk usage (per node for `disk`, per
+shard for `disk-sharded`): segment rolls compact the oldest sealed
+segments away and PoP answers requests for pruned blocks with a graceful
+miss. --persist-trust-cache saves each node's verified-header cache H_i
+at every commit point, so a restarted node resumes TPS warm. Both need a
+disk backend.
+
 Defaults: --nodes 16, --side 300, --slots 40, --gamma 3, --malicious 0,
           --seq 0, --validator 0, --seed 42, --storage memory,
-          --threads 1, --sync-policy per-slot.
+          --threads 1, --sync-policy per-slot, no retention budget.
 ";
 
 struct Args {
@@ -153,6 +164,30 @@ fn build_network(args: &Args) -> Result<TldagNetwork, String> {
     }
     let sync_policy: SyncPolicy = args.get("sync-policy", SyncPolicy::PerSlot)?;
     let storage: String = args.get("storage", "memory".to_string())?;
+    let retain_bytes: Option<u64> = match args.flags.get("retain-bytes") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("invalid value for --retain-bytes: `{raw}`"))?,
+        ),
+    };
+    let persist_trust = args.switch("persist-trust-cache");
+    if storage == "memory" && (retain_bytes.is_some() || persist_trust) {
+        return Err(
+            "--retain-bytes / --persist-trust-cache need a disk backend \
+(--storage disk|disk-sharded)"
+                .into(),
+        );
+    }
+    let opts = {
+        let mut opts = StorageOptions::default().with_retain_disk_bytes(retain_bytes);
+        if let Some(budget) = retain_bytes {
+            // Compaction drops whole sealed segments at roll time, so the
+            // budget only bites when segments are much smaller than it.
+            opts.segment_bytes = (budget / 8).clamp(4 * 1024, opts.segment_bytes);
+        }
+        opts
+    };
     let storage_dir = |args: &Args| -> Result<String, String> {
         let default_dir = std::env::temp_dir()
             .join(format!("tldag-run-{}", std::process::id()))
@@ -163,18 +198,22 @@ fn build_network(args: &Args) -> Result<TldagNetwork, String> {
             .map_err(|e| format!("cannot use --storage-dir {dir}: {e}"))?;
         Ok(dir)
     };
+    let retention_note = match retain_bytes {
+        Some(b) => format!(", retain {b} B"),
+        None => String::new(),
+    };
     let mut net = match storage.as_str() {
         "memory" => TldagNetwork::new(cfg, topology.clone(), schedule, seed),
         "disk" => {
             let dir = storage_dir(args)?;
-            println!("storage backend: disk ({dir})");
-            let factory = DiskFactory::new(dir, StorageOptions::default());
+            println!("storage backend: disk ({dir}{retention_note})");
+            let factory = DiskFactory::new(dir, opts);
             TldagNetwork::with_factory(cfg, topology.clone(), schedule, seed, Box::new(factory))
         }
         "disk-sharded" => {
             let dir = storage_dir(args)?;
-            println!("storage backend: disk-sharded ({dir}, {threads} shard logs)");
-            let factory = ShardedDiskFactory::new(dir, threads, topology.len());
+            println!("storage backend: disk-sharded ({dir}, {threads} shard logs{retention_note})");
+            let factory = ShardedDiskFactory::new(dir, threads, topology.len()).with_options(opts);
             TldagNetwork::with_factory(cfg, topology.clone(), schedule, seed, Box::new(factory))
         }
         other => {
@@ -185,6 +224,7 @@ fn build_network(args: &Args) -> Result<TldagNetwork, String> {
     };
     net.set_sharding(Sharding::threads(threads));
     net.set_sync_policy(sync_policy);
+    net.set_persist_trust_cache(persist_trust);
     net.set_verification_workload(VerificationWorkload::RandomPast {
         min_age_slots: topology.len() as u64,
     });
@@ -260,6 +300,26 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         "  resident block mem  : {:.1} KiB total across nodes",
         resident as f64 / 1024.0
     );
+    let max_floor = net
+        .topology()
+        .node_ids()
+        .map(|id| net.node(id).pruned_floor())
+        .max()
+        .unwrap_or(0);
+    if max_floor > 0 {
+        println!(
+            "  retention           : deepest pruned floor at seq {max_floor} \
+(older blocks answer PoP with a graceful miss)"
+        );
+    }
+    if net.persists_trust_cache() {
+        let cached: usize = net
+            .topology()
+            .node_ids()
+            .map(|id| net.node(id).trust_cache().len())
+            .sum();
+        println!("  trust caches        : persisted at commit points ({cached} headers total)");
+    }
     let acc = net.accounting();
     println!(
         "  mean node comm (tx) : {:.4} Mb DAG-construction, {:.4} Mb consensus",

@@ -9,3 +9,4 @@ pub mod retention;
 pub mod scale;
 pub mod scaling;
 pub mod summary;
+pub mod wire;

@@ -10,6 +10,7 @@
 //! | `fig9_failure` | Fig. 9(a–d) consensus-failure probability for γ ∈ {10, 15, 20, 24} |
 //! | `fig9_restart` | Node kill + disk recovery: PoP availability through the outage |
 //! | `fig10_scaling` | Sharded-engine throughput vs threads; disk throughput vs sync policy |
+//! | `fig11_wire` | PoP over real UDP sockets under injected datagram loss/dup/reorder |
 //! | `table1_summary` | The abstract's headline ratios (storage ≈2, comm ≈3 orders of magnitude) |
 //! | `ablation_wps` | WPS vs random next-hop selection |
 //! | `ablation_tps` | TPS cache on vs off over repeated verifications |

@@ -31,6 +31,10 @@ pub enum CodecError {
     UnexpectedEnd,
     /// A type tag byte did not match any known variant.
     BadTag(u8),
+    /// A *message* tag byte named no known [`WireMessage`] variant. Split
+    /// from [`CodecError::BadTag`] so transports can count version skew —
+    /// a peer speaking a newer message set — separately from corruption.
+    UnknownTag(u8),
     /// A length field exceeded its sanity bound.
     LengthOverflow,
     /// Valid structure followed by unconsumed bytes.
@@ -42,6 +46,7 @@ impl fmt::Display for CodecError {
         match self {
             CodecError::UnexpectedEnd => write!(f, "input ended mid-structure"),
             CodecError::BadTag(t) => write!(f, "unknown type tag {t:#04x}"),
+            CodecError::UnknownTag(t) => write!(f, "unknown message tag {t:#04x}"),
             CodecError::LengthOverflow => write!(f, "length field exceeds sanity bound"),
             CodecError::TrailingBytes => write!(f, "trailing bytes after structure"),
         }
@@ -50,18 +55,28 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-/// Cursor-based reader with bounds checking.
-struct Reader<'a> {
+/// Cursor-based reader with bounds checking — the decoding core every
+/// big-endian structure in the workspace shares (this codec, and the wire
+/// transport's control-plane codec in `tldag-net`). Every accessor fails
+/// with a clean [`CodecError`] instead of panicking on short input.
+pub struct Reader<'a> {
     data: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(data: &'a [u8]) -> Self {
+    /// Starts a cursor at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
         Reader { data, pos: 0 }
     }
 
-    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+    /// Consumes the next `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEnd`] when fewer than `n` bytes remain,
+    /// [`CodecError::LengthOverflow`] when `n` overflows the cursor.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         let end = self.pos.checked_add(n).ok_or(CodecError::LengthOverflow)?;
         if end > self.data.len() {
             return Err(CodecError::UnexpectedEnd);
@@ -71,29 +86,54 @@ impl<'a> Reader<'a> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, CodecError> {
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEnd`] at end of input.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u32(&mut self) -> Result<u32, CodecError> {
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEnd`] when fewer than 4 bytes remain.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
         Ok(u32::from_be_bytes(
             self.take(4)?.try_into().expect("4 bytes"),
         ))
     }
 
-    fn u64(&mut self) -> Result<u64, CodecError> {
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEnd`] when fewer than 8 bytes remain.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
         Ok(u64::from_be_bytes(
             self.take(8)?.try_into().expect("8 bytes"),
         ))
     }
 
-    fn digest(&mut self) -> Result<Digest, CodecError> {
+    /// Reads a 32-byte digest.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::UnexpectedEnd`] when fewer than 32 bytes remain.
+    pub fn digest(&mut self) -> Result<Digest, CodecError> {
         Ok(Digest::from_bytes(
             self.take(32)?.try_into().expect("32 bytes"),
         ))
     }
 
-    fn finish(self) -> Result<(), CodecError> {
+    /// Asserts the input was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::TrailingBytes`] when bytes remain.
+    pub fn finish(self) -> Result<(), CodecError> {
         if self.pos == self.data.len() {
             Ok(())
         } else {
@@ -356,7 +396,7 @@ pub fn decode_message(data: &[u8]) -> Result<WireMessage, CodecError> {
             let rest = r.take(data.len() - 1)?;
             return Ok(WireMessage::Block(Box::new(decode_block(rest)?)));
         }
-        other => return Err(CodecError::BadTag(other)),
+        other => return Err(CodecError::UnknownTag(other)),
     };
     r.finish()?;
     Ok(msg)
@@ -544,8 +584,15 @@ mod tests {
 
     #[test]
     fn unknown_tag_rejected() {
-        assert_eq!(decode_message(&[0xff, 0, 0]), Err(CodecError::BadTag(0xff)));
+        assert_eq!(
+            decode_message(&[0xff, 0, 0]),
+            Err(CodecError::UnknownTag(0xff))
+        );
         assert_eq!(decode_message(&[]), Err(CodecError::UnexpectedEnd));
+        // Every tag outside the known set reports the skewed byte.
+        for tag in 0x08..=0x20u8 {
+            assert_eq!(decode_message(&[tag]), Err(CodecError::UnknownTag(tag)));
+        }
     }
 
     #[test]

@@ -55,7 +55,11 @@ use tldag_sim::{Bits, DetRng, NodeId, Topology};
 /// Purpose labels for the per-(seed, slot, node) derived RNG streams. Keeping
 /// the purposes distinct means adding draws to one phase never perturbs
 /// another — the same property [`DetRng::fork`] gives subsystems.
-mod stream {
+///
+/// Public because a *deployed* node (`tldag-net`) must reproduce the exact
+/// draws of the in-memory engine to reach digest parity with it on a shared
+/// seed.
+pub mod stream {
     /// Sensor payload + flooder digests during generation.
     pub const GENERATE: u64 = 1;
     /// Verification-target choice.
@@ -68,8 +72,8 @@ mod stream {
 
 /// The RNG for `purpose` at `(seed, slot, node)` — the derivation that makes
 /// the slot loop independent of execution order, and therefore of the thread
-/// count.
-fn derived_rng(seed: u64, purpose: u64, slot: Slot, node: NodeId) -> DetRng {
+/// count (and of whether the node runs in the simulator or over a socket).
+pub fn derived_rng(seed: u64, purpose: u64, slot: Slot, node: NodeId) -> DetRng {
     DetRng::seed_from(seed)
         .fork(slot)
         .fork((u64::from(node.0) << 3) | purpose)

@@ -1,0 +1,243 @@
+//! Runtime control messages (envelope kind 1).
+//!
+//! The Sec. IV-C protocol messages ride in kind-0 envelopes using the core
+//! codec verbatim; everything a *deployment* additionally needs — liveness
+//! bootstrap, slot-tagged digest gossip with pull-based recovery, and the
+//! harness's report/shutdown handshake — is a control message. Keeping the
+//! two tag spaces separate means the wire protocol stays byte-compatible
+//! with the simulator's codec while the runtime can evolve freely.
+//!
+//! The digest pair deserves a note: `codec::WireMessage::Digest` carries no
+//! slot (the synchronous simulator does not need one), but a real network
+//! delivers out of order, so gossip uses [`Control::SlotDigest`] and a
+//! receiver missing a neighbor's digest *pulls* it with
+//! [`Control::DigestReq`] — the interest/nack-style recovery DLedger uses
+//! over lossy IoT transports.
+
+use crate::NetError;
+use tldag_core::codec::{CodecError, Reader};
+use tldag_crypto::Digest;
+use tldag_sim::NodeId;
+
+const TAG_HELLO: u8 = 0x01;
+const TAG_HELLO_ACK: u8 = 0x02;
+const TAG_SLOT_DIGEST: u8 = 0x03;
+const TAG_DIGEST_REQ: u8 = 0x04;
+const TAG_REPORT: u8 = 0x05;
+const TAG_REPORT_ACK: u8 = 0x06;
+const TAG_SHUTDOWN: u8 = 0x07;
+const TAG_SLOT_DONE: u8 = 0x08;
+
+/// A node's end-of-run summary, shipped to the harness controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// Reporting node.
+    pub node: NodeId,
+    /// Slots the node executed.
+    pub slots: u64,
+    /// Final chain length.
+    pub chain_len: u64,
+    /// `sha256` over the chain's header digests in sequence order — the
+    /// same quantity as `TldagNetwork::chain_digest`.
+    pub chain_digest: Digest,
+    /// PoP verifications attempted.
+    pub pop_attempts: u64,
+    /// PoP verifications that reached consensus.
+    pub pop_successes: u64,
+    /// True when any slot barrier timed out and the node proceeded with an
+    /// incomplete digest set (parity with the reference engine is then off).
+    pub degraded: bool,
+}
+
+/// A runtime control message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Liveness probe: "node `from` is up at this address".
+    Hello {
+        /// The probing node.
+        from: NodeId,
+    },
+    /// Answer to [`Control::Hello`].
+    HelloAck {
+        /// The responding node.
+        from: NodeId,
+    },
+    /// Digest gossip: the sender's block digest for `slot`.
+    SlotDigest {
+        /// Slot the digest's block was generated in.
+        slot: u64,
+        /// `H(b^h)` of that block.
+        digest: Digest,
+    },
+    /// Pull request: "re-send me your [`Control::SlotDigest`] for `slot`".
+    DigestReq {
+        /// The missing slot.
+        slot: u64,
+    },
+    /// Phase lockstep (PoP mode): the sender finished `slot` entirely —
+    /// generation *and* its verification workload. Peers gate the next
+    /// slot's generation on everyone's `SlotDone`, reproducing the
+    /// engine's generate-then-verify phase barrier across processes.
+    SlotDone {
+        /// The completed slot.
+        slot: u64,
+    },
+    /// End-of-run summary for the cluster harness.
+    Report(RunReport),
+    /// Controller acknowledgement of a [`Control::Report`].
+    ReportAck,
+    /// Controller request to exit the serving grace period and terminate.
+    Shutdown,
+}
+
+/// Encodes a control message.
+pub fn encode_control(msg: &Control) -> Vec<u8> {
+    match msg {
+        Control::Hello { from } => {
+            let mut out = vec![TAG_HELLO];
+            out.extend_from_slice(&from.0.to_be_bytes());
+            out
+        }
+        Control::HelloAck { from } => {
+            let mut out = vec![TAG_HELLO_ACK];
+            out.extend_from_slice(&from.0.to_be_bytes());
+            out
+        }
+        Control::SlotDigest { slot, digest } => {
+            let mut out = vec![TAG_SLOT_DIGEST];
+            out.extend_from_slice(&slot.to_be_bytes());
+            out.extend_from_slice(digest.as_bytes());
+            out
+        }
+        Control::DigestReq { slot } => {
+            let mut out = vec![TAG_DIGEST_REQ];
+            out.extend_from_slice(&slot.to_be_bytes());
+            out
+        }
+        Control::SlotDone { slot } => {
+            let mut out = vec![TAG_SLOT_DONE];
+            out.extend_from_slice(&slot.to_be_bytes());
+            out
+        }
+        Control::Report(r) => {
+            let mut out = vec![TAG_REPORT];
+            out.extend_from_slice(&r.node.0.to_be_bytes());
+            out.extend_from_slice(&r.slots.to_be_bytes());
+            out.extend_from_slice(&r.chain_len.to_be_bytes());
+            out.extend_from_slice(r.chain_digest.as_bytes());
+            out.extend_from_slice(&r.pop_attempts.to_be_bytes());
+            out.extend_from_slice(&r.pop_successes.to_be_bytes());
+            out.push(u8::from(r.degraded));
+            out
+        }
+        Control::ReportAck => vec![TAG_REPORT_ACK],
+        Control::Shutdown => vec![TAG_SHUTDOWN],
+    }
+}
+
+/// Maps the shared reader's codec errors onto wire-layer errors.
+fn framing(e: CodecError) -> NetError {
+    match e {
+        CodecError::TrailingBytes => NetError::LengthMismatch,
+        _ => NetError::Truncated,
+    }
+}
+
+/// Decodes a control message.
+///
+/// # Errors
+///
+/// [`NetError::Truncated`] / [`NetError::LengthMismatch`] on framing
+/// violations, [`NetError::BadControlTag`] on an unknown tag.
+pub fn decode_control(data: &[u8]) -> Result<Control, NetError> {
+    let mut r = Reader::new(data);
+    let tag = r.u8().map_err(framing)?;
+    let msg = match tag {
+        TAG_HELLO => Control::Hello {
+            from: NodeId(r.u32().map_err(framing)?),
+        },
+        TAG_HELLO_ACK => Control::HelloAck {
+            from: NodeId(r.u32().map_err(framing)?),
+        },
+        TAG_SLOT_DIGEST => Control::SlotDigest {
+            slot: r.u64().map_err(framing)?,
+            digest: r.digest().map_err(framing)?,
+        },
+        TAG_DIGEST_REQ => Control::DigestReq {
+            slot: r.u64().map_err(framing)?,
+        },
+        TAG_SLOT_DONE => Control::SlotDone {
+            slot: r.u64().map_err(framing)?,
+        },
+        TAG_REPORT => Control::Report(RunReport {
+            node: NodeId(r.u32().map_err(framing)?),
+            slots: r.u64().map_err(framing)?,
+            chain_len: r.u64().map_err(framing)?,
+            chain_digest: r.digest().map_err(framing)?,
+            pop_attempts: r.u64().map_err(framing)?,
+            pop_successes: r.u64().map_err(framing)?,
+            degraded: r.u8().map_err(framing)? != 0,
+        }),
+        TAG_REPORT_ACK => Control::ReportAck,
+        TAG_SHUTDOWN => Control::Shutdown,
+        other => return Err(NetError::BadControlTag(other)),
+    };
+    r.finish().map_err(framing)?;
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn variants() -> Vec<Control> {
+        vec![
+            Control::Hello { from: NodeId(3) },
+            Control::HelloAck { from: NodeId(4) },
+            Control::SlotDigest {
+                slot: 17,
+                digest: Digest::from_bytes([9; 32]),
+            },
+            Control::DigestReq { slot: 17 },
+            Control::SlotDone { slot: 17 },
+            Control::Report(RunReport {
+                node: NodeId(2),
+                slots: 8,
+                chain_len: 8,
+                chain_digest: Digest::from_bytes([7; 32]),
+                pop_attempts: 5,
+                pop_successes: 5,
+                degraded: false,
+            }),
+            Control::ReportAck,
+            Control::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        for msg in variants() {
+            let decoded = decode_control(&encode_control(&msg)).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_rejected() {
+        for msg in variants() {
+            let encoded = encode_control(&msg);
+            for len in 0..encoded.len() {
+                assert!(decode_control(&encoded[..len]).is_err(), "prefix {len}");
+            }
+            let mut padded = encoded;
+            padded.push(0);
+            assert_eq!(decode_control(&padded), Err(NetError::LengthMismatch));
+        }
+    }
+
+    #[test]
+    fn unknown_tag_rejected() {
+        assert_eq!(decode_control(&[0xee]), Err(NetError::BadControlTag(0xee)));
+        assert_eq!(decode_control(&[]), Err(NetError::Truncated));
+    }
+}

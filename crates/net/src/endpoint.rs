@@ -1,0 +1,386 @@
+//! The endpoint: one socket, envelope framing, and request/reply plumbing.
+//!
+//! An [`Endpoint`] owns a [`Datagram`] transport and layers onto it:
+//!
+//! * envelope encode/decode with per-datagram metrics,
+//! * fragmentation and budget-bounded reassembly,
+//! * a pending-request table correlating replies by `req_id`, and
+//! * [`Endpoint::request`] — synchronous request/response with per-attempt
+//!   timeout and bounded exponential backoff. A request keeps its sequence
+//!   number across retries, so retransmissions are idempotent on the
+//!   responder and a late reply to an earlier attempt still matches.
+//!
+//! Exactly one thread runs [`Endpoint::run_receiver`]; replies are consumed
+//! there and handed to the blocked requester, everything else (requests,
+//! control traffic) goes to the caller-supplied handler. All send paths take
+//! `&self`, so the endpoint is shared behind an `Arc`.
+
+use crate::control::{decode_control, Control};
+use crate::envelope::{decode_datagram, encode_message, Kind, DEFAULT_MTU};
+use crate::frag::Reassembler;
+use crate::metrics::{NetMetrics, NetStats};
+use crate::transport::{Datagram, UdpTransport};
+use crate::NetError;
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender};
+use std::sync::Mutex;
+use std::time::Duration;
+use tldag_core::codec::{self, CodecError, WireMessage};
+use tldag_sim::NodeId;
+
+/// Tuning knobs for an [`Endpoint`].
+#[derive(Clone, Copy, Debug)]
+pub struct EndpointConfig {
+    /// Maximum datagram size, including envelope overhead.
+    pub mtu: usize,
+    /// First-attempt reply timeout; doubles per retry up to
+    /// [`EndpointConfig::max_backoff`].
+    pub request_timeout: Duration,
+    /// Retransmissions after the first attempt before giving up.
+    pub max_retries: u32,
+    /// Upper bound on the per-attempt timeout as backoff grows.
+    pub max_backoff: Duration,
+    /// Byte budget for partially reassembled messages.
+    pub reassembly_budget: usize,
+}
+
+impl Default for EndpointConfig {
+    fn default() -> Self {
+        EndpointConfig {
+            mtu: DEFAULT_MTU,
+            request_timeout: Duration::from_millis(80),
+            max_retries: 6,
+            max_backoff: Duration::from_millis(500),
+            reassembly_budget: 4 << 20,
+        }
+    }
+}
+
+/// A message delivered to the receive-loop handler (replies are routed to
+/// their waiting requester internally and never reach the handler).
+#[derive(Debug)]
+pub enum Inbound {
+    /// A protocol message that is not a reply: serve it.
+    Wire {
+        /// Sending node (from the envelope).
+        from: NodeId,
+        /// Source address the datagram arrived from (reply here).
+        src: SocketAddr,
+        /// The sender's message sequence number — echo as `req_id` when
+        /// replying.
+        seq: u64,
+        /// The decoded message.
+        msg: WireMessage,
+    },
+    /// A runtime control message.
+    Control {
+        /// Sending node (from the envelope).
+        from: NodeId,
+        /// Source address the datagram arrived from.
+        src: SocketAddr,
+        /// The decoded control message.
+        msg: Control,
+    },
+}
+
+/// One socket endpoint of a 2LDAG node (or the harness controller).
+pub struct Endpoint {
+    id: NodeId,
+    transport: Box<dyn Datagram>,
+    config: EndpointConfig,
+    next_seq: AtomicU64,
+    pending: Mutex<HashMap<u64, SyncSender<(NodeId, WireMessage)>>>,
+    metrics: NetMetrics,
+}
+
+impl std::fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("id", &self.id)
+            .field("addr", &self.transport.local_addr().ok())
+            .finish()
+    }
+}
+
+impl Endpoint {
+    /// Binds a UDP endpoint for node `id` on `listen`.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind failures.
+    pub fn bind(id: NodeId, listen: SocketAddr, config: EndpointConfig) -> io::Result<Self> {
+        Ok(Self::with_transport(
+            id,
+            Box::new(UdpTransport::bind(listen)?),
+            config,
+        ))
+    }
+
+    /// Builds an endpoint over an arbitrary transport (fault injection,
+    /// tests).
+    pub fn with_transport(
+        id: NodeId,
+        transport: Box<dyn Datagram>,
+        config: EndpointConfig,
+    ) -> Self {
+        Endpoint {
+            id,
+            transport,
+            config,
+            next_seq: AtomicU64::new(1),
+            pending: Mutex::new(HashMap::new()),
+            metrics: NetMetrics::default(),
+        }
+    }
+
+    /// The node id this endpoint stamps into outgoing envelopes.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The bound socket address.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport's failure to report its address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.transport.local_addr()
+    }
+
+    /// The endpoint's live metrics.
+    pub fn metrics(&self) -> &NetMetrics {
+        &self.metrics
+    }
+
+    /// A point-in-time snapshot of the metrics.
+    pub fn stats(&self) -> NetStats {
+        self.metrics.snapshot()
+    }
+
+    fn alloc_seq(&self) -> u64 {
+        self.next_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn send_frames(&self, to: SocketAddr, frames: &[Vec<u8>]) {
+        for frame in frames {
+            match self.transport.send_to(frame, to) {
+                Ok(_) => {
+                    NetMetrics::inc(&self.metrics.datagrams_sent);
+                    NetMetrics::add(&self.metrics.bytes_sent, frame.len() as u64);
+                }
+                Err(_) => {
+                    // UDP send errors (e.g. ICMP-refused on loopback) are
+                    // indistinguishable from loss for the protocol; the
+                    // retry layer handles both.
+                }
+            }
+        }
+    }
+
+    fn encode_frames(
+        &self,
+        kind: Kind,
+        seq: u64,
+        req_id: u64,
+        payload: &[u8],
+    ) -> Result<Vec<Vec<u8>>, NetError> {
+        encode_message(kind, self.id, seq, req_id, payload, self.config.mtu)
+    }
+
+    /// Sends an unsolicited protocol message; returns its sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Oversize`] when the message cannot be fragmented.
+    pub fn send_wire(&self, to: SocketAddr, msg: &WireMessage) -> Result<u64, NetError> {
+        let seq = self.alloc_seq();
+        let frames = self.encode_frames(Kind::Wire, seq, 0, &codec::encode_message(msg))?;
+        self.send_frames(to, &frames);
+        Ok(seq)
+    }
+
+    /// Sends a protocol reply correlated to request `req_id`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Oversize`] when the message cannot be fragmented.
+    pub fn send_reply(
+        &self,
+        to: SocketAddr,
+        req_id: u64,
+        msg: &WireMessage,
+    ) -> Result<u64, NetError> {
+        let seq = self.alloc_seq();
+        let frames = self.encode_frames(Kind::Wire, seq, req_id, &codec::encode_message(msg))?;
+        self.send_frames(to, &frames);
+        Ok(seq)
+    }
+
+    /// Sends a control message.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Oversize`] when the message cannot be fragmented
+    /// (control messages always fit one datagram in practice).
+    pub fn send_control(&self, to: SocketAddr, msg: &Control) -> Result<u64, NetError> {
+        let seq = self.alloc_seq();
+        let frames =
+            self.encode_frames(Kind::Control, seq, 0, &crate::control::encode_control(msg))?;
+        self.send_frames(to, &frames);
+        Ok(seq)
+    }
+
+    /// Sends `msg` to `to` and waits for a correlated reply, retrying with
+    /// bounded exponential backoff. Returns `None` once the retry budget is
+    /// exhausted (counted in `request_timeouts`) — a silent peer costs
+    /// bounded time, never a hang.
+    ///
+    /// Requires [`Endpoint::run_receiver`] to be live on another thread;
+    /// without it every request times out.
+    pub fn request(&self, to: SocketAddr, msg: &WireMessage) -> Option<(NodeId, WireMessage)> {
+        let seq = self.alloc_seq();
+        let frames = self
+            .encode_frames(Kind::Wire, seq, 0, &codec::encode_message(msg))
+            .ok()?;
+        let (tx, rx) = sync_channel(2);
+        self.pending
+            .lock()
+            .expect("pending table poisoned")
+            .insert(seq, tx);
+        NetMetrics::inc(&self.metrics.requests_sent);
+
+        let mut timeout = self.config.request_timeout;
+        let mut outcome = None;
+        for attempt in 0..=self.config.max_retries {
+            if attempt > 0 {
+                NetMetrics::inc(&self.metrics.request_retries);
+            }
+            self.send_frames(to, &frames);
+            match rx.recv_timeout(timeout) {
+                Ok(reply) => {
+                    // Counted here, not in the receiver thread, so a caller
+                    // that sees the reply also sees the counter.
+                    NetMetrics::inc(&self.metrics.replies_matched);
+                    outcome = Some(reply);
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    timeout = (timeout * 2).min(self.config.max_backoff);
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.pending
+            .lock()
+            .expect("pending table poisoned")
+            .remove(&seq);
+        if outcome.is_none() {
+            NetMetrics::inc(&self.metrics.request_timeouts);
+        }
+        outcome
+    }
+
+    /// Runs the receive loop until `stop` is set: decodes envelopes,
+    /// reassembles fragments, consumes replies, and hands everything else to
+    /// `handler`. Malformed traffic is counted and dropped — never a panic.
+    pub fn run_receiver(&self, stop: &AtomicBool, handler: &mut dyn FnMut(Inbound)) {
+        let _ = self
+            .transport
+            .set_read_timeout(Some(Duration::from_millis(20)));
+        let mut buf = vec![0u8; 65536];
+        let mut reassembler = Reassembler::new(self.config.reassembly_budget);
+        let mut seen_evictions = 0u64;
+        while !stop.load(Ordering::Relaxed) {
+            let (len, src) = match self.transport.recv_from(&mut buf) {
+                Ok(r) => r,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    continue;
+                }
+                Err(_) => continue, // e.g. ICMP port-unreachable surfaced on some OSes
+            };
+            NetMetrics::inc(&self.metrics.datagrams_received);
+            NetMetrics::add(&self.metrics.bytes_received, len as u64);
+            let (env, fragment) = match decode_datagram(&buf[..len]) {
+                Ok(d) => d,
+                Err(e) => {
+                    match e {
+                        NetError::BadCrc => NetMetrics::inc(&self.metrics.crc_drops),
+                        NetError::BadVersion(_) => NetMetrics::inc(&self.metrics.version_drops),
+                        _ => NetMetrics::inc(&self.metrics.malformed_drops),
+                    }
+                    continue;
+                }
+            };
+            let Some(payload) = reassembler.offer(&env, fragment) else {
+                let evictions = reassembler.evictions();
+                if evictions > seen_evictions {
+                    NetMetrics::add(
+                        &self.metrics.reassembly_evictions,
+                        evictions - seen_evictions,
+                    );
+                    seen_evictions = evictions;
+                }
+                continue;
+            };
+            if env.frag_count > 1 {
+                NetMetrics::inc(&self.metrics.messages_reassembled);
+            }
+            match env.kind {
+                Kind::Wire => match codec::decode_message(&payload) {
+                    Ok(msg) => {
+                        if env.req_id != 0 {
+                            self.route_reply(env.req_id, env.sender, msg);
+                        } else {
+                            handler(Inbound::Wire {
+                                from: env.sender,
+                                src,
+                                seq: env.msg_seq,
+                                msg,
+                            });
+                        }
+                    }
+                    Err(CodecError::UnknownTag(_)) => {
+                        // Version skew: a peer speaks a newer message set.
+                        NetMetrics::inc(&self.metrics.unknown_tag_drops);
+                    }
+                    Err(_) => NetMetrics::inc(&self.metrics.codec_error_drops),
+                },
+                Kind::Control => match decode_control(&payload) {
+                    Ok(msg) => handler(Inbound::Control {
+                        from: env.sender,
+                        src,
+                        msg,
+                    }),
+                    Err(NetError::BadControlTag(_)) => {
+                        NetMetrics::inc(&self.metrics.unknown_tag_drops);
+                    }
+                    Err(_) => NetMetrics::inc(&self.metrics.codec_error_drops),
+                },
+            }
+        }
+    }
+
+    /// Hands a reply to its waiting requester (or counts it as late).
+    fn route_reply(&self, req_id: u64, from: NodeId, msg: WireMessage) {
+        let sender = self
+            .pending
+            .lock()
+            .expect("pending table poisoned")
+            .get(&req_id)
+            .cloned();
+        match sender {
+            Some(tx) => {
+                if tx.try_send((from, msg)).is_err() {
+                    NetMetrics::inc(&self.metrics.replies_unmatched);
+                }
+            }
+            None => NetMetrics::inc(&self.metrics.replies_unmatched),
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! The datagram envelope: versioned, CRC-guarded framing for one UDP packet.
+//!
+//! Every datagram on the wire is one envelope:
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic        "TLDG"
+//!      4     1  version      0x01
+//!      5     1  kind         0 = protocol (codec::WireMessage), 1 = control
+//!      6     4  sender       NodeId, big-endian
+//!     10     8  msg seq      monotonic per sender; a request keeps its seq
+//!                            across retries so retransmissions are idempotent
+//!     18     8  req id       0 for unsolicited traffic; a reply echoes the
+//!                            request's msg seq here for correlation
+//!     26     2  frag index   0-based fragment number
+//!     28     2  frag count   total fragments of this message (>= 1)
+//!     30     2  payload len  bytes of payload in *this* datagram
+//!     32     N  payload      one fragment of the encoded message
+//!   32+N     4  CRC-32       over bytes [0, 32+N)
+//! ```
+//!
+//! Messages larger than one MTU-sized datagram (full blocks, mostly) are
+//! split into fragments sharing the sender's msg seq; [`crate::frag`]
+//! reassembles them. Decoding validates every field and the checksum — a
+//! malformed or bit-flipped datagram yields a clean [`NetError`], never a
+//! panic, and the CRC rejects any single-bit corruption outright.
+
+use crate::NetError;
+use tldag_sim::NodeId;
+use tldag_storage::crc32::crc32;
+
+/// Leading magic of every tldag datagram.
+pub const MAGIC: [u8; 4] = *b"TLDG";
+/// Wire protocol version carried in every envelope.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Fixed header bytes before the payload.
+pub const HEADER_LEN: usize = 32;
+/// Trailing CRC bytes after the payload.
+pub const TRAILER_LEN: usize = 4;
+/// Total framing overhead per datagram.
+pub const OVERHEAD: usize = HEADER_LEN + TRAILER_LEN;
+/// Default datagram budget: conservative Ethernet MTU minus IP/UDP headers.
+pub const DEFAULT_MTU: usize = 1400;
+
+/// What the payload of an envelope is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// A `tldag_core::codec::WireMessage` (the Sec. IV-C message set).
+    Wire,
+    /// A `crate::control` runtime message (gossip sync, liveness, reports).
+    Control,
+}
+
+impl Kind {
+    fn to_byte(self) -> u8 {
+        match self {
+            Kind::Wire => 0,
+            Kind::Control => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Self, NetError> {
+        match b {
+            0 => Ok(Kind::Wire),
+            1 => Ok(Kind::Control),
+            other => Err(NetError::BadKind(other)),
+        }
+    }
+}
+
+/// A decoded envelope header (the payload is returned alongside).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Envelope {
+    /// Payload channel.
+    pub kind: Kind,
+    /// The sending node.
+    pub sender: NodeId,
+    /// Sender-monotonic message sequence number.
+    pub msg_seq: u64,
+    /// 0 for unsolicited traffic; otherwise the request seq being answered.
+    pub req_id: u64,
+    /// 0-based fragment index.
+    pub frag_index: u16,
+    /// Total fragments of the message this datagram belongs to.
+    pub frag_count: u16,
+}
+
+/// Encodes one datagram carrying one fragment.
+fn encode_datagram(env: &Envelope, payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= u16::MAX as usize);
+    let mut out = Vec::with_capacity(OVERHEAD + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.push(PROTOCOL_VERSION);
+    out.push(env.kind.to_byte());
+    out.extend_from_slice(&env.sender.0.to_be_bytes());
+    out.extend_from_slice(&env.msg_seq.to_be_bytes());
+    out.extend_from_slice(&env.req_id.to_be_bytes());
+    out.extend_from_slice(&env.frag_index.to_be_bytes());
+    out.extend_from_slice(&env.frag_count.to_be_bytes());
+    out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_be_bytes());
+    out
+}
+
+/// Splits `payload` into MTU-sized datagrams sharing `msg_seq`.
+///
+/// A message that fits in one datagram yields exactly one; larger messages
+/// fragment with ascending `frag_index`. Retransmitting the returned
+/// datagrams verbatim is safe: reassembly ignores duplicate *fragments* of
+/// an in-flight message, and replies are correlated (exactly once) by the
+/// request's `msg_seq`. A retransmitted message that already completed is
+/// delivered to the handler again, so unsolicited-message handlers must be
+/// idempotent — the runtime's are (requests re-serve, gossip re-inserts).
+///
+/// # Errors
+///
+/// [`NetError::Oversize`] when the message would need more than `u16::MAX`
+/// fragments, or when `mtu` leaves no payload room.
+pub fn encode_message(
+    kind: Kind,
+    sender: NodeId,
+    msg_seq: u64,
+    req_id: u64,
+    payload: &[u8],
+    mtu: usize,
+) -> Result<Vec<Vec<u8>>, NetError> {
+    let room = mtu.saturating_sub(OVERHEAD).min(u16::MAX as usize);
+    if room == 0 {
+        return Err(NetError::Oversize);
+    }
+    let frag_count = payload.len().div_ceil(room).max(1);
+    if frag_count > u16::MAX as usize {
+        return Err(NetError::Oversize);
+    }
+    let mut out = Vec::with_capacity(frag_count);
+    for i in 0..frag_count {
+        let chunk = &payload[i * room..payload.len().min((i + 1) * room)];
+        out.push(encode_datagram(
+            &Envelope {
+                kind,
+                sender,
+                msg_seq,
+                req_id,
+                frag_index: i as u16,
+                frag_count: frag_count as u16,
+            },
+            chunk,
+        ));
+    }
+    Ok(out)
+}
+
+/// Decodes one datagram into its envelope header and payload fragment.
+///
+/// Validation order: size, magic, checksum, version, kind, fragment sanity,
+/// and exact length agreement — so a corrupted datagram is rejected by the
+/// CRC and a foreign datagram by the magic, each as a distinct error the
+/// transport can count.
+///
+/// # Errors
+///
+/// A [`NetError`] naming the first violated invariant.
+pub fn decode_datagram(data: &[u8]) -> Result<(Envelope, &[u8]), NetError> {
+    if data.len() < OVERHEAD {
+        return Err(NetError::Truncated);
+    }
+    if data[..4] != MAGIC {
+        return Err(NetError::BadMagic);
+    }
+    let body = &data[..data.len() - TRAILER_LEN];
+    let stated_crc = u32::from_be_bytes(data[data.len() - TRAILER_LEN..].try_into().expect("4"));
+    if crc32(body) != stated_crc {
+        return Err(NetError::BadCrc);
+    }
+    let version = data[4];
+    if version != PROTOCOL_VERSION {
+        return Err(NetError::BadVersion(version));
+    }
+    let kind = Kind::from_byte(data[5])?;
+    let sender = NodeId(u32::from_be_bytes(data[6..10].try_into().expect("4")));
+    let msg_seq = u64::from_be_bytes(data[10..18].try_into().expect("8"));
+    let req_id = u64::from_be_bytes(data[18..26].try_into().expect("8"));
+    let frag_index = u16::from_be_bytes(data[26..28].try_into().expect("2"));
+    let frag_count = u16::from_be_bytes(data[28..30].try_into().expect("2"));
+    let payload_len = u16::from_be_bytes(data[30..32].try_into().expect("2")) as usize;
+    if frag_count == 0 || frag_index >= frag_count {
+        return Err(NetError::BadFragment);
+    }
+    if payload_len != data.len() - OVERHEAD {
+        return Err(NetError::LengthMismatch);
+    }
+    Ok((
+        Envelope {
+            kind,
+            sender,
+            msg_seq,
+            req_id,
+            frag_index,
+            frag_count,
+        },
+        &data[HEADER_LEN..HEADER_LEN + payload_len],
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_datagram_round_trip() {
+        let frames = encode_message(Kind::Wire, NodeId(7), 42, 9, b"hello", 1400).unwrap();
+        assert_eq!(frames.len(), 1);
+        let (env, payload) = decode_datagram(&frames[0]).unwrap();
+        assert_eq!(env.sender, NodeId(7));
+        assert_eq!(env.msg_seq, 42);
+        assert_eq!(env.req_id, 9);
+        assert_eq!(env.kind, Kind::Wire);
+        assert_eq!((env.frag_index, env.frag_count), (0, 1));
+        assert_eq!(payload, b"hello");
+    }
+
+    #[test]
+    fn empty_payload_still_yields_one_datagram() {
+        let frames = encode_message(Kind::Control, NodeId(1), 1, 0, b"", 1400).unwrap();
+        assert_eq!(frames.len(), 1);
+        let (env, payload) = decode_datagram(&frames[0]).unwrap();
+        assert_eq!(env.frag_count, 1);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn large_message_fragments_and_each_fragment_decodes() {
+        let payload: Vec<u8> = (0..5000u32).map(|i| i as u8).collect();
+        let frames = encode_message(Kind::Wire, NodeId(2), 3, 0, &payload, 1400).unwrap();
+        assert!(frames.len() > 1);
+        let mut rebuilt = Vec::new();
+        for (i, frame) in frames.iter().enumerate() {
+            assert!(frame.len() <= 1400, "fragment exceeds MTU");
+            let (env, chunk) = decode_datagram(frame).unwrap();
+            assert_eq!(env.frag_index as usize, i);
+            assert_eq!(env.frag_count as usize, frames.len());
+            rebuilt.extend_from_slice(chunk);
+        }
+        assert_eq!(rebuilt, payload);
+    }
+
+    #[test]
+    fn truncation_is_always_an_error() {
+        let frames = encode_message(Kind::Wire, NodeId(1), 5, 0, b"payload bytes", 1400).unwrap();
+        let frame = &frames[0];
+        for len in 0..frame.len() {
+            assert!(decode_datagram(&frame[..len]).is_err(), "prefix {len}");
+        }
+    }
+
+    #[test]
+    fn any_single_bit_flip_is_rejected() {
+        let frames = encode_message(Kind::Wire, NodeId(1), 5, 0, b"abc", 1400).unwrap();
+        let frame = &frames[0];
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut tampered = frame.clone();
+                tampered[byte] ^= 1 << bit;
+                assert!(
+                    decode_datagram(&tampered).is_err(),
+                    "flip at byte {byte} bit {bit} must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn foreign_and_future_datagrams_classified() {
+        assert_eq!(decode_datagram(&[0u8; 10]), Err(NetError::Truncated));
+        let mut foreign = vec![0u8; OVERHEAD];
+        foreign[..4].copy_from_slice(b"QUIC");
+        assert_eq!(decode_datagram(&foreign), Err(NetError::BadMagic));
+        // A future protocol version with a valid checksum is reported as such.
+        let mut frame = encode_message(Kind::Wire, NodeId(1), 1, 0, b"x", 1400)
+            .unwrap()
+            .remove(0);
+        frame[4] = 9;
+        let body_len = frame.len() - TRAILER_LEN;
+        let crc = crc32(&frame[..body_len]).to_be_bytes();
+        frame[body_len..].copy_from_slice(&crc);
+        assert_eq!(decode_datagram(&frame), Err(NetError::BadVersion(9)));
+    }
+
+    #[test]
+    fn zero_room_mtu_is_refused() {
+        assert_eq!(
+            encode_message(Kind::Wire, NodeId(1), 1, 0, b"x", OVERHEAD),
+            Err(NetError::Oversize)
+        );
+    }
+}

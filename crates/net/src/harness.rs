@@ -1,0 +1,377 @@
+//! The multi-process deployment harness behind `tldag cluster`.
+//!
+//! Spawns `N` real node processes (`tldag node ...`), each with its own UDP
+//! socket on localhost, acts as the report controller, and — once every
+//! node reported — replays the identical experiment on the in-memory
+//! [`TldagNetwork`] engine and compares `network_digest`s. Digest parity
+//! proves the wire path (envelope codec, fragmentation, gossip barrier,
+//! pull-based loss recovery) reproduces the simulator's protocol execution
+//! byte-for-byte on a shared seed.
+
+use crate::control::{Control, RunReport};
+use crate::endpoint::{Endpoint, EndpointConfig, Inbound};
+use crate::peer::format_peer_list;
+use crate::runtime::{deployment_protocol_config, deployment_topology, network_digest_of};
+use std::collections::HashMap;
+use std::net::{SocketAddr, UdpSocket};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+use tldag_core::network::TldagNetwork;
+use tldag_core::workload::VerificationWorkload;
+use tldag_crypto::Digest;
+use tldag_sim::engine::GenerationSchedule;
+use tldag_sim::NodeId;
+
+/// Configuration of one cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// The `tldag` binary to spawn node processes from.
+    pub exe: PathBuf,
+    /// Number of nodes (= processes).
+    pub nodes: usize,
+    /// Slots each node executes.
+    pub slots: u64,
+    /// Shared experiment seed.
+    pub seed: u64,
+    /// Deployment area side in meters.
+    pub side_m: f64,
+    /// Consensus parameter γ.
+    pub gamma: usize,
+    /// Whether nodes run the PoP verification workload over the wire.
+    pub pop: bool,
+    /// When set, node `i` stores its chain on disk under `root/node-i`.
+    pub storage_root: Option<PathBuf>,
+    /// First UDP port; node `i` listens on `base_port + i`. When `None`,
+    /// free ports are discovered by probing.
+    pub base_port: Option<u16>,
+    /// How long the controller waits for all reports.
+    pub report_timeout: Duration,
+}
+
+impl ClusterConfig {
+    /// A cluster of `nodes` × `slots` with deployment defaults.
+    pub fn new(exe: PathBuf, nodes: usize, slots: u64, seed: u64) -> Self {
+        ClusterConfig {
+            exe,
+            nodes,
+            slots,
+            seed,
+            side_m: 300.0,
+            gamma: 3,
+            pop: false,
+            storage_root: None,
+            base_port: None,
+            report_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// The outcome of a cluster run, including the parity verdict.
+#[derive(Clone, Debug)]
+pub struct ClusterOutcome {
+    /// Per-node end-of-run reports, in node order.
+    pub reports: Vec<RunReport>,
+    /// Network digest assembled from the wire nodes' chain digests.
+    pub wire_digest: Digest,
+    /// Network digest of the in-memory reference run on the same seed.
+    pub reference_digest: Digest,
+    /// Per-node chain digests of the reference run, for mismatch diagnosis.
+    pub reference_chains: Vec<Digest>,
+    /// PoP (attempts, successes) summed over the wire nodes.
+    pub wire_pop: (u64, u64),
+    /// PoP (attempts, successes) of the reference engine.
+    pub reference_pop: (u64, u64),
+}
+
+impl ClusterOutcome {
+    /// Whether the wire cluster reproduced the reference digest exactly.
+    pub fn parity(&self) -> bool {
+        self.wire_digest == self.reference_digest
+    }
+
+    /// Whether any node proceeded past a timed-out barrier.
+    pub fn degraded(&self) -> bool {
+        self.reports.iter().any(|r| r.degraded)
+    }
+}
+
+/// Kills every child on drop, so no path out of the harness leaks
+/// processes.
+struct ChildGuard {
+    children: Vec<(NodeId, Child)>,
+}
+
+impl ChildGuard {
+    /// Reaps children that exited on their own; returns the failures.
+    fn harvest_failures(&mut self) -> Vec<String> {
+        let mut failures = Vec::new();
+        for (id, child) in &mut self.children {
+            if let Ok(Some(status)) = child.try_wait() {
+                if !status.success() {
+                    failures.push(format!("node {} exited early: {status}", id.0));
+                }
+            }
+        }
+        failures
+    }
+
+    /// Waits for clean exits up to `deadline`, then kills stragglers.
+    fn shutdown(&mut self, deadline: Instant) {
+        loop {
+            let all_done = self
+                .children
+                .iter_mut()
+                .all(|(_, c)| matches!(c.try_wait(), Ok(Some(_))));
+            if all_done || Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        for (_, child) in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Drop for ChildGuard {
+    fn drop(&mut self) {
+        for (_, child) in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Finds `n` bindable localhost UDP ports.
+fn discover_ports(n: usize) -> Result<Vec<u16>, String> {
+    let mut sockets = Vec::with_capacity(n);
+    let mut ports = Vec::with_capacity(n);
+    for _ in 0..n {
+        let socket = UdpSocket::bind("127.0.0.1:0")
+            .map_err(|e| format!("cannot discover a free port: {e}"))?;
+        ports.push(
+            socket
+                .local_addr()
+                .map_err(|e| format!("cannot read discovered port: {e}"))?
+                .port(),
+        );
+        // Held until all are discovered so probes cannot collide.
+        sockets.push(socket);
+    }
+    Ok(ports)
+}
+
+/// Runs a full cluster: spawn, collect, compare. Node processes are always
+/// reaped, whatever path is taken.
+///
+/// # Errors
+///
+/// Spawn failures, early child exits, and report-collection timeouts.
+pub fn run_cluster(config: &ClusterConfig) -> Result<ClusterOutcome, String> {
+    match run_cluster_attempt(config) {
+        // Probed ports are necessarily released before the child processes
+        // bind them, so a concurrent bind on the same host can steal one in
+        // that window and the victim exits at startup. Fresh ports and one
+        // retry absorb the race (impossible with an explicit --base-port,
+        // where retrying would collide identically).
+        Err(e) if config.base_port.is_none() && e.contains("exited early") => {
+            run_cluster_attempt(config)
+        }
+        outcome => outcome,
+    }
+}
+
+fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String> {
+    if config.nodes == 0 {
+        return Err("--nodes must be positive".into());
+    }
+    let ports: Vec<u16> = match config.base_port {
+        Some(base) => {
+            let last = u64::from(base) + config.nodes as u64 - 1;
+            if last > u64::from(u16::MAX) {
+                return Err(format!(
+                    "--base-port {base} + {} nodes exceeds port 65535",
+                    config.nodes
+                ));
+            }
+            (0..config.nodes as u16).map(|i| base + i).collect()
+        }
+        None => discover_ports(config.nodes)?,
+    };
+    let addrs: Vec<SocketAddr> = ports
+        .iter()
+        .map(|p| format!("127.0.0.1:{p}").parse().expect("addr"))
+        .collect();
+
+    // --- The controller endpoint: collect reports, ack each.
+    let controller = Arc::new(
+        Endpoint::bind(
+            NodeId(u32::MAX),
+            "127.0.0.1:0".parse().expect("addr"),
+            EndpointConfig::default(),
+        )
+        .map_err(|e| format!("cannot bind controller socket: {e}"))?,
+    );
+    let controller_addr = controller
+        .local_addr()
+        .map_err(|e| format!("controller address: {e}"))?;
+    let reports: Arc<Mutex<HashMap<NodeId, RunReport>>> = Arc::new(Mutex::new(HashMap::new()));
+    let stop = Arc::new(AtomicBool::new(false));
+    let collector = {
+        let controller = Arc::clone(&controller);
+        let reports = Arc::clone(&reports);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut handler = |inbound: Inbound| {
+                if let Inbound::Control {
+                    src,
+                    msg: Control::Report(report),
+                    ..
+                } = inbound
+                {
+                    reports
+                        .lock()
+                        .expect("reports poisoned")
+                        .insert(report.node, report);
+                    let _ = controller.send_control(src, &Control::ReportAck);
+                }
+            };
+            controller.run_receiver(&stop, &mut handler);
+        })
+    };
+
+    // --- Spawn one real process per node.
+    let mut guard = ChildGuard {
+        children: Vec::with_capacity(config.nodes),
+    };
+    for i in 0..config.nodes {
+        let id = NodeId(i as u32);
+        let peers: Vec<(NodeId, SocketAddr)> = (0..config.nodes)
+            .filter(|&j| j != i)
+            .map(|j| (NodeId(j as u32), addrs[j]))
+            .collect();
+        let mut cmd = Command::new(&config.exe);
+        cmd.arg("node")
+            .arg("--id")
+            .arg(i.to_string())
+            .arg("--listen")
+            .arg(addrs[i].to_string())
+            .arg("--peers")
+            .arg(format_peer_list(&peers))
+            .arg("--controller")
+            .arg(controller_addr.to_string())
+            .arg("--seed")
+            .arg(config.seed.to_string())
+            .arg("--nodes")
+            .arg(config.nodes.to_string())
+            .arg("--side")
+            .arg(config.side_m.to_string())
+            .arg("--gamma")
+            .arg(config.gamma.to_string())
+            .arg("--slots")
+            .arg(config.slots.to_string())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit());
+        if config.pop {
+            cmd.arg("--pop");
+        }
+        if let Some(root) = &config.storage_root {
+            cmd.arg("--storage")
+                .arg("disk")
+                .arg("--storage-dir")
+                .arg(root.join(format!("node-{i}")));
+        }
+        let child = match cmd.spawn() {
+            Ok(child) => child,
+            Err(e) => {
+                // Tear the collector down too — every exit path must, or a
+                // failed run leaks the thread and the controller socket.
+                stop.store(true, Ordering::Relaxed);
+                let _ = collector.join();
+                return Err(format!(
+                    "cannot spawn node {i} from {}: {e}",
+                    config.exe.display()
+                ));
+            }
+        };
+        guard.children.push((id, child));
+    }
+
+    // --- Collect all reports (or fail with whatever went wrong).
+    let deadline = Instant::now() + config.report_timeout;
+    let collected = loop {
+        let have = reports.lock().expect("reports poisoned").len();
+        if have == config.nodes {
+            break reports.lock().expect("reports poisoned").clone();
+        }
+        let failures = guard.harvest_failures();
+        if !failures.is_empty() {
+            stop.store(true, Ordering::Relaxed);
+            let _ = collector.join();
+            return Err(failures.join("; "));
+        }
+        if Instant::now() > deadline {
+            stop.store(true, Ordering::Relaxed);
+            let _ = collector.join();
+            return Err(format!(
+                "cluster timed out: {have}/{} reports within {:?}",
+                config.nodes, config.report_timeout
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(30));
+    };
+
+    // --- Release the cluster and reap the processes.
+    for addr in &addrs {
+        for _ in 0..3 {
+            let _ = controller.send_control(*addr, &Control::Shutdown);
+        }
+    }
+    guard.shutdown(Instant::now() + Duration::from_secs(5));
+    stop.store(true, Ordering::Relaxed);
+    collector.join().map_err(|_| "collector thread panicked")?;
+
+    // --- The in-memory reference on the same seed.
+    let topology = deployment_topology(config.seed, config.nodes, config.side_m);
+    let cfg = deployment_protocol_config(config.gamma);
+    let schedule = GenerationSchedule::uniform(topology.len());
+    let mut reference = TldagNetwork::new(cfg, topology, schedule, config.seed);
+    reference.set_verification_workload(if config.pop {
+        VerificationWorkload::RandomPast {
+            min_age_slots: config.nodes as u64,
+        }
+    } else {
+        VerificationWorkload::Disabled
+    });
+    reference.run_slots(config.slots);
+
+    let mut ordered = Vec::with_capacity(config.nodes);
+    for i in 0..config.nodes {
+        let id = NodeId(i as u32);
+        ordered.push(
+            *collected
+                .get(&id)
+                .ok_or_else(|| format!("missing report from node {i}"))?,
+        );
+    }
+    let wire_digest =
+        network_digest_of(&ordered.iter().map(|r| r.chain_digest).collect::<Vec<_>>());
+    let reference_chains: Vec<Digest> = (0..config.nodes)
+        .map(|i| reference.chain_digest(NodeId(i as u32)))
+        .collect();
+    let wire_pop = ordered.iter().fold((0, 0), |(a, s), r| {
+        (a + r.pop_attempts, s + r.pop_successes)
+    });
+    Ok(ClusterOutcome {
+        wire_digest,
+        reference_digest: reference.network_digest(),
+        reference_chains,
+        wire_pop,
+        reference_pop: reference.pop_counters(),
+        reports: ordered,
+    })
+}

@@ -1,0 +1,96 @@
+//! # tldag-net — UDP wire transport and peer runtime for 2LDAG nodes
+//!
+//! The paper defines the reactive PoP exchange (Sec. IV-C) as an actual
+//! message protocol between IoT validators, but the reproduction so far ran
+//! it through an in-memory bus. This crate is the missing wire layer — with
+//! it, codec ↔ transport ↔ storage compose into a full node binary:
+//!
+//! * [`envelope`] — versioned, CRC-guarded datagram framing with
+//!   fragmentation for messages larger than one MTU (full blocks).
+//! * [`frag`] — out-of-order, budget-bounded fragment reassembly.
+//! * [`transport`] — the [`Datagram`] socket abstraction:
+//!   [`UdpTransport`] for real sockets, [`FaultyTransport`] for
+//!   deterministic loss/duplication/reorder injection (the `fig11_wire`
+//!   knob).
+//! * [`peer`] — static-bootstrap [`PeerTable`] with liveness tracking.
+//! * [`endpoint`] — the [`Endpoint`]: framing + reassembly + reply
+//!   correlation + request retry with bounded backoff, fully metered
+//!   ([`metrics`]).
+//! * [`control`] — runtime control messages: hello bootstrap, slot-tagged
+//!   digest gossip with pull-based recovery, report/shutdown handshake.
+//! * [`runtime`] — [`NetNode`], the deployed node: inbound dispatcher
+//!   serving `REQ_CHILD`/`FetchBlock` (cooperative `Nack`/`PrunedNack`
+//!   included) plus the slot loop and the wire-side PoP validator.
+//! * [`harness`] — the `tldag cluster` multi-process deployment harness
+//!   with `network_digest` parity checking against the in-memory engine.
+//!
+//! Everything is `std`-only (threads + `UdpSocket`), matching the
+//! workspace's scoped-thread engine style: no async runtime, no new
+//! dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub mod control;
+pub mod endpoint;
+pub mod envelope;
+pub mod frag;
+pub mod harness;
+pub mod metrics;
+pub mod peer;
+pub mod runtime;
+pub mod transport;
+
+pub use endpoint::{Endpoint, EndpointConfig, Inbound};
+pub use harness::{run_cluster, ClusterConfig, ClusterOutcome};
+pub use metrics::{NetMetrics, NetStats};
+pub use peer::PeerTable;
+pub use runtime::{NetNode, NetNodeConfig, NetPopTransport, StorageMode};
+pub use transport::{Datagram, FaultSpec, FaultyTransport, UdpTransport};
+
+/// A wire-layer failure: framing, checksum, version, or payload decode.
+///
+/// Every variant is a *clean rejection* — malformed datagrams are counted
+/// and dropped by the endpoint, never panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The datagram (or control payload) ended before the structure did.
+    Truncated,
+    /// The datagram does not start with the tldag magic.
+    BadMagic,
+    /// The checksum does not match the datagram contents.
+    BadCrc,
+    /// The envelope speaks an unsupported protocol version.
+    BadVersion(u8),
+    /// The envelope kind byte names no known channel.
+    BadKind(u8),
+    /// A control payload carries an unknown tag (runtime version skew).
+    BadControlTag(u8),
+    /// A length field disagrees with the actual data.
+    LengthMismatch,
+    /// Fragment fields are inconsistent (zero count, index out of range).
+    BadFragment,
+    /// The message cannot be framed (too many fragments, or no payload
+    /// room under the configured MTU).
+    Oversize,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Truncated => write!(f, "datagram ended mid-structure"),
+            NetError::BadMagic => write!(f, "not a tldag datagram (bad magic)"),
+            NetError::BadCrc => write!(f, "checksum mismatch"),
+            NetError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            NetError::BadKind(k) => write!(f, "unknown envelope kind {k:#04x}"),
+            NetError::BadControlTag(t) => write!(f, "unknown control tag {t:#04x}"),
+            NetError::LengthMismatch => write!(f, "length field disagrees with data"),
+            NetError::BadFragment => write!(f, "inconsistent fragment fields"),
+            NetError::Oversize => write!(f, "message cannot be framed under the MTU"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

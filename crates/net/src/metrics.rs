@@ -1,0 +1,161 @@
+//! Transport observability: atomic counters for everything the wire does.
+//!
+//! Every datagram fate is counted — including the drops the protocol never
+//! sees (CRC failures, version skew, unknown codec tags) — so packet loss,
+//! version mismatches, and retry pressure are visible in metrics instead of
+//! silently degrading PoP latency.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+macro_rules! net_metrics {
+    ($(#[$sdoc:meta])* snapshot $snap:ident; $($(#[$doc:meta])* $field:ident),+ $(,)?) => {
+        /// Live transport counters, shared between the receiver thread and
+        /// request callers. All updates are `Relaxed`: these are statistics,
+        /// not synchronization.
+        #[derive(Debug, Default)]
+        pub struct NetMetrics {
+            $($(#[$doc])* pub $field: AtomicU64,)+
+        }
+
+        $(#[$sdoc])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct $snap {
+            $($(#[$doc])* pub $field: u64,)+
+        }
+
+        impl NetMetrics {
+            /// A point-in-time copy of every counter.
+            pub fn snapshot(&self) -> $snap {
+                $snap {
+                    $($field: self.$field.load(Ordering::Relaxed),)+
+                }
+            }
+        }
+    };
+}
+
+net_metrics! {
+    /// A point-in-time copy of [`NetMetrics`], for reports and JSON output.
+    snapshot NetStats;
+    /// Datagrams handed to the transport.
+    datagrams_sent,
+    /// Datagrams received from the transport.
+    datagrams_received,
+    /// Bytes handed to the transport.
+    bytes_sent,
+    /// Bytes received from the transport.
+    bytes_received,
+    /// Datagrams dropped for a checksum mismatch.
+    crc_drops,
+    /// Datagrams dropped for framing violations (magic, kind, lengths).
+    malformed_drops,
+    /// Datagrams dropped for an unsupported protocol version.
+    version_drops,
+    /// Well-framed messages dropped because the codec tag is unknown —
+    /// the version-skew signal (`CodecError::UnknownTag`).
+    unknown_tag_drops,
+    /// Well-framed messages whose codec payload failed to decode.
+    codec_error_drops,
+    /// Multi-fragment messages fully reassembled.
+    messages_reassembled,
+    /// Partial messages evicted under the reassembly budget.
+    reassembly_evictions,
+    /// Requests initiated.
+    requests_sent,
+    /// Request retransmissions after a timed-out attempt.
+    request_retries,
+    /// Replies delivered to a waiting request (counted on the requester's
+    /// side of the handoff).
+    replies_matched,
+    /// Replies that arrived after their request gave up (late or duplicate).
+    replies_unmatched,
+    /// Requests that exhausted their retry budget without a reply.
+    request_timeouts,
+}
+
+impl NetMetrics {
+    /// Bumps `counter` by one.
+    pub(crate) fn inc(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bumps `counter` by `n`.
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+impl NetStats {
+    /// Folds another snapshot into this one field-by-field (aggregating a
+    /// cluster's nodes).
+    pub fn merge(&mut self, other: &NetStats) {
+        let NetStats {
+            datagrams_sent,
+            datagrams_received,
+            bytes_sent,
+            bytes_received,
+            crc_drops,
+            malformed_drops,
+            version_drops,
+            unknown_tag_drops,
+            codec_error_drops,
+            messages_reassembled,
+            reassembly_evictions,
+            requests_sent,
+            request_retries,
+            replies_matched,
+            replies_unmatched,
+            request_timeouts,
+        } = other;
+        self.datagrams_sent += datagrams_sent;
+        self.datagrams_received += datagrams_received;
+        self.bytes_sent += bytes_sent;
+        self.bytes_received += bytes_received;
+        self.crc_drops += crc_drops;
+        self.malformed_drops += malformed_drops;
+        self.version_drops += version_drops;
+        self.unknown_tag_drops += unknown_tag_drops;
+        self.codec_error_drops += codec_error_drops;
+        self.messages_reassembled += messages_reassembled;
+        self.reassembly_evictions += reassembly_evictions;
+        self.requests_sent += requests_sent;
+        self.request_retries += request_retries;
+        self.replies_matched += replies_matched;
+        self.replies_unmatched += replies_unmatched;
+        self.request_timeouts += request_timeouts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let m = NetMetrics::default();
+        NetMetrics::inc(&m.datagrams_sent);
+        NetMetrics::add(&m.bytes_sent, 100);
+        let s = m.snapshot();
+        assert_eq!(s.datagrams_sent, 1);
+        assert_eq!(s.bytes_sent, 100);
+        assert_eq!(s.request_timeouts, 0);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = NetStats {
+            datagrams_sent: 1,
+            request_retries: 2,
+            ..NetStats::default()
+        };
+        let b = NetStats {
+            datagrams_sent: 3,
+            unknown_tag_drops: 4,
+            ..NetStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.datagrams_sent, 4);
+        assert_eq!(a.request_retries, 2);
+        assert_eq!(a.unknown_tag_drops, 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! The peer table: static bootstrap addressing plus liveness tracking.
+//!
+//! Deployments are provisioned with a static peer list (`id@host:port`,
+//! mirroring the paper's registration-time provisioning of identities);
+//! liveness is tracked per peer from any authenticated-by-CRC envelope that
+//! arrives, so the runtime can distinguish "never heard from" from "went
+//! quiet" when a request times out.
+
+use std::collections::{BTreeMap, HashMap};
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+use tldag_sim::NodeId;
+
+/// Address book + liveness for a node's peers.
+#[derive(Debug)]
+pub struct PeerTable {
+    addrs: BTreeMap<NodeId, SocketAddr>,
+    last_heard: Mutex<HashMap<NodeId, Instant>>,
+}
+
+impl PeerTable {
+    /// Builds a table from static `(id, addr)` bootstrap entries.
+    pub fn new(entries: impl IntoIterator<Item = (NodeId, SocketAddr)>) -> Self {
+        PeerTable {
+            addrs: entries.into_iter().collect(),
+            last_heard: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The address of `peer`, if known.
+    pub fn addr(&self, peer: NodeId) -> Option<SocketAddr> {
+        self.addrs.get(&peer).copied()
+    }
+
+    /// All known peer ids, ascending.
+    pub fn ids(&self) -> Vec<NodeId> {
+        self.addrs.keys().copied().collect()
+    }
+
+    /// Number of known peers.
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Records that a valid envelope from `peer` just arrived.
+    pub fn mark_heard(&self, peer: NodeId) {
+        self.last_heard
+            .lock()
+            .expect("peer liveness poisoned")
+            .insert(peer, Instant::now());
+    }
+
+    /// When `peer` was last heard from, if ever.
+    pub fn last_heard(&self, peer: NodeId) -> Option<Instant> {
+        self.last_heard
+            .lock()
+            .expect("peer liveness poisoned")
+            .get(&peer)
+            .copied()
+    }
+
+    /// Whether `peer` was heard from within `window`.
+    pub fn alive_within(&self, peer: NodeId, window: Duration) -> bool {
+        self.last_heard(peer)
+            .is_some_and(|at| at.elapsed() <= window)
+    }
+
+    /// Peers never heard from at all (bootstrap stragglers).
+    pub fn silent_peers(&self) -> Vec<NodeId> {
+        let heard = self.last_heard.lock().expect("peer liveness poisoned");
+        self.addrs
+            .keys()
+            .filter(|id| !heard.contains_key(id))
+            .copied()
+            .collect()
+    }
+}
+
+/// Parses a `0@127.0.0.1:9000,2@127.0.0.1:9002` peer list.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending entry.
+pub fn parse_peer_list(raw: &str) -> Result<Vec<(NodeId, SocketAddr)>, String> {
+    let mut out = Vec::new();
+    for entry in raw.split(',').filter(|e| !e.is_empty()) {
+        let (id_raw, addr_raw) = entry
+            .split_once('@')
+            .ok_or_else(|| format!("peer `{entry}` is not id@host:port"))?;
+        let id: u32 = id_raw
+            .parse()
+            .map_err(|_| format!("peer `{entry}` has a non-numeric id"))?;
+        let addr: SocketAddr = addr_raw
+            .parse()
+            .map_err(|_| format!("peer `{entry}` has an invalid address"))?;
+        out.push((NodeId(id), addr));
+    }
+    Ok(out)
+}
+
+/// Renders peers back into the `id@addr,...` form accepted by
+/// [`parse_peer_list`] (the harness hands this to spawned node processes).
+pub fn format_peer_list(peers: &[(NodeId, SocketAddr)]) -> String {
+    peers
+        .iter()
+        .map(|(id, addr)| format!("{}@{addr}", id.0))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_format_round_trip() {
+        let raw = "0@127.0.0.1:9000,2@127.0.0.1:9002";
+        let peers = parse_peer_list(raw).unwrap();
+        assert_eq!(peers.len(), 2);
+        assert_eq!(peers[0].0, NodeId(0));
+        assert_eq!(format_peer_list(&peers), raw);
+    }
+
+    #[test]
+    fn malformed_entries_are_named() {
+        assert!(parse_peer_list("nope").unwrap_err().contains("nope"));
+        assert!(parse_peer_list("x@127.0.0.1:1").is_err());
+        assert!(parse_peer_list("1@not-an-addr").is_err());
+        assert!(parse_peer_list("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn liveness_tracks_heard_peers() {
+        let a: SocketAddr = "127.0.0.1:9001".parse().unwrap();
+        let table = PeerTable::new([(NodeId(1), a), (NodeId(2), a)]);
+        assert_eq!(table.silent_peers(), vec![NodeId(1), NodeId(2)]);
+        assert!(!table.alive_within(NodeId(1), Duration::from_secs(60)));
+        table.mark_heard(NodeId(1));
+        assert!(table.alive_within(NodeId(1), Duration::from_secs(60)));
+        assert_eq!(table.silent_peers(), vec![NodeId(2)]);
+        assert!(table.last_heard(NodeId(2)).is_none());
+    }
+}

@@ -1,0 +1,816 @@
+//! The peer runtime: a full 2LDAG node over a real UDP socket.
+//!
+//! [`NetNode`] is the deployment form of one `LedgerNode`: an [`Endpoint`]
+//! plus an inbound dispatcher thread that serves the Sec. IV-C responder
+//! role (`REQ_CHILD` / `FetchBlock`, with the cooperative `Nack` /
+//! `PrunedNack` answers), and a slot loop that generates blocks, gossips
+//! slot-tagged digests, and optionally runs the PoP verification workload
+//! as a validator — over the wire, with timeout/retry loss recovery.
+//!
+//! ## Digest parity with the in-memory engine
+//!
+//! The slotted protocol is synchronous: a block generated at slot `t`
+//! references the freshest digest each neighbor broadcast at `t-1`. The
+//! runtime reproduces that over an asynchronous datagram network with a
+//! **digest barrier**: before generating at slot `t`, the node waits until
+//! it holds a [`Control::SlotDigest`] for slot `t-1` from every neighbor,
+//! pulling stragglers with [`Control::DigestReq`] (loss recovery on the
+//! gossip path). All per-node randomness comes from the engine's
+//! `(seed, slot, node)` derived streams, so a cluster of `NetNode`s on a
+//! shared seed produces **byte-identical chains** to `TldagNetwork` on the
+//! same seed — `tldag cluster` asserts exactly that.
+
+use crate::control::{Control, RunReport};
+use crate::endpoint::{Endpoint, EndpointConfig, Inbound};
+use crate::metrics::NetStats;
+use crate::peer::PeerTable;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+use tldag_core::block::BlockId;
+use tldag_core::codec::WireMessage;
+use tldag_core::config::ProtocolConfig;
+use tldag_core::network::{derived_rng, stream};
+use tldag_core::node::{BlockFetch, ChildServe, LedgerNode};
+use tldag_core::pop::messages::{ChildReply, FetchResponse, PopTransport};
+use tldag_core::pop::validator::{PopReport, Validator};
+use tldag_core::store::{BackendFactory, BlockBackend, BlockStore};
+use tldag_core::workload::sensor_payload;
+use tldag_crypto::sha256::sha256;
+use tldag_crypto::Digest;
+use tldag_sim::topology::{Topology, TopologyConfig};
+use tldag_sim::{DetRng, NodeId};
+use tldag_storage::{DiskFactory, StorageOptions};
+
+/// Where a deployed node keeps its chain `S_i`.
+#[derive(Clone, Debug)]
+pub enum StorageMode {
+    /// In-memory (volatile) chain.
+    Memory,
+    /// Durable segmented block log under the given directory.
+    Disk(PathBuf),
+}
+
+/// Configuration of one deployed node.
+#[derive(Clone, Debug)]
+pub struct NetNodeConfig {
+    /// This node's id within the deployment topology.
+    pub id: NodeId,
+    /// Address to bind the UDP socket on.
+    pub listen: SocketAddr,
+    /// Static bootstrap peer list (every other node of the deployment).
+    pub peers: Vec<(NodeId, SocketAddr)>,
+    /// Harness controller to report to, if any.
+    pub controller: Option<SocketAddr>,
+    /// Shared experiment seed; also determines the topology.
+    pub seed: u64,
+    /// Total nodes in the deployment (topology size).
+    pub nodes: usize,
+    /// Deployment area side in meters (topology parameter).
+    pub side_m: f64,
+    /// Consensus path-length parameter γ.
+    pub gamma: usize,
+    /// Slots to execute.
+    pub slots: u64,
+    /// Whether to run the PoP verification workload as a validator.
+    pub pop: bool,
+    /// Chain storage backend.
+    pub storage: StorageMode,
+    /// Transport tuning.
+    pub endpoint: EndpointConfig,
+    /// Give-up deadline for the per-slot digest barrier.
+    pub slot_timeout: Duration,
+    /// Give-up deadline for the startup hello exchange.
+    pub hello_timeout: Duration,
+    /// How long a controller-less node keeps serving after its last slot.
+    pub linger: Duration,
+}
+
+impl NetNodeConfig {
+    /// A config with deployment-shaped defaults; `peers` and addresses must
+    /// still be filled in.
+    pub fn new(id: NodeId, listen: SocketAddr, seed: u64, nodes: usize, slots: u64) -> Self {
+        NetNodeConfig {
+            id,
+            listen,
+            peers: Vec::new(),
+            controller: None,
+            seed,
+            nodes,
+            side_m: 300.0,
+            gamma: 3,
+            slots,
+            pop: false,
+            storage: StorageMode::Memory,
+            endpoint: EndpointConfig::default(),
+            slot_timeout: Duration::from_secs(10),
+            hello_timeout: Duration::from_secs(10),
+            linger: Duration::from_millis(1500),
+        }
+    }
+}
+
+/// End-of-run summary of one [`NetNode`].
+#[derive(Clone, Copy, Debug)]
+pub struct NodeOutcome {
+    /// The protocol-level summary (also what is reported to the harness).
+    pub run: RunReport,
+    /// Transport counters.
+    pub stats: NetStats,
+}
+
+/// The protocol configuration every deployment component derives from the
+/// CLI-visible knobs — one definition shared by `tldag run`, `tldag node`,
+/// `tldag cluster`, and the in-memory reference engine, so parity checks
+/// compare like with like.
+pub fn deployment_protocol_config(gamma: usize) -> ProtocolConfig {
+    ProtocolConfig::paper_default()
+        .with_body_bits(8 * 1024)
+        .with_gamma(gamma)
+        .with_difficulty(6)
+}
+
+/// The deployment topology for `(seed, nodes, side_m)` — identical to the
+/// simulator CLI's placement, so node processes and the reference engine
+/// agree on `G(V, E)` without exchanging it.
+pub fn deployment_topology(seed: u64, nodes: usize, side_m: f64) -> Topology {
+    let cfg = TopologyConfig {
+        nodes,
+        side_m,
+        ..TopologyConfig::paper_default()
+    };
+    Topology::random_connected(&cfg, &mut DetRng::seed_from(seed))
+}
+
+/// `sha256` over a chain's header digests in sequence order — the same
+/// quantity as `TldagNetwork::chain_digest`, computable node-locally.
+pub fn chain_digest_of(store: &dyn BlockBackend) -> Digest {
+    let mut bytes = Vec::new();
+    for block in store.iter() {
+        bytes.extend_from_slice(block.header_digest().as_bytes());
+    }
+    sha256(&bytes)
+}
+
+/// Combines per-node chain digests (in node order) into the network digest —
+/// the same quantity as `TldagNetwork::network_digest`.
+pub fn network_digest_of(chain_digests: &[Digest]) -> Digest {
+    let mut bytes = Vec::with_capacity(chain_digests.len() * 32);
+    for d in chain_digests {
+        bytes.extend_from_slice(d.as_bytes());
+    }
+    sha256(&bytes)
+}
+
+/// Serves one inbound protocol request against a node's state, returning
+/// the reply to send (or `None` when the node stays silent / the message is
+/// not a request). Mirrors the simulator's responder semantics exactly:
+/// cooperative `Nack` for a definitive miss, `PrunedNack` with the pruned
+/// floor for a retention miss, and — unlike the simulator, where silence
+/// models absence — an explicit `Nack` for an unavailable block, so honest
+/// requesters fail fast instead of burning their retry budget.
+pub fn serve_wire_request(node: &LedgerNode, msg: &WireMessage) -> Option<WireMessage> {
+    match msg {
+        WireMessage::ReqChild { target, .. } => {
+            node.serve_child_request(target).map(|serve| match serve {
+                ChildServe::Found(block_id, header) => WireMessage::RpyChild(ChildReply {
+                    claimed_owner: node.id(),
+                    block_id,
+                    header,
+                }),
+                ChildServe::NoChild => WireMessage::Nack { from: node.id() },
+                ChildServe::Pruned => WireMessage::PrunedNack {
+                    from: node.id(),
+                    retained_from: node.pruned_floor(),
+                },
+            })
+        }
+        WireMessage::FetchBlock { id, .. } => Some(match node.serve_block(*id) {
+            BlockFetch::Served(block) => WireMessage::Block(Box::new(block)),
+            BlockFetch::Pruned { retained_from } => WireMessage::PrunedNack {
+                from: node.id(),
+                retained_from,
+            },
+            BlockFetch::Unavailable => WireMessage::Nack { from: node.id() },
+        }),
+        _ => None,
+    }
+}
+
+/// [`PopTransport`] over a real socket: each exchange is an
+/// [`Endpoint::request`] with retry/backoff, so datagram loss surfaces to
+/// the validator as a timeout only after the retry budget is spent.
+pub struct NetPopTransport<'a> {
+    /// The validator's endpoint.
+    pub endpoint: &'a Endpoint,
+    /// Peer addressing.
+    pub peers: &'a PeerTable,
+}
+
+impl PopTransport for NetPopTransport<'_> {
+    fn fetch_block(
+        &mut self,
+        validator: NodeId,
+        owner: NodeId,
+        id: BlockId,
+    ) -> Option<FetchResponse> {
+        let addr = self.peers.addr(owner)?;
+        let msg = WireMessage::FetchBlock {
+            from: validator,
+            id,
+        };
+        match self.endpoint.request(addr, &msg)? {
+            (_, WireMessage::Block(block)) => Some(FetchResponse::Block(block)),
+            (_, WireMessage::PrunedNack { retained_from, .. }) => {
+                Some(FetchResponse::Pruned { retained_from })
+            }
+            // An explicit Nack means "not available"; like silence, but
+            // without waiting out the retries.
+            _ => None,
+        }
+    }
+
+    fn request_child(
+        &mut self,
+        validator: NodeId,
+        responder: NodeId,
+        target: Digest,
+    ) -> Option<tldag_core::pop::messages::ChildResponse> {
+        use tldag_core::pop::messages::ChildResponse;
+        let addr = self.peers.addr(responder)?;
+        let msg = WireMessage::ReqChild {
+            from: validator,
+            target,
+        };
+        match self.endpoint.request(addr, &msg)? {
+            (_, WireMessage::RpyChild(reply)) => Some(ChildResponse::Found(reply)),
+            (_, WireMessage::Nack { .. }) => Some(ChildResponse::NoChild),
+            (_, WireMessage::PrunedNack { .. }) => Some(ChildResponse::Pruned),
+            _ => None,
+        }
+    }
+}
+
+/// The verification-target candidates the in-memory engine would scan at
+/// `slot`, computed closed-form from the deployment invariants (uniform
+/// schedule, no departures): node `j` holds blocks `0..=slot` with
+/// generation time equal to their sequence number. Enumeration order
+/// matches the engine's scan (owners ascending, sequences ascending), so
+/// the derived target stream picks the same block.
+pub fn wire_pop_candidates(
+    nodes: usize,
+    validator: NodeId,
+    slot: u64,
+    min_age: u64,
+) -> Vec<BlockId> {
+    let mut out = Vec::new();
+    if slot < min_age {
+        return out;
+    }
+    let max_seq = slot - min_age;
+    for owner in 0..nodes as u32 {
+        if owner == validator.0 {
+            continue;
+        }
+        for seq in 0..=max_seq {
+            out.push(BlockId::new(NodeId(owner), seq as u32));
+        }
+    }
+    out
+}
+
+/// Shared state between the slot loop and the inbound dispatcher thread.
+struct Shared {
+    node: RwLock<LedgerNode>,
+    /// Slot-tagged digests heard per peer (pruned as slots complete).
+    digests: Mutex<HashMap<NodeId, BTreeMap<u64, Digest>>>,
+    /// Own digest per recent slot, serving [`Control::DigestReq`] pulls
+    /// (pruned past the deepest lag any live barrier can exhibit).
+    own_digests: Mutex<BTreeMap<u64, Digest>>,
+    /// Peers that acknowledged our hello.
+    hello_acks: Mutex<HashSet<NodeId>>,
+    /// Highest slot each peer is known to have *completed* (generation and
+    /// verification) — from [`Control::SlotDone`] directly, or inferred
+    /// from a [`Control::SlotDigest`] (generating slot `t` implies `t-1`
+    /// completed everywhere). Drives the PoP-mode phase lockstep.
+    done: Mutex<HashMap<NodeId, u64>>,
+    /// Controller asked us to exit.
+    shutdown: AtomicBool,
+    /// Controller acknowledged our report.
+    report_acked: AtomicBool,
+}
+
+/// A deployed 2LDAG node: endpoint + dispatcher + slot loop.
+pub struct NetNode {
+    config: NetNodeConfig,
+    cfg: ProtocolConfig,
+    topology: Topology,
+    endpoint: Arc<Endpoint>,
+    peers: Arc<PeerTable>,
+    shared: Arc<Shared>,
+}
+
+impl NetNode {
+    /// Binds the node's socket and provisions its storage backend.
+    ///
+    /// # Errors
+    ///
+    /// Bind failures, and storage errors when reopening a disk backend.
+    pub fn new(config: NetNodeConfig) -> Result<Self, String> {
+        let cfg = deployment_protocol_config(config.gamma);
+        let topology = deployment_topology(config.seed, config.nodes, config.side_m);
+        if config.id.index() >= topology.len() {
+            return Err(format!(
+                "--id {} out of range for a {}-node deployment",
+                config.id,
+                topology.len()
+            ));
+        }
+        // Fail fast on an incomplete peer list: the derived topology names
+        // every node, and a missing address would otherwise surface as
+        // slot-long barrier timeouts instead of a startup error.
+        let missing: Vec<u32> = topology
+            .node_ids()
+            .filter(|&n| n != config.id && config.peers.iter().all(|(p, _)| *p != n))
+            .map(|n| n.0)
+            .collect();
+        if !missing.is_empty() {
+            return Err(format!(
+                "--peers is missing addresses for nodes {missing:?} of the \
+{}-node deployment",
+                topology.len()
+            ));
+        }
+        let backend: Box<dyn BlockBackend> = match &config.storage {
+            StorageMode::Memory => Box::new(BlockStore::new()),
+            StorageMode::Disk(dir) => {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("cannot use storage dir {}: {e}", dir.display()))?;
+                DiskFactory::new(dir.clone(), StorageOptions::default()).create(config.id)
+            }
+        };
+        let node = LedgerNode::with_backend(
+            config.id,
+            topology.neighbors(config.id).to_vec(),
+            &cfg,
+            backend,
+        );
+        let endpoint = Endpoint::bind(config.id, config.listen, config.endpoint)
+            .map_err(|e| format!("cannot bind {}: {e}", config.listen))?;
+        let peers = PeerTable::new(config.peers.iter().copied());
+        Ok(NetNode {
+            cfg,
+            topology,
+            endpoint: Arc::new(endpoint),
+            peers: Arc::new(peers),
+            shared: Arc::new(Shared {
+                node: RwLock::new(node),
+                digests: Mutex::new(HashMap::new()),
+                own_digests: Mutex::new(BTreeMap::new()),
+                hello_acks: Mutex::new(HashSet::new()),
+                done: Mutex::new(HashMap::new()),
+                shutdown: AtomicBool::new(false),
+                report_acked: AtomicBool::new(false),
+            }),
+            config,
+        })
+    }
+
+    /// The bound socket address (useful with an ephemeral `--listen` port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket's failure to report its address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.endpoint.local_addr()
+    }
+
+    /// Runs the node to completion: hello bootstrap, `slots` slots of
+    /// generate → gossip → (optional) PoP, then report/linger. Returns the
+    /// final summary.
+    ///
+    /// # Errors
+    ///
+    /// Startup failures (peers never came up) and storage failures; barrier
+    /// timeouts are *not* errors — they mark the run `degraded` instead.
+    pub fn run(self) -> Result<NodeOutcome, String> {
+        let stop = Arc::new(AtomicBool::new(false));
+        let receiver = {
+            let endpoint = Arc::clone(&self.endpoint);
+            let shared = Arc::clone(&self.shared);
+            let peers = Arc::clone(&self.peers);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut handler = |inbound: Inbound| dispatch(&endpoint, &shared, &peers, inbound);
+                endpoint.run_receiver(&stop, &mut handler);
+            })
+        };
+
+        let outcome = self.drive();
+        stop.store(true, Ordering::Relaxed);
+        receiver.join().map_err(|_| "receiver thread panicked")?;
+        outcome
+    }
+
+    /// The slot loop, separated so `run` can always tear the receiver down.
+    fn drive(&self) -> Result<NodeOutcome, String> {
+        let id = self.config.id;
+        let seed = self.config.seed;
+        self.hello_barrier()?;
+
+        let mut degraded = false;
+        let min_age = self.config.nodes as u64; // the paper's workload default
+        let mut pop_attempts = 0u64;
+        let mut pop_successes = 0u64;
+        let neighbors: Vec<NodeId> = self.topology.neighbors(id).to_vec();
+
+        let all_peers = self.peers.ids();
+        for slot in 0..self.config.slots {
+            // --- Digest barrier: collect every neighbor's slot-1 digest.
+            if slot > 0 && !self.digest_barrier(&neighbors, slot - 1) {
+                degraded = true;
+            }
+            // --- Phase lockstep (PoP mode only): the engine verifies slot
+            // t-1 before anyone generates slot t, so generation waits for
+            // every peer's SlotDone(t-1) — otherwise a fast peer's slot-t
+            // block could answer a slow validator's slot-(t-1) PoP with
+            // children the reference engine has not generated yet.
+            if self.config.pop && slot > 0 && !self.done_barrier(slot - 1) {
+                degraded = true;
+            }
+
+            // --- Apply gossip and generate, mirroring the engine's phases.
+            let digest = {
+                let mut node = self.shared.node.write().expect("node lock poisoned");
+                node.begin_slot();
+                if slot > 0 {
+                    let mut buffered = self.shared.digests.lock().expect("digests poisoned");
+                    for &nb in &neighbors {
+                        let latest = buffered
+                            .get(&nb)
+                            .and_then(|per_slot| per_slot.range(..slot).next_back())
+                            .map(|(_, &d)| d);
+                        if let Some(d) = latest {
+                            node.receive_digest(nb, d);
+                        }
+                    }
+                    // Applied digests are spent; older entries can never be
+                    // read again, so the buffer stays O(lag), not O(slots).
+                    for per_slot in buffered.values_mut() {
+                        *per_slot = per_slot.split_off(&(slot - 1));
+                    }
+                }
+                let mut rng = derived_rng(seed, stream::GENERATE, slot, id);
+                let payload = sensor_payload(&mut rng, id, slot);
+                let block = node
+                    .generate_block(&self.cfg, slot, payload)
+                    .map_err(|e| format!("generation failed at slot {slot}: {e}"))?;
+                // PerSlot durability: the engine's slot-boundary commit point.
+                node.store_mut()
+                    .sync()
+                    .map_err(|e| format!("sync failed at slot {slot}: {e}"))?;
+                block.header_digest()
+            };
+            {
+                let mut own = self
+                    .shared
+                    .own_digests
+                    .lock()
+                    .expect("own digests poisoned");
+                own.insert(slot, digest);
+                // Peers can lag at most one barrier window; 16 slots of
+                // history is far beyond any pull a live peer can issue.
+                *own = own.split_off(&slot.saturating_sub(16));
+            }
+            // PoP walks the whole DAG, so in PoP mode every peer needs the
+            // digest (the barrier below proves global generation progress);
+            // without PoP only neighbors consume it.
+            let gossip_targets: &[NodeId] = if self.config.pop {
+                &all_peers
+            } else {
+                &neighbors
+            };
+            for &peer in gossip_targets {
+                if let Some(addr) = self.peers.addr(peer) {
+                    let _ = self
+                        .endpoint
+                        .send_control(addr, &Control::SlotDigest { slot, digest });
+                }
+            }
+
+            // --- Verification workload: one PoP per generating validator.
+            if self.config.pop {
+                // The engine's verify phase starts after *all* generation
+                // in the slot: wait until every peer announced its slot-t
+                // digest, proving its chain holds blocks 0..=t.
+                if !self.digest_barrier(&all_peers, slot) {
+                    degraded = true;
+                }
+                let candidates = wire_pop_candidates(self.config.nodes, id, slot, min_age);
+                let mut target_rng = derived_rng(seed, stream::TARGET, slot, id);
+                if let Some(&target) = target_rng.choose(&candidates) {
+                    pop_attempts += 1;
+                    let report = self.run_wire_pop(slot, target);
+                    if report.is_success() {
+                        pop_successes += 1;
+                    }
+                }
+                // Announce slot completion whether or not a target
+                // qualified — peers gate their next slot on it.
+                for &peer in &all_peers {
+                    if let Some(addr) = self.peers.addr(peer) {
+                        let _ = self
+                            .endpoint
+                            .send_control(addr, &Control::SlotDone { slot });
+                    }
+                }
+            }
+        }
+
+        // --- Epilogue: flush, summarise, report, linger.
+        let (chain_len, chain_digest) = {
+            let mut node = self.shared.node.write().expect("node lock poisoned");
+            node.store_mut()
+                .sync()
+                .map_err(|e| format!("final sync failed: {e}"))?;
+            (node.chain_len() as u64, chain_digest_of(node.store()))
+        };
+        let run = RunReport {
+            node: id,
+            slots: self.config.slots,
+            chain_len,
+            chain_digest,
+            pop_attempts,
+            pop_successes,
+            degraded,
+        };
+        self.epilogue(&run);
+        Ok(NodeOutcome {
+            run,
+            stats: self.endpoint.stats(),
+        })
+    }
+
+    /// Sends hellos until every peer acked (sockets are up) or the deadline
+    /// passes.
+    fn hello_barrier(&self) -> Result<(), String> {
+        let deadline = Instant::now() + self.config.hello_timeout;
+        let all: Vec<NodeId> = self.peers.ids();
+        loop {
+            let missing: Vec<NodeId> = {
+                let acks = self.shared.hello_acks.lock().expect("hello acks poisoned");
+                all.iter().filter(|p| !acks.contains(p)).copied().collect()
+            };
+            if missing.is_empty() {
+                return Ok(());
+            }
+            if Instant::now() > deadline {
+                return Err(format!(
+                    "peers never came up: {:?}",
+                    missing.iter().map(|p| p.0).collect::<Vec<_>>()
+                ));
+            }
+            for peer in &missing {
+                if let Some(addr) = self.peers.addr(*peer) {
+                    let _ = self.endpoint.send_control(
+                        addr,
+                        &Control::Hello {
+                            from: self.config.id,
+                        },
+                    );
+                }
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+
+    /// Waits until every node in `from` announced its digest for `slot`,
+    /// pulling stragglers with [`Control::DigestReq`]. Returns `false` on
+    /// timeout.
+    fn digest_barrier(&self, from: &[NodeId], slot: u64) -> bool {
+        let deadline = Instant::now() + self.config.slot_timeout;
+        let mut next_pull = Instant::now() + Duration::from_millis(120);
+        loop {
+            let missing: Vec<NodeId> = {
+                let buffered = self.shared.digests.lock().expect("digests poisoned");
+                from.iter()
+                    .filter(|nb| {
+                        !buffered
+                            .get(nb)
+                            .is_some_and(|per_slot| per_slot.contains_key(&slot))
+                    })
+                    .copied()
+                    .collect()
+            };
+            if missing.is_empty() {
+                return true;
+            }
+            let now = Instant::now();
+            if now > deadline {
+                return false;
+            }
+            if now >= next_pull {
+                for nb in &missing {
+                    if let Some(addr) = self.peers.addr(*nb) {
+                        let _ = self
+                            .endpoint
+                            .send_control(addr, &Control::DigestReq { slot });
+                    }
+                }
+                next_pull = now + Duration::from_millis(120);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Waits until every peer completed `slot` (generation *and* its PoP).
+    /// While blocked, re-broadcasts our own [`Control::SlotDone`] for
+    /// `slot`: if ours was lost, the peers are the ones blocked — on us —
+    /// and the mutual re-broadcast releases everyone. Returns `false` on
+    /// timeout.
+    fn done_barrier(&self, slot: u64) -> bool {
+        let deadline = Instant::now() + self.config.slot_timeout;
+        let mut next_push = Instant::now() + Duration::from_millis(120);
+        let all = self.peers.ids();
+        loop {
+            let blocked = {
+                let done = self.shared.done.lock().expect("done poisoned");
+                all.iter().any(|p| done.get(p).is_none_or(|&s| s < slot))
+            };
+            if !blocked {
+                return true;
+            }
+            let now = Instant::now();
+            if now > deadline {
+                return false;
+            }
+            if now >= next_push {
+                for &peer in &all {
+                    if let Some(addr) = self.peers.addr(peer) {
+                        let _ = self
+                            .endpoint
+                            .send_control(addr, &Control::SlotDone { slot });
+                    }
+                }
+                next_push = now + Duration::from_millis(120);
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// One PoP verification of `target` over the wire, with the engine's
+    /// derived randomness for this `(slot, validator)`.
+    fn run_wire_pop(&self, slot: u64, target: BlockId) -> PopReport {
+        let (mut trust_cache, mut blacklist) = {
+            let mut node = self.shared.node.write().expect("node lock poisoned");
+            (node.take_trust_cache(), node.take_blacklist(&self.cfg))
+        };
+        let report = {
+            // A read lock: the dispatcher keeps serving peers' requests
+            // concurrently, so symmetric cross-verification cannot deadlock.
+            let node = self.shared.node.read().expect("node lock poisoned");
+            let mut pop_rng = derived_rng(self.config.seed, stream::POP, slot, self.config.id);
+            let mut transport = NetPopTransport {
+                endpoint: &self.endpoint,
+                peers: &self.peers,
+            };
+            let mut validator = Validator::new(
+                &self.cfg,
+                &self.topology,
+                self.config.id,
+                node.store(),
+                &mut trust_cache,
+                &mut blacklist,
+                &mut pop_rng,
+            );
+            validator.run(target, &mut transport)
+        };
+        let mut node = self.shared.node.write().expect("node lock poisoned");
+        node.restore_trust_cache(trust_cache);
+        node.restore_blacklist(blacklist);
+        report
+    }
+
+    /// Reports to the controller (until acked) or lingers serving peers,
+    /// then honours a shutdown request or the linger deadline.
+    fn epilogue(&self, run: &RunReport) {
+        match self.config.controller {
+            Some(controller) => {
+                let deadline = Instant::now() + self.config.slot_timeout;
+                while !self.shared.report_acked.load(Ordering::Relaxed) && Instant::now() < deadline
+                {
+                    let _ = self
+                        .endpoint
+                        .send_control(controller, &Control::Report(*run));
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                // Keep serving until the controller releases the cluster (it
+                // does so only after *every* node reported) or we time out.
+                let release = Instant::now() + self.config.slot_timeout;
+                while !self.shared.shutdown.load(Ordering::Relaxed) && Instant::now() < release {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+            None => {
+                // No controller: serve for the linger window so slower peers
+                // can still finish their barriers against us.
+                let release = Instant::now() + self.config.linger;
+                while !self.shared.shutdown.load(Ordering::Relaxed) && Instant::now() < release {
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+}
+
+/// The inbound dispatcher: serves protocol requests against the node state
+/// and folds control traffic into the shared runtime state.
+fn dispatch(endpoint: &Endpoint, shared: &Shared, peers: &PeerTable, inbound: Inbound) {
+    match inbound {
+        Inbound::Wire {
+            from,
+            src,
+            seq,
+            msg,
+        } => {
+            if peers.addr(from).is_some() {
+                peers.mark_heard(from);
+            }
+            let reply = {
+                let node = shared.node.read().expect("node lock poisoned");
+                serve_wire_request(&node, &msg)
+            };
+            if let Some(reply) = reply {
+                let _ = endpoint.send_reply(src, seq, &reply);
+            }
+        }
+        Inbound::Control { from, src, msg } => {
+            if peers.addr(from).is_some() {
+                peers.mark_heard(from);
+            }
+            match msg {
+                Control::Hello { from: peer } => {
+                    let _ = endpoint.send_control(
+                        src,
+                        &Control::HelloAck {
+                            from: endpoint.id(),
+                        },
+                    );
+                    // Symmetric bootstrap: hearing a hello proves the peer is
+                    // up just as well as an ack does.
+                    shared
+                        .hello_acks
+                        .lock()
+                        .expect("hello acks poisoned")
+                        .insert(peer);
+                }
+                Control::HelloAck { from: peer } => {
+                    shared
+                        .hello_acks
+                        .lock()
+                        .expect("hello acks poisoned")
+                        .insert(peer);
+                }
+                Control::SlotDigest { slot, digest } => {
+                    shared
+                        .digests
+                        .lock()
+                        .expect("digests poisoned")
+                        .entry(from)
+                        .or_default()
+                        .entry(slot)
+                        .or_insert(digest);
+                    // Generating slot t requires having passed the done
+                    // barrier for t-1, so a digest doubles as a (possibly
+                    // lost) SlotDone(t-1) — lockstep stays live even when
+                    // the explicit announcement was dropped.
+                    if slot > 0 {
+                        mark_done(shared, from, slot - 1);
+                    }
+                }
+                Control::SlotDone { slot } => mark_done(shared, from, slot),
+                Control::DigestReq { slot } => {
+                    let own = shared.own_digests.lock().expect("own digests poisoned");
+                    if let Some(&digest) = own.get(&slot) {
+                        let _ = endpoint.send_control(src, &Control::SlotDigest { slot, digest });
+                    }
+                }
+                Control::Shutdown => shared.shutdown.store(true, Ordering::Relaxed),
+                Control::ReportAck => shared.report_acked.store(true, Ordering::Relaxed),
+                Control::Report(_) => {} // only the harness controller consumes these
+            }
+        }
+    }
+}
+
+/// Raises `peer`'s highest-completed-slot watermark (monotonic).
+fn mark_done(shared: &Shared, peer: NodeId, slot: u64) {
+    let mut done = shared.done.lock().expect("done poisoned");
+    let entry = done.entry(peer).or_insert(slot);
+    if *entry < slot {
+        *entry = slot;
+    }
+}

@@ -1,0 +1,346 @@
+//! Datagram transports: real UDP sockets and a fault-injecting wrapper.
+//!
+//! [`Datagram`] is the minimal socket surface the endpoint needs, so tests
+//! and experiments can interpose. [`UdpTransport`] is the production
+//! implementation over `std::net::UdpSocket`; [`FaultyTransport`] wraps any
+//! transport and injects deterministic datagram loss, duplication, and
+//! reordering on the *send* path — the knob behind the `fig11_wire`
+//! loss-sweep experiment.
+
+use std::io;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+use tldag_sim::DetRng;
+
+/// Minimal datagram socket surface.
+///
+/// Send paths take `&self` (UDP sockets are thread-safe), so one transport
+/// can be shared between a receiver thread and any number of senders.
+pub trait Datagram: Send + Sync {
+    /// Sends one datagram to `addr`.
+    fn send_to(&self, buf: &[u8], addr: SocketAddr) -> io::Result<usize>;
+
+    /// Receives one datagram, returning its size and source.
+    fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)>;
+
+    /// The local address this transport is bound to.
+    fn local_addr(&self) -> io::Result<SocketAddr>;
+
+    /// Sets the blocking-read timeout used by the receive loop.
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()>;
+}
+
+impl<T: Datagram + ?Sized> Datagram for std::sync::Arc<T> {
+    fn send_to(&self, buf: &[u8], addr: SocketAddr) -> io::Result<usize> {
+        (**self).send_to(buf, addr)
+    }
+    fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        (**self).recv_from(buf)
+    }
+    fn local_addr(&self) -> io::Result<SocketAddr> {
+        (**self).local_addr()
+    }
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        (**self).set_read_timeout(dur)
+    }
+}
+
+/// The production transport: a plain UDP socket.
+#[derive(Debug)]
+pub struct UdpTransport {
+    socket: UdpSocket,
+}
+
+impl UdpTransport {
+    /// Binds a UDP socket on `addr` (use port 0 for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Any socket-level bind failure.
+    pub fn bind(addr: SocketAddr) -> io::Result<Self> {
+        Ok(UdpTransport {
+            socket: UdpSocket::bind(addr)?,
+        })
+    }
+}
+
+impl Datagram for UdpTransport {
+    fn send_to(&self, buf: &[u8], addr: SocketAddr) -> io::Result<usize> {
+        self.socket.send_to(buf, addr)
+    }
+
+    fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        self.socket.recv_from(buf)
+    }
+
+    fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.socket.set_read_timeout(dur)
+    }
+}
+
+/// Fault rates for [`FaultyTransport`], each an independent per-datagram
+/// probability applied on send.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultSpec {
+    /// Probability a datagram is silently dropped.
+    pub drop: f64,
+    /// Probability a datagram is sent twice.
+    pub duplicate: f64,
+    /// Probability a datagram is held back and sent after the next one.
+    pub reorder: f64,
+}
+
+impl FaultSpec {
+    /// A loss-only spec (the primary `fig11_wire` axis).
+    pub fn loss(p: f64) -> Self {
+        FaultSpec {
+            drop: p,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// Loss plus mild duplication/reordering scaled off the loss rate — the
+    /// "everything at once" degraded-network profile.
+    pub fn degraded(p: f64) -> Self {
+        FaultSpec {
+            drop: p,
+            duplicate: p / 4.0,
+            reorder: p / 2.0,
+        }
+    }
+}
+
+struct FaultState {
+    rng: DetRng,
+    /// Datagram held back by a reorder decision.
+    held: Option<(Vec<u8>, SocketAddr)>,
+}
+
+/// A [`Datagram`] wrapper injecting deterministic send-path faults.
+///
+/// Faults are decided by a seeded [`DetRng`], so a sweep is reproducible.
+/// Wrapping both endpoints of a conversation makes both directions lossy.
+pub struct FaultyTransport<T: Datagram> {
+    inner: T,
+    spec: FaultSpec,
+    state: Mutex<FaultState>,
+    injected_drops: AtomicU64,
+    injected_duplicates: AtomicU64,
+    injected_reorders: AtomicU64,
+}
+
+impl<T: Datagram> FaultyTransport<T> {
+    /// Wraps `inner`, injecting faults per `spec` with randomness from `rng`.
+    pub fn new(inner: T, spec: FaultSpec, rng: DetRng) -> Self {
+        FaultyTransport {
+            inner,
+            spec,
+            state: Mutex::new(FaultState { rng, held: None }),
+            injected_drops: AtomicU64::new(0),
+            injected_duplicates: AtomicU64::new(0),
+            injected_reorders: AtomicU64::new(0),
+        }
+    }
+
+    /// Datagrams dropped by injection so far.
+    pub fn injected_drops(&self) -> u64 {
+        self.injected_drops.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams duplicated by injection so far.
+    pub fn injected_duplicates(&self) -> u64 {
+        self.injected_duplicates.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams reordered by injection so far.
+    pub fn injected_reorders(&self) -> u64 {
+        self.injected_reorders.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Datagram> Drop for FaultyTransport<T> {
+    /// Flushes a reorder-held datagram: without this, the *last* datagram
+    /// of a stream that hit the reorder branch would be silently lost while
+    /// the stats report it as reordered, not dropped.
+    fn drop(&mut self) {
+        if let Ok(mut state) = self.state.lock() {
+            if let Some((buf, addr)) = state.held.take() {
+                let _ = self.inner.send_to(&buf, addr);
+            }
+        }
+    }
+}
+
+impl<T: Datagram> Datagram for FaultyTransport<T> {
+    fn send_to(&self, buf: &[u8], addr: SocketAddr) -> io::Result<usize> {
+        let mut state = self.state.lock().expect("fault state poisoned");
+        // Anything held from a previous reorder decision goes out *after*
+        // the current datagram — releasing it below swaps the pair.
+        let released = state.held.take();
+        if self.spec.drop > 0.0 && state.rng.chance(self.spec.drop) {
+            self.injected_drops.fetch_add(1, Ordering::Relaxed);
+            if let Some((held_buf, held_addr)) = released {
+                self.inner.send_to(&held_buf, held_addr)?;
+            }
+            return Ok(buf.len()); // swallowed: the caller believes it sent
+        }
+        if released.is_none() && self.spec.reorder > 0.0 && state.rng.chance(self.spec.reorder) {
+            self.injected_reorders.fetch_add(1, Ordering::Relaxed);
+            state.held = Some((buf.to_vec(), addr));
+            return Ok(buf.len());
+        }
+        let duplicate = self.spec.duplicate > 0.0 && state.rng.chance(self.spec.duplicate);
+        drop(state);
+        self.inner.send_to(buf, addr)?;
+        if duplicate {
+            self.injected_duplicates.fetch_add(1, Ordering::Relaxed);
+            self.inner.send_to(buf, addr)?;
+        }
+        if let Some((held_buf, held_addr)) = released {
+            self.inner.send_to(&held_buf, held_addr)?;
+        }
+        Ok(buf.len())
+    }
+
+    fn recv_from(&self, buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+        self.inner.recv_from(buf)
+    }
+
+    fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.inner.local_addr()
+    }
+
+    fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(dur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    /// Records sends instead of performing them.
+    #[derive(Default)]
+    struct RecordingTransport {
+        sent: Mutex<Vec<Vec<u8>>>,
+        count: AtomicUsize,
+    }
+
+    impl Datagram for RecordingTransport {
+        fn send_to(&self, buf: &[u8], _addr: SocketAddr) -> io::Result<usize> {
+            self.sent.lock().unwrap().push(buf.to_vec());
+            self.count.fetch_add(1, Ordering::Relaxed);
+            Ok(buf.len())
+        }
+        fn recv_from(&self, _buf: &mut [u8]) -> io::Result<(usize, SocketAddr)> {
+            Err(io::Error::new(io::ErrorKind::WouldBlock, "no recv"))
+        }
+        fn local_addr(&self) -> io::Result<SocketAddr> {
+            Ok("127.0.0.1:0".parse().expect("addr"))
+        }
+        fn set_read_timeout(&self, _dur: Option<Duration>) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn addr() -> SocketAddr {
+        "127.0.0.1:9".parse().expect("addr")
+    }
+
+    #[test]
+    fn lossless_spec_is_transparent() {
+        let t = FaultyTransport::new(
+            RecordingTransport::default(),
+            FaultSpec::default(),
+            DetRng::seed_from(1),
+        );
+        for i in 0..50u8 {
+            t.send_to(&[i], addr()).unwrap();
+        }
+        assert_eq!(t.inner.sent.lock().unwrap().len(), 50);
+        assert_eq!(t.injected_drops(), 0);
+    }
+
+    #[test]
+    fn drops_land_near_the_configured_rate() {
+        let t = FaultyTransport::new(
+            RecordingTransport::default(),
+            FaultSpec::loss(0.3),
+            DetRng::seed_from(2),
+        );
+        for i in 0..1000u32 {
+            t.send_to(&i.to_be_bytes(), addr()).unwrap();
+        }
+        let dropped = t.injected_drops();
+        assert!((200..400).contains(&dropped), "drops = {dropped}");
+        assert_eq!(t.inner.sent.lock().unwrap().len() as u64, 1000 - dropped);
+    }
+
+    #[test]
+    fn reorder_swaps_adjacent_datagrams_without_losing_any() {
+        let t = FaultyTransport::new(
+            RecordingTransport::default(),
+            FaultSpec {
+                reorder: 0.5,
+                ..FaultSpec::default()
+            },
+            DetRng::seed_from(3),
+        );
+        for i in 0..100u8 {
+            t.send_to(&[i], addr()).unwrap();
+        }
+        // Flush any held datagram by sending one more.
+        t.send_to(&[200], addr()).unwrap();
+        let sent = t.inner.sent.lock().unwrap();
+        assert!(t.injected_reorders() > 10);
+        let mut seen: Vec<u8> = sent.iter().map(|d| d[0]).collect();
+        assert!(seen.len() >= 100, "reordering must not drop datagrams");
+        seen.sort_unstable();
+        seen.dedup();
+        assert!(seen.len() >= 100, "every datagram still delivered once");
+    }
+
+    #[test]
+    fn drop_flushes_a_held_reorder_datagram() {
+        let inner = Arc::new(RecordingTransport::default());
+        let t = FaultyTransport::new(
+            Arc::clone(&inner),
+            FaultSpec {
+                reorder: 1.0,
+                ..FaultSpec::default()
+            },
+            DetRng::seed_from(5),
+        );
+        t.send_to(&[42], addr()).unwrap();
+        assert_eq!(inner.sent.lock().unwrap().len(), 0, "datagram held");
+        drop(t);
+        assert_eq!(
+            inner.sent.lock().unwrap().len(),
+            1,
+            "teardown must flush the held datagram, not lose it"
+        );
+    }
+
+    #[test]
+    fn duplicates_send_twice() {
+        let t = FaultyTransport::new(
+            RecordingTransport::default(),
+            FaultSpec {
+                duplicate: 1.0,
+                ..FaultSpec::default()
+            },
+            DetRng::seed_from(4),
+        );
+        t.send_to(&[1], addr()).unwrap();
+        assert_eq!(t.inner.sent.lock().unwrap().len(), 2);
+        assert_eq!(t.injected_duplicates(), 1);
+    }
+}

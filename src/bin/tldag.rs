@@ -12,13 +12,19 @@
 //!                [--threads W] [--sync-policy P]
 //!                [--storage memory|disk|disk-sharded] [--storage-dir PATH]
 //!                [--retain-bytes B] [--persist-trust-cache]
+//! tldag node     --id I --listen ADDR --peers 0@A,1@B,... [--slots T]
+//!                [--seed S] [--nodes N] [--side M] [--gamma G] [--pop]
+//!                [--controller ADDR] [--storage memory|disk]
+//!                [--storage-dir PATH]
+//! tldag cluster  [--nodes N] [--slots T] [--seed S] [--side M] [--gamma G]
+//!                [--pop] [--storage memory|disk] [--storage-dir PATH]
+//!                [--base-port P] [--timeout SECS]
 //! ```
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 use tldag::core::attack::Behavior;
 use tldag::core::block::BlockId;
-use tldag::core::config::ProtocolConfig;
 use tldag::core::network::TldagNetwork;
 use tldag::core::store::SyncPolicy;
 use tldag::core::workload::VerificationWorkload;
@@ -52,6 +58,23 @@ USAGE:
                  [--retain-bytes B] [--persist-trust-cache]
         Run a simulation, then verify block K#Q from node V via
         Proof-of-Path and print the proof path.
+
+    tldag node --id I --listen ADDR --peers 0@A,2@B,... [--slots T]
+               [--seed S] [--nodes N] [--side M] [--gamma G] [--pop]
+               [--controller ADDR] [--storage memory|disk] [--storage-dir P]
+        Run ONE real 2LDAG node over UDP: generate blocks, gossip
+        slot-tagged digests with pull-based loss recovery, serve
+        REQ_CHILD/FetchBlock, and (with --pop) verify blocks over the
+        wire. The topology is derived from (--seed, --nodes, --side),
+        so every process agrees on G(V,E) without exchanging it.
+
+    tldag cluster [--nodes N] [--slots T] [--seed S] [--side M]
+                  [--gamma G] [--pop] [--storage memory|disk]
+                  [--storage-dir P] [--base-port P] [--timeout SECS]
+        Spawn N real `tldag node` processes on localhost UDP ports, run
+        T slots, collect their reports, and verify network_digest parity
+        against the in-memory engine on the same seed. Exits non-zero on
+        a parity failure.
 
 Storage backends: `memory` (default) keeps every chain in RAM; `disk` puts
 each node's chain in a durable segmented block log under --storage-dir
@@ -153,10 +176,9 @@ fn build_network(args: &Args) -> Result<TldagNetwork, String> {
     if malicious >= topology.len() {
         return Err("--malicious must be below --nodes".into());
     }
-    let cfg = ProtocolConfig::paper_default()
-        .with_body_bits(8 * 1024)
-        .with_gamma(gamma)
-        .with_difficulty(6);
+    // The same definition `tldag node`/`tldag cluster` use, so simulator
+    // runs and wire deployments execute one protocol.
+    let cfg = tldag::net::runtime::deployment_protocol_config(gamma);
     let schedule = GenerationSchedule::uniform(topology.len());
     let threads: usize = args.get("threads", 1)?;
     if threads == 0 {
@@ -384,6 +406,147 @@ fn cmd_verify(args: &Args) -> Result<(), String> {
     }
 }
 
+fn cmd_node(args: &Args) -> Result<(), String> {
+    let id: u32 = args.required("id")?;
+    let listen: std::net::SocketAddr = args.required("listen")?;
+    let peers = tldag::net::peer::parse_peer_list(&args.get("peers", String::new())?)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let nodes: usize = args.get("nodes", peers.len() + 1)?;
+    let slots: u64 = args.get("slots", 8)?;
+    let mut config = tldag::net::NetNodeConfig::new(NodeId(id), listen, seed, nodes, slots);
+    config.peers = peers;
+    config.side_m = args.get("side", 300.0)?;
+    config.gamma = args.get("gamma", 3)?;
+    config.pop = args.switch("pop");
+    config.controller = match args.flags.get("controller") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("invalid value for --controller: `{raw}`"))?,
+        ),
+    };
+    let storage: String = args.get("storage", "memory".to_string())?;
+    config.storage = match storage.as_str() {
+        "memory" => tldag::net::StorageMode::Memory,
+        "disk" => {
+            let default_dir = std::env::temp_dir()
+                .join(format!("tldag-node-{id}-{}", std::process::id()))
+                .display()
+                .to_string();
+            let dir: String = args.get("storage-dir", default_dir)?;
+            tldag::net::StorageMode::Disk(dir.into())
+        }
+        other => {
+            return Err(format!(
+                "invalid value for --storage: `{other}` (memory|disk)"
+            ))
+        }
+    };
+    let outcome = tldag::net::NetNode::new(config)?
+        .run()
+        .map_err(|e| format!("node failed: {e}"))?;
+    let run = outcome.run;
+    println!(
+        "node {}: {} slots, chain {} blocks, chain digest {}",
+        run.node, run.slots, run.chain_len, run.chain_digest
+    );
+    println!(
+        "  PoP     : {}/{} verified over the wire",
+        run.pop_successes, run.pop_attempts
+    );
+    let s = outcome.stats;
+    println!(
+        "  wire    : {} datagrams out / {} in, {} retries, {} timeouts",
+        s.datagrams_sent, s.datagrams_received, s.request_retries, s.request_timeouts
+    );
+    println!(
+        "  dropped : {} crc, {} malformed, {} unknown-tag, {} codec",
+        s.crc_drops, s.malformed_drops, s.unknown_tag_drops, s.codec_error_drops
+    );
+    if run.degraded {
+        return Err("run degraded: a digest barrier timed out".into());
+    }
+    Ok(())
+}
+
+fn cmd_cluster(args: &Args) -> Result<(), String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let nodes: usize = args.get("nodes", 3)?;
+    let slots: u64 = args.get("slots", 6)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let mut config = tldag::net::ClusterConfig::new(exe, nodes, slots, seed);
+    config.side_m = args.get("side", 300.0)?;
+    config.gamma = args.get("gamma", 3)?;
+    config.pop = args.switch("pop");
+    config.base_port = match args.flags.get("base-port") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("invalid value for --base-port: `{raw}`"))?,
+        ),
+    };
+    config.report_timeout = std::time::Duration::from_secs(args.get("timeout", 60)?);
+    let storage: String = args.get("storage", "memory".to_string())?;
+    config.storage_root = match storage.as_str() {
+        "memory" => None,
+        "disk" => {
+            let default_dir = std::env::temp_dir()
+                .join(format!("tldag-cluster-{}", std::process::id()))
+                .display()
+                .to_string();
+            Some(args.get("storage-dir", default_dir)?.into())
+        }
+        other => {
+            return Err(format!(
+                "invalid value for --storage: `{other}` (memory|disk)"
+            ))
+        }
+    };
+
+    println!(
+        "cluster: {nodes} node processes × {slots} slots (seed {seed}{}{})",
+        if config.pop { ", PoP on" } else { "" },
+        match &config.storage_root {
+            Some(root) => format!(", disk under {}", root.display()),
+            None => String::new(),
+        }
+    );
+    let outcome = tldag::net::run_cluster(&config)?;
+    for report in &outcome.reports {
+        println!(
+            "  node {:>3}: {} blocks, digest {}, PoP {}/{}{}",
+            report.node.0,
+            report.chain_len,
+            report.chain_digest,
+            report.pop_successes,
+            report.pop_attempts,
+            if report.degraded { "  [DEGRADED]" } else { "" }
+        );
+    }
+    println!("  wire network digest      : {}", outcome.wire_digest);
+    println!("  reference network digest : {}", outcome.reference_digest);
+    if config.pop {
+        println!(
+            "  PoP wire {}/{} vs reference {}/{}",
+            outcome.wire_pop.1,
+            outcome.wire_pop.0,
+            outcome.reference_pop.1,
+            outcome.reference_pop.0
+        );
+    }
+    if outcome.parity() {
+        println!("PARITY OK: the UDP cluster reproduced the in-memory engine exactly");
+        Ok(())
+    } else {
+        for (i, report) in outcome.reports.iter().enumerate() {
+            if report.chain_digest != outcome.reference_chains[i] {
+                println!("  MISMATCH at node {i}");
+            }
+        }
+        Err("PARITY FAILED: wire and in-memory digests differ".into())
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else {
@@ -396,6 +559,8 @@ fn main() -> ExitCode {
             "topology" => cmd_topology(&args),
             "run" => cmd_run(&args),
             "verify" => cmd_verify(&args),
+            "node" => cmd_node(&args),
+            "cluster" => cmd_cluster(&args),
             "help" | "--help" | "-h" => {
                 print!("{USAGE}");
                 Ok(())

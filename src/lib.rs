@@ -6,6 +6,8 @@
 //! * [`sim`] — deterministic network simulator (topology, slots, message bus).
 //! * [`core`] — the 2LDAG protocol and Proof-of-Path consensus.
 //! * [`storage`] — durable segmented block-log engine with crash recovery.
+//! * [`net`] — UDP wire transport, peer runtime, and the multi-process
+//!   cluster deployment harness.
 //! * [`baselines`] — PBFT and IOTA comparators used by the evaluation.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
@@ -17,5 +19,7 @@ pub use tldag_sim as sim;
 pub use tldag_core as core;
 
 pub use tldag_storage as storage;
+
+pub use tldag_net as net;
 
 pub use tldag_baselines as baselines;

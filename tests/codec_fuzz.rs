@@ -1,12 +1,15 @@
 //! Wire-codec robustness: round trips for arbitrary structures, and decode
-//! must never panic or accept malformed input silently.
+//! must never panic or accept malformed input silently — for the message
+//! codec *and* for the datagram envelopes that carry it.
 
 use proptest::prelude::*;
 use tldag::core::block::{BlockBody, BlockId, DataBlock, DigestEntry};
 use tldag::core::codec;
+use tldag::core::codec::CodecError;
 use tldag::core::config::ProtocolConfig;
 use tldag::crypto::schnorr::KeyPair;
 use tldag::crypto::Digest;
+use tldag::net::envelope;
 use tldag::sim::NodeId;
 
 fn block_from(
@@ -83,5 +86,98 @@ proptest! {
                 prop_assert_ne!(decoded.digest(), block.header_digest());
             }
         }
+    }
+
+    /// Any tag outside the known message set is the dedicated
+    /// `UnknownTag` error — the version-skew signal transports count —
+    /// regardless of what follows the tag byte.
+    #[test]
+    fn unknown_message_tags_are_distinguished(
+        tag in 0x08u8..0xffu8,
+        rest in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut data = vec![tag];
+        data.extend_from_slice(&rest);
+        prop_assert_eq!(codec::decode_message(&data), Err(CodecError::UnknownTag(tag)));
+    }
+
+    /// Envelope round trip: arbitrary payloads fragment under arbitrary
+    /// (valid) MTUs and every fragment decodes back to its envelope.
+    #[test]
+    fn envelope_round_trip(
+        sender in any::<u32>(),
+        seq in any::<u64>(),
+        req_id in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..4096),
+        mtu in 64usize..2048,
+    ) {
+        let frames = envelope::encode_message(
+            envelope::Kind::Wire, NodeId(sender), seq, req_id, &payload, mtu,
+        ).unwrap();
+        let mut rebuilt = Vec::new();
+        for (i, frame) in frames.iter().enumerate() {
+            prop_assert!(frame.len() <= mtu);
+            let (env, chunk) = envelope::decode_datagram(frame).unwrap();
+            prop_assert_eq!(env.sender, NodeId(sender));
+            prop_assert_eq!(env.msg_seq, seq);
+            prop_assert_eq!(env.req_id, req_id);
+            prop_assert_eq!(env.frag_index as usize, i);
+            prop_assert_eq!(env.frag_count as usize, frames.len());
+            rebuilt.extend_from_slice(chunk);
+        }
+        prop_assert_eq!(rebuilt, payload);
+    }
+
+    /// Decoding arbitrary bytes as a datagram envelope never panics: it
+    /// either errors cleanly or yields a self-consistent envelope.
+    #[test]
+    fn envelope_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        if let Ok((env, chunk)) = envelope::decode_datagram(&data) {
+            prop_assert!(env.frag_index < env.frag_count);
+            prop_assert_eq!(chunk.len(), data.len() - envelope::OVERHEAD);
+        }
+    }
+
+    /// A truncated datagram envelope never decodes.
+    #[test]
+    fn truncated_envelopes_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+        cut in 0usize..1024,
+    ) {
+        let frame = envelope::encode_message(
+            envelope::Kind::Wire, NodeId(1), 9, 0, &payload, envelope::DEFAULT_MTU,
+        ).unwrap().remove(0);
+        let cut = cut % frame.len();
+        prop_assert!(envelope::decode_datagram(&frame[..cut]).is_err());
+    }
+
+    /// A bit-flipped datagram envelope never decodes — the CRC catches
+    /// every single-bit corruption, anywhere in header, payload, or
+    /// trailer.
+    #[test]
+    fn bitflipped_envelopes_rejected(
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+        byte_idx in 0usize..2048,
+        bit in 0u8..8,
+    ) {
+        let mut frame = envelope::encode_message(
+            envelope::Kind::Control, NodeId(3), 5, 1, &payload, envelope::DEFAULT_MTU,
+        ).unwrap().remove(0);
+        let idx = byte_idx % frame.len();
+        frame[idx] ^= 1 << bit;
+        prop_assert!(envelope::decode_datagram(&frame).is_err());
+    }
+
+    /// Two valid envelopes concatenated into one datagram (a duplicated /
+    /// coalesced read) decode to a clean error, never a panic or a silent
+    /// partial accept.
+    #[test]
+    fn duplicated_envelopes_rejected(payload in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let frame = envelope::encode_message(
+            envelope::Kind::Wire, NodeId(2), 7, 0, &payload, envelope::DEFAULT_MTU,
+        ).unwrap().remove(0);
+        let mut doubled = frame.clone();
+        doubled.extend_from_slice(&frame);
+        prop_assert!(envelope::decode_datagram(&doubled).is_err());
     }
 }

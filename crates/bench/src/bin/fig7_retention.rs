@@ -37,6 +37,7 @@ fn main() {
                 report::fmt_f64(b.mean_pruned_floor),
                 format!("{}/{}", b.old_success.0, b.old_success.1),
                 b.old_pruned_misses.to_string(),
+                b.old_path_pruned_failures.to_string(),
                 format!("{}/{}", b.mid_success.0, b.mid_success.1),
             ]
         })
@@ -45,8 +46,16 @@ fn main() {
         "{}",
         report::render_table(
             &[
-                "budget", "cap KiB", "disk KiB", "eq2 KiB", "retained", "floor", "old ok",
-                "pruned", "mid ok"
+                "budget",
+                "cap KiB",
+                "disk KiB",
+                "eq2 KiB",
+                "retained",
+                "floor",
+                "old ok",
+                "pruned",
+                "path-pruned",
+                "mid ok"
             ],
             &rows
         )
@@ -89,11 +98,12 @@ fn main() {
 
     // CSV + machine-readable summary.
     let mut csv = String::from(
-        "budget,cap_bytes,disk_bytes,eq2_bytes,retained,floor,old_ok,old_n,pruned,mid_ok,mid_n\n",
+        "budget,cap_bytes,disk_bytes,eq2_bytes,retained,floor,old_ok,old_n,pruned,\
+path_pruned,mid_ok,mid_n\n",
     );
     for b in &data.budgets {
         csv.push_str(&format!(
-            "{},{},{:.0},{:.0},{:.2},{:.2},{},{},{},{},{}\n",
+            "{},{},{:.0},{:.0},{:.2},{:.2},{},{},{},{},{},{}\n",
             b.horizon_blocks.map_or(0, |h| h),
             b.budget_bytes.unwrap_or(0),
             b.mean_disk_bytes,
@@ -103,6 +113,7 @@ fn main() {
             b.old_success.0,
             b.old_success.1,
             b.old_pruned_misses,
+            b.old_path_pruned_failures,
             b.mid_success.0,
             b.mid_success.1,
         ));
@@ -122,6 +133,7 @@ fn main() {
             .int("old_ok", b.old_success.0)
             .int("old_attempts", b.old_success.1)
             .int("old_pruned_misses", b.old_pruned_misses)
+            .int("old_path_pruned_failures", b.old_path_pruned_failures)
             .int("mid_ok", b.mid_success.0)
             .int("mid_attempts", b.mid_success.1)
             .render()
@@ -157,9 +169,10 @@ fn main() {
             "fig7_retention: the tightest budget never pruned"
         );
         assert_eq!(
-            tightest.old_success.0 + tightest.old_pruned_misses,
+            tightest.old_success.0 + tightest.old_pruned_misses + tightest.old_path_pruned_failures,
             tightest.old_success.1,
-            "fig7_retention: old probes must succeed or miss gracefully"
+            "fig7_retention: every old probe must succeed, miss the pruned \
+target gracefully, or fail with pruned evidence on the path"
         );
     }
     let cold = &data.warm[0];

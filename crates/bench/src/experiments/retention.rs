@@ -132,6 +132,11 @@ pub struct BudgetSample {
     pub old_success: (u64, u64),
     /// Old-block probes answered with a graceful `TargetPruned` miss.
     pub old_pruned_misses: u64,
+    /// Old-block probes where the target itself was still retained but
+    /// consensus failed with pruned evidence on the proof path (another
+    /// node's compacted chain answered a path extension with `Pruned`) —
+    /// the third graceful outcome retention can produce.
+    pub old_path_pruned_failures: u64,
     /// Mid-age probes (above every pruned floor): successes / attempts.
     pub mid_success: (u64, u64),
     /// `ChildResponse::Pruned` replies observed on the probe paths.
@@ -258,6 +263,7 @@ fn run_budget(
     let mid_seq = max_floor.saturating_add(2).min(cfg.slots as u32 - 2);
     let mut old_success = (0u64, 0u64);
     let mut old_pruned_misses = 0u64;
+    let mut old_path_pruned_failures = 0u64;
     let mut mid_success = (0u64, 0u64);
     let mut pruned_replies_on_paths = 0u64;
     let ids: Vec<NodeId> = topology.node_ids().collect();
@@ -275,6 +281,12 @@ fn run_budget(
             } else if pruned_counter {
                 if let Err(PopError::TargetPruned { .. }) = report.outcome {
                     old_pruned_misses += 1;
+                } else if report.metrics.pruned_misses > 0 {
+                    // The target was still on disk at its owner (floors
+                    // differ per node), but the proof path ran into other
+                    // nodes' pruned chains: a retention-caused failure,
+                    // distinct from a graceful target miss.
+                    old_path_pruned_failures += 1;
                 }
             }
             pruned_replies_on_paths += report.metrics.pruned_misses;
@@ -290,6 +302,7 @@ fn run_budget(
         mean_pruned_floor,
         old_success,
         old_pruned_misses,
+        old_path_pruned_failures,
         mid_success,
         pruned_replies_on_paths,
     }
@@ -434,9 +447,10 @@ mod tests {
             "pruned targets must surface as graceful TargetPruned misses"
         );
         assert_eq!(
-            tight.old_success.0 + tight.old_pruned_misses,
+            tight.old_success.0 + tight.old_pruned_misses + tight.old_path_pruned_failures,
             tight.old_success.1,
-            "every old probe either succeeds or reports a pruned miss"
+            "every old probe succeeds, reports a pruned target, or fails \
+with pruned evidence on the path — never an unexplained failure"
         );
         assert_eq!(
             tight.mid_success.0, tight.mid_success.1,

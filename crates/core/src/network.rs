@@ -68,6 +68,11 @@ pub mod stream {
     pub const POP: u64 = 3;
     /// Link-fault decisions during one validator's PoP exchanges.
     pub const LINKS: u64 = 4;
+    /// Join-site placement for dynamic membership: where a node joining at
+    /// a given slot appears in the deployment area. Drawn from the joiner's
+    /// derived stream so a wire deployment and the in-memory engine agree
+    /// on the new node's radio links without exchanging coordinates.
+    pub const MEMBERSHIP: u64 = 5;
 }
 
 /// The RNG for `purpose` at `(seed, slot, node)` — the derivation that makes

@@ -15,6 +15,7 @@
 //! over lossy IoT transports.
 
 use crate::NetError;
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
 use tldag_core::codec::{CodecError, Reader};
 use tldag_crypto::Digest;
 use tldag_sim::NodeId;
@@ -27,6 +28,63 @@ const TAG_REPORT: u8 = 0x05;
 const TAG_REPORT_ACK: u8 = 0x06;
 const TAG_SHUTDOWN: u8 = 0x07;
 const TAG_SLOT_DONE: u8 = 0x08;
+const TAG_JOIN_REQ: u8 = 0x09;
+const TAG_JOIN_ACK: u8 = 0x0a;
+const TAG_ROSTER_ENTRY: u8 = 0x0b;
+const TAG_JOIN_ANNOUNCE: u8 = 0x0c;
+const TAG_LEAVE: u8 = 0x0d;
+
+const ADDR_V4: u8 = 4;
+const ADDR_V6: u8 = 6;
+
+/// One member's lifecycle as shipped in the join handshake's roster
+/// transfer ([`Control::RosterEntry`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WireMember {
+    /// The member id.
+    pub id: NodeId,
+    /// First slot the member generates in.
+    pub join_slot: u64,
+    /// First slot the member no longer generates in, if it left.
+    pub leave_slot: Option<u64>,
+    /// Whether the departure was a liveness eviction.
+    pub evicted: bool,
+    /// The member's endpoint, when the sender knows it.
+    pub addr: Option<SocketAddr>,
+}
+
+fn encode_addr(out: &mut Vec<u8>, addr: SocketAddr) {
+    match addr.ip() {
+        IpAddr::V4(ip) => {
+            out.push(ADDR_V4);
+            out.extend_from_slice(&ip.octets());
+        }
+        IpAddr::V6(ip) => {
+            out.push(ADDR_V6);
+            out.extend_from_slice(&ip.octets());
+        }
+    }
+    out.extend_from_slice(&addr.port().to_be_bytes());
+}
+
+fn decode_addr(r: &mut Reader<'_>) -> Result<SocketAddr, NetError> {
+    let ip: IpAddr = match r.u8().map_err(framing)? {
+        ADDR_V4 => {
+            let o = r.take(4).map_err(framing)?;
+            IpAddr::V4(Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+        }
+        ADDR_V6 => {
+            let o = r.take(16).map_err(framing)?;
+            let mut bytes = [0u8; 16];
+            bytes.copy_from_slice(o);
+            IpAddr::V6(Ipv6Addr::from(bytes))
+        }
+        other => return Err(NetError::BadAddressFamily(other)),
+    };
+    let port_hi = r.u8().map_err(framing)?;
+    let port_lo = r.u8().map_err(framing)?;
+    Ok(SocketAddr::new(ip, u16::from_be_bytes([port_hi, port_lo])))
+}
 
 /// A node's end-of-run summary, shipped to the harness controller.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -44,6 +102,10 @@ pub struct RunReport {
     pub pop_attempts: u64,
     /// PoP verifications that reached consensus.
     pub pop_successes: u64,
+    /// Milliseconds the join handshake + announcement took (0 for
+    /// founders) — the catch-up latency a late joiner paid before its
+    /// first slot.
+    pub catch_up_ms: u64,
     /// True when any slot barrier timed out and the node proceeded with an
     /// incomplete digest set (parity with the reference engine is then off).
     pub degraded: bool,
@@ -88,6 +150,48 @@ pub enum Control {
     ReportAck,
     /// Controller request to exit the serving grace period and terminate.
     Shutdown,
+    /// Join handshake step 1: "I want to join the cluster; send me the
+    /// roster". Sent by a `--join` process to its bootstrap peer.
+    JoinReq {
+        /// The prospective member.
+        from: NodeId,
+    },
+    /// Join handshake step 2: the responder's current slot and how many
+    /// [`Control::RosterEntry`] messages follow. The joiner re-sends
+    /// [`Control::JoinReq`] until it holds all `members` entries, so a
+    /// lost entry costs one round trip, never the handshake.
+    JoinAck {
+        /// The responding member.
+        from: NodeId,
+        /// The responder's next slot to execute (the joiner's progress
+        /// reference for catch-up).
+        slot: u64,
+        /// Roster entries in flight after this ack.
+        members: u32,
+    },
+    /// Join handshake step 3 (repeated): one member's lifecycle entry.
+    RosterEntry(WireMember),
+    /// Membership delta: `id` starts generating at `slot`, reachable at
+    /// `addr`. Broadcast by the joiner after its handshake and re-gossiped
+    /// once by every peer that learns something new from it, so the
+    /// roster converges even when the direct announcement is lost.
+    JoinAnnounce {
+        /// The joining node.
+        id: NodeId,
+        /// Its first generation slot.
+        slot: u64,
+        /// Its endpoint address (explicit, so forwarded copies keep it).
+        addr: SocketAddr,
+    },
+    /// Membership delta: `node` stops generating at `slot`. Sent by the
+    /// leaver itself on a graceful departure, or by a peer gossiping a
+    /// leave/eviction it learned of.
+    Leave {
+        /// The departing node (not necessarily the sender).
+        node: NodeId,
+        /// The first slot it no longer generates in.
+        slot: u64,
+    },
 }
 
 /// Encodes a control message.
@@ -127,11 +231,64 @@ pub fn encode_control(msg: &Control) -> Vec<u8> {
             out.extend_from_slice(r.chain_digest.as_bytes());
             out.extend_from_slice(&r.pop_attempts.to_be_bytes());
             out.extend_from_slice(&r.pop_successes.to_be_bytes());
+            out.extend_from_slice(&r.catch_up_ms.to_be_bytes());
             out.push(u8::from(r.degraded));
             out
         }
         Control::ReportAck => vec![TAG_REPORT_ACK],
         Control::Shutdown => vec![TAG_SHUTDOWN],
+        Control::JoinReq { from } => {
+            let mut out = vec![TAG_JOIN_REQ];
+            out.extend_from_slice(&from.0.to_be_bytes());
+            out
+        }
+        Control::JoinAck {
+            from,
+            slot,
+            members,
+        } => {
+            let mut out = vec![TAG_JOIN_ACK];
+            out.extend_from_slice(&from.0.to_be_bytes());
+            out.extend_from_slice(&slot.to_be_bytes());
+            out.extend_from_slice(&members.to_be_bytes());
+            out
+        }
+        Control::RosterEntry(m) => {
+            let mut out = vec![TAG_ROSTER_ENTRY];
+            out.extend_from_slice(&m.id.0.to_be_bytes());
+            out.extend_from_slice(&m.join_slot.to_be_bytes());
+            let mut flags = 0u8;
+            if m.leave_slot.is_some() {
+                flags |= 1;
+            }
+            if m.evicted {
+                flags |= 2;
+            }
+            if m.addr.is_some() {
+                flags |= 4;
+            }
+            out.push(flags);
+            if let Some(leave) = m.leave_slot {
+                out.extend_from_slice(&leave.to_be_bytes());
+            }
+            if let Some(addr) = m.addr {
+                encode_addr(&mut out, addr);
+            }
+            out
+        }
+        Control::JoinAnnounce { id, slot, addr } => {
+            let mut out = vec![TAG_JOIN_ANNOUNCE];
+            out.extend_from_slice(&id.0.to_be_bytes());
+            out.extend_from_slice(&slot.to_be_bytes());
+            encode_addr(&mut out, *addr);
+            out
+        }
+        Control::Leave { node, slot } => {
+            let mut out = vec![TAG_LEAVE];
+            out.extend_from_slice(&node.0.to_be_bytes());
+            out.extend_from_slice(&slot.to_be_bytes());
+            out
+        }
     }
 }
 
@@ -176,10 +333,50 @@ pub fn decode_control(data: &[u8]) -> Result<Control, NetError> {
             chain_digest: r.digest().map_err(framing)?,
             pop_attempts: r.u64().map_err(framing)?,
             pop_successes: r.u64().map_err(framing)?,
+            catch_up_ms: r.u64().map_err(framing)?,
             degraded: r.u8().map_err(framing)? != 0,
         }),
         TAG_REPORT_ACK => Control::ReportAck,
         TAG_SHUTDOWN => Control::Shutdown,
+        TAG_JOIN_REQ => Control::JoinReq {
+            from: NodeId(r.u32().map_err(framing)?),
+        },
+        TAG_JOIN_ACK => Control::JoinAck {
+            from: NodeId(r.u32().map_err(framing)?),
+            slot: r.u64().map_err(framing)?,
+            members: r.u32().map_err(framing)?,
+        },
+        TAG_ROSTER_ENTRY => {
+            let id = NodeId(r.u32().map_err(framing)?);
+            let join_slot = r.u64().map_err(framing)?;
+            let flags = r.u8().map_err(framing)?;
+            let leave_slot = if flags & 1 != 0 {
+                Some(r.u64().map_err(framing)?)
+            } else {
+                None
+            };
+            let addr = if flags & 4 != 0 {
+                Some(decode_addr(&mut r)?)
+            } else {
+                None
+            };
+            Control::RosterEntry(WireMember {
+                id,
+                join_slot,
+                leave_slot,
+                evicted: flags & 2 != 0,
+                addr,
+            })
+        }
+        TAG_JOIN_ANNOUNCE => Control::JoinAnnounce {
+            id: NodeId(r.u32().map_err(framing)?),
+            slot: r.u64().map_err(framing)?,
+            addr: decode_addr(&mut r)?,
+        },
+        TAG_LEAVE => Control::Leave {
+            node: NodeId(r.u32().map_err(framing)?),
+            slot: r.u64().map_err(framing)?,
+        },
         other => return Err(NetError::BadControlTag(other)),
     };
     r.finish().map_err(framing)?;
@@ -207,10 +404,47 @@ mod tests {
                 chain_digest: Digest::from_bytes([7; 32]),
                 pop_attempts: 5,
                 pop_successes: 5,
+                catch_up_ms: 12,
                 degraded: false,
             }),
             Control::ReportAck,
             Control::Shutdown,
+            Control::JoinReq { from: NodeId(9) },
+            Control::JoinAck {
+                from: NodeId(1),
+                slot: 12,
+                members: 5,
+            },
+            Control::RosterEntry(WireMember {
+                id: NodeId(4),
+                join_slot: 3,
+                leave_slot: None,
+                evicted: false,
+                addr: Some("127.0.0.1:9004".parse().unwrap()),
+            }),
+            Control::RosterEntry(WireMember {
+                id: NodeId(1),
+                join_slot: 0,
+                leave_slot: Some(6),
+                evicted: true,
+                addr: None,
+            }),
+            Control::RosterEntry(WireMember {
+                id: NodeId(2),
+                join_slot: 0,
+                leave_slot: Some(8),
+                evicted: false,
+                addr: Some("[::1]:9102".parse().unwrap()),
+            }),
+            Control::JoinAnnounce {
+                id: NodeId(4),
+                slot: 3,
+                addr: "127.0.0.1:9004".parse().unwrap(),
+            },
+            Control::Leave {
+                node: NodeId(1),
+                slot: 6,
+            },
         ]
     }
 

@@ -357,7 +357,8 @@ impl Endpoint {
                         src,
                         msg,
                     }),
-                    Err(NetError::BadControlTag(_)) => {
+                    Err(NetError::BadControlTag(_) | NetError::BadAddressFamily(_)) => {
+                        // Version skew, not framing: count it as such.
                         NetMetrics::inc(&self.metrics.unknown_tag_drops);
                     }
                     Err(_) => NetMetrics::inc(&self.metrics.codec_error_drops),

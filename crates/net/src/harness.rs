@@ -7,11 +7,27 @@
 //! proves the wire path (envelope codec, fragmentation, gossip barrier,
 //! pull-based loss recovery) reproduces the simulator's protocol execution
 //! byte-for-byte on a shared seed.
+//!
+//! With a churn schedule (`--churn join:4@3,leave:1@6`) the harness also
+//! spawns the late joiners — provisioned with nothing but a bootstrap
+//! address, so the join handshake and membership gossip genuinely carry
+//! the roster — and replays the same `node_joins` / `node_leaves`
+//! schedule on the reference engine, asserting parity *through* the
+//! membership changes.
+//!
+//! Orphan safety: every spawned child carries a watchdog deadline (it
+//! exits on its own once the harness must have given up on it), children
+//! are killed explicitly on every failure path, and the child guard kills
+//! whatever is left on drop — a failed run can never strand UDP listeners
+//! that would wedge a rerun on the same ports.
 
 use crate::control::{Control, RunReport};
 use crate::endpoint::{Endpoint, EndpointConfig, Inbound};
+use crate::membership::{format_churn_spec, join_site, validate_churn, ChurnEvent, Roster};
 use crate::peer::format_peer_list;
-use crate::runtime::{deployment_protocol_config, deployment_topology, network_digest_of};
+use crate::runtime::{
+    deployment_protocol_config, deployment_range_m, deployment_topology, network_digest_of,
+};
 use std::collections::HashMap;
 use std::net::{SocketAddr, UdpSocket};
 use std::path::PathBuf;
@@ -30,9 +46,9 @@ use tldag_sim::NodeId;
 pub struct ClusterConfig {
     /// The `tldag` binary to spawn node processes from.
     pub exe: PathBuf,
-    /// Number of nodes (= processes).
+    /// Number of founding nodes (= processes at start).
     pub nodes: usize,
-    /// Slots each node executes.
+    /// Slots each founder executes.
     pub slots: u64,
     /// Shared experiment seed.
     pub seed: u64,
@@ -49,6 +65,9 @@ pub struct ClusterConfig {
     pub base_port: Option<u16>,
     /// How long the controller waits for all reports.
     pub report_timeout: Duration,
+    /// Scheduled membership changes: late joins (spawned as extra
+    /// processes bootstrapped via the join handshake) and graceful leaves.
+    pub churn: Vec<ChurnEvent>,
 }
 
 impl ClusterConfig {
@@ -65,18 +84,30 @@ impl ClusterConfig {
             storage_root: None,
             base_port: None,
             report_timeout: Duration::from_secs(60),
+            churn: Vec::new(),
         }
+    }
+
+    /// Total processes the run spawns: founders plus scheduled joiners.
+    pub fn total_processes(&self) -> usize {
+        self.nodes
+            + self
+                .churn
+                .iter()
+                .filter(|e| matches!(e, ChurnEvent::Join { .. }))
+                .count()
     }
 }
 
 /// The outcome of a cluster run, including the parity verdict.
 #[derive(Clone, Debug)]
 pub struct ClusterOutcome {
-    /// Per-node end-of-run reports, in node order.
+    /// Per-node end-of-run reports, in node order (founders then joiners).
     pub reports: Vec<RunReport>,
     /// Network digest assembled from the wire nodes' chain digests.
     pub wire_digest: Digest,
-    /// Network digest of the in-memory reference run on the same seed.
+    /// Network digest of the in-memory reference run on the same seed and
+    /// membership schedule.
     pub reference_digest: Digest,
     /// Per-node chain digests of the reference run, for mismatch diagnosis.
     pub reference_chains: Vec<Digest>,
@@ -118,6 +149,16 @@ impl ChildGuard {
         failures
     }
 
+    /// Kills and reaps every child immediately. Called explicitly on every
+    /// failure path (and again from `Drop`, idempotently) so a failed run
+    /// releases its UDP ports before the error is even reported.
+    fn kill_all(&mut self) {
+        for (_, child) in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
     /// Waits for clean exits up to `deadline`, then kills stragglers.
     fn shutdown(&mut self, deadline: Instant) {
         loop {
@@ -130,19 +171,13 @@ impl ChildGuard {
             }
             std::thread::sleep(Duration::from_millis(50));
         }
-        for (_, child) in &mut self.children {
-            let _ = child.kill();
-            let _ = child.wait();
-        }
+        self.kill_all();
     }
 }
 
 impl Drop for ChildGuard {
     fn drop(&mut self) {
-        for (_, child) in &mut self.children {
-            let _ = child.kill();
-            let _ = child.wait();
-        }
+        self.kill_all();
     }
 }
 
@@ -165,13 +200,101 @@ fn discover_ports(n: usize) -> Result<Vec<u16>, String> {
     Ok(ports)
 }
 
+/// Replays a membership schedule on a reference engine and runs it for
+/// `slots` slots: the **same** leaves-before-joins slot-boundary
+/// application and derived `join_site` placement every `NetNode` uses, so
+/// any consumer comparing a wire run against the engine (`run_cluster`,
+/// `fig12_churn`) computes the identical reference — one definition, no
+/// drift.
+///
+/// # Panics
+///
+/// Panics when a join's id is not the engine's next topology index (the
+/// schedule should have been checked with
+/// [`crate::membership::validate_churn`] first).
+pub fn replay_reference_schedule(
+    reference: &mut TldagNetwork,
+    churn: &[ChurnEvent],
+    founders: usize,
+    seed: u64,
+    slots: u64,
+) {
+    // The full-schedule roster: what every wire process knows from its
+    // `--churn` spec, and therefore what `join_site` must be computed
+    // against for the placements to agree.
+    let mut roster = Roster::founders(founders);
+    for event in churn {
+        match *event {
+            ChurnEvent::Join { id, slot } => {
+                roster.learn_join(id, None, slot);
+            }
+            ChurnEvent::Leave { id, slot } => {
+                roster.learn_leave(id, slot);
+            }
+        }
+    }
+    // Canonical application order regardless of how the caller built the
+    // schedule: by slot, leaves before joins, ids ascending.
+    let mut events = churn.to_vec();
+    events.sort_by_key(|e| (e.slot(), matches!(e, ChurnEvent::Join { .. }), e.id().0));
+    let mut next_event = 0usize;
+    for slot in 0..slots {
+        while next_event < events.len() && events[next_event].slot() == slot {
+            match events[next_event] {
+                ChurnEvent::Leave { id, .. } => reference.node_leaves(id),
+                ChurnEvent::Join { id, slot } => {
+                    let site = join_site(
+                        reference.topology(),
+                        &roster,
+                        seed,
+                        slot,
+                        id,
+                        deployment_range_m(),
+                    );
+                    let assigned = reference.node_joins(site, deployment_range_m(), 1);
+                    assert_eq!(assigned, id, "churn join ids are consecutive");
+                }
+            }
+            next_event += 1;
+        }
+        reference.step();
+    }
+}
+
+/// Replays the cluster's experiment — including its membership schedule —
+/// on the in-memory engine, returning the reference network after
+/// `config.slots` slots.
+fn reference_run(config: &ClusterConfig) -> TldagNetwork {
+    let topology = deployment_topology(config.seed, config.nodes, config.side_m);
+    let cfg = deployment_protocol_config(config.gamma);
+    let schedule = GenerationSchedule::uniform(topology.len());
+    let mut reference = TldagNetwork::new(cfg, topology, schedule, config.seed);
+    reference.set_verification_workload(if config.pop {
+        VerificationWorkload::RandomPast {
+            min_age_slots: config.nodes as u64,
+        }
+    } else {
+        VerificationWorkload::Disabled
+    });
+    replay_reference_schedule(
+        &mut reference,
+        &config.churn,
+        config.nodes,
+        config.seed,
+        config.slots,
+    );
+    reference
+}
+
 /// Runs a full cluster: spawn, collect, compare. Node processes are always
 /// reaped, whatever path is taken.
 ///
 /// # Errors
 ///
-/// Spawn failures, early child exits, and report-collection timeouts.
+/// An invalid churn schedule, spawn failures, early child exits, and
+/// report-collection timeouts.
 pub fn run_cluster(config: &ClusterConfig) -> Result<ClusterOutcome, String> {
+    validate_churn(&config.churn, config.nodes, config.slots)?;
     match run_cluster_attempt(config) {
         // Probed ports are necessarily released before the child processes
         // bind them, so a concurrent bind on the same host can steal one in
@@ -189,18 +312,18 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
     if config.nodes == 0 {
         return Err("--nodes must be positive".into());
     }
+    let total = config.total_processes();
     let ports: Vec<u16> = match config.base_port {
         Some(base) => {
-            let last = u64::from(base) + config.nodes as u64 - 1;
+            let last = u64::from(base) + total as u64 - 1;
             if last > u64::from(u16::MAX) {
                 return Err(format!(
-                    "--base-port {base} + {} nodes exceeds port 65535",
-                    config.nodes
+                    "--base-port {base} + {total} nodes exceeds port 65535"
                 ));
             }
-            (0..config.nodes as u16).map(|i| base + i).collect()
+            (0..total as u16).map(|i| base + i).collect()
         }
-        None => discover_ports(config.nodes)?,
+        None => discover_ports(total)?,
     };
     let addrs: Vec<SocketAddr> = ports
         .iter()
@@ -243,25 +366,35 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
             controller.run_receiver(&stop, &mut handler);
         })
     };
-
-    // --- Spawn one real process per node.
-    let mut guard = ChildGuard {
-        children: Vec::with_capacity(config.nodes),
+    // Joins every failure path through one teardown: children killed
+    // first (ports released), then the collector thread.
+    let fail = |guard: &mut ChildGuard, msg: String| -> String {
+        guard.kill_all();
+        stop.store(true, Ordering::Relaxed);
+        msg
     };
-    for i in 0..config.nodes {
+
+    // Children may not outlive the harness even if it is SIGKILLed (no
+    // destructors run then): a generous watchdog inside each node covers
+    // the whole report window plus the shutdown grace.
+    let child_deadline = config.report_timeout + Duration::from_secs(30);
+    let churn_spec = format_churn_spec(&config.churn);
+
+    // --- Spawn one real process per member: founders first, then the
+    // scheduled joiners (provisioned with only a bootstrap address — the
+    // join handshake transfers the roster).
+    let mut guard = ChildGuard {
+        children: Vec::with_capacity(total),
+    };
+    for i in 0..total {
         let id = NodeId(i as u32);
-        let peers: Vec<(NodeId, SocketAddr)> = (0..config.nodes)
-            .filter(|&j| j != i)
-            .map(|j| (NodeId(j as u32), addrs[j]))
-            .collect();
+        let is_joiner = i >= config.nodes;
         let mut cmd = Command::new(&config.exe);
         cmd.arg("node")
             .arg("--id")
             .arg(i.to_string())
             .arg("--listen")
             .arg(addrs[i].to_string())
-            .arg("--peers")
-            .arg(format_peer_list(&peers))
             .arg("--controller")
             .arg(controller_addr.to_string())
             .arg("--seed")
@@ -274,8 +407,41 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
             .arg(config.gamma.to_string())
             .arg("--slots")
             .arg(config.slots.to_string())
+            .arg("--deadline")
+            .arg(child_deadline.as_secs().to_string())
             .stdout(Stdio::null())
             .stderr(Stdio::inherit());
+        if is_joiner {
+            // Bootstrap via a founder that is still a member at the join
+            // slot (a departed bootstrap keeps serving, but a live one
+            // answers faster).
+            let join_slot = config
+                .churn
+                .iter()
+                .find_map(|e| match *e {
+                    ChurnEvent::Join { id: j, slot } if j == id => Some(slot),
+                    _ => None,
+                })
+                .expect("joiner ids come from the churn spec");
+            let bootstrap = (0..config.nodes)
+                .find(|&f| {
+                    !config.churn.iter().any(|e| {
+                        matches!(*e, ChurnEvent::Leave { id: l, slot }
+                            if l == NodeId(f as u32) && slot <= join_slot)
+                    })
+                })
+                .unwrap_or(0);
+            cmd.arg("--join").arg(addrs[bootstrap].to_string());
+        } else {
+            let peers: Vec<(NodeId, SocketAddr)> = (0..config.nodes)
+                .filter(|&j| j != i)
+                .map(|j| (NodeId(j as u32), addrs[j]))
+                .collect();
+            cmd.arg("--peers").arg(format_peer_list(&peers));
+        }
+        if !churn_spec.is_empty() {
+            cmd.arg("--churn").arg(&churn_spec);
+        }
         if config.pop {
             cmd.arg("--pop");
         }
@@ -288,14 +454,12 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
         let child = match cmd.spawn() {
             Ok(child) => child,
             Err(e) => {
-                // Tear the collector down too — every exit path must, or a
-                // failed run leaks the thread and the controller socket.
-                stop.store(true, Ordering::Relaxed);
+                let msg = fail(
+                    &mut guard,
+                    format!("cannot spawn node {i} from {}: {e}", config.exe.display()),
+                );
                 let _ = collector.join();
-                return Err(format!(
-                    "cannot spawn node {i} from {}: {e}",
-                    config.exe.display()
-                ));
+                return Err(msg);
             }
         };
         guard.children.push((id, child));
@@ -305,22 +469,25 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
     let deadline = Instant::now() + config.report_timeout;
     let collected = loop {
         let have = reports.lock().expect("reports poisoned").len();
-        if have == config.nodes {
+        if have == total {
             break reports.lock().expect("reports poisoned").clone();
         }
         let failures = guard.harvest_failures();
         if !failures.is_empty() {
-            stop.store(true, Ordering::Relaxed);
+            let msg = fail(&mut guard, failures.join("; "));
             let _ = collector.join();
-            return Err(failures.join("; "));
+            return Err(msg);
         }
         if Instant::now() > deadline {
-            stop.store(true, Ordering::Relaxed);
+            let msg = fail(
+                &mut guard,
+                format!(
+                    "cluster timed out: {have}/{total} reports within {:?}",
+                    config.report_timeout
+                ),
+            );
             let _ = collector.join();
-            return Err(format!(
-                "cluster timed out: {have}/{} reports within {:?}",
-                config.nodes, config.report_timeout
-            ));
+            return Err(msg);
         }
         std::thread::sleep(Duration::from_millis(30));
     };
@@ -335,22 +502,11 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
     stop.store(true, Ordering::Relaxed);
     collector.join().map_err(|_| "collector thread panicked")?;
 
-    // --- The in-memory reference on the same seed.
-    let topology = deployment_topology(config.seed, config.nodes, config.side_m);
-    let cfg = deployment_protocol_config(config.gamma);
-    let schedule = GenerationSchedule::uniform(topology.len());
-    let mut reference = TldagNetwork::new(cfg, topology, schedule, config.seed);
-    reference.set_verification_workload(if config.pop {
-        VerificationWorkload::RandomPast {
-            min_age_slots: config.nodes as u64,
-        }
-    } else {
-        VerificationWorkload::Disabled
-    });
-    reference.run_slots(config.slots);
+    // --- The in-memory reference on the same seed and churn schedule.
+    let reference = reference_run(config);
 
-    let mut ordered = Vec::with_capacity(config.nodes);
-    for i in 0..config.nodes {
+    let mut ordered = Vec::with_capacity(total);
+    for i in 0..total {
         let id = NodeId(i as u32);
         ordered.push(
             *collected
@@ -360,7 +516,7 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
     }
     let wire_digest =
         network_digest_of(&ordered.iter().map(|r| r.chain_digest).collect::<Vec<_>>());
-    let reference_chains: Vec<Digest> = (0..config.nodes)
+    let reference_chains: Vec<Digest> = (0..total)
         .map(|i| reference.chain_digest(NodeId(i as u32)))
         .collect();
     let wire_pop = ordered.iter().fold((0, 0), |(a, s), r| {

@@ -12,17 +12,23 @@
 //!   [`UdpTransport`] for real sockets, [`FaultyTransport`] for
 //!   deterministic loss/duplication/reorder injection (the `fig11_wire`
 //!   knob).
-//! * [`peer`] — static-bootstrap [`PeerTable`] with liveness tracking.
+//! * [`peer`] — dynamic [`PeerTable`] with liveness tracking (inserts on
+//!   join, forgets on leave/eviction).
+//! * [`membership`] — the [`membership::Roster`]: who generates at which
+//!   slot, churn-spec parsing, and deterministic join placement.
 //! * [`endpoint`] — the [`Endpoint`]: framing + reassembly + reply
 //!   correlation + request retry with bounded backoff, fully metered
 //!   ([`metrics`]).
 //! * [`control`] — runtime control messages: hello bootstrap, slot-tagged
-//!   digest gossip with pull-based recovery, report/shutdown handshake.
+//!   digest gossip with pull-based recovery, the join handshake and
+//!   membership-delta gossip, report/shutdown handshake.
 //! * [`runtime`] — [`NetNode`], the deployed node: inbound dispatcher
 //!   serving `REQ_CHILD`/`FetchBlock` (cooperative `Nack`/`PrunedNack`
-//!   included) plus the slot loop and the wire-side PoP validator.
+//!   included) plus the slot loop — roster-aware barriers, join/leave at
+//!   slot boundaries — and the wire-side PoP validator.
 //! * [`harness`] — the `tldag cluster` multi-process deployment harness
-//!   with `network_digest` parity checking against the in-memory engine.
+//!   with `network_digest` parity checking against the in-memory engine,
+//!   including under a scheduled churn of late joins and graceful leaves.
 //!
 //! Everything is `std`-only (threads + `UdpSocket`), matching the
 //! workspace's scoped-thread engine style: no async runtime, no new
@@ -38,6 +44,7 @@ pub mod endpoint;
 pub mod envelope;
 pub mod frag;
 pub mod harness;
+pub mod membership;
 pub mod metrics;
 pub mod peer;
 pub mod runtime;
@@ -45,6 +52,7 @@ pub mod transport;
 
 pub use endpoint::{Endpoint, EndpointConfig, Inbound};
 pub use harness::{run_cluster, ClusterConfig, ClusterOutcome};
+pub use membership::{parse_churn_spec, ChurnEvent, Roster};
 pub use metrics::{NetMetrics, NetStats};
 pub use peer::PeerTable;
 pub use runtime::{NetNode, NetNodeConfig, NetPopTransport, StorageMode};
@@ -68,6 +76,10 @@ pub enum NetError {
     BadKind(u8),
     /// A control payload carries an unknown tag (runtime version skew).
     BadControlTag(u8),
+    /// An encoded socket address names an unknown family (version skew,
+    /// like [`NetError::BadControlTag`] — distinct from truncation so the
+    /// drop is observable as skew, not framing).
+    BadAddressFamily(u8),
     /// A length field disagrees with the actual data.
     LengthMismatch,
     /// Fragment fields are inconsistent (zero count, index out of range).
@@ -86,6 +98,7 @@ impl fmt::Display for NetError {
             NetError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             NetError::BadKind(k) => write!(f, "unknown envelope kind {k:#04x}"),
             NetError::BadControlTag(t) => write!(f, "unknown control tag {t:#04x}"),
+            NetError::BadAddressFamily(v) => write!(f, "unknown address family {v}"),
             NetError::LengthMismatch => write!(f, "length field disagrees with data"),
             NetError::BadFragment => write!(f, "inconsistent fragment fields"),
             NetError::Oversize => write!(f, "message cannot be framed under the MTU"),

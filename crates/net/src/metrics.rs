@@ -71,6 +71,14 @@ net_metrics! {
     replies_unmatched,
     /// Requests that exhausted their retry budget without a reply.
     request_timeouts,
+    /// Join handshakes served (roster transfers to prospective members).
+    joins_served,
+    /// Membership deltas learned and re-gossiped (join announcements and
+    /// leave/eviction notices that carried news).
+    membership_gossip,
+    /// Peers evicted for liveness (heard once, then silent past the
+    /// eviction window while blocking a barrier).
+    evictions,
 }
 
 impl NetMetrics {
@@ -82,6 +90,21 @@ impl NetMetrics {
     /// Bumps `counter` by `n`.
     pub(crate) fn add(counter: &AtomicU64, n: u64) {
         counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Counts a join handshake served.
+    pub fn bump_joins_served(&self) {
+        Self::inc(&self.joins_served);
+    }
+
+    /// Counts a membership delta learned and re-gossiped.
+    pub fn bump_membership_gossip(&self) {
+        Self::inc(&self.membership_gossip);
+    }
+
+    /// Counts a liveness eviction.
+    pub fn bump_evictions(&self) {
+        Self::inc(&self.evictions);
     }
 }
 
@@ -106,6 +129,9 @@ impl NetStats {
             replies_matched,
             replies_unmatched,
             request_timeouts,
+            joins_served,
+            membership_gossip,
+            evictions,
         } = other;
         self.datagrams_sent += datagrams_sent;
         self.datagrams_received += datagrams_received;
@@ -123,6 +149,9 @@ impl NetStats {
         self.replies_matched += replies_matched;
         self.replies_unmatched += replies_unmatched;
         self.request_timeouts += request_timeouts;
+        self.joins_served += joins_served;
+        self.membership_gossip += membership_gossip;
+        self.evictions += evictions;
     }
 }
 

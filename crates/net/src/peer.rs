@@ -1,21 +1,24 @@
-//! The peer table: static bootstrap addressing plus liveness tracking.
+//! The peer table: addressing plus liveness tracking under churn.
 //!
-//! Deployments are provisioned with a static peer list (`id@host:port`,
-//! mirroring the paper's registration-time provisioning of identities);
-//! liveness is tracked per peer from any authenticated-by-CRC envelope that
-//! arrives, so the runtime can distinguish "never heard from" from "went
-//! quiet" when a request times out.
+//! Deployments bootstrap from a static peer list (`id@host:port`,
+//! mirroring the paper's registration-time provisioning of identities),
+//! but the table is **dynamic**: the membership control plane inserts
+//! late joiners as their announcements arrive and forgets leavers and
+//! evicted peers. Liveness is tracked per peer from any
+//! authenticated-by-CRC envelope that arrives, so the runtime can
+//! distinguish "never heard from" from "went quiet" when a request times
+//! out — the signal behind liveness-based eviction of silent departures.
 
 use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
-use std::sync::Mutex;
+use std::sync::{Mutex, RwLock};
 use std::time::{Duration, Instant};
 use tldag_sim::NodeId;
 
 /// Address book + liveness for a node's peers.
 #[derive(Debug)]
 pub struct PeerTable {
-    addrs: BTreeMap<NodeId, SocketAddr>,
+    addrs: RwLock<BTreeMap<NodeId, SocketAddr>>,
     last_heard: Mutex<HashMap<NodeId, Instant>>,
 }
 
@@ -23,29 +26,62 @@ impl PeerTable {
     /// Builds a table from static `(id, addr)` bootstrap entries.
     pub fn new(entries: impl IntoIterator<Item = (NodeId, SocketAddr)>) -> Self {
         PeerTable {
-            addrs: entries.into_iter().collect(),
+            addrs: RwLock::new(entries.into_iter().collect()),
             last_heard: Mutex::new(HashMap::new()),
         }
     }
 
     /// The address of `peer`, if known.
     pub fn addr(&self, peer: NodeId) -> Option<SocketAddr> {
-        self.addrs.get(&peer).copied()
+        self.addrs
+            .read()
+            .expect("peer table poisoned")
+            .get(&peer)
+            .copied()
     }
 
     /// All known peer ids, ascending.
     pub fn ids(&self) -> Vec<NodeId> {
-        self.addrs.keys().copied().collect()
+        self.addrs
+            .read()
+            .expect("peer table poisoned")
+            .keys()
+            .copied()
+            .collect()
     }
 
     /// Number of known peers.
     pub fn len(&self) -> usize {
-        self.addrs.len()
+        self.addrs.read().expect("peer table poisoned").len()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.addrs.is_empty()
+        self.addrs.read().expect("peer table poisoned").is_empty()
+    }
+
+    /// Registers (or re-addresses) a peer — a join, or a re-join of a
+    /// previously evicted id. Returns `true` when the entry changed.
+    pub fn insert(&self, peer: NodeId, addr: SocketAddr) -> bool {
+        self.addrs
+            .write()
+            .expect("peer table poisoned")
+            .insert(peer, addr)
+            != Some(addr)
+    }
+
+    /// Forgets a peer entirely: address *and* liveness history, so a
+    /// re-joining id starts from a clean slate instead of inheriting the
+    /// old incarnation's last-heard timestamp.
+    pub fn forget(&self, peer: NodeId) {
+        self.addrs
+            .write()
+            .expect("peer table poisoned")
+            .remove(&peer);
+        self.last_heard
+            .lock()
+            .expect("peer liveness poisoned")
+            .remove(&peer);
     }
 
     /// Records that a valid envelope from `peer` just arrived.
@@ -71,10 +107,21 @@ impl PeerTable {
             .is_some_and(|at| at.elapsed() <= window)
     }
 
+    /// Whether `peer` was heard from once but has now been silent longer
+    /// than `window` — the eviction predicate. A peer that was *never*
+    /// heard from is a bootstrap straggler, not an eviction candidate;
+    /// see [`PeerTable::silent_peers`].
+    pub fn gone_quiet(&self, peer: NodeId, window: Duration) -> bool {
+        self.last_heard(peer)
+            .is_some_and(|at| at.elapsed() > window)
+    }
+
     /// Peers never heard from at all (bootstrap stragglers).
     pub fn silent_peers(&self) -> Vec<NodeId> {
         let heard = self.last_heard.lock().expect("peer liveness poisoned");
         self.addrs
+            .read()
+            .expect("peer table poisoned")
             .keys()
             .filter(|id| !heard.contains_key(id))
             .copied()
@@ -133,6 +180,38 @@ mod tests {
         assert!(parse_peer_list("x@127.0.0.1:1").is_err());
         assert!(parse_peer_list("1@not-an-addr").is_err());
         assert!(parse_peer_list("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn insert_and_forget_track_churn() {
+        let a: SocketAddr = "127.0.0.1:9001".parse().unwrap();
+        let b: SocketAddr = "127.0.0.1:9002".parse().unwrap();
+        let table = PeerTable::new([(NodeId(0), a)]);
+        assert!(table.insert(NodeId(5), b), "new peer is a change");
+        assert!(!table.insert(NodeId(5), b), "same addr is idempotent");
+        assert_eq!(table.ids(), vec![NodeId(0), NodeId(5)]);
+        table.mark_heard(NodeId(5));
+        table.forget(NodeId(5));
+        assert_eq!(table.addr(NodeId(5)), None);
+        assert!(
+            table.last_heard(NodeId(5)).is_none(),
+            "a re-join must not inherit the evicted incarnation's liveness"
+        );
+        // Re-join on a different port re-addresses the id.
+        assert!(table.insert(NodeId(5), a));
+        assert_eq!(table.addr(NodeId(5)), Some(a));
+    }
+
+    #[test]
+    fn gone_quiet_distinguishes_silence_from_never_heard() {
+        let a: SocketAddr = "127.0.0.1:9001".parse().unwrap();
+        let table = PeerTable::new([(NodeId(1), a)]);
+        // Never heard: a bootstrap straggler, not an eviction candidate.
+        assert!(!table.gone_quiet(NodeId(1), Duration::from_millis(0)));
+        table.mark_heard(NodeId(1));
+        assert!(!table.gone_quiet(NodeId(1), Duration::from_secs(60)));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(table.gone_quiet(NodeId(1), Duration::from_millis(1)));
     }
 
     #[test]

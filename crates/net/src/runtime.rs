@@ -19,15 +19,46 @@
 //! `(seed, slot, node)` derived streams, so a cluster of `NetNode`s on a
 //! shared seed produces **byte-identical chains** to `TldagNetwork` on the
 //! same seed — `tldag cluster` asserts exactly that.
+//!
+//! ## Dynamic membership
+//!
+//! The runtime executes the engine's `node_joins` / `node_leaves`
+//! semantics over the wire (see [`crate::membership`]):
+//!
+//! * **Join**: a `--join` process handshakes with any bootstrap peer
+//!   ([`Control::JoinReq`] → [`Control::JoinAck`] + roster transfer),
+//!   announces itself ([`Control::JoinAnnounce`], re-gossiped by every
+//!   peer that learns something new), and starts generating at its join
+//!   slot with an empty chain — its state catch-up rides the existing
+//!   pull-based `DigestReq` recovery path, so a joiner needs no bulk
+//!   transfer to participate.
+//! * **Leave**: a node whose schedule ends at slot `m` generates its last
+//!   block at `m - 1`, broadcasts [`Control::Leave`], and keeps *serving*
+//!   until the run winds down (its historical blocks stay fetchable,
+//!   matching the engine's "blocks stay referenced" semantics while the
+//!   process is alive; once it exits, PoP reports `BlockUnavailable`,
+//!   also matching).
+//! * **Eviction**: a peer that blocks a barrier and has gone silent
+//!   longer than the configured eviction window is treated as having left
+//!   at the blocked slot; the eviction is gossiped so the cluster
+//!   converges. Evictions always mark the run degraded — the reference
+//!   engine did not schedule them.
+//!
+//! Membership deltas apply at **slot boundaries**, leaves before joins —
+//! the canonical order every process (and the reference engine replay in
+//! the harness) uses, which keeps the digest barrier correct when the
+//! roster changes mid-run.
 
-use crate::control::{Control, RunReport};
+use crate::control::{Control, RunReport, WireMember};
 use crate::endpoint::{Endpoint, EndpointConfig, Inbound};
+use crate::membership::{join_site, ChurnEvent, Roster};
 use crate::metrics::NetStats;
 use crate::peer::PeerTable;
+use crate::transport::{FaultSpec, FaultyTransport, UdpTransport};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 use tldag_core::block::BlockId;
@@ -61,19 +92,20 @@ pub struct NetNodeConfig {
     pub id: NodeId,
     /// Address to bind the UDP socket on.
     pub listen: SocketAddr,
-    /// Static bootstrap peer list (every other node of the deployment).
+    /// Static bootstrap peer list (every founder of the deployment; empty
+    /// for a `--join` process, which learns peers from the handshake).
     pub peers: Vec<(NodeId, SocketAddr)>,
     /// Harness controller to report to, if any.
     pub controller: Option<SocketAddr>,
     /// Shared experiment seed; also determines the topology.
     pub seed: u64,
-    /// Total nodes in the deployment (topology size).
+    /// Founding nodes in the deployment (initial topology size).
     pub nodes: usize,
     /// Deployment area side in meters (topology parameter).
     pub side_m: f64,
     /// Consensus path-length parameter γ.
     pub gamma: usize,
-    /// Slots to execute.
+    /// Protocol horizon: founders execute slots `0..slots`.
     pub slots: u64,
     /// Whether to run the PoP verification workload as a validator.
     pub pop: bool,
@@ -83,10 +115,31 @@ pub struct NetNodeConfig {
     pub endpoint: EndpointConfig,
     /// Give-up deadline for the per-slot digest barrier.
     pub slot_timeout: Duration,
-    /// Give-up deadline for the startup hello exchange.
+    /// Give-up deadline for the startup hello exchange / join handshake.
     pub hello_timeout: Duration,
     /// How long a controller-less node keeps serving after its last slot.
     pub linger: Duration,
+    /// Scheduled churn shared by every process of the deployment
+    /// (`--churn`); drives deterministic membership for parity runs.
+    pub churn: Vec<ChurnEvent>,
+    /// Bootstrap peer for a dynamic join: when set, this node is a late
+    /// joiner and `peers` may be empty.
+    pub join: Option<SocketAddr>,
+    /// The joiner's first generation slot. `None` on a `--join` node
+    /// means "pick from the handshake" (bootstrap's slot plus a margin).
+    pub join_slot: Option<u64>,
+    /// Stop generating at this slot (the node's graceful leave). Defaults
+    /// to this node's scheduled leave in `churn`, if any.
+    pub leave_at: Option<u64>,
+    /// Evict a barrier-blocking peer after this much silence. `None`
+    /// disables liveness eviction (the default for parity runs).
+    pub evict_after: Option<Duration>,
+    /// Datagram fault injection on this node's transport (experiments).
+    pub fault: Option<FaultSpec>,
+    /// Hard wall-clock cap on the whole process: a watchdog thread exits
+    /// the process (code 124) once it passes, so a wedged or orphaned
+    /// node can never outlive its harness. `None` disables.
+    pub deadline: Option<Duration>,
 }
 
 impl NetNodeConfig {
@@ -109,6 +162,13 @@ impl NetNodeConfig {
             slot_timeout: Duration::from_secs(10),
             hello_timeout: Duration::from_secs(10),
             linger: Duration::from_millis(1500),
+            churn: Vec::new(),
+            join: None,
+            join_slot: None,
+            leave_at: None,
+            evict_after: None,
+            fault: None,
+            deadline: None,
         }
     }
 }
@@ -143,6 +203,12 @@ pub fn deployment_topology(seed: u64, nodes: usize, side_m: f64) -> Topology {
         ..TopologyConfig::paper_default()
     };
     Topology::random_connected(&cfg, &mut DetRng::seed_from(seed))
+}
+
+/// The deployment radio range in meters (the paper's default) — the
+/// parameter joins use to wire the newcomer's radio links.
+pub fn deployment_range_m() -> f64 {
+    TopologyConfig::paper_default().range_m
 }
 
 /// `sha256` over a chain's header digests in sequence order — the same
@@ -256,12 +322,14 @@ impl PopTransport for NetPopTransport<'_> {
 
 /// The verification-target candidates the in-memory engine would scan at
 /// `slot`, computed closed-form from the deployment invariants (uniform
-/// schedule, no departures): node `j` holds blocks `0..=slot` with
-/// generation time equal to their sequence number. Enumeration order
-/// matches the engine's scan (owners ascending, sequences ascending), so
+/// schedule): a member that joined at slot `j` holds blocks with sequence
+/// `t - j` and generation time `t` for every `t` it generated in, and
+/// departed members are skipped entirely — exactly the engine's
+/// `choose_target` scan under the same membership history. Enumeration
+/// order matches the engine's (owners ascending, sequences ascending), so
 /// the derived target stream picks the same block.
 pub fn wire_pop_candidates(
-    nodes: usize,
+    roster: &Roster,
     validator: NodeId,
     slot: u64,
     min_age: u64,
@@ -270,13 +338,18 @@ pub fn wire_pop_candidates(
     if slot < min_age {
         return out;
     }
-    let max_seq = slot - min_age;
-    for owner in 0..nodes as u32 {
-        if owner == validator.0 {
+    let horizon = slot - min_age; // latest qualifying generation time
+    for owner in (0..roster.total_ids()).map(NodeId) {
+        if owner == validator || roster.departed_by(owner, slot) {
             continue;
         }
-        for seq in 0..=max_seq {
-            out.push(BlockId::new(NodeId(owner), seq as u32));
+        let Some(member) = roster.member(owner) else {
+            continue;
+        };
+        let mut t = member.join_slot;
+        while t <= horizon {
+            out.push(BlockId::new(owner, (t - member.join_slot) as u32));
+            t += 1;
         }
     }
     out
@@ -285,18 +358,31 @@ pub fn wire_pop_candidates(
 /// Shared state between the slot loop and the inbound dispatcher thread.
 struct Shared {
     node: RwLock<LedgerNode>,
+    /// The deployment graph, mutated at slot boundaries as membership
+    /// changes apply (joins add radio links, leaves cut them).
+    topology: RwLock<Topology>,
+    /// The membership view (who generates at which slot, and where).
+    roster: Mutex<Roster>,
     /// Slot-tagged digests heard per peer (pruned as slots complete).
     digests: Mutex<HashMap<NodeId, BTreeMap<u64, Digest>>>,
     /// Own digest per recent slot, serving [`Control::DigestReq`] pulls
     /// (pruned past the deepest lag any live barrier can exhibit).
     own_digests: Mutex<BTreeMap<u64, Digest>>,
-    /// Peers that acknowledged our hello.
+    /// Peers that acknowledged our hello (founders) or join announcement
+    /// (joiners).
     hello_acks: Mutex<HashSet<NodeId>>,
     /// Highest slot each peer is known to have *completed* (generation and
     /// verification) — from [`Control::SlotDone`] directly, or inferred
     /// from a [`Control::SlotDigest`] (generating slot `t` implies `t-1`
     /// completed everywhere). Drives the PoP-mode phase lockstep.
     done: Mutex<HashMap<NodeId, u64>>,
+    /// The join handshake's ack, once received: responder, its current
+    /// slot, and how many roster entries to expect.
+    join_ack: Mutex<Option<(NodeId, u64, u32)>>,
+    /// Ids received via [`Control::RosterEntry`] (handshake completion).
+    transfer_seen: Mutex<HashSet<NodeId>>,
+    /// The slot the loop currently executes (served to join handshakes).
+    current_slot: AtomicU64,
     /// Controller asked us to exit.
     shutdown: AtomicBool,
     /// Controller acknowledged our report.
@@ -307,7 +393,6 @@ struct Shared {
 pub struct NetNode {
     config: NetNodeConfig,
     cfg: ProtocolConfig,
-    topology: Topology,
     endpoint: Arc<Endpoint>,
     peers: Arc<PeerTable>,
     shared: Arc<Shared>,
@@ -318,32 +403,60 @@ impl NetNode {
     ///
     /// # Errors
     ///
-    /// Bind failures, and storage errors when reopening a disk backend.
-    pub fn new(config: NetNodeConfig) -> Result<Self, String> {
+    /// Bind failures, storage errors when reopening a disk backend, and
+    /// inconsistent membership configuration.
+    pub fn new(mut config: NetNodeConfig) -> Result<Self, String> {
         let cfg = deployment_protocol_config(config.gamma);
         let topology = deployment_topology(config.seed, config.nodes, config.side_m);
-        if config.id.index() >= topology.len() {
-            return Err(format!(
-                "--id {} out of range for a {}-node deployment",
-                config.id,
-                topology.len()
-            ));
+        let is_joiner = config.join.is_some();
+
+        // Resolve this node's scheduled join/leave from the churn spec.
+        for event in &config.churn {
+            match *event {
+                ChurnEvent::Join { id, slot } if id == config.id => {
+                    config.join_slot.get_or_insert(slot);
+                }
+                ChurnEvent::Leave { id, slot } if id == config.id => {
+                    config.leave_at.get_or_insert(slot);
+                }
+                _ => {}
+            }
         }
-        // Fail fast on an incomplete peer list: the derived topology names
-        // every node, and a missing address would otherwise surface as
-        // slot-long barrier timeouts instead of a startup error.
-        let missing: Vec<u32> = topology
-            .node_ids()
-            .filter(|&n| n != config.id && config.peers.iter().all(|(p, _)| *p != n))
-            .map(|n| n.0)
-            .collect();
-        if !missing.is_empty() {
-            return Err(format!(
-                "--peers is missing addresses for nodes {missing:?} of the \
+
+        if is_joiner {
+            if config.id.index() < config.nodes {
+                return Err(format!(
+                    "--join is for late joiners: --id {} names a founder of the \
 {}-node deployment",
-                topology.len()
-            ));
+                    config.id, config.nodes
+                ));
+            }
+        } else {
+            if config.id.index() >= topology.len() {
+                return Err(format!(
+                    "--id {} out of range for a {}-node deployment (late joiners \
+need --join)",
+                    config.id,
+                    topology.len()
+                ));
+            }
+            // Fail fast on an incomplete peer list: the derived topology names
+            // every founder, and a missing address would otherwise surface as
+            // slot-long barrier timeouts instead of a startup error.
+            let missing: Vec<u32> = topology
+                .node_ids()
+                .filter(|&n| n != config.id && config.peers.iter().all(|(p, _)| *p != n))
+                .map(|n| n.0)
+                .collect();
+            if !missing.is_empty() {
+                return Err(format!(
+                    "--peers is missing addresses for nodes {missing:?} of the \
+{}-node deployment",
+                    topology.len()
+                ));
+            }
         }
+
         let backend: Box<dyn BlockBackend> = match &config.storage {
             StorageMode::Memory => Box::new(BlockStore::new()),
             StorageMode::Disk(dir) => {
@@ -352,26 +465,68 @@ impl NetNode {
                 DiskFactory::new(dir.clone(), StorageOptions::default()).create(config.id)
             }
         };
-        let node = LedgerNode::with_backend(
-            config.id,
-            topology.neighbors(config.id).to_vec(),
-            &cfg,
-            backend,
-        );
-        let endpoint = Endpoint::bind(config.id, config.listen, config.endpoint)
-            .map_err(|e| format!("cannot bind {}: {e}", config.listen))?;
+        // A joiner's neighbor set is wired when its join applies at the
+        // join-slot boundary; founders take theirs from the topology.
+        let neighbors = if is_joiner {
+            Vec::new()
+        } else {
+            topology.neighbors(config.id).to_vec()
+        };
+        let node = LedgerNode::with_backend(config.id, neighbors, &cfg, backend);
+
+        let endpoint = match config.fault {
+            None => Endpoint::bind(config.id, config.listen, config.endpoint)
+                .map_err(|e| format!("cannot bind {}: {e}", config.listen))?,
+            Some(spec) => {
+                let udp = UdpTransport::bind(config.listen)
+                    .map_err(|e| format!("cannot bind {}: {e}", config.listen))?;
+                let rng =
+                    DetRng::seed_from(config.seed ^ 0x000f_a017 ^ (u64::from(config.id.0) << 40));
+                let faults = Arc::new(FaultyTransport::new(udp, spec, rng));
+                Endpoint::with_transport(config.id, Box::new(faults), config.endpoint)
+            }
+        };
+        let self_addr = endpoint
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
         let peers = PeerTable::new(config.peers.iter().copied());
+
+        // The roster starts from the founders plus every scheduled event;
+        // dynamic joins/leaves merge in as their announcements arrive.
+        let mut roster = Roster::founders(config.nodes);
+        for (id, addr) in &config.peers {
+            roster.set_addr(*id, *addr);
+        }
+        for event in &config.churn {
+            match *event {
+                ChurnEvent::Join { id, slot } => {
+                    roster.learn_join(id, None, slot);
+                }
+                ChurnEvent::Leave { id, slot } => {
+                    roster.learn_leave(id, slot);
+                }
+            }
+        }
+        if let Some(slot) = config.join_slot {
+            roster.learn_join(config.id, Some(self_addr), slot);
+        }
+        roster.set_addr(config.id, self_addr);
+
         Ok(NetNode {
             cfg,
-            topology,
             endpoint: Arc::new(endpoint),
             peers: Arc::new(peers),
             shared: Arc::new(Shared {
                 node: RwLock::new(node),
+                topology: RwLock::new(topology),
+                roster: Mutex::new(roster),
                 digests: Mutex::new(HashMap::new()),
                 own_digests: Mutex::new(BTreeMap::new()),
                 hello_acks: Mutex::new(HashSet::new()),
                 done: Mutex::new(HashMap::new()),
+                join_ack: Mutex::new(None),
+                transfer_seen: Mutex::new(HashSet::new()),
+                current_slot: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 report_acked: AtomicBool::new(false),
             }),
@@ -388,15 +543,29 @@ impl NetNode {
         self.endpoint.local_addr()
     }
 
-    /// Runs the node to completion: hello bootstrap, `slots` slots of
-    /// generate → gossip → (optional) PoP, then report/linger. Returns the
-    /// final summary.
+    /// Runs the node to completion: bootstrap (hello exchange for
+    /// founders, join handshake for `--join` nodes), the slot loop of
+    /// generate → gossip → (optional) PoP, then report/linger. Returns
+    /// the final summary.
     ///
     /// # Errors
     ///
-    /// Startup failures (peers never came up) and storage failures; barrier
-    /// timeouts are *not* errors — they mark the run `degraded` instead.
+    /// Startup failures (peers never came up, handshake never answered)
+    /// and storage failures; barrier timeouts are *not* errors — they
+    /// mark the run `degraded` instead.
     pub fn run(self) -> Result<NodeOutcome, String> {
+        // Watchdog: whatever happens to the slot loop or the harness, this
+        // process cannot outlive its deadline — no orphaned UDP listeners.
+        if let Some(deadline) = self.config.deadline {
+            let cutoff = Instant::now() + deadline;
+            std::thread::spawn(move || loop {
+                if Instant::now() >= cutoff {
+                    eprintln!("tldag node: watchdog deadline passed, exiting");
+                    std::process::exit(124);
+                }
+                std::thread::sleep(Duration::from_millis(200));
+            });
+        }
         let stop = Arc::new(AtomicBool::new(false));
         let receiver = {
             let endpoint = Arc::clone(&self.endpoint);
@@ -419,18 +588,55 @@ impl NetNode {
     fn drive(&self) -> Result<NodeOutcome, String> {
         let id = self.config.id;
         let seed = self.config.seed;
-        self.hello_barrier()?;
+
+        let mut catch_up_ms = 0u64;
+        let start_slot = match self.config.join {
+            Some(bootstrap) => {
+                let started = Instant::now();
+                let slot = self.join_handshake(bootstrap)?;
+                catch_up_ms = started.elapsed().as_millis() as u64;
+                slot
+            }
+            None => {
+                self.hello_barrier()?;
+                0
+            }
+        };
+        let end_slot = self
+            .config
+            .leave_at
+            .unwrap_or(self.config.slots)
+            .min(self.config.slots);
+        if start_slot >= end_slot {
+            return Err(format!(
+                "nothing to execute: join slot {start_slot} is not before end slot {end_slot}"
+            ));
+        }
 
         let mut degraded = false;
         let min_age = self.config.nodes as u64; // the paper's workload default
         let mut pop_attempts = 0u64;
         let mut pop_successes = 0u64;
-        let neighbors: Vec<NodeId> = self.topology.neighbors(id).to_vec();
+        // Membership events already folded into the local topology; the
+        // founders' initial graph counts as applied.
+        let mut applied_joins: HashSet<NodeId> =
+            (0..self.config.nodes as u32).map(NodeId).collect();
+        let mut applied_leaves: HashSet<NodeId> = HashSet::new();
 
-        let all_peers = self.peers.ids();
-        for slot in 0..self.config.slots {
-            // --- Digest barrier: collect every neighbor's slot-1 digest.
-            if slot > 0 && !self.digest_barrier(&neighbors, slot - 1) {
+        for slot in start_slot..end_slot {
+            self.shared.current_slot.store(slot, Ordering::Relaxed);
+            self.apply_membership(slot, &mut applied_joins, &mut applied_leaves);
+            let neighbors: Vec<NodeId> = self
+                .shared
+                .topology
+                .read()
+                .expect("topology poisoned")
+                .neighbors(id)
+                .to_vec();
+
+            // --- Digest barrier: collect the slot-1 digest of every
+            // neighbor that generated at slot-1 under the current roster.
+            if slot > start_slot && !self.digest_barrier(&neighbors, slot - 1) {
                 degraded = true;
             }
             // --- Phase lockstep (PoP mode only): the engine verifies slot
@@ -438,7 +644,7 @@ impl NetNode {
             // every peer's SlotDone(t-1) — otherwise a fast peer's slot-t
             // block could answer a slow validator's slot-(t-1) PoP with
             // children the reference engine has not generated yet.
-            if self.config.pop && slot > 0 && !self.done_barrier(slot - 1) {
+            if self.config.pop && slot > start_slot && !self.done_barrier(slot - 1) {
                 degraded = true;
             }
 
@@ -446,7 +652,7 @@ impl NetNode {
             let digest = {
                 let mut node = self.shared.node.write().expect("node lock poisoned");
                 node.begin_slot();
-                if slot > 0 {
+                if slot > start_slot {
                     let mut buffered = self.shared.digests.lock().expect("digests poisoned");
                     for &nb in &neighbors {
                         let latest = buffered
@@ -481,35 +687,49 @@ impl NetNode {
                     .lock()
                     .expect("own digests poisoned");
                 own.insert(slot, digest);
-                // Peers can lag at most one barrier window; 16 slots of
-                // history is far beyond any pull a live peer can issue.
-                *own = own.split_off(&slot.saturating_sub(16));
+                // Peers can lag at most one barrier window, but a late
+                // joiner's catch-up pull may reach further back; 64 slots
+                // of 32-byte history is cheap insurance.
+                *own = own.split_off(&slot.saturating_sub(64));
             }
-            // PoP walks the whole DAG, so in PoP mode every peer needs the
-            // digest (the barrier below proves global generation progress);
-            // without PoP only neighbors consume it.
-            let gossip_targets: &[NodeId] = if self.config.pop {
-                &all_peers
+            // PoP walks the whole DAG, so in PoP mode every generating peer
+            // needs the digest (the barrier below proves global generation
+            // progress); without PoP only neighbors consume it.
+            let gossip_targets: Vec<(NodeId, SocketAddr)> = if self.config.pop {
+                self.generator_addrs(slot)
             } else {
-                &neighbors
+                neighbors
+                    .iter()
+                    .filter_map(|&nb| self.peers.addr(nb).map(|a| (nb, a)))
+                    .collect()
             };
-            for &peer in gossip_targets {
-                if let Some(addr) = self.peers.addr(peer) {
-                    let _ = self
-                        .endpoint
-                        .send_control(addr, &Control::SlotDigest { slot, digest });
-                }
+            for (_, addr) in &gossip_targets {
+                let _ = self
+                    .endpoint
+                    .send_control(*addr, &Control::SlotDigest { slot, digest });
             }
 
             // --- Verification workload: one PoP per generating validator.
             if self.config.pop {
                 // The engine's verify phase starts after *all* generation
-                // in the slot: wait until every peer announced its slot-t
-                // digest, proving its chain holds blocks 0..=t.
-                if !self.digest_barrier(&all_peers, slot) {
+                // in the slot: wait until every generating peer announced
+                // its slot-t digest, proving its chain holds its blocks
+                // through t.
+                let all_generators: Vec<NodeId> = {
+                    let roster = self.shared.roster.lock().expect("roster poisoned");
+                    roster
+                        .generators_at(slot)
+                        .into_iter()
+                        .filter(|&p| p != id)
+                        .collect()
+                };
+                if !self.digest_barrier(&all_generators, slot) {
                     degraded = true;
                 }
-                let candidates = wire_pop_candidates(self.config.nodes, id, slot, min_age);
+                let candidates = {
+                    let roster = self.shared.roster.lock().expect("roster poisoned");
+                    wire_pop_candidates(&roster, id, slot, min_age)
+                };
                 let mut target_rng = derived_rng(seed, stream::TARGET, slot, id);
                 if let Some(&target) = target_rng.choose(&candidates) {
                     pop_attempts += 1;
@@ -520,17 +740,38 @@ impl NetNode {
                 }
                 // Announce slot completion whether or not a target
                 // qualified — peers gate their next slot on it.
-                for &peer in &all_peers {
-                    if let Some(addr) = self.peers.addr(peer) {
-                        let _ = self
-                            .endpoint
-                            .send_control(addr, &Control::SlotDone { slot });
-                    }
+                for (_, addr) in self.generator_addrs(slot) {
+                    let _ = self
+                        .endpoint
+                        .send_control(addr, &Control::SlotDone { slot });
                 }
             }
         }
 
+        // --- Graceful leave: announce the departure so peers drop us from
+        // their rosters (and re-gossip the delta for lost copies).
+        if end_slot < self.config.slots {
+            for _ in 0..3 {
+                for (_, addr) in self.generator_addrs(end_slot) {
+                    let _ = self.endpoint.send_control(
+                        addr,
+                        &Control::Leave {
+                            node: id,
+                            slot: end_slot,
+                        },
+                    );
+                }
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+
         // --- Epilogue: flush, summarise, report, linger.
+        // An eviction means we cut a scheduled member loose — the chain
+        // necessarily diverged from the reference engine, so the report
+        // must say so even though no barrier timed out.
+        if self.endpoint.stats().evictions > 0 {
+            degraded = true;
+        }
         let (chain_len, chain_digest) = {
             let mut node = self.shared.node.write().expect("node lock poisoned");
             node.store_mut()
@@ -540,11 +781,12 @@ impl NetNode {
         };
         let run = RunReport {
             node: id,
-            slots: self.config.slots,
+            slots: end_slot - start_slot,
             chain_len,
             chain_digest,
             pop_attempts,
             pop_successes,
+            catch_up_ms,
             degraded,
         };
         self.epilogue(&run);
@@ -554,8 +796,173 @@ impl NetNode {
         })
     }
 
-    /// Sends hellos until every peer acked (sockets are up) or the deadline
-    /// passes.
+    /// All generating members at `slot` (other than us) whose address is
+    /// known — the gossip/lockstep fan-out set.
+    fn generator_addrs(&self, slot: u64) -> Vec<(NodeId, SocketAddr)> {
+        self.shared
+            .roster
+            .lock()
+            .expect("roster poisoned")
+            .peer_addrs_at(slot, self.config.id)
+    }
+
+    /// Applies membership events effective at or before `slot` to the
+    /// local topology and ledger neighbors: leaves first (cut links, drop
+    /// the departed peer's digest from `A_i`), then joins ascending (wire
+    /// the newcomer's radio links at its deterministic join site) — the
+    /// canonical order shared with the harness's reference replay.
+    fn apply_membership(
+        &self,
+        slot: u64,
+        applied_joins: &mut HashSet<NodeId>,
+        applied_leaves: &mut HashSet<NodeId>,
+    ) {
+        let me = self.config.id;
+        let (pending_leaves, pending_joins) = {
+            let roster = self.shared.roster.lock().expect("roster poisoned");
+            let leaves: Vec<NodeId> = roster
+                .entries()
+                .filter(|(p, m)| {
+                    m.leave_slot.is_some_and(|l| l <= slot) && !applied_leaves.contains(p)
+                })
+                .map(|(p, _)| p)
+                .collect();
+            let joins: Vec<NodeId> = roster
+                .entries()
+                .filter(|(p, m)| m.join_slot <= slot && !applied_joins.contains(p))
+                .map(|(p, _)| p)
+                .collect();
+            (leaves, joins)
+        };
+        if pending_leaves.is_empty() && pending_joins.is_empty() {
+            return;
+        }
+        let mut topology = self.shared.topology.write().expect("topology poisoned");
+        let mut node = self.shared.node.write().expect("node lock poisoned");
+        for peer in pending_leaves {
+            applied_leaves.insert(peer);
+            if peer.index() < topology.len() {
+                topology.isolate_node(peer);
+            }
+            // Dropping the neighbor also drops its last digest from `A_i`,
+            // so our next block no longer references the departed node —
+            // the engine's `node_leaves` semantics.
+            node.remove_neighbor(peer);
+        }
+        for peer in pending_joins {
+            // Joins must land at consecutive topology indices (the engine's
+            // `add_node` contract). A gap means we heard about a later join
+            // before an earlier one — leave it pending for a later boundary.
+            if peer.index() != topology.len() {
+                continue;
+            }
+            let site = {
+                let roster = self.shared.roster.lock().expect("roster poisoned");
+                let join_slot = roster.member(peer).map_or(slot, |m| m.join_slot);
+                join_site(
+                    &topology,
+                    &roster,
+                    self.config.seed,
+                    join_slot,
+                    peer,
+                    deployment_range_m(),
+                )
+            };
+            let assigned = topology.add_node(site, deployment_range_m());
+            debug_assert_eq!(assigned, peer, "join ids are consecutive");
+            applied_joins.insert(peer);
+            if peer == me {
+                for nb in topology.neighbors(me).to_vec() {
+                    node.add_neighbor(nb);
+                }
+            } else if me.index() < topology.len() && topology.are_neighbors(me, peer) {
+                // (A joiner applying an *earlier* join is not in the graph
+                // itself yet; its own join below wires every link at once.)
+                node.add_neighbor(peer);
+            }
+        }
+    }
+
+    /// The join handshake: ask the bootstrap peer for the roster, merge
+    /// it, resolve our join slot, and announce ourselves to every member
+    /// until acknowledged. Returns our first generation slot.
+    fn join_handshake(&self, bootstrap: SocketAddr) -> Result<u64, String> {
+        let me = self.config.id;
+        let deadline = Instant::now() + self.config.hello_timeout;
+
+        // Phase 1: pull the roster (re-requesting refreshes lost entries).
+        let responder_slot = loop {
+            let ack = *self.shared.join_ack.lock().expect("join ack poisoned");
+            if let Some((_, slot, members)) = ack {
+                let seen = self
+                    .shared
+                    .transfer_seen
+                    .lock()
+                    .expect("transfer seen poisoned")
+                    .len() as u32;
+                if seen >= members {
+                    break slot;
+                }
+            }
+            if Instant::now() > deadline {
+                return Err(format!(
+                    "join handshake with {bootstrap} timed out (no roster)"
+                ));
+            }
+            let _ = self
+                .endpoint
+                .send_control(bootstrap, &Control::JoinReq { from: me });
+            std::thread::sleep(Duration::from_millis(60));
+        };
+
+        // Phase 2: resolve the join slot. A scheduled joiner brings it in
+        // its config; a dynamic one starts a safety margin past the
+        // responder's progress so its announcement can outrun the cluster.
+        let join_slot = match self.config.join_slot {
+            Some(slot) => slot,
+            None => responder_slot + 4,
+        };
+        let self_addr = self
+            .endpoint
+            .local_addr()
+            .map_err(|e| format!("cannot read bound address: {e}"))?;
+        {
+            let mut roster = self.shared.roster.lock().expect("roster poisoned");
+            roster.learn_join(me, Some(self_addr), join_slot);
+        }
+
+        // Phase 3: announce until every live member acked (or deadline).
+        let announce = Control::JoinAnnounce {
+            id: me,
+            slot: join_slot,
+            addr: self_addr,
+        };
+        loop {
+            let targets = self.generator_addrs(join_slot);
+            let missing: Vec<(NodeId, SocketAddr)> = {
+                let acks = self.shared.hello_acks.lock().expect("hello acks poisoned");
+                targets
+                    .into_iter()
+                    .filter(|(p, _)| !acks.contains(p))
+                    .collect()
+            };
+            if missing.is_empty() {
+                return Ok(join_slot);
+            }
+            if Instant::now() > deadline {
+                // Gossip can still converge the roster; the barrier pulls
+                // recover the rest. Proceed rather than abort.
+                return Ok(join_slot);
+            }
+            for (_, addr) in &missing {
+                let _ = self.endpoint.send_control(*addr, &announce);
+            }
+            std::thread::sleep(Duration::from_millis(60));
+        }
+    }
+
+    /// Sends hellos until every founder peer acked (sockets are up) or the
+    /// deadline passes.
     fn hello_barrier(&self) -> Result<(), String> {
         let deadline = Instant::now() + self.config.hello_timeout;
         let all: Vec<NodeId> = self.peers.ids();
@@ -587,16 +994,19 @@ impl NetNode {
         }
     }
 
-    /// Waits until every node in `from` announced its digest for `slot`,
-    /// pulling stragglers with [`Control::DigestReq`]. Returns `false` on
-    /// timeout.
+    /// Waits until every node of `from` that generated at `slot` (per the
+    /// live roster — eviction shrinks the set mid-wait) announced its
+    /// digest for `slot`, pulling stragglers with [`Control::DigestReq`].
+    /// Returns `false` on timeout.
     fn digest_barrier(&self, from: &[NodeId], slot: u64) -> bool {
         let deadline = Instant::now() + self.config.slot_timeout;
         let mut next_pull = Instant::now() + Duration::from_millis(120);
         loop {
             let missing: Vec<NodeId> = {
                 let buffered = self.shared.digests.lock().expect("digests poisoned");
+                let roster = self.shared.roster.lock().expect("roster poisoned");
                 from.iter()
+                    .filter(|nb| roster.generates_at(**nb, slot))
                     .filter(|nb| {
                         !buffered
                             .get(nb)
@@ -612,6 +1022,7 @@ impl NetNode {
             if now > deadline {
                 return false;
             }
+            self.maybe_evict(&missing, slot);
             if now >= next_pull {
                 for nb in &missing {
                     if let Some(addr) = self.peers.addr(*nb) {
@@ -626,38 +1037,87 @@ impl NetNode {
         }
     }
 
-    /// Waits until every peer completed `slot` (generation *and* its PoP).
-    /// While blocked, re-broadcasts our own [`Control::SlotDone`] for
-    /// `slot`: if ours was lost, the peers are the ones blocked — on us —
-    /// and the mutual re-broadcast releases everyone. Returns `false` on
+    /// Waits until every peer that generated `slot` completed it
+    /// (generation *and* its PoP). While blocked, re-broadcasts our own
+    /// [`Control::SlotDone`] for `slot` (if we executed it) and pulls the
+    /// blockers' slot+1 digests — a peer's digest for `slot + 1` proves it
+    /// completed `slot`, which is how a late joiner with no own progress
+    /// at `slot` catches up without deadlocking. Returns `false` on
     /// timeout.
     fn done_barrier(&self, slot: u64) -> bool {
         let deadline = Instant::now() + self.config.slot_timeout;
         let mut next_push = Instant::now() + Duration::from_millis(120);
-        let all = self.peers.ids();
+        let executed_slot = self
+            .shared
+            .own_digests
+            .lock()
+            .expect("own digests poisoned")
+            .contains_key(&slot);
         loop {
-            let blocked = {
+            let blocked: Vec<(NodeId, SocketAddr)> = {
                 let done = self.shared.done.lock().expect("done poisoned");
-                all.iter().any(|p| done.get(p).is_none_or(|&s| s < slot))
+                self.generator_addrs(slot)
+                    .into_iter()
+                    .filter(|(p, _)| done.get(p).is_none_or(|&s| s < slot))
+                    .collect()
             };
-            if !blocked {
+            if blocked.is_empty() {
                 return true;
             }
             let now = Instant::now();
             if now > deadline {
                 return false;
             }
+            let ids: Vec<NodeId> = blocked.iter().map(|(p, _)| *p).collect();
+            self.maybe_evict(&ids, slot);
             if now >= next_push {
-                for &peer in &all {
-                    if let Some(addr) = self.peers.addr(peer) {
+                for (_, addr) in &blocked {
+                    if executed_slot {
+                        // If our SlotDone was lost, the peers are the ones
+                        // blocked — on us — and the mutual re-broadcast
+                        // releases everyone.
                         let _ = self
                             .endpoint
-                            .send_control(addr, &Control::SlotDone { slot });
+                            .send_control(*addr, &Control::SlotDone { slot });
                     }
+                    let _ = self
+                        .endpoint
+                        .send_control(*addr, &Control::DigestReq { slot: slot + 1 });
                 }
                 next_push = now + Duration::from_millis(120);
             }
             std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Evicts any of `blocking` that was heard from once but has been
+    /// silent beyond the configured window: records the departure at
+    /// `slot` in the roster (so barriers stop waiting), forgets the
+    /// address, and gossips the eviction so the cluster converges.
+    fn maybe_evict(&self, blocking: &[NodeId], slot: u64) {
+        let Some(window) = self.config.evict_after else {
+            return;
+        };
+        for &peer in blocking {
+            if !self.peers.gone_quiet(peer, window) {
+                continue;
+            }
+            let evicted = self
+                .shared
+                .roster
+                .lock()
+                .expect("roster poisoned")
+                .evict(peer, slot);
+            if !evicted {
+                continue;
+            }
+            self.endpoint.metrics().bump_evictions();
+            self.peers.forget(peer);
+            for (_, addr) in self.generator_addrs(slot) {
+                let _ = self
+                    .endpoint
+                    .send_control(addr, &Control::Leave { node: peer, slot });
+            }
         }
     }
 
@@ -669,8 +1129,11 @@ impl NetNode {
             (node.take_trust_cache(), node.take_blacklist(&self.cfg))
         };
         let report = {
-            // A read lock: the dispatcher keeps serving peers' requests
-            // concurrently, so symmetric cross-verification cannot deadlock.
+            // Read locks: the dispatcher keeps serving peers' requests
+            // concurrently, so symmetric cross-verification cannot deadlock;
+            // the topology is only written by this same thread at slot
+            // boundaries.
+            let topology = self.shared.topology.read().expect("topology poisoned");
             let node = self.shared.node.read().expect("node lock poisoned");
             let mut pop_rng = derived_rng(self.config.seed, stream::POP, slot, self.config.id);
             let mut transport = NetPopTransport {
@@ -679,7 +1142,7 @@ impl NetNode {
             };
             let mut validator = Validator::new(
                 &self.cfg,
-                &self.topology,
+                &topology,
                 self.config.id,
                 node.store(),
                 &mut trust_cache,
@@ -748,6 +1211,23 @@ fn dispatch(endpoint: &Endpoint, shared: &Shared, peers: &PeerTable, inbound: In
             }
         }
         Inbound::Control { from, src, msg } => {
+            // Organic address learning: any authenticated control envelope
+            // from a roster member we cannot address yet fills the gap (a
+            // scheduled joiner whose announcement we missed, say).
+            if peers.addr(from).is_none() && from != endpoint.id() {
+                let known = {
+                    let mut roster = shared.roster.lock().expect("roster poisoned");
+                    if roster.member(from).is_some() {
+                        roster.set_addr(from, src);
+                        true
+                    } else {
+                        false
+                    }
+                };
+                if known {
+                    peers.insert(from, src);
+                }
+            }
             if peers.addr(from).is_some() {
                 peers.mark_heard(from);
             }
@@ -798,11 +1278,136 @@ fn dispatch(endpoint: &Endpoint, shared: &Shared, peers: &PeerTable, inbound: In
                         let _ = endpoint.send_control(src, &Control::SlotDigest { slot, digest });
                     }
                 }
+                Control::JoinReq { .. } => {
+                    endpoint.metrics().bump_joins_served();
+                    let entries: Vec<WireMember> = {
+                        let roster = shared.roster.lock().expect("roster poisoned");
+                        roster
+                            .entries()
+                            .map(|(id, m)| WireMember {
+                                id,
+                                join_slot: m.join_slot,
+                                leave_slot: m.leave_slot,
+                                evicted: m.evicted,
+                                addr: m.addr,
+                            })
+                            .collect()
+                    };
+                    let _ = endpoint.send_control(
+                        src,
+                        &Control::JoinAck {
+                            from: endpoint.id(),
+                            slot: shared.current_slot.load(Ordering::Relaxed),
+                            members: entries.len() as u32,
+                        },
+                    );
+                    for entry in entries {
+                        let _ = endpoint.send_control(src, &Control::RosterEntry(entry));
+                    }
+                }
+                Control::JoinAck {
+                    from: responder,
+                    slot,
+                    members,
+                } => {
+                    let mut ack = shared.join_ack.lock().expect("join ack poisoned");
+                    ack.get_or_insert((responder, slot, members));
+                }
+                Control::RosterEntry(m) => {
+                    {
+                        let mut roster = shared.roster.lock().expect("roster poisoned");
+                        roster.learn_join(m.id, m.addr, m.join_slot);
+                        if let Some(leave) = m.leave_slot {
+                            if m.evicted {
+                                roster.evict(m.id, leave);
+                            } else {
+                                roster.learn_leave(m.id, leave);
+                            }
+                        }
+                    }
+                    if let Some(addr) = m.addr {
+                        if m.id != endpoint.id() {
+                            peers.insert(m.id, addr);
+                        }
+                    }
+                    shared
+                        .transfer_seen
+                        .lock()
+                        .expect("transfer seen poisoned")
+                        .insert(m.id);
+                }
+                Control::JoinAnnounce { id, slot, addr } => {
+                    let news = shared.roster.lock().expect("roster poisoned").learn_join(
+                        id,
+                        Some(addr),
+                        slot,
+                    );
+                    if id != endpoint.id() {
+                        peers.insert(id, addr);
+                    }
+                    // Always ack: the joiner retries its announcement until
+                    // every member confirmed receipt.
+                    let _ = endpoint.send_control(
+                        src,
+                        &Control::HelloAck {
+                            from: endpoint.id(),
+                        },
+                    );
+                    if news {
+                        endpoint.metrics().bump_membership_gossip();
+                        gossip_delta(
+                            endpoint,
+                            shared,
+                            src,
+                            &Control::JoinAnnounce { id, slot, addr },
+                        );
+                    }
+                }
+                Control::Leave { node: leaver, slot } => {
+                    let news = shared
+                        .roster
+                        .lock()
+                        .expect("roster poisoned")
+                        .learn_leave(leaver, slot);
+                    // A leave at m implies the leaver completed m-1 — keeps
+                    // the lockstep live even when its SlotDone was lost and
+                    // the process is already gone.
+                    if slot > 0 {
+                        mark_done(shared, leaver, slot - 1);
+                    }
+                    if news {
+                        endpoint.metrics().bump_membership_gossip();
+                        gossip_delta(
+                            endpoint,
+                            shared,
+                            src,
+                            &Control::Leave { node: leaver, slot },
+                        );
+                    }
+                }
                 Control::Shutdown => shared.shutdown.store(true, Ordering::Relaxed),
                 Control::ReportAck => shared.report_acked.store(true, Ordering::Relaxed),
                 Control::Report(_) => {} // only the harness controller consumes these
             }
         }
+    }
+}
+
+/// Forwards a freshly learned membership delta to every addressable
+/// member except the one it came from — one re-gossip hop per node per
+/// delta (the `news` guard in the caller), enough for any single lost
+/// datagram to be healed by whichever peer did hear it.
+fn gossip_delta(endpoint: &Endpoint, shared: &Shared, learned_from: SocketAddr, msg: &Control) {
+    let targets: Vec<SocketAddr> = {
+        let roster = shared.roster.lock().expect("roster poisoned");
+        roster
+            .entries()
+            .filter(|(id, m)| *id != endpoint.id() && m.addr.is_some_and(|a| a != learned_from))
+            .filter_map(|(_, m)| m.addr)
+            .collect()
+    };
+    for addr in targets {
+        let _ = endpoint.send_control(addr, msg);
     }
 }
 

@@ -15,10 +15,12 @@
 //! tldag node     --id I --listen ADDR --peers 0@A,1@B,... [--slots T]
 //!                [--seed S] [--nodes N] [--side M] [--gamma G] [--pop]
 //!                [--controller ADDR] [--storage memory|disk]
-//!                [--storage-dir PATH]
+//!                [--storage-dir PATH] [--join ADDR] [--join-slot K]
+//!                [--leave-at M] [--churn SPEC] [--evict-after SECS]
+//!                [--deadline SECS]
 //! tldag cluster  [--nodes N] [--slots T] [--seed S] [--side M] [--gamma G]
 //!                [--pop] [--storage memory|disk] [--storage-dir PATH]
-//!                [--base-port P] [--timeout SECS]
+//!                [--base-port P] [--timeout SECS] [--churn SPEC]
 //! ```
 
 use std::collections::HashMap;
@@ -62,19 +64,35 @@ USAGE:
     tldag node --id I --listen ADDR --peers 0@A,2@B,... [--slots T]
                [--seed S] [--nodes N] [--side M] [--gamma G] [--pop]
                [--controller ADDR] [--storage memory|disk] [--storage-dir P]
+               [--join ADDR] [--join-slot K] [--leave-at M]
+               [--churn SPEC] [--evict-after SECS] [--deadline SECS]
         Run ONE real 2LDAG node over UDP: generate blocks, gossip
         slot-tagged digests with pull-based loss recovery, serve
         REQ_CHILD/FetchBlock, and (with --pop) verify blocks over the
         wire. The topology is derived from (--seed, --nodes, --side),
         so every process agrees on G(V,E) without exchanging it.
+        Dynamic membership: --join ADDR bootstraps a late joiner off any
+        live member (handshake transfers the roster; --join-slot pins the
+        first generation slot, otherwise it is negotiated); --leave-at M
+        makes the node generate its last block at M-1, announce its
+        departure, and wind down; --churn SPEC shares a deterministic
+        membership schedule (join:ID@SLOT,leave:ID@SLOT,...) across the
+        deployment; --evict-after SECS evicts a barrier-blocking peer
+        that has gone silent; --deadline SECS hard-caps the process
+        lifetime (watchdog against orphaned listeners).
 
     tldag cluster [--nodes N] [--slots T] [--seed S] [--side M]
                   [--gamma G] [--pop] [--storage memory|disk]
                   [--storage-dir P] [--base-port P] [--timeout SECS]
+                  [--churn SPEC]
         Spawn N real `tldag node` processes on localhost UDP ports, run
         T slots, collect their reports, and verify network_digest parity
-        against the in-memory engine on the same seed. Exits non-zero on
-        a parity failure.
+        against the in-memory engine on the same seed. With --churn, also
+        spawn the scheduled late joiners (bootstrapped via the join
+        handshake, not a provisioned peer list) and replay the identical
+        node_joins/node_leaves schedule on the reference engine — parity
+        is asserted through the membership changes. Exits non-zero on a
+        parity failure.
 
 Storage backends: `memory` (default) keeps every chain in RAM; `disk` puts
 each node's chain in a durable segmented block log under --storage-dir
@@ -425,6 +443,46 @@ fn cmd_node(args: &Args) -> Result<(), String> {
                 .map_err(|_| format!("invalid value for --controller: `{raw}`"))?,
         ),
     };
+    config.join = match args.flags.get("join") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("invalid value for --join: `{raw}`"))?,
+        ),
+    };
+    config.join_slot = match args.flags.get("join-slot") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("invalid value for --join-slot: `{raw}`"))?,
+        ),
+    };
+    config.leave_at = match args.flags.get("leave-at") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("invalid value for --leave-at: `{raw}`"))?,
+        ),
+    };
+    config.churn = tldag::net::parse_churn_spec(&args.get("churn", String::new())?)?;
+    config.evict_after = match args.flags.get("evict-after") {
+        None => None,
+        Some(raw) => {
+            let secs: f64 = raw
+                .parse()
+                .map_err(|_| format!("invalid value for --evict-after: `{raw}`"))?;
+            Some(std::time::Duration::from_secs_f64(secs))
+        }
+    };
+    config.deadline = match args.flags.get("deadline") {
+        None => None,
+        Some(raw) => {
+            let secs: u64 = raw
+                .parse()
+                .map_err(|_| format!("invalid value for --deadline: `{raw}`"))?;
+            Some(std::time::Duration::from_secs(secs))
+        }
+    };
     let storage: String = args.get("storage", "memory".to_string())?;
     config.storage = match storage.as_str() {
         "memory" => tldag::net::StorageMode::Memory,
@@ -450,6 +508,9 @@ fn cmd_node(args: &Args) -> Result<(), String> {
         "node {}: {} slots, chain {} blocks, chain digest {}",
         run.node, run.slots, run.chain_len, run.chain_digest
     );
+    if run.catch_up_ms > 0 {
+        println!("  join    : caught up in {} ms", run.catch_up_ms);
+    }
     println!(
         "  PoP     : {}/{} verified over the wire",
         run.pop_successes, run.pop_attempts
@@ -486,6 +547,7 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
         ),
     };
     config.report_timeout = std::time::Duration::from_secs(args.get("timeout", 60)?);
+    config.churn = tldag::net::parse_churn_spec(&args.get("churn", String::new())?)?;
     let storage: String = args.get("storage", "memory".to_string())?;
     config.storage_root = match storage.as_str() {
         "memory" => None,
@@ -504,8 +566,17 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
     };
 
     println!(
-        "cluster: {nodes} node processes × {slots} slots (seed {seed}{}{})",
+        "cluster: {} node processes × {slots} slots (seed {seed}{}{}{})",
+        config.total_processes(),
         if config.pop { ", PoP on" } else { "" },
+        if config.churn.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ", churn {}",
+                tldag::net::membership::format_churn_spec(&config.churn)
+            )
+        },
         match &config.storage_root {
             Some(root) => format!(", disk under {}", root.display()),
             None => String::new(),

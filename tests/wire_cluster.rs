@@ -50,6 +50,56 @@ fn cluster_with_pop_over_the_wire_matches_engine_counters() {
 }
 
 #[test]
+fn churn_cluster_matches_engine_through_join_and_leave() {
+    // The dynamic-membership acceptance bar: a 4-founder cluster where
+    // node 4 joins at slot 3 (spawned with nothing but a bootstrap
+    // address — the join handshake transfers the roster) and node 1
+    // leaves gracefully at slot 6 must reach network_digest parity with
+    // the in-memory engine driving the same node_joins/node_leaves
+    // schedule.
+    let mut config = base_config(4, 8, 20260726);
+    config.churn = tldag::net::parse_churn_spec("join:4@3,leave:1@6").expect("spec");
+    let outcome = run_cluster(&config).expect("cluster run");
+    assert!(!outcome.degraded(), "no barrier may time out on loopback");
+    assert_eq!(
+        outcome.wire_digest, outcome.reference_digest,
+        "the churned UDP cluster must reproduce the engine's network digest"
+    );
+    assert_eq!(outcome.reports.len(), 5, "founders plus the joiner report");
+    assert_eq!(
+        outcome.reports[4].chain_len, 5,
+        "the joiner generates from slot 3 through 7"
+    );
+    assert_eq!(
+        outcome.reports[1].chain_len, 6,
+        "the leaver generates slots 0 through 5"
+    );
+    assert!(
+        outcome.reports[4].catch_up_ms > 0,
+        "the joiner's catch-up latency is measured"
+    );
+}
+
+#[test]
+fn churn_cluster_with_pop_matches_engine_counters() {
+    // Same membership schedule with the verification workload on: the
+    // joiner and the survivors all run PoP over the wire, and the
+    // attempt/success counters must match the engine exactly (the
+    // candidate enumeration is membership-aware on both sides).
+    let mut config = base_config(4, 10, 7);
+    config.pop = true;
+    config.churn = tldag::net::parse_churn_spec("join:4@3,leave:1@8").expect("spec");
+    let outcome = run_cluster(&config).expect("cluster run");
+    assert!(!outcome.degraded());
+    assert_eq!(outcome.wire_digest, outcome.reference_digest);
+    assert!(outcome.wire_pop.0 > 0, "the workload must trigger");
+    assert_eq!(
+        outcome.wire_pop, outcome.reference_pop,
+        "wire PoP counters must match the engine's through churn"
+    );
+}
+
+#[test]
 fn disk_backed_cluster_keeps_parity() {
     let dir = std::env::temp_dir().join(format!("tldag-wire-test-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

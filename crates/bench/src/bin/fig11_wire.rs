@@ -7,6 +7,16 @@
 use tldag_bench::experiments::wire::{self, WireConfig};
 use tldag_bench::report::{self, json_array, JsonMap};
 use tldag_bench::Scale;
+use tldag_net::NetStats;
+
+/// Every transport counter as one JSON object (the merged snapshot the
+/// telemetry endpoint would serve).
+fn net_json(net: &NetStats) -> String {
+    net.fields()
+        .into_iter()
+        .fold(JsonMap::new(), |m, (name, value)| m.int(name, value))
+        .render()
+}
 
 fn main() {
     let scale = Scale::from_env_args();
@@ -101,9 +111,19 @@ retries,timeouts,datagrams,injected_drops,messages\n",
                     .int("datagrams", p.datagrams)
                     .int("injected_drops", p.injected_drops)
                     .int("messages", p.messages)
+                    .int("rtt_p50_us", p.rtt_p50_us)
+                    .int("rtt_p99_us", p.rtt_p99_us)
+                    .raw("net", net_json(&p.net))
                     .render()
             })),
         )
+        .raw("net", {
+            let mut merged = NetStats::default();
+            for p in &data.points {
+                merged.merge(&p.net);
+            }
+            net_json(&merged)
+        })
         .render();
     if let Some(path) = report::write_bench_json("fig11_wire", &json) {
         eprintln!("bench summary written to {}", path.display());

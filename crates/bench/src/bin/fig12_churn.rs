@@ -7,6 +7,16 @@
 use tldag_bench::experiments::churn::{self, ChurnConfig};
 use tldag_bench::report::{self, json_array, JsonMap};
 use tldag_bench::Scale;
+use tldag_net::NetStats;
+
+/// Every transport counter as one JSON object (the merged snapshot the
+/// telemetry endpoint would serve).
+fn net_json(net: &NetStats) -> String {
+    net.fields()
+        .into_iter()
+        .fold(JsonMap::new(), |m, (name, value)| m.int(name, value))
+        .render()
+}
 
 fn main() {
     let scale = Scale::from_env_args();
@@ -117,9 +127,30 @@ retries,datagrams,wall_ms\n",
                     .int("retries", p.retries)
                     .int("datagrams", p.datagrams)
                     .num("wall_ms", p.wall_ms)
+                    .raw("net", net_json(&p.net))
+                    .raw(
+                        "status_series",
+                        json_array(p.samples.iter().map(|s| {
+                            JsonMap::new()
+                                .int("slot", s.slot)
+                                .int("nodes", s.nodes)
+                                .int("chain_total", s.chain_total)
+                                .int("pop_attempts", s.pop_attempts)
+                                .int("pop_successes", s.pop_successes)
+                                .int("retries", s.retries)
+                                .render()
+                        })),
+                    )
                     .render()
             })),
         )
+        .raw("net", {
+            let mut merged = NetStats::default();
+            for p in &data.points {
+                merged.merge(&p.net);
+            }
+            net_json(&merged)
+        })
         .render();
     if let Some(path) = report::write_bench_json("fig12_churn", &json) {
         eprintln!("bench summary written to {}", path.display());

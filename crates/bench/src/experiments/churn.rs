@@ -19,7 +19,9 @@
 //!   engine's `network_digest` byte-for-byte through the churn.
 
 use crate::Scale;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 use tldag_core::network::TldagNetwork;
 use tldag_core::workload::VerificationWorkload;
 use tldag_net::harness::replay_reference_schedule;
@@ -27,7 +29,8 @@ use tldag_net::membership::{validate_churn, ChurnEvent};
 use tldag_net::runtime::{
     deployment_protocol_config, deployment_topology, network_digest_of, NodeOutcome,
 };
-use tldag_net::{FaultSpec, NetNode, NetNodeConfig};
+use tldag_net::telemetry::{scrape_metrics, StatusRow};
+use tldag_net::{FaultSpec, NetNode, NetNodeConfig, NetStats};
 use tldag_sim::engine::GenerationSchedule;
 use tldag_sim::NodeId;
 
@@ -139,8 +142,26 @@ impl ChurnConfig {
     }
 }
 
-/// Measurements at one churn level.
+/// One mid-run telemetry sample: the cluster's aggregated state as seen
+/// by scraping every live node's `/metrics` endpoint while slots advance.
 #[derive(Clone, Copy, Debug)]
+pub struct ChurnSample {
+    /// Highest slot any scraped node was executing.
+    pub slot: u64,
+    /// Nodes that answered the scrape.
+    pub nodes: u64,
+    /// Blocks across all answering chains.
+    pub chain_total: u64,
+    /// PoP verifications attempted so far (sum).
+    pub pop_attempts: u64,
+    /// PoP verifications completed so far (sum).
+    pub pop_successes: u64,
+    /// Request retransmissions so far (sum).
+    pub retries: u64,
+}
+
+/// Measurements at one churn level.
+#[derive(Clone, Debug)]
 pub struct ChurnPoint {
     /// Late joins in the schedule.
     pub joins: usize,
@@ -166,6 +187,11 @@ pub struct ChurnPoint {
     pub datagrams: u64,
     /// Wall-clock for the whole cluster run, ms.
     pub wall_ms: f64,
+    /// Transport counters merged across every node's report.
+    pub net: NetStats,
+    /// Mid-run telemetry time series, oldest first (scraped from the live
+    /// nodes' metrics endpoints while the cluster ran).
+    pub samples: Vec<ChurnSample>,
 }
 
 impl ChurnPoint {
@@ -212,15 +238,30 @@ fn reference_run(config: &ChurnConfig, events: &[ChurnEvent]) -> TldagNetwork {
     net
 }
 
+/// Discovers `n` distinct loopback TCP ports for the metrics listeners
+/// (bound together then released, like [`discover_ports`]).
+fn discover_tcp_ports(n: usize) -> Vec<std::net::SocketAddr> {
+    let listeners: Vec<std::net::TcpListener> = (0..n)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("bind metrics probe"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("metrics probe addr"))
+        .collect()
+}
+
 /// Runs one in-process wire cluster over lossy transports and returns the
-/// per-node outcomes in id order.
-fn wire_run(config: &ChurnConfig, events: &[ChurnEvent]) -> Vec<NodeOutcome> {
+/// per-node outcomes in id order, plus the mid-run telemetry samples a
+/// scraper thread collected from the nodes' metrics endpoints while the
+/// cluster ran.
+fn wire_run(config: &ChurnConfig, events: &[ChurnEvent]) -> (Vec<NodeOutcome>, Vec<ChurnSample>) {
     let joins = events
         .iter()
         .filter(|e| matches!(e, ChurnEvent::Join { .. }))
         .count();
     let total = config.founders + joins;
     let addrs = discover_ports(total);
+    let metrics_addrs = discover_tcp_ports(total);
 
     let handles: Vec<std::thread::JoinHandle<NodeOutcome>> = (0..total)
         .map(|i| {
@@ -240,6 +281,7 @@ fn wire_run(config: &ChurnConfig, events: &[ChurnEvent]) -> Vec<NodeOutcome> {
             node_config.slot_timeout = std::time::Duration::from_secs(20);
             node_config.hello_timeout = std::time::Duration::from_secs(20);
             node_config.linger = std::time::Duration::from_millis(2500);
+            node_config.metrics_addr = Some(metrics_addrs[i]);
             if i >= config.founders {
                 node_config.join = Some(addrs[0]);
             } else {
@@ -256,12 +298,47 @@ fn wire_run(config: &ChurnConfig, events: &[ChurnEvent]) -> Vec<NodeOutcome> {
             })
         })
         .collect();
+    // Scrape the live cluster while it runs: the same path `tldag status`
+    // takes, reduced to one aggregated sample per sweep.
+    let stop = Arc::new(AtomicBool::new(false));
+    let samples: Arc<Mutex<Vec<ChurnSample>>> = Arc::new(Mutex::new(Vec::new()));
+    let sampler = {
+        let stop = Arc::clone(&stop);
+        let samples = Arc::clone(&samples);
+        let targets = metrics_addrs.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(120));
+                let rows: Vec<StatusRow> = targets
+                    .iter()
+                    .filter_map(|addr| {
+                        scrape_metrics(*addr, Duration::from_millis(300))
+                            .ok()
+                            .map(|s| StatusRow::from_samples(addr.to_string(), &s))
+                    })
+                    .collect();
+                if !rows.is_empty() {
+                    samples.lock().expect("samples poisoned").push(ChurnSample {
+                        slot: rows.iter().map(|r| r.slot).max().unwrap_or(0),
+                        nodes: rows.len() as u64,
+                        chain_total: rows.iter().map(|r| r.chain_len).sum(),
+                        pop_attempts: rows.iter().map(|r| r.pop_attempts).sum(),
+                        pop_successes: rows.iter().map(|r| r.pop_successes).sum(),
+                        retries: rows.iter().map(|r| r.request_retries).sum(),
+                    });
+                }
+            }
+        })
+    };
     let mut outcomes: Vec<NodeOutcome> = handles
         .into_iter()
         .map(|h| h.join().expect("node thread panicked"))
         .collect();
+    stop.store(true, Ordering::Relaxed);
+    sampler.join().expect("sampler thread panicked");
     outcomes.sort_by_key(|o| o.run.node.0);
-    outcomes
+    let samples = samples.lock().expect("samples poisoned").clone();
+    (outcomes, samples)
 }
 
 /// Runs the sweep.
@@ -273,7 +350,7 @@ pub fn run(config: &ChurnConfig) -> ChurnData {
         let reference = reference_run(config, &events);
 
         let started = Instant::now();
-        let outcomes = wire_run(config, &events);
+        let (outcomes, samples) = wire_run(config, &events);
         let wall_ms = started.elapsed().as_secs_f64() * 1e3;
 
         let wire_digest = network_digest_of(
@@ -305,6 +382,11 @@ pub fn run(config: &ChurnConfig) -> ChurnData {
             retries: outcomes.iter().map(|o| o.stats.request_retries).sum(),
             datagrams: outcomes.iter().map(|o| o.stats.datagrams_sent).sum(),
             wall_ms,
+            net: outcomes.iter().fold(NetStats::default(), |mut acc, o| {
+                acc.merge(&o.stats);
+                acc
+            }),
+            samples,
         });
     }
     ChurnData { points }

@@ -30,7 +30,8 @@ use tldag_net::runtime::{
     deployment_protocol_config, deployment_topology, serve_wire_request, NetPopTransport,
 };
 use tldag_net::{
-    Endpoint, EndpointConfig, FaultSpec, FaultyTransport, Inbound, PeerTable, UdpTransport,
+    Endpoint, EndpointConfig, FaultSpec, FaultyTransport, Inbound, NetStats, PeerTable,
+    UdpTransport,
 };
 use tldag_sim::engine::GenerationSchedule;
 use tldag_sim::{DetRng, NodeId, Topology};
@@ -78,7 +79,7 @@ impl WireConfig {
 }
 
 /// Measurements at one fault rate.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RatePoint {
     /// Injected datagram drop probability (per direction).
     pub loss: f64,
@@ -100,6 +101,13 @@ pub struct RatePoint {
     pub injected_drops: u64,
     /// Protocol messages the validator exchanged (PoP metric).
     pub messages: u64,
+    /// Transport counters merged across every endpoint at this rate.
+    pub net: NetStats,
+    /// Median request round trip on the validator's endpoint, µs
+    /// (telemetry histogram estimate: upper bound, < 2× exact).
+    pub rtt_p50_us: u64,
+    /// 99th-percentile request round trip on the validator's endpoint, µs.
+    pub rtt_p99_us: u64,
 }
 
 impl RatePoint {
@@ -272,12 +280,14 @@ pub fn run(config: &WireConfig) -> WireData {
         }
 
         let validator_stats = validator_endpoint.stats();
-        let mut datagrams = 0u64;
+        let rtt = validator_endpoint.request_rtt().snapshot();
+        let mut net = NetStats::default();
         let mut injected_drops = 0u64;
         for w in &wire {
-            datagrams += w.endpoint.stats().datagrams_sent;
+            net.merge(&w.endpoint.stats());
             injected_drops += w.faults.injected_drops();
         }
+        let datagrams = net.datagrams_sent;
         let mean = latencies_ms.iter().sum::<f64>() / latencies_ms.len().max(1) as f64;
         let max = latencies_ms.iter().cloned().fold(0.0f64, f64::max);
         points.push(RatePoint {
@@ -291,6 +301,9 @@ pub fn run(config: &WireConfig) -> WireData {
             datagrams,
             injected_drops,
             messages,
+            net,
+            rtt_p50_us: rtt.p50(),
+            rtt_p99_us: rtt.p99(),
         });
         drop(wire); // join receiver threads before the next rate
     }

@@ -44,8 +44,11 @@ use crate::pop::validator::{PopReport, Validator};
 use crate::store::{BackendFactory, MemoryBackendFactory, SyncPolicy, TrustCache};
 use crate::workload::{sensor_payload, VerificationWorkload};
 use std::ops::Range;
+use std::sync::Arc;
+use std::time::Instant;
 use tldag_crypto::sha256::sha256;
 use tldag_crypto::Digest;
+use tldag_obs::{Phase, PhaseTimings};
 use tldag_sim::bus::{Accounting, TrafficClass};
 use tldag_sim::engine::{GenerationSchedule, Sharding, Slot};
 use tldag_sim::fault::{FaultPlan, LinkFaults};
@@ -353,6 +356,12 @@ pub struct TldagNetwork {
     /// Cache size at the last save, per node — skips no-op writes
     /// (`TrustCache` is insert-only, so a changed size ⇔ new entries).
     trust_saved_len: Vec<usize>,
+    /// Wall-clock latency of each slot-loop phase (always on: recording is
+    /// a handful of relaxed atomics per slot, and the timings never touch
+    /// protocol randomness — digests are identical with or without a
+    /// consumer). Behind an `Arc` so a metrics listener can snapshot it
+    /// while the loop runs.
+    phase_timings: Arc<PhaseTimings>,
 }
 
 impl TldagNetwork {
@@ -423,6 +432,7 @@ impl TldagNetwork {
             crashed_chain_len: vec![None; n],
             persist_trust_cache: false,
             trust_saved_len: vec![0; n],
+            phase_timings: Arc::new(PhaseTimings::new()),
         };
         network.rebuild_routes();
         network
@@ -515,6 +525,13 @@ impl TldagNetwork {
     /// The event trace collected so far.
     pub fn trace(&self) -> &Trace {
         &self.trace
+    }
+
+    /// Per-phase wall-clock latency histograms of the slot loop
+    /// (generate/exchange/gossip/verify/commit), cumulative over the run.
+    /// Clone the `Arc` to watch them from another thread.
+    pub fn phase_timings(&self) -> &Arc<PhaseTimings> {
+        &self.phase_timings
     }
 
     /// Marks every node in `plan` as malicious with `behavior`.
@@ -621,6 +638,7 @@ impl TldagNetwork {
         // --- Phase 1: block generation from slot-start state (Sec. III-D).
         // Each worker owns a disjoint slice of the node array; payloads and
         // flooder digests come from the node's derived stream.
+        let phase_started = Instant::now();
         struct ShardGen {
             generated: Vec<NodeId>,
             outgoing: Vec<(NodeId, Digest)>,
@@ -686,9 +704,13 @@ impl TldagNetwork {
             }
         }
 
+        self.phase_timings
+            .record(Phase::Generate, phase_started.elapsed());
+
         // --- Phase 2: deterministic cross-shard exchange. Digests are routed
         // into per-receiver inboxes in sender-id order and the DAG
         // construction traffic is accounted (cheap, serial).
+        let phase_started = Instant::now();
         let mut inboxes: Vec<Vec<(NodeId, Digest)>> = vec![Vec::new(); n];
         for &(from, digest) in &outgoing {
             for &nb in self.topology.neighbors(from) {
@@ -702,7 +724,11 @@ impl TldagNetwork {
             }
         }
 
+        self.phase_timings
+            .record(Phase::Exchange, phase_started.elapsed());
+
         // --- Phase 3: gossip — each shard drains its nodes' inboxes.
+        let phase_started = Instant::now();
         {
             let inboxes = &inboxes;
             run_sharded(&mut self.nodes, &ranges, |range, chunk| {
@@ -714,10 +740,14 @@ impl TldagNetwork {
             });
         }
 
+        self.phase_timings
+            .record(Phase::Gossip, phase_started.elapsed());
+
         // --- Phase 4: verification workload — each honest generator runs one
         // PoP. Validators read peer chains through shared references and
         // mutate only their own trust cache/blacklist (taken out of the node
         // array for the phase); traffic lands in per-shard accounting deltas.
+        let phase_started = Instant::now();
         let validators: Vec<NodeId> = generated
             .iter()
             .copied()
@@ -827,11 +857,14 @@ impl TldagNetwork {
         }
         self.pop_attempts += pop_attempts as u64;
         self.pop_successes += pop_successes as u64;
+        self.phase_timings
+            .record(Phase::Verify, phase_started.elapsed());
 
         // --- Phase 5: commit point. Under `PerSlot`/`Grouped(n)` durable
         // backends flush their tail so a crash loses at most the uncommitted
         // slots; group-commit backends collapse a whole shard into one fsync.
         // A no-op for the in-memory store.
+        let phase_started = Instant::now();
         if self.sync_policy.syncs_at_slot_end(slot) {
             let sync_results: Vec<Result<(), TldagError>> =
                 run_sharded(&mut self.nodes, &ranges, |_, chunk| {
@@ -847,6 +880,9 @@ impl TldagNetwork {
                 self.save_trust_caches()?;
             }
         }
+
+        self.phase_timings
+            .record(Phase::Commit, phase_started.elapsed());
 
         self.slot += 1;
         Ok(SlotSummary {

@@ -95,6 +95,59 @@ impl PopMetrics {
     pub fn total_bits(&self) -> Bits {
         self.bits_sent + self.bits_received
     }
+
+    /// Folds another run's counters into this one (accumulating across a
+    /// node's lifetime for telemetry).
+    pub fn merge(&mut self, other: &PopMetrics) {
+        let PopMetrics {
+            messages_sent,
+            messages_received,
+            bits_sent,
+            bits_received,
+            req_child_sent,
+            replies_received,
+            invalid_replies,
+            no_child_replies,
+            pruned_misses,
+            timeouts,
+            tps_extensions,
+            own_store_hits,
+            rollbacks,
+        } = *other;
+        self.messages_sent += messages_sent;
+        self.messages_received += messages_received;
+        self.bits_sent += bits_sent;
+        self.bits_received += bits_received;
+        self.req_child_sent += req_child_sent;
+        self.replies_received += replies_received;
+        self.invalid_replies += invalid_replies;
+        self.no_child_replies += no_child_replies;
+        self.pruned_misses += pruned_misses;
+        self.timeouts += timeouts;
+        self.tps_extensions += tps_extensions;
+        self.own_store_hits += own_store_hits;
+        self.rollbacks += rollbacks;
+    }
+
+    /// Every counter as `(name, value)` pairs, for metric exposition
+    /// (bit counters are reported in bits).
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("messages_sent", self.messages_sent),
+            ("messages_received", self.messages_received),
+            ("bits_sent", self.bits_sent.bits()),
+            ("bits_received", self.bits_received.bits()),
+            ("req_child_sent", self.req_child_sent),
+            ("replies_received", self.replies_received),
+            ("invalid_replies", self.invalid_replies),
+            ("no_child_replies", self.no_child_replies),
+            ("pruned_misses", self.pruned_misses),
+            ("timeouts", self.timeouts),
+            ("tps_extensions", self.tps_extensions),
+            ("own_store_hits", self.own_store_hits),
+            ("rollbacks", self.rollbacks),
+        ]
+    }
 }
 
 /// The result of one PoP run.

@@ -255,6 +255,14 @@ pub trait BlockBackend: fmt::Debug + Send + Sync {
     fn fsync_count(&self) -> u64 {
         0
     }
+
+    /// Number of on-disk log segments currently backing this store.
+    ///
+    /// A telemetry gauge: grows as the log rolls, shrinks when retention
+    /// prunes whole segments. Volatile backends report 0.
+    fn segment_count(&self) -> u64 {
+        0
+    }
 }
 
 /// Creates block backends for nodes, so `TldagNetwork` can provision storage

@@ -14,6 +14,7 @@
 //! [`Control::DigestReq`] — the interest/nack-style recovery DLedger uses
 //! over lossy IoT transports.
 
+use crate::metrics::NetStats;
 use crate::NetError;
 use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
 use tldag_core::codec::{CodecError, Reader};
@@ -109,6 +110,9 @@ pub struct RunReport {
     /// True when any slot barrier timed out and the node proceeded with an
     /// incomplete digest set (parity with the reference engine is then off).
     pub degraded: bool,
+    /// The node's final transport counters, merged by the harness into the
+    /// cluster-wide view.
+    pub net: NetStats,
 }
 
 /// A runtime control message.
@@ -233,6 +237,9 @@ pub fn encode_control(msg: &Control) -> Vec<u8> {
             out.extend_from_slice(&r.pop_successes.to_be_bytes());
             out.extend_from_slice(&r.catch_up_ms.to_be_bytes());
             out.push(u8::from(r.degraded));
+            for (_, value) in r.net.fields() {
+                out.extend_from_slice(&value.to_be_bytes());
+            }
             out
         }
         Control::ReportAck => vec![TAG_REPORT_ACK],
@@ -335,6 +342,7 @@ pub fn decode_control(data: &[u8]) -> Result<Control, NetError> {
             pop_successes: r.u64().map_err(framing)?,
             catch_up_ms: r.u64().map_err(framing)?,
             degraded: r.u8().map_err(framing)? != 0,
+            net: NetStats::try_from_values(|| r.u64()).map_err(framing)?,
         }),
         TAG_REPORT_ACK => Control::ReportAck,
         TAG_SHUTDOWN => Control::Shutdown,
@@ -406,6 +414,13 @@ mod tests {
                 pop_successes: 5,
                 catch_up_ms: 12,
                 degraded: false,
+                net: NetStats {
+                    datagrams_sent: 41,
+                    bytes_received: 9001,
+                    request_retries: 3,
+                    evictions: 1,
+                    ..NetStats::default()
+                },
             }),
             Control::ReportAck,
             Control::Shutdown,

@@ -27,8 +27,9 @@ use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{sync_channel, RecvTimeoutError, SyncSender};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use tldag_core::codec::{self, CodecError, WireMessage};
+use tldag_obs::LatencyHistogram;
 use tldag_sim::NodeId;
 
 /// Tuning knobs for an [`Endpoint`].
@@ -94,6 +95,12 @@ pub struct Endpoint {
     next_seq: AtomicU64,
     pending: Mutex<HashMap<u64, SyncSender<(NodeId, WireMessage)>>>,
     metrics: NetMetrics,
+    /// Wall-clock latency of answered requests (send to matched reply,
+    /// retries included).
+    request_rtt: LatencyHistogram,
+    /// Time burned waiting on attempts that timed out before a retry (the
+    /// realized backoff schedule).
+    retry_backoff: LatencyHistogram,
 }
 
 impl std::fmt::Debug for Endpoint {
@@ -133,6 +140,8 @@ impl Endpoint {
             next_seq: AtomicU64::new(1),
             pending: Mutex::new(HashMap::new()),
             metrics: NetMetrics::default(),
+            request_rtt: LatencyHistogram::new(),
+            retry_backoff: LatencyHistogram::new(),
         }
     }
 
@@ -158,6 +167,16 @@ impl Endpoint {
     /// A point-in-time snapshot of the metrics.
     pub fn stats(&self) -> NetStats {
         self.metrics.snapshot()
+    }
+
+    /// Latency histogram of answered [`Endpoint::request`] calls.
+    pub fn request_rtt(&self) -> &LatencyHistogram {
+        &self.request_rtt
+    }
+
+    /// Histogram of per-attempt waits that timed out (realized backoff).
+    pub fn retry_backoff(&self) -> &LatencyHistogram {
+        &self.retry_backoff
     }
 
     fn alloc_seq(&self) -> u64 {
@@ -252,6 +271,7 @@ impl Endpoint {
             .insert(seq, tx);
         NetMetrics::inc(&self.metrics.requests_sent);
 
+        let started = Instant::now();
         let mut timeout = self.config.request_timeout;
         let mut outcome = None;
         for attempt in 0..=self.config.max_retries {
@@ -264,10 +284,12 @@ impl Endpoint {
                     // Counted here, not in the receiver thread, so a caller
                     // that sees the reply also sees the counter.
                     NetMetrics::inc(&self.metrics.replies_matched);
+                    self.request_rtt.record(started.elapsed());
                     outcome = Some(reply);
                     break;
                 }
                 Err(RecvTimeoutError::Timeout) => {
+                    self.retry_backoff.record(timeout);
                     timeout = (timeout * 2).min(self.config.max_backoff);
                 }
                 Err(RecvTimeoutError::Disconnected) => break,

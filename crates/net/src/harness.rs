@@ -24,12 +24,14 @@
 use crate::control::{Control, RunReport};
 use crate::endpoint::{Endpoint, EndpointConfig, Inbound};
 use crate::membership::{format_churn_spec, join_site, validate_churn, ChurnEvent, Roster};
+use crate::metrics::NetStats;
 use crate::peer::format_peer_list;
 use crate::runtime::{
     deployment_protocol_config, deployment_range_m, deployment_topology, network_digest_of,
 };
+use crate::telemetry::{scrape_metrics, StatusRow};
 use std::collections::HashMap;
-use std::net::{SocketAddr, UdpSocket};
+use std::net::{SocketAddr, TcpListener, UdpSocket};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -68,6 +70,15 @@ pub struct ClusterConfig {
     /// Scheduled membership changes: late joins (spawned as extra
     /// processes bootstrapped via the join handshake) and graceful leaves.
     pub churn: Vec<ChurnEvent>,
+    /// When true, every node serves `GET /metrics` + `GET /journal` on a
+    /// discovered localhost TCP port, and the harness records the
+    /// endpoints in [`ClusterOutcome::metrics_addrs`].
+    pub metrics: bool,
+    /// With [`ClusterConfig::metrics`] set, scrape every node this often
+    /// while waiting for reports and keep the aggregated
+    /// [`StatusRow`] snapshots as a mid-run time series
+    /// ([`ClusterOutcome::status_series`]). `None` disables sampling.
+    pub sample_every: Option<Duration>,
 }
 
 impl ClusterConfig {
@@ -85,6 +96,8 @@ impl ClusterConfig {
             base_port: None,
             report_timeout: Duration::from_secs(60),
             churn: Vec::new(),
+            metrics: false,
+            sample_every: None,
         }
     }
 
@@ -115,6 +128,15 @@ pub struct ClusterOutcome {
     pub wire_pop: (u64, u64),
     /// PoP (attempts, successes) of the reference engine.
     pub reference_pop: (u64, u64),
+    /// Transport counters merged across every node's report.
+    pub net: NetStats,
+    /// The `/metrics` endpoints the nodes served, in node order (empty
+    /// unless [`ClusterConfig::metrics`] was set).
+    pub metrics_addrs: Vec<SocketAddr>,
+    /// Mid-run scrape snapshots (one `Vec<StatusRow>` per sample, a row
+    /// per node that answered), oldest first. Populated only with
+    /// [`ClusterConfig::metrics`] + [`ClusterConfig::sample_every`].
+    pub status_series: Vec<Vec<StatusRow>>,
 }
 
 impl ClusterOutcome {
@@ -179,6 +201,27 @@ impl Drop for ChildGuard {
     fn drop(&mut self) {
         self.kill_all();
     }
+}
+
+/// Finds `n` bindable localhost TCP ports (for the metrics listeners).
+///
+/// Same release-then-rebind race as [`discover_ports`]; the harness's
+/// single retry on an early child exit absorbs a stolen port.
+fn discover_tcp_ports(n: usize) -> Result<Vec<u16>, String> {
+    let mut sockets = Vec::with_capacity(n);
+    let mut ports = Vec::with_capacity(n);
+    for _ in 0..n {
+        let socket = TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| format!("cannot discover a free metrics port: {e}"))?;
+        ports.push(
+            socket
+                .local_addr()
+                .map_err(|e| format!("cannot read discovered metrics port: {e}"))?
+                .port(),
+        );
+        sockets.push(socket);
+    }
+    Ok(ports)
 }
 
 /// Finds `n` bindable localhost UDP ports.
@@ -329,6 +372,14 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
         .iter()
         .map(|p| format!("127.0.0.1:{p}").parse().expect("addr"))
         .collect();
+    let metrics_addrs: Vec<SocketAddr> = if config.metrics {
+        discover_tcp_ports(total)?
+            .iter()
+            .map(|p| format!("127.0.0.1:{p}").parse().expect("addr"))
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     // --- The controller endpoint: collect reports, ack each.
     let controller = Arc::new(
@@ -445,6 +496,9 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
         if config.pop {
             cmd.arg("--pop");
         }
+        if let Some(addr) = metrics_addrs.get(i) {
+            cmd.arg("--metrics-addr").arg(addr.to_string());
+        }
         if let Some(root) = &config.storage_root {
             cmd.arg("--storage")
                 .arg("disk")
@@ -465,9 +519,30 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
         guard.children.push((id, child));
     }
 
-    // --- Collect all reports (or fail with whatever went wrong).
+    // --- Collect all reports (or fail with whatever went wrong), scraping
+    // the live metrics endpoints on the way when sampling is on.
     let deadline = Instant::now() + config.report_timeout;
+    let mut status_series: Vec<Vec<StatusRow>> = Vec::new();
+    let mut next_sample = config.sample_every.map(|every| Instant::now() + every);
     let collected = loop {
+        if let (Some(at), Some(every)) = (next_sample, config.sample_every) {
+            if Instant::now() >= at {
+                next_sample = Some(Instant::now() + every);
+                let rows: Vec<StatusRow> = metrics_addrs
+                    .iter()
+                    .filter_map(|addr| {
+                        // A node that already shut down (or is still
+                        // binding) simply misses this sample.
+                        scrape_metrics(*addr, Duration::from_millis(500))
+                            .ok()
+                            .map(|samples| StatusRow::from_samples(addr.to_string(), &samples))
+                    })
+                    .collect();
+                if !rows.is_empty() {
+                    status_series.push(rows);
+                }
+            }
+        }
         let have = reports.lock().expect("reports poisoned").len();
         if have == total {
             break reports.lock().expect("reports poisoned").clone();
@@ -522,12 +597,19 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
     let wire_pop = ordered.iter().fold((0, 0), |(a, s), r| {
         (a + r.pop_attempts, s + r.pop_successes)
     });
+    let mut net = NetStats::default();
+    for report in &ordered {
+        net.merge(&report.net);
+    }
     Ok(ClusterOutcome {
         wire_digest,
         reference_digest: reference.network_digest(),
         reference_chains,
         wire_pop,
         reference_pop: reference.pop_counters(),
+        net,
+        metrics_addrs,
+        status_series,
         reports: ordered,
     })
 }

@@ -29,6 +29,9 @@
 //! * [`harness`] — the `tldag cluster` multi-process deployment harness
 //!   with `network_digest` parity checking against the in-memory engine,
 //!   including under a scheduled churn of late joins and graceful leaves.
+//! * [`telemetry`] — live observability: per-node histograms + journal
+//!   ([`telemetry::NodeTelemetry`]), the `/metrics` + `/journal` HTTP
+//!   routes, and the `tldag status` scraper/aggregator.
 //!
 //! Everything is `std`-only (threads + `UdpSocket`), matching the
 //! workspace's scoped-thread engine style: no async runtime, no new
@@ -48,6 +51,7 @@ pub mod membership;
 pub mod metrics;
 pub mod peer;
 pub mod runtime;
+pub mod telemetry;
 pub mod transport;
 
 pub use endpoint::{Endpoint, EndpointConfig, Inbound};
@@ -56,6 +60,10 @@ pub use membership::{parse_churn_spec, ChurnEvent, Roster};
 pub use metrics::{NetMetrics, NetStats};
 pub use peer::PeerTable;
 pub use runtime::{NetNode, NetNodeConfig, NetPopTransport, StorageMode};
+pub use telemetry::{
+    render_metrics, render_status_table, scrape_metrics, status_json, total_row, MetricsView,
+    NodeTelemetry, StatusRow,
+};
 pub use transport::{Datagram, FaultSpec, FaultyTransport, UdpTransport};
 
 /// A wire-layer failure: framing, checksum, version, or payload decode.

@@ -31,6 +31,28 @@ macro_rules! net_metrics {
                 }
             }
         }
+
+        impl $snap {
+            /// Every counter as `(name, value)` pairs, in declaration
+            /// order, for metric exposition and JSON output.
+            pub fn fields(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($field), self.$field),)+]
+            }
+
+            /// Rebuilds a snapshot by pulling one value per counter in the
+            /// same declaration order as [`Self::fields`] (wire decoding).
+            ///
+            /// # Errors
+            ///
+            /// The first error `next` returns.
+            pub fn try_from_values<E>(
+                mut next: impl FnMut() -> Result<u64, E>,
+            ) -> Result<Self, E> {
+                Ok($snap {
+                    $($field: next()?,)+
+                })
+            }
+        }
     };
 }
 

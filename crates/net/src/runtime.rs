@@ -54,6 +54,7 @@ use crate::endpoint::{Endpoint, EndpointConfig, Inbound};
 use crate::membership::{join_site, ChurnEvent, Roster};
 use crate::metrics::NetStats;
 use crate::peer::PeerTable;
+use crate::telemetry::{render_metrics, MetricsView, NodeTelemetry};
 use crate::transport::{FaultSpec, FaultyTransport, UdpTransport};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::net::SocketAddr;
@@ -72,6 +73,7 @@ use tldag_core::store::{BackendFactory, BlockBackend, BlockStore};
 use tldag_core::workload::sensor_payload;
 use tldag_crypto::sha256::sha256;
 use tldag_crypto::Digest;
+use tldag_obs::{EventKind, HttpServer, Phase, Routes};
 use tldag_sim::topology::{Topology, TopologyConfig};
 use tldag_sim::{DetRng, NodeId};
 use tldag_storage::{DiskFactory, StorageOptions};
@@ -140,6 +142,10 @@ pub struct NetNodeConfig {
     /// the process (code 124) once it passes, so a wedged or orphaned
     /// node can never outlive its harness. `None` disables.
     pub deadline: Option<Duration>,
+    /// Serve `GET /metrics` (Prometheus text) and `GET /journal` (JSONL)
+    /// on this address while the node runs. `None` disables the listener;
+    /// telemetry is recorded either way.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 impl NetNodeConfig {
@@ -169,6 +175,7 @@ impl NetNodeConfig {
             evict_after: None,
             fault: None,
             deadline: None,
+            metrics_addr: None,
         }
     }
 }
@@ -387,6 +394,9 @@ struct Shared {
     shutdown: AtomicBool,
     /// Controller acknowledged our report.
     report_acked: AtomicBool,
+    /// Histograms + journal, shared with the dispatcher and the metrics
+    /// listener.
+    telemetry: NodeTelemetry,
 }
 
 /// A deployed 2LDAG node: endpoint + dispatcher + slot loop.
@@ -529,6 +539,7 @@ need --join)",
                 current_slot: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 report_acked: AtomicBool::new(false),
+                telemetry: NodeTelemetry::default(),
             }),
             config,
         })
@@ -567,6 +578,32 @@ need --join)",
             });
         }
         let stop = Arc::new(AtomicBool::new(false));
+        // Metrics listener: serves scrapes for the node's whole lifetime
+        // (slot loop, report, linger), so `tldag status` sees mid-run and
+        // end-of-run state alike.
+        let metrics_server = match self.config.metrics_addr {
+            Some(addr) => {
+                let endpoint = Arc::clone(&self.endpoint);
+                let shared = Arc::clone(&self.shared);
+                let node_id = self.config.id;
+                let routes: Arc<Routes> = Arc::new(move |path: &str| match path {
+                    "/metrics" => Some((
+                        "text/plain; version=0.0.4".to_string(),
+                        render_metrics(&collect_view(node_id, &endpoint, &shared)),
+                    )),
+                    "/journal" => Some((
+                        "application/jsonl".to_string(),
+                        shared.telemetry.journal.to_jsonl(),
+                    )),
+                    _ => None,
+                });
+                Some(
+                    HttpServer::spawn(addr, routes)
+                        .map_err(|e| format!("cannot bind metrics listener {addr}: {e}"))?,
+                )
+            }
+            None => None,
+        };
         let receiver = {
             let endpoint = Arc::clone(&self.endpoint);
             let shared = Arc::clone(&self.shared);
@@ -581,6 +618,9 @@ need --join)",
         let outcome = self.drive();
         stop.store(true, Ordering::Relaxed);
         receiver.join().map_err(|_| "receiver thread panicked")?;
+        if let Some(server) = metrics_server {
+            server.shutdown();
+        }
         outcome
     }
 
@@ -623,8 +663,13 @@ need --join)",
             (0..self.config.nodes as u32).map(NodeId).collect();
         let mut applied_leaves: HashSet<NodeId> = HashSet::new();
 
+        let telemetry = &self.shared.telemetry;
         for slot in start_slot..end_slot {
             self.shared.current_slot.store(slot, Ordering::Relaxed);
+            telemetry
+                .journal
+                .record(slot, EventKind::SlotStart, format!("slot {slot} begins"));
+            let retries_before = self.endpoint.stats().request_retries;
             self.apply_membership(slot, &mut applied_joins, &mut applied_leaves);
             let neighbors: Vec<NodeId> = self
                 .shared
@@ -636,8 +681,15 @@ need --join)",
 
             // --- Digest barrier: collect the slot-1 digest of every
             // neighbor that generated at slot-1 under the current roster.
+            // The barrier waits are the wire's cross-shard exchange.
+            let exchange_started = Instant::now();
             if slot > start_slot && !self.digest_barrier(&neighbors, slot - 1) {
                 degraded = true;
+                telemetry.journal.record(
+                    slot,
+                    EventKind::Timeout,
+                    format!("digest barrier for slot {} timed out", slot - 1),
+                );
             }
             // --- Phase lockstep (PoP mode only): the engine verifies slot
             // t-1 before anyone generates slot t, so generation waits for
@@ -646,9 +698,18 @@ need --join)",
             // children the reference engine has not generated yet.
             if self.config.pop && slot > start_slot && !self.done_barrier(slot - 1) {
                 degraded = true;
+                telemetry.journal.record(
+                    slot,
+                    EventKind::Timeout,
+                    format!("done barrier for slot {} timed out", slot - 1),
+                );
             }
+            telemetry
+                .phases
+                .record(Phase::Exchange, exchange_started.elapsed());
 
             // --- Apply gossip and generate, mirroring the engine's phases.
+            let generate_started = Instant::now();
             let digest = {
                 let mut node = self.shared.node.write().expect("node lock poisoned");
                 node.begin_slot();
@@ -674,12 +735,25 @@ need --join)",
                 let block = node
                     .generate_block(&self.cfg, slot, payload)
                     .map_err(|e| format!("generation failed at slot {slot}: {e}"))?;
+                telemetry
+                    .phases
+                    .record(Phase::Generate, generate_started.elapsed());
+                telemetry.journal.record(
+                    slot,
+                    EventKind::Generate,
+                    format!("generated block #{}", node.chain_len() - 1),
+                );
                 // PerSlot durability: the engine's slot-boundary commit point.
+                let sync_started = Instant::now();
                 node.store_mut()
                     .sync()
                     .map_err(|e| format!("sync failed at slot {slot}: {e}"))?;
+                let synced = sync_started.elapsed();
+                telemetry.fsync.record(synced);
+                telemetry.phases.record(Phase::Commit, synced);
                 block.header_digest()
             };
+            let gossip_started = Instant::now();
             {
                 let mut own = self
                     .shared
@@ -708,9 +782,13 @@ need --join)",
                     .endpoint
                     .send_control(*addr, &Control::SlotDigest { slot, digest });
             }
+            telemetry
+                .phases
+                .record(Phase::Gossip, gossip_started.elapsed());
 
             // --- Verification workload: one PoP per generating validator.
             if self.config.pop {
+                let verify_started = Instant::now();
                 // The engine's verify phase starts after *all* generation
                 // in the slot: wait until every generating peer announced
                 // its slot-t digest, proving its chain holds its blocks
@@ -733,9 +811,38 @@ need --join)",
                 let mut target_rng = derived_rng(seed, stream::TARGET, slot, id);
                 if let Some(&target) = target_rng.choose(&candidates) {
                     pop_attempts += 1;
+                    telemetry.pop_attempts.fetch_add(1, Ordering::Relaxed);
+                    let pop_started = Instant::now();
                     let report = self.run_wire_pop(slot, target);
+                    telemetry.pop_rtt.record(pop_started.elapsed());
+                    telemetry.merge_pop(&report.metrics);
                     if report.is_success() {
                         pop_successes += 1;
+                        telemetry.pop_successes.fetch_add(1, Ordering::Relaxed);
+                    }
+                    telemetry.journal.record(
+                        slot,
+                        EventKind::Pop,
+                        format!(
+                            "verified {target}: {} ({} distinct, {} msgs)",
+                            if report.is_success() { "ok" } else { "failed" },
+                            report.distinct_nodes,
+                            report.metrics.total_messages(),
+                        ),
+                    );
+                    if report.metrics.timeouts > 0 {
+                        telemetry.journal.record(
+                            slot,
+                            EventKind::Timeout,
+                            format!("{} PoP requests timed out", report.metrics.timeouts),
+                        );
+                    }
+                    if report.metrics.pruned_misses > 0 {
+                        telemetry.journal.record(
+                            slot,
+                            EventKind::Pruned,
+                            format!("{} pruned misses during PoP", report.metrics.pruned_misses),
+                        );
                     }
                 }
                 // Announce slot completion whether or not a target
@@ -745,12 +852,28 @@ need --join)",
                         .endpoint
                         .send_control(addr, &Control::SlotDone { slot });
                 }
+                telemetry
+                    .phases
+                    .record(Phase::Verify, verify_started.elapsed());
+            }
+            let retries = self.endpoint.stats().request_retries - retries_before;
+            if retries > 0 {
+                telemetry.journal.record(
+                    slot,
+                    EventKind::Retry,
+                    format!("{retries} request retransmissions"),
+                );
             }
         }
 
         // --- Graceful leave: announce the departure so peers drop us from
         // their rosters (and re-gossip the delta for lost copies).
         if end_slot < self.config.slots {
+            telemetry.journal.record(
+                end_slot,
+                EventKind::Membership,
+                format!("{id} announcing graceful leave at slot {end_slot}"),
+            );
             for _ in 0..3 {
                 for (_, addr) in self.generator_addrs(end_slot) {
                     let _ = self.endpoint.send_control(
@@ -788,6 +911,7 @@ need --join)",
             pop_successes,
             catch_up_ms,
             degraded,
+            net: self.endpoint.stats(),
         };
         self.epilogue(&run);
         Ok(NodeOutcome {
@@ -840,6 +964,11 @@ need --join)",
         let mut topology = self.shared.topology.write().expect("topology poisoned");
         let mut node = self.shared.node.write().expect("node lock poisoned");
         for peer in pending_leaves {
+            self.shared.telemetry.journal.record(
+                slot,
+                EventKind::Membership,
+                format!("{peer} left; links cut at slot {slot}"),
+            );
             applied_leaves.insert(peer);
             if peer.index() < topology.len() {
                 topology.isolate_node(peer);
@@ -870,6 +999,11 @@ need --join)",
             };
             let assigned = topology.add_node(site, deployment_range_m());
             debug_assert_eq!(assigned, peer, "join ids are consecutive");
+            self.shared.telemetry.journal.record(
+                slot,
+                EventKind::Membership,
+                format!("{peer} joined; links wired at slot {slot}"),
+            );
             applied_joins.insert(peer);
             if peer == me {
                 for nb in topology.neighbors(me).to_vec() {
@@ -1112,6 +1246,11 @@ need --join)",
                 continue;
             }
             self.endpoint.metrics().bump_evictions();
+            self.shared.telemetry.journal.record(
+                slot,
+                EventKind::Membership,
+                format!("evicted silent peer {peer} at slot {slot}"),
+            );
             self.peers.forget(peer);
             for (_, addr) in self.generator_addrs(slot) {
                 let _ = self
@@ -1355,6 +1494,11 @@ fn dispatch(endpoint: &Endpoint, shared: &Shared, peers: &PeerTable, inbound: In
                     );
                     if news {
                         endpoint.metrics().bump_membership_gossip();
+                        shared.telemetry.journal.record(
+                            slot,
+                            EventKind::Membership,
+                            format!("learned join of {id} at slot {slot}"),
+                        );
                         gossip_delta(
                             endpoint,
                             shared,
@@ -1377,6 +1521,11 @@ fn dispatch(endpoint: &Endpoint, shared: &Shared, peers: &PeerTable, inbound: In
                     }
                     if news {
                         endpoint.metrics().bump_membership_gossip();
+                        shared.telemetry.journal.record(
+                            slot,
+                            EventKind::Membership,
+                            format!("learned leave of {leaver} at slot {slot}"),
+                        );
                         gossip_delta(
                             endpoint,
                             shared,
@@ -1408,6 +1557,56 @@ fn gossip_delta(endpoint: &Endpoint, shared: &Shared, learned_from: SocketAddr, 
     };
     for addr in targets {
         let _ = endpoint.send_control(addr, msg);
+    }
+}
+
+/// Assembles a [`MetricsView`] from the node's live state — called by the
+/// metrics listener per scrape, under short read locks so a scrape never
+/// stalls the slot loop beyond a lock handoff.
+fn collect_view(node_id: NodeId, endpoint: &Endpoint, shared: &Shared) -> MetricsView {
+    let (chain_len, durable_len, pruned_floor, fsync_count, segment_count) = {
+        let node = shared.node.read().expect("node lock poisoned");
+        let store = node.store();
+        (
+            node.chain_len() as u64,
+            store.durable_len() as u64,
+            u64::from(store.pruned_floor()),
+            store.fsync_count(),
+            store.segment_count(),
+        )
+    };
+    let (roster_members, roster_departed) = {
+        let roster = shared.roster.lock().expect("roster poisoned");
+        (
+            roster.entries().count() as u64,
+            roster
+                .entries()
+                .filter(|(_, m)| m.leave_slot.is_some())
+                .count() as u64,
+        )
+    };
+    let telemetry = &shared.telemetry;
+    MetricsView {
+        node: node_id,
+        slot: shared.current_slot.load(Ordering::Relaxed),
+        net: endpoint.stats(),
+        pop: telemetry.pop(),
+        pop_attempts: telemetry.pop_attempts.load(Ordering::Relaxed),
+        pop_successes: telemetry.pop_successes.load(Ordering::Relaxed),
+        chain_len,
+        durable_len,
+        pruned_floor,
+        fsync_count,
+        segment_count,
+        roster_members,
+        roster_departed,
+        journal_len: telemetry.journal.len() as u64,
+        journal_dropped: telemetry.journal.dropped(),
+        phases: telemetry.phases.snapshot(),
+        pop_rtt: telemetry.pop_rtt.snapshot(),
+        request_rtt: endpoint.request_rtt().snapshot(),
+        retry_backoff: endpoint.retry_backoff().snapshot(),
+        fsync: telemetry.fsync.snapshot(),
     }
 }
 

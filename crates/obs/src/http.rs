@@ -1,0 +1,199 @@
+//! A dependency-free HTTP/1.0 text responder and its matching client.
+//!
+//! [`HttpServer`] is the `--metrics-addr` listener: a single thread
+//! accepting plain `TcpListener` connections, reading one `GET` request,
+//! and answering from a caller-supplied route function. It speaks just
+//! enough HTTP for `curl`, Prometheus, and the `tldag status` scraper —
+//! `HTTP/1.0`, `Connection: close`, text bodies.
+//!
+//! [`http_get`] is the one-shot client side used by the scraper and the
+//! tests. Both halves are blocking; the server's accept loop polls a
+//! non-blocking listener so shutdown needs no self-connection trick.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A route function: maps a request path (e.g. `/metrics`) to
+/// `(content_type, body)`, or `None` for 404.
+pub type Routes = dyn Fn(&str) -> Option<(String, String)> + Send + Sync;
+
+/// A tiny blocking HTTP/1.0 server on a dedicated thread.
+pub struct HttpServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HttpServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HttpServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn serve_connection(mut stream: TcpStream, routes: &Routes) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    // Read until the end of the request head (or a modest cap — these are
+    // one-line GETs from curl/Prometheus/our own scraper).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" || path.is_empty() {
+        respond(
+            &mut stream,
+            "400 Bad Request",
+            "text/plain",
+            "bad request\n",
+        );
+        return;
+    }
+    // Ignore any query string: /metrics?x=y serves /metrics.
+    let path = path.split('?').next().unwrap_or(path);
+    match routes(path) {
+        Some((content_type, body)) => respond(&mut stream, "200 OK", &content_type, &body),
+        None => respond(&mut stream, "404 Not Found", "text/plain", "not found\n"),
+    }
+}
+
+impl HttpServer {
+    /// Binds `listen` (port 0 picks an ephemeral port) and starts the
+    /// accept loop on a new thread.
+    ///
+    /// # Errors
+    ///
+    /// Socket bind/configuration failures.
+    pub fn spawn(listen: SocketAddr, routes: Arc<Routes>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        serve_connection(stream, routes.as_ref());
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                }
+            }
+        });
+        Ok(HttpServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound listening address (resolves an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// Fetches `http://{addr}{path}` and returns the response body.
+///
+/// # Errors
+///
+/// Connection/read failures, and non-200 responses (reported with their
+/// status line).
+pub fn http_get(addr: SocketAddr, path: &str, timeout: Duration) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let request = format!("GET {path} HTTP/1.0\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response)?;
+    let text = String::from_utf8_lossy(&response).into_owned();
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "no header break"))?;
+    let status_line = head.lines().next().unwrap_or("");
+    if !status_line.contains(" 200 ") {
+        return Err(std::io::Error::other(format!("HTTP error: {status_line}")));
+    }
+    Ok(body.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_server() -> HttpServer {
+        HttpServer::spawn(
+            "127.0.0.1:0".parse().unwrap(),
+            Arc::new(|path: &str| match path {
+                "/metrics" => Some(("text/plain; version=0.0.4".into(), "up 1\n".into())),
+                _ => None,
+            }),
+        )
+        .expect("bind")
+    }
+
+    #[test]
+    fn serves_known_route() {
+        let server = test_server();
+        let body = http_get(server.addr(), "/metrics", Duration::from_secs(2)).expect("get");
+        assert_eq!(body, "up 1\n");
+        server.shutdown();
+    }
+
+    #[test]
+    fn unknown_route_is_a_clean_404() {
+        let server = test_server();
+        let err = http_get(server.addr(), "/nope", Duration::from_secs(2)).unwrap_err();
+        assert!(err.to_string().contains("404"), "{err}");
+        // The server keeps serving after an error response.
+        let body = http_get(server.addr(), "/metrics?scrape=1", Duration::from_secs(2))
+            .expect("query strings are stripped");
+        assert_eq!(body, "up 1\n");
+    }
+}

@@ -1,0 +1,296 @@
+//! The structured event journal: a bounded ring of protocol events.
+//!
+//! One event model serves both execution styles:
+//!
+//! * the simulator's `Trace` (single-threaded, `&mut self`) stores
+//!   [`JournalEvent`]s directly, and
+//! * the wire runtime's [`Journal`] wraps the same ring in a mutex so the
+//!   slot loop, dispatcher thread, and metrics listener can all touch it.
+//!
+//! Events carry a monotonically increasing sequence number, a
+//! milliseconds-since-journal-creation timestamp (0 in the simulator,
+//! which has no wall clock), the protocol slot, an [`EventKind`], and a
+//! free-form message. The JSONL dump (`/journal` on the metrics endpoint)
+//! emits one `{"seq":…,"ts_ms":…,"slot":…,"kind":…,"msg":…}` object per
+//! line, oldest first, preceded by nothing — a dropped-count is exposed as
+//! a metric, not a line.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Category of a journaled event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventKind {
+    /// Block generated.
+    Generate,
+    /// Digest transmitted/received.
+    Digest,
+    /// PoP request/response activity.
+    Pop,
+    /// Blacklist/ban activity.
+    Penalty,
+    /// Membership change (join/leave/eviction).
+    Membership,
+    /// Slot loop entered a new slot.
+    SlotStart,
+    /// Slot committed (durability sync done).
+    Commit,
+    /// Request retry fired.
+    Retry,
+    /// A request or barrier timed out.
+    Timeout,
+    /// A cooperative pruned miss (retention budgets in action).
+    Pruned,
+    /// Anything else.
+    Other,
+}
+
+impl EventKind {
+    /// Short code used in rendered transcripts and the JSONL dump.
+    pub fn code(self) -> &'static str {
+        match self {
+            EventKind::Generate => "gen",
+            EventKind::Digest => "dig",
+            EventKind::Pop => "pop",
+            EventKind::Penalty => "pen",
+            EventKind::Membership => "mem",
+            EventKind::SlotStart => "slt",
+            EventKind::Commit => "cmt",
+            EventKind::Retry => "rty",
+            EventKind::Timeout => "tmo",
+            EventKind::Pruned => "prn",
+            EventKind::Other => "oth",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// One journaled event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalEvent {
+    /// Monotonic sequence number (survives ring eviction).
+    pub seq: u64,
+    /// Milliseconds since the journal was created (0 in the simulator).
+    pub ts_ms: u64,
+    /// Slot at which the event occurred.
+    pub slot: u64,
+    /// Category.
+    pub kind: EventKind,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Renders events as a readable transcript — the format the simulator's
+/// `Trace::render` has always used: a dropped-count banner, then one
+/// `[ slot] kind message` line per event.
+pub fn render_events<'a>(
+    events: impl IntoIterator<Item = &'a JournalEvent>,
+    dropped: u64,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if dropped > 0 {
+        let _ = writeln!(out, "… {dropped} earlier events dropped …");
+    }
+    for e in events {
+        let _ = writeln!(out, "[{:>5}] {} {}", e.slot, e.kind, e.message);
+    }
+    out
+}
+
+/// Escapes a string into a JSON string literal (quotes included).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One event as a single-line JSON object.
+pub fn event_json(e: &JournalEvent) -> String {
+    format!(
+        "{{\"seq\":{},\"ts_ms\":{},\"slot\":{},\"kind\":\"{}\",\"msg\":{}}}",
+        e.seq,
+        e.ts_ms,
+        e.slot,
+        e.kind,
+        json_escape(&e.message)
+    )
+}
+
+/// Renders events as JSONL, oldest first, one object per line.
+pub fn events_jsonl<'a>(events: impl IntoIterator<Item = &'a JournalEvent>) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&event_json(e));
+        out.push('\n');
+    }
+    out
+}
+
+struct Ring {
+    events: VecDeque<JournalEvent>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+/// A thread-safe bounded event journal for the wire runtime.
+///
+/// Recording takes a short mutex critical section (push + maybe pop) —
+/// journal events are per-slot and per-membership-change, not per-datagram,
+/// so this is far off the hot path.
+pub struct Journal {
+    capacity: usize,
+    inner: Mutex<Ring>,
+    epoch: Instant,
+}
+
+impl fmt::Debug for Journal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Journal")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl Journal {
+    /// A journal keeping only the most recent `capacity` events.
+    pub fn bounded(capacity: usize) -> Self {
+        Journal {
+            capacity,
+            inner: Mutex::new(Ring {
+                events: VecDeque::new(),
+                next_seq: 0,
+                dropped: 0,
+            }),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Records an event, evicting the oldest past the capacity bound.
+    pub fn record(&self, slot: u64, kind: EventKind, message: impl Into<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let ts_ms = self.epoch.elapsed().as_millis() as u64;
+        let mut inner = self.inner.lock().expect("journal poisoned");
+        if inner.events.len() >= self.capacity {
+            inner.events.pop_front();
+            inner.dropped += 1;
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.events.push_back(JournalEvent {
+            seq,
+            ts_ms,
+            slot,
+            kind,
+            message: message.into(),
+        });
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("journal poisoned").events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("journal poisoned").dropped
+    }
+
+    /// A copy of the retained events in arrival order.
+    pub fn events(&self) -> Vec<JournalEvent> {
+        self.inner
+            .lock()
+            .expect("journal poisoned")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// The retained events as JSONL, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        events_jsonl(&self.events())
+    }
+
+    /// Renders a readable transcript (dropped banner + one line per event).
+    pub fn render(&self) -> String {
+        let inner = self.inner.lock().expect("journal poisoned");
+        render_events(inner.events.iter(), inner.dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_ring_evicts_oldest_and_keeps_seq() {
+        let j = Journal::bounded(3);
+        for i in 0..10u64 {
+            j.record(i, EventKind::Pop, format!("e{i}"));
+        }
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 7);
+        let events = j.events();
+        assert_eq!(events[0].seq, 7);
+        assert_eq!(events[0].slot, 7);
+        assert_eq!(events[2].seq, 9);
+        assert!(j.render().contains("7 earlier events dropped"));
+    }
+
+    #[test]
+    fn jsonl_escapes_and_shapes() {
+        let j = Journal::bounded(8);
+        j.record(3, EventKind::Membership, "n9 \"joined\"\nline2");
+        let jsonl = j.to_jsonl();
+        let line = jsonl.lines().next().unwrap();
+        assert!(line.starts_with("{\"seq\":0,"));
+        assert!(line.contains("\"kind\":\"mem\""));
+        assert!(line.contains("\\\"joined\\\"\\nline2"));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn zero_capacity_journal_is_inert() {
+        let j = Journal::bounded(0);
+        j.record(0, EventKind::Other, "ignored");
+        assert!(j.is_empty());
+        assert_eq!(j.dropped(), 0);
+    }
+
+    #[test]
+    fn render_matches_trace_format() {
+        let j = Journal::bounded(4);
+        j.record(12, EventKind::Membership, "n9 joined");
+        assert!(j.render().contains("[   12] mem n9 joined"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # tldag-obs — observability primitives for the tldag workspace
+//!
+//! Live telemetry for a deployed 2LDAG cluster, built from four std-only
+//! pieces (no dependencies, no async, no unsafe):
+//!
+//! * [`hist`] — [`LatencyHistogram`]: a lock-free, log2-bucketed latency
+//!   histogram over relaxed atomics. Recording is a couple of
+//!   `fetch_add`s, so it can sit on the slot loop's hot path; snapshots
+//!   give p50/p90/p99/max and feed the text exposition.
+//! * [`journal`] — [`Journal`]: a bounded ring-buffer of structured
+//!   events (slot lifecycle, membership, retries, timeouts, pruned
+//!   misses) with a JSONL dump, sharing its event model ([`EventKind`],
+//!   [`JournalEvent`]) with the simulator's `Trace`.
+//! * [`expo`] — Prometheus-style text exposition: a tiny builder for
+//!   counters/gauges/histograms and a parser ([`parse_exposition`]) used
+//!   by the `tldag status` scraper and the tests.
+//! * [`http`] — [`HttpServer`]: a blocking HTTP/1.0 text responder on a
+//!   `TcpListener` (the `--metrics-addr` listener), plus [`http_get`],
+//!   the matching one-shot client.
+//!
+//! The crate is a leaf: every other tldag crate may depend on it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expo;
+pub mod hist;
+pub mod http;
+pub mod journal;
+
+pub use expo::{histogram_quantile, parse_exposition, Expo, Sample};
+pub use hist::{HistogramSnapshot, LatencyHistogram, Phase, PhaseTimings};
+pub use http::{http_get, HttpServer, Routes};
+pub use journal::{EventKind, Journal, JournalEvent};

@@ -1,0 +1,159 @@
+//! Property tests for the latency histogram, plus the concurrent
+//! scrape-while-recording check the metrics endpoint depends on.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+use tldag_obs::hist::{LatencyHistogram, Phase, PhaseTimings};
+
+/// The exact `q`-quantile of `values` using the same rank convention as
+/// the histogram (`rank = ⌈q·n⌉`, 1-based, on the sorted values).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bucket counts sum to the observation count, bucket bounds are
+    /// strictly increasing, and cumulative counts are monotone.
+    #[test]
+    fn buckets_are_monotone_and_complete(values in vec(0u64..2_000_000, 1..200)) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_micros(v);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.sum_micros, values.iter().sum::<u64>());
+        prop_assert_eq!(snap.max_micros, *values.iter().max().unwrap());
+        let buckets: Vec<(u64, u64)> = snap.buckets().collect();
+        let mut last_bound = None;
+        let mut total = 0u64;
+        for &(bound, count) in &buckets {
+            prop_assert!(count > 0, "only non-empty buckets are surfaced");
+            if let Some(prev) = last_bound {
+                prop_assert!(bound > prev, "bounds ascend: {} then {}", prev, bound);
+            }
+            last_bound = Some(bound);
+            total += count;
+        }
+        prop_assert_eq!(total, snap.count);
+    }
+
+    /// The bucketed quantile estimate brackets the exact quantile of a
+    /// sorted reference: never below it, and within one power-of-two above
+    /// (the bucket resolution guarantee).
+    #[test]
+    fn quantiles_bracket_sorted_reference(
+        values in vec(0u64..10_000_000, 1..300),
+        q in 0.01f64..1.0,
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_micros(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact = exact_quantile(&sorted, q);
+        let estimate = h.snapshot().quantile_micros(q);
+        prop_assert!(
+            estimate >= exact,
+            "estimate {} below exact {} (q={})", estimate, exact, q
+        );
+        let ceiling = (2 * exact.max(1)).max(exact);
+        prop_assert!(
+            estimate < ceiling || estimate == exact,
+            "estimate {} beyond 2x exact {} (q={})", estimate, exact, q
+        );
+    }
+
+    /// Merging per-node snapshots equals recording everything in one
+    /// histogram (what `tldag status` aggregation relies on).
+    #[test]
+    fn merge_equals_union(
+        a in vec(0u64..1_000_000, 0..100),
+        b in vec(0u64..1_000_000, 0..100),
+    ) {
+        let ha = LatencyHistogram::new();
+        let hb = LatencyHistogram::new();
+        let hu = LatencyHistogram::new();
+        for &v in &a {
+            ha.record_micros(v);
+            hu.record_micros(v);
+        }
+        for &v in &b {
+            hb.record_micros(v);
+            hu.record_micros(v);
+        }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+        let union = hu.snapshot();
+        prop_assert_eq!(merged.count, union.count);
+        prop_assert_eq!(merged.sum_micros, union.sum_micros);
+        prop_assert_eq!(merged.max_micros, union.max_micros);
+        for q in [0.5, 0.9, 0.99] {
+            prop_assert_eq!(merged.quantile_micros(q), union.quantile_micros(q));
+        }
+    }
+}
+
+/// Writers hammer the histogram while a scraper thread snapshots it: no
+/// torn totals (count never exceeds what was written), snapshots are
+/// monotone over time, and the final snapshot is exact.
+#[test]
+fn concurrent_scrape_while_recording() {
+    const WRITERS: usize = 4;
+    const PER_WRITER: u64 = 20_000;
+    let timings = Arc::new(PhaseTimings::new());
+
+    let scraper = {
+        let timings = Arc::clone(&timings);
+        std::thread::spawn(move || {
+            let mut last_count = 0u64;
+            let mut scrapes = 0u64;
+            loop {
+                let snap = timings.phase(Phase::Verify).snapshot();
+                assert!(
+                    snap.count >= last_count,
+                    "snapshot count went backwards: {} then {}",
+                    last_count,
+                    snap.count
+                );
+                assert!(snap.count <= WRITERS as u64 * PER_WRITER);
+                // Quantile walks must stay in range mid-recording.
+                let p99 = snap.p99();
+                assert!(p99 <= snap.max_micros.max(1));
+                last_count = snap.count;
+                scrapes += 1;
+                if snap.count == WRITERS as u64 * PER_WRITER {
+                    break scrapes;
+                }
+                std::thread::yield_now();
+            }
+        })
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let timings = Arc::clone(&timings);
+            std::thread::spawn(move || {
+                for i in 0..PER_WRITER {
+                    timings
+                        .phase(Phase::Verify)
+                        .record_micros((w as u64 * 31 + i) % 10_000);
+                }
+            })
+        })
+        .collect();
+    for writer in writers {
+        writer.join().expect("writer panicked");
+    }
+    let scrapes = scraper.join().expect("scraper panicked");
+    assert!(scrapes >= 1);
+
+    let final_snap = timings.phase(Phase::Verify).snapshot();
+    assert_eq!(final_snap.count, WRITERS as u64 * PER_WRITER);
+    assert!(final_snap.max_micros < 10_000);
+}

@@ -5,51 +5,18 @@
 //! branch), can be bounded to the last `N` events, and renders a readable
 //! transcript. Protocol code takes `&mut Trace` so tests can capture runs
 //! without a global logger.
+//!
+//! The event model is shared with the wire runtime's journal
+//! (`tldag_obs::journal`): [`TraceKind`] *is* [`tldag_obs::EventKind`] and
+//! [`TraceEvent`] *is* [`tldag_obs::JournalEvent`], so a simulator trace
+//! and a deployed node's `/journal` dump render and serialize identically
+//! ([`Trace::to_jsonl`]). The simulator has no wall clock, so its events
+//! carry `ts_ms = 0`.
 
 use crate::engine::Slot;
-use std::fmt;
+use tldag_obs::journal::{events_jsonl, render_events};
 
-/// Category of a traced event.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub enum TraceKind {
-    /// Block generated.
-    Generate,
-    /// Digest transmitted/received.
-    Digest,
-    /// PoP request/response activity.
-    Pop,
-    /// Blacklist/ban activity.
-    Penalty,
-    /// Membership change (join/leave).
-    Membership,
-    /// Anything else.
-    Other,
-}
-
-impl fmt::Display for TraceKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
-            TraceKind::Generate => "gen",
-            TraceKind::Digest => "dig",
-            TraceKind::Pop => "pop",
-            TraceKind::Penalty => "pen",
-            TraceKind::Membership => "mem",
-            TraceKind::Other => "oth",
-        };
-        f.write_str(s)
-    }
-}
-
-/// One traced event.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct TraceEvent {
-    /// Slot at which the event occurred.
-    pub slot: Slot,
-    /// Category.
-    pub kind: TraceKind,
-    /// Human-readable description.
-    pub message: String,
-}
+pub use tldag_obs::journal::{EventKind as TraceKind, JournalEvent as TraceEvent};
 
 /// An in-memory event trace.
 ///
@@ -70,6 +37,7 @@ pub struct Trace {
     enabled: bool,
     capacity: usize,
     events: std::collections::VecDeque<TraceEvent>,
+    next_seq: u64,
     dropped: u64,
 }
 
@@ -80,6 +48,7 @@ impl Trace {
             enabled: true,
             capacity: usize::MAX,
             events: Default::default(),
+            next_seq: 0,
             dropped: 0,
         }
     }
@@ -90,6 +59,7 @@ impl Trace {
             enabled: true,
             capacity,
             events: Default::default(),
+            next_seq: 0,
             dropped: 0,
         }
     }
@@ -100,6 +70,7 @@ impl Trace {
             enabled: false,
             capacity: 0,
             events: Default::default(),
+            next_seq: 0,
             dropped: 0,
         }
     }
@@ -118,7 +89,11 @@ impl Trace {
             self.events.pop_front();
             self.dropped += 1;
         }
+        let seq = self.next_seq;
+        self.next_seq += 1;
         self.events.push_back(TraceEvent {
+            seq,
+            ts_ms: 0,
             slot,
             kind,
             message: message.into(),
@@ -152,15 +127,13 @@ impl Trace {
 
     /// Renders a readable transcript.
     pub fn render(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = String::new();
-        if self.dropped > 0 {
-            let _ = writeln!(out, "… {} earlier events dropped …", self.dropped);
-        }
-        for e in &self.events {
-            let _ = writeln!(out, "[{:>5}] {} {}", e.slot, e.kind, e.message);
-        }
-        out
+        render_events(self.events.iter(), self.dropped)
+    }
+
+    /// The retained events as JSONL — the same schema as a deployed node's
+    /// `/journal` endpoint.
+    pub fn to_jsonl(&self) -> String {
+        events_jsonl(self.events.iter())
     }
 }
 
@@ -221,5 +194,16 @@ mod tests {
         t.record(12, TraceKind::Membership, "n9 joined");
         let rendered = t.render();
         assert!(rendered.contains("[   12] mem n9 joined"));
+    }
+
+    #[test]
+    fn jsonl_matches_journal_schema() {
+        let mut t = Trace::enabled();
+        t.record(4, TraceKind::Generate, "n0 generated b4");
+        let jsonl = t.to_jsonl();
+        assert_eq!(
+            jsonl,
+            "{\"seq\":0,\"ts_ms\":0,\"slot\":4,\"kind\":\"gen\",\"msg\":\"n0 generated b4\"}\n"
+        );
     }
 }

@@ -389,6 +389,10 @@ impl BlockBackend for DurableStore {
     fn fsync_count(&self) -> u64 {
         self.set.fsync_count()
     }
+
+    fn segment_count(&self) -> u64 {
+        self.set.segment_count()
+    }
 }
 
 /// Provisions one [`DurableStore`] per node under a root directory

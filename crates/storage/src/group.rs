@@ -169,6 +169,11 @@ impl ShardLog {
         self.set.fsync_count()
     }
 
+    /// Number of live segment files backing the shared log.
+    pub fn segment_count(&self) -> u64 {
+        self.set.segment_count()
+    }
+
     /// Total bytes on disk (flushed) plus the pending staging buffer.
     pub fn disk_usage_bytes(&self) -> u64 {
         self.set.disk_usage_bytes()
@@ -477,6 +482,12 @@ impl BlockBackend for ShardedNodeStore {
     /// double-counting caveat when summing over members.
     fn fsync_count(&self) -> u64 {
         self.log().fsync_count()
+    }
+
+    /// The **shared** shard log's segment count (same caveat as
+    /// [`BlockBackend::fsync_count`] when summing over members).
+    fn segment_count(&self) -> u64 {
+        self.log().segment_count()
     }
 }
 

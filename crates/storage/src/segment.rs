@@ -316,6 +316,11 @@ impl SegmentSet {
         self.fsyncs
     }
 
+    /// Number of live segment files (the tail included).
+    pub fn segment_count(&self) -> u64 {
+        self.readers.len() as u64
+    }
+
     /// Bytes currently staged in the write buffer.
     pub fn buffered_bytes(&self) -> usize {
         self.buffer.len()

@@ -1,26 +1,38 @@
-//! Fleet telemetry at mixed data rates: compares what a city-scale sensor
-//! fleet pays to run 2LDAG versus replicated ledgers, and shows the
-//! micro-loop effect of heterogeneous generation rates (Fig. 6 of the
-//! paper) on proof-path lengths.
+//! Fleet telemetry: the observability toolkit on a live 2LDAG fleet.
+//!
+//! Runs a city-scale sensor fleet in-process and demonstrates the
+//! `tldag::obs` primitives end to end — the same ones every deployed
+//! `tldag node --metrics-addr` serves over HTTP:
+//!
+//! * **Phase-latency histograms** — the engine times every slot-loop
+//!   phase (generate/exchange/gossip/verify/commit) into lock-free
+//!   log-bucketed histograms; quantiles come out without ever locking
+//!   the hot path.
+//! * **Ad-hoc histograms** — [`tldag::obs::LatencyHistogram`] timing PoP
+//!   verifications from the outside.
+//! * **The event journal** — a bounded ring of structured events,
+//!   dumped as JSONL (the `/journal` route's format).
+//! * **Exposition round trip** — rendering Prometheus-style text with
+//!   [`tldag::obs::Expo`] and re-estimating quantiles from the parsed
+//!   buckets, which is exactly what `tldag status` does to a live
+//!   cluster.
 //!
 //! Run with: `cargo run --example fleet_telemetry`
 
-use tldag::baselines::iota::IotaNetwork;
-use tldag::baselines::ledger::LedgerSim;
-use tldag::baselines::pbft::PbftNetwork;
-use tldag::baselines::BaselineConfig;
+use tldag::core::block::BlockId;
 use tldag::core::config::ProtocolConfig;
 use tldag::core::network::TldagNetwork;
 use tldag::core::workload::VerificationWorkload;
-use tldag::sim::bus::TrafficClass;
+use tldag::obs::{
+    histogram_quantile, parse_exposition, EventKind, Expo, Journal, LatencyHistogram,
+};
 use tldag::sim::engine::GenerationSchedule;
 use tldag::sim::topology::{Topology, TopologyConfig};
-use tldag::sim::{Bits, DetRng, NodeId};
+use tldag::sim::{DetRng, NodeId};
 
 fn main() {
     let nodes = 24;
     let slots = 60;
-    let body = Bits::from_kilobytes(64); // 64 kB per telemetry block
     let mut rng = DetRng::seed_from(99);
     let topology = Topology::random_connected(
         &TopologyConfig {
@@ -34,87 +46,77 @@ fn main() {
     // Heterogeneous fleet: traffic cameras every slot, air-quality sensors
     // every other slot, parking sensors every fourth.
     let schedule = GenerationSchedule::random_periods(nodes, &[1, 2, 4], &mut rng);
-
     let cfg = ProtocolConfig::paper_default()
-        .with_body_bits(body.bits())
         .with_gamma(5)
         .with_difficulty(6);
-    let mut tldag = TldagNetwork::new(cfg, topology.clone(), schedule, 99);
-    tldag.set_verification_workload(VerificationWorkload::RandomPast {
+    let mut net = TldagNetwork::new(cfg, topology, schedule, 99);
+    net.set_verification_workload(VerificationWorkload::RandomPast {
         min_age_slots: nodes as u64,
     });
+    net.run_slots(slots);
 
-    let base = BaselineConfig::paper_default().with_body_bits(body.bits());
-    let mut pbft = PbftNetwork::new(base, topology.clone(), 99);
-    let mut iota = IotaNetwork::new(base, topology.clone(), 99);
-
-    for _ in 0..slots {
-        LedgerSim::step(&mut tldag);
-        pbft.step();
-        iota.step();
-    }
-
-    println!("== fleet of {nodes} sensors, {slots} slots, 64 kB blocks ==\n");
+    // --- 1. The engine's always-on phase timings.
+    println!("== slot-loop phase latencies over {slots} slots ({nodes} sensors) ==\n");
     println!(
-        "{:<8} {:>16} {:>20}",
-        "system", "storage MB/node", "comm Mb/node (tx)"
+        "{:<10} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "phase", "count", "p50 µs", "p90 µs", "p99 µs", "max µs"
     );
-    let tldag_comm = tldag
-        .accounting()
-        .mean_node_tx(TrafficClass::DagConstruction)
-        .as_megabits()
-        + tldag
-            .accounting()
-            .mean_node_tx(TrafficClass::Consensus)
-            .as_megabits();
-    println!(
-        "{:<8} {:>16.2} {:>20.3}",
-        "2LDAG",
-        tldag.mean_storage_mb(),
-        tldag_comm
-    );
-    println!(
-        "{:<8} {:>16.2} {:>20.3}",
-        "PBFT",
-        pbft.storage_bits_per_node()[0].as_megabytes(),
-        pbft.accounting()
-            .mean_node_tx(TrafficClass::Pbft)
-            .as_megabits()
-    );
-    println!(
-        "{:<8} {:>16.2} {:>20.3}",
-        "IOTA",
-        iota.storage_bits_per_node()[0].as_megabytes(),
-        iota.accounting()
-            .mean_node_tx(TrafficClass::IotaGossip)
-            .as_megabits()
-    );
-
-    let (attempts, successes) = tldag.pop_counters();
-    println!("\n2LDAG verification workload: {successes}/{attempts} PoP runs reached consensus");
-
-    // Micro-loops: verify a block of a fast node whose neighborhood includes
-    // slow nodes — the proof path revisits owners, exactly Fig. 6.
-    let fast = topology
-        .node_ids()
-        .find(|&id| tldag.node(id).chain_len() as u64 >= slots)
-        .expect("some node generates every slot");
-    let target = tldag.node(fast).store().get(0).unwrap().id;
-    let report = tldag.run_pop(NodeId((fast.0 + 1) % nodes as u32), target, false);
-    if report.is_success() {
-        let owners: Vec<String> = report.path.iter().map(|s| s.owner.to_string()).collect();
-        let distinct = report.distinct_nodes;
+    for (phase, snap) in net.phase_timings().snapshot() {
         println!(
-            "\nproof path for {target}: {} blocks over {} distinct nodes (micro-loops = {})",
-            report.path.len(),
-            distinct,
-            report.path.len().saturating_sub(distinct)
-        );
-        println!("  path owners: {}", owners.join(" → "));
-    } else {
-        println!(
-            "\nproof for {target} did not complete: {:?}",
-            report.outcome
+            "{:<10} {:>8} {:>9} {:>9} {:>9} {:>9}",
+            phase.name(),
+            snap.count,
+            snap.p50(),
+            snap.p90(),
+            snap.p99(),
+            snap.max_micros
         );
     }
+
+    // --- 2. An ad-hoc histogram + journal around PoP verifications.
+    let pop_rtt = LatencyHistogram::new();
+    let journal = Journal::bounded(64);
+    let validator = NodeId(0);
+    for owner in 1..6u32 {
+        let target = BlockId::new(NodeId(owner), 0);
+        let report = pop_rtt.time(|| net.run_pop(validator, target, false));
+        journal.record(
+            slots,
+            EventKind::Pop,
+            format!(
+                "verify {target}: {} ({} msgs)",
+                if report.is_success() { "ok" } else { "failed" },
+                report.metrics.total_messages()
+            ),
+        );
+    }
+    let snap = pop_rtt.snapshot();
+    println!(
+        "\nPoP verification wall clock: {} runs, p50 {} µs, max {} µs",
+        snap.count,
+        snap.p50(),
+        snap.max_micros
+    );
+
+    // --- 3. The journal as JSONL — the `/journal` route's exact format.
+    println!("\n== event journal (JSONL) ==\n{}", journal.to_jsonl());
+
+    // --- 4. Exposition round trip: render → parse → re-estimate, the
+    // `tldag status` path in miniature.
+    let mut expo = Expo::new();
+    expo.gauge("fleet_slot", "Slots executed.", slots as f64);
+    expo.histogram(
+        "fleet_pop_rtt_micros",
+        "PoP verification wall clock.",
+        &[(&[], &snap)],
+    );
+    let text = expo.finish();
+    let samples = parse_exposition(&text).expect("own exposition parses");
+    let p50 = histogram_quantile(&samples, "fleet_pop_rtt_micros", &[], 0.5).expect("quantile");
+    println!("== scraped back from the exposition ==\n");
+    print!("{text}");
+    println!(
+        "\nre-estimated p50 from scraped buckets: {p50} µs (recorded p50: {} µs)",
+        snap.p50()
+    );
 }

@@ -17,10 +17,12 @@
 //!                [--controller ADDR] [--storage memory|disk]
 //!                [--storage-dir PATH] [--join ADDR] [--join-slot K]
 //!                [--leave-at M] [--churn SPEC] [--evict-after SECS]
-//!                [--deadline SECS]
+//!                [--deadline SECS] [--metrics-addr ADDR]
 //! tldag cluster  [--nodes N] [--slots T] [--seed S] [--side M] [--gamma G]
 //!                [--pop] [--storage memory|disk] [--storage-dir PATH]
 //!                [--base-port P] [--timeout SECS] [--churn SPEC]
+//!                [--metrics] [--status-every SECS]
+//! tldag status   --targets ADDR,ADDR,... [--json] [--timeout SECS]
 //! ```
 
 use std::collections::HashMap;
@@ -66,6 +68,7 @@ USAGE:
                [--controller ADDR] [--storage memory|disk] [--storage-dir P]
                [--join ADDR] [--join-slot K] [--leave-at M]
                [--churn SPEC] [--evict-after SECS] [--deadline SECS]
+               [--metrics-addr ADDR]
         Run ONE real 2LDAG node over UDP: generate blocks, gossip
         slot-tagged digests with pull-based loss recovery, serve
         REQ_CHILD/FetchBlock, and (with --pop) verify blocks over the
@@ -79,12 +82,16 @@ USAGE:
         membership schedule (join:ID@SLOT,leave:ID@SLOT,...) across the
         deployment; --evict-after SECS evicts a barrier-blocking peer
         that has gone silent; --deadline SECS hard-caps the process
-        lifetime (watchdog against orphaned listeners).
+        lifetime (watchdog against orphaned listeners). --metrics-addr
+        serves live telemetry over HTTP while the node runs: GET /metrics
+        is a Prometheus-style text exposition (phase-latency histograms,
+        transport/PoP counters, storage gauges, roster state), GET
+        /journal dumps the node's bounded event journal as JSONL.
 
     tldag cluster [--nodes N] [--slots T] [--seed S] [--side M]
                   [--gamma G] [--pop] [--storage memory|disk]
                   [--storage-dir P] [--base-port P] [--timeout SECS]
-                  [--churn SPEC]
+                  [--churn SPEC] [--metrics] [--status-every SECS]
         Spawn N real `tldag node` processes on localhost UDP ports, run
         T slots, collect their reports, and verify network_digest parity
         against the in-memory engine on the same seed. With --churn, also
@@ -92,7 +99,18 @@ USAGE:
         handshake, not a provisioned peer list) and replay the identical
         node_joins/node_leaves schedule on the reference engine — parity
         is asserted through the membership changes. Exits non-zero on a
-        parity failure.
+        parity failure. --metrics gives every node a localhost telemetry
+        endpoint; with --status-every SECS the harness also scrapes all
+        of them periodically and prints the mid-run time series.
+
+    tldag status --targets ADDR,ADDR,... [--json] [--timeout SECS]
+        Scrape the /metrics endpoint of every listed node of a live
+        cluster and render one aggregated status table (slot, chain
+        length, PoP counters, request retries/timeouts, and p50/p99
+        latencies re-estimated from the scraped histogram buckets), plus
+        a TOTAL row summed over the raw samples. --json prints the same
+        aggregation as machine-readable JSON. Targets that do not answer
+        within --timeout (default 2s) are reported on stderr and skipped.
 
 Storage backends: `memory` (default) keeps every chain in RAM; `disk` puts
 each node's chain in a durable segmented block log under --storage-dir
@@ -483,6 +501,13 @@ fn cmd_node(args: &Args) -> Result<(), String> {
             Some(std::time::Duration::from_secs(secs))
         }
     };
+    config.metrics_addr = match args.flags.get("metrics-addr") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("invalid value for --metrics-addr: `{raw}`"))?,
+        ),
+    };
     let storage: String = args.get("storage", "memory".to_string())?;
     config.storage = match storage.as_str() {
         "memory" => tldag::net::StorageMode::Memory,
@@ -548,6 +573,16 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
     };
     config.report_timeout = std::time::Duration::from_secs(args.get("timeout", 60)?);
     config.churn = tldag::net::parse_churn_spec(&args.get("churn", String::new())?)?;
+    config.metrics = args.switch("metrics") || args.flags.contains_key("status-every");
+    config.sample_every = match args.flags.get("status-every") {
+        None => None,
+        Some(raw) => {
+            let secs: f64 = raw
+                .parse()
+                .map_err(|_| format!("invalid value for --status-every: `{raw}`"))?;
+            Some(std::time::Duration::from_secs_f64(secs))
+        }
+    };
     let storage: String = args.get("storage", "memory".to_string())?;
     config.storage_root = match storage.as_str() {
         "memory" => None,
@@ -594,8 +629,41 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
             if report.degraded { "  [DEGRADED]" } else { "" }
         );
     }
+    if !outcome.status_series.is_empty() {
+        println!(
+            "  mid-run status ({} samples):",
+            outcome.status_series.len()
+        );
+        for rows in &outcome.status_series {
+            println!(
+                "    slot {:>4}: {} nodes answered, chain Σ{}, PoP {}/{}, {} retries",
+                rows.iter().map(|r| r.slot).max().unwrap_or(0),
+                rows.len(),
+                rows.iter().map(|r| r.chain_len).sum::<u64>(),
+                rows.iter().map(|r| r.pop_successes).sum::<u64>(),
+                rows.iter().map(|r| r.pop_attempts).sum::<u64>(),
+                rows.iter().map(|r| r.request_retries).sum::<u64>(),
+            );
+        }
+    }
     println!("  wire network digest      : {}", outcome.wire_digest);
     println!("  reference network digest : {}", outcome.reference_digest);
+    let n = &outcome.net;
+    println!(
+        "  wire totals              : {} datagrams out / {} in, {} retries, {} timeouts",
+        n.datagrams_sent, n.datagrams_received, n.request_retries, n.request_timeouts
+    );
+    if !outcome.metrics_addrs.is_empty() {
+        println!(
+            "  metrics endpoints        : {}",
+            outcome
+                .metrics_addrs
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
     if config.pop {
         println!(
             "  PoP wire {}/{} vs reference {}/{}",
@@ -618,6 +686,41 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
     }
 }
 
+fn cmd_status(args: &Args) -> Result<(), String> {
+    let raw: String = args.required("targets")?;
+    let timeout = std::time::Duration::from_secs_f64(args.get("timeout", 2.0)?);
+    let mut rows = Vec::new();
+    let mut per_node = Vec::new();
+    let mut errors = Vec::new();
+    for target in raw.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let addr: std::net::SocketAddr = target
+            .parse()
+            .map_err(|_| format!("invalid target `{target}` (expected HOST:PORT)"))?;
+        match tldag::net::scrape_metrics(addr, timeout) {
+            Ok(samples) => {
+                rows.push(tldag::net::StatusRow::from_samples(target, &samples));
+                per_node.push(samples);
+            }
+            Err(e) => errors.push(e),
+        }
+    }
+    for e in &errors {
+        eprintln!("warning: {e}");
+    }
+    if rows.is_empty() {
+        return Err("no target answered".into());
+    }
+    let total = tldag::net::total_row(&per_node, &rows);
+    if args.switch("json") {
+        println!("{}", tldag::net::status_json(&rows, &total));
+    } else {
+        let mut all = rows;
+        all.push(total);
+        print!("{}", tldag::net::render_status_table(&all));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first() else {
@@ -632,6 +735,7 @@ fn main() -> ExitCode {
             "verify" => cmd_verify(&args),
             "node" => cmd_node(&args),
             "cluster" => cmd_cluster(&args),
+            "status" => cmd_status(&args),
             "help" | "--help" | "-h" => {
                 print!("{USAGE}");
                 Ok(())

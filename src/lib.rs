@@ -8,6 +8,9 @@
 //! * [`storage`] — durable segmented block-log engine with crash recovery.
 //! * [`net`] — UDP wire transport, peer runtime, and the multi-process
 //!   cluster deployment harness.
+//! * [`obs`] — observability primitives: lock-free latency histograms,
+//!   the bounded event journal, Prometheus-style text exposition, and
+//!   the dependency-free HTTP metrics listener.
 //! * [`baselines`] — PBFT and IOTA comparators used by the evaluation.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
@@ -21,5 +24,7 @@ pub use tldag_core as core;
 pub use tldag_storage as storage;
 
 pub use tldag_net as net;
+
+pub use tldag_obs as obs;
 
 pub use tldag_baselines as baselines;

@@ -2,9 +2,15 @@
 //! datagram loss/duplication/reordering, measuring delivery rate, latency,
 //! and the retry work the transport performs.
 //!
-//! Usage: `cargo run -p tldag-bench --release --bin fig11_wire [--quick]`
+//! Usage: `cargo run -p tldag-bench --release --bin fig11_wire [--quick] [--pipelined]`
+//!
+//! With `--pipelined` the same loss sweep runs twice — once with the
+//! lockstep-era one-datagram-per-wakeup receive loop (`batch = 1`) and
+//! once with the pipelined batched receive path — and the JSON gains a
+//! per-rate comparison. PoP completion must not regress at any swept loss
+//! rate; the process exits nonzero if it does.
 
-use tldag_bench::experiments::wire::{self, WireConfig};
+use tldag_bench::experiments::wire::{self, WireConfig, WireData};
 use tldag_bench::report::{self, json_array, JsonMap};
 use tldag_bench::Scale;
 use tldag_net::NetStats;
@@ -18,17 +24,9 @@ fn net_json(net: &NetStats) -> String {
         .render()
 }
 
-fn main() {
-    let scale = Scale::from_env_args();
-    let cfg = WireConfig::at_scale(scale);
-    eprintln!(
-        "fig11_wire: {} UDP endpoints, {} warm slots, {} PoPs/rate, rates {:?} ({scale:?} scale)",
-        cfg.nodes, cfg.warm_slots, cfg.pops_per_rate, cfg.loss_rates
-    );
-    let data = wire::run(&cfg);
-
+fn print_table(label: &str, cfg: &WireConfig, data: &WireData) {
     println!(
-        "\n== PoP over UDP under injected datagram faults (γ = {}) ==",
+        "\n== PoP over UDP under injected datagram faults (γ = {}, {label}) ==",
         cfg.gamma
     );
     let rows: Vec<Vec<String>> = data
@@ -65,6 +63,55 @@ fn main() {
             &rows,
         )
     );
+}
+
+fn points_json(data: &WireData) -> String {
+    json_array(data.points.iter().map(|p| {
+        JsonMap::new()
+            .num("loss", p.loss)
+            .int("attempts", p.attempts)
+            .int("successes", p.successes)
+            .num("success_rate", p.success_rate())
+            .num("mean_latency_ms", p.mean_latency_ms)
+            .num("max_latency_ms", p.max_latency_ms)
+            .int("retries", p.retries)
+            .int("timeouts", p.timeouts)
+            .int("datagrams", p.datagrams)
+            .int("injected_drops", p.injected_drops)
+            .int("messages", p.messages)
+            .int("rtt_p50_us", p.rtt_p50_us)
+            .int("rtt_p99_us", p.rtt_p99_us)
+            .raw("net", net_json(&p.net))
+            .render()
+    }))
+}
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let compare = std::env::args().any(|a| a == "--pipelined");
+    let cfg = WireConfig::at_scale(scale);
+    eprintln!(
+        "fig11_wire: {} UDP endpoints, {} warm slots, {} PoPs/rate, rates {:?} ({scale:?} scale{})",
+        cfg.nodes,
+        cfg.warm_slots,
+        cfg.pops_per_rate,
+        cfg.loss_rates,
+        if compare { ", both I/O modes" } else { "" }
+    );
+
+    // Lockstep-era I/O baseline first when comparing, so the pipelined run
+    // — the mode the runtime actually ships — provides the headline data.
+    let lockstep = compare.then(|| {
+        let mut base = cfg.clone();
+        base.batch = 1;
+        wire::run(&base)
+    });
+    let data = wire::run(&cfg);
+
+    if let Some(base) = &lockstep {
+        print_table("batch 1, lockstep-era I/O", &cfg, base);
+    }
+    print_table(&format!("batch {}, pipelined I/O", cfg.batch), &cfg, &data);
 
     let mut csv = String::from(
         "loss,attempts,successes,success_rate,mean_latency_ms,max_latency_ms,\
@@ -90,33 +137,34 @@ retries,timeouts,datagrams,injected_drops,messages\n",
         eprintln!("csv written to {}", path.display());
     }
 
-    let json = JsonMap::new()
+    let mut regressed = false;
+    let mut json = JsonMap::new()
         .str("experiment", "fig11_wire")
         .str("scale", &format!("{scale:?}"))
         .int("nodes", cfg.nodes as u64)
         .int("warm_slots", cfg.warm_slots)
         .int("pops_per_rate", cfg.pops_per_rate as u64)
-        .raw(
-            "points",
-            json_array(data.points.iter().map(|p| {
-                JsonMap::new()
-                    .num("loss", p.loss)
-                    .int("attempts", p.attempts)
-                    .int("successes", p.successes)
-                    .num("success_rate", p.success_rate())
-                    .num("mean_latency_ms", p.mean_latency_ms)
-                    .num("max_latency_ms", p.max_latency_ms)
-                    .int("retries", p.retries)
-                    .int("timeouts", p.timeouts)
-                    .int("datagrams", p.datagrams)
-                    .int("injected_drops", p.injected_drops)
-                    .int("messages", p.messages)
-                    .int("rtt_p50_us", p.rtt_p50_us)
-                    .int("rtt_p99_us", p.rtt_p99_us)
-                    .raw("net", net_json(&p.net))
-                    .render()
-            })),
-        )
+        .int("batch", cfg.batch as u64)
+        .raw("points", points_json(&data));
+    if let Some(base) = &lockstep {
+        let comparison = json_array(base.points.iter().zip(&data.points).map(|(l, p)| {
+            let regression = p.success_rate() < l.success_rate();
+            regressed |= regression;
+            JsonMap::new()
+                .num("loss", p.loss)
+                .num("lockstep_success_rate", l.success_rate())
+                .num("pipelined_success_rate", p.success_rate())
+                .num("lockstep_mean_latency_ms", l.mean_latency_ms)
+                .num("pipelined_mean_latency_ms", p.mean_latency_ms)
+                .bool("completion_regressed", regression)
+                .render()
+        }));
+        json = json
+            .raw("lockstep_points", points_json(base))
+            .raw("comparison", comparison)
+            .bool("completion_regressed", regressed);
+    }
+    let json = json
         .raw("net", {
             let mut merged = NetStats::default();
             for p in &data.points {
@@ -139,5 +187,12 @@ completed (via {} retries)",
             p.success_rate() * 100.0,
             p.retries
         );
+    }
+    if regressed {
+        eprintln!(
+            "fig11_wire: PoP completion REGRESSED with batched I/O — see the \
+comparison block in the JSON"
+        );
+        std::process::exit(1);
     }
 }

@@ -1,0 +1,139 @@
+//! Pipeline saturation sweep: loopback cluster throughput vs epoch-window
+//! size, with the lockstep runtime (window 1) as the baseline.
+//!
+//! Usage: `cargo run -p tldag-bench --release --bin fig13_saturation [--quick]`
+
+use tldag_bench::experiments::saturation::{self, SaturationConfig};
+use tldag_bench::report::{self, json_array, JsonMap};
+use tldag_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let cfg = SaturationConfig::at_scale(scale);
+    eprintln!(
+        "fig13_saturation: {} nodes, {} slots, windows {:?} ({scale:?} scale)",
+        cfg.nodes, cfg.slots, cfg.windows
+    );
+    let data = saturation::run(&cfg);
+
+    println!(
+        "\n== Loopback cluster throughput vs pipeline window (γ = {}) ==",
+        cfg.gamma
+    );
+    let rows: Vec<Vec<String>> = data
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.window.to_string(),
+                report::fmt_f64(p.blocks_per_s),
+                report::fmt_f64(p.pops_per_s),
+                report::fmt_f64(p.p50_slot_ms),
+                report::fmt_f64(p.p99_slot_ms),
+                p.slot_loop_ms.to_string(),
+                format!("{:.2}x", p.speedup),
+                if p.parity { "ok" } else { "DRIFT" }.to_string(),
+                format!("{}/{}", p.pop_successes, p.pop_attempts),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::render_table(
+            &[
+                "window", "blocks/s", "PoP/s", "p50 ms", "p99 ms", "loop ms", "speedup", "parity",
+                "PoP ok",
+            ],
+            &rows,
+        )
+    );
+
+    let mut csv = String::from(
+        "window,blocks,blocks_per_s,pops_per_s,p50_slot_ms,p99_slot_ms,\
+slot_loop_ms,wall_ms,speedup,parity,pop_attempts,pop_successes,retries,datagrams\n",
+    );
+    for p in &data.points {
+        csv.push_str(&format!(
+            "{},{},{:.2},{:.2},{:.3},{:.3},{},{:.1},{:.3},{},{},{},{},{}\n",
+            p.window,
+            p.blocks,
+            p.blocks_per_s,
+            p.pops_per_s,
+            p.p50_slot_ms,
+            p.p99_slot_ms,
+            p.slot_loop_ms,
+            p.wall_ms,
+            p.speedup,
+            p.parity,
+            p.pop_attempts,
+            p.pop_successes,
+            p.retries,
+            p.datagrams,
+        ));
+    }
+    if let Some(path) = report::write_csv("fig13_saturation", &csv) {
+        eprintln!("csv written to {}", path.display());
+    }
+
+    let json = JsonMap::new()
+        .str("experiment", "fig13_saturation")
+        .str("scale", &format!("{scale:?}"))
+        .int("nodes", cfg.nodes as u64)
+        .int("slots", cfg.slots)
+        .int("gamma", cfg.gamma as u64)
+        .num("best_speedup", data.best_speedup())
+        .raw(
+            "points",
+            json_array(data.points.iter().map(|p| {
+                JsonMap::new()
+                    .int("window", p.window)
+                    .int("blocks", p.blocks)
+                    .num("blocks_per_s", p.blocks_per_s)
+                    .num("pops_per_s", p.pops_per_s)
+                    .num("p50_slot_ms", p.p50_slot_ms)
+                    .num("p99_slot_ms", p.p99_slot_ms)
+                    .int("slot_loop_ms", p.slot_loop_ms)
+                    .num("wall_ms", p.wall_ms)
+                    .num("speedup", p.speedup)
+                    .bool("parity", p.parity)
+                    .int("degraded_nodes", p.degraded_nodes)
+                    .int("pop_attempts", p.pop_attempts)
+                    .int("pop_successes", p.pop_successes)
+                    .int("reference_pop_attempts", p.reference_pop.0)
+                    .int("reference_pop_successes", p.reference_pop.1)
+                    .int("retries", p.retries)
+                    .int("datagrams", p.datagrams)
+                    .render()
+            })),
+        )
+        .render();
+    if let Some(path) = report::write_bench_json("fig13_saturation", &json) {
+        eprintln!("bench summary written to {}", path.display());
+    }
+
+    if let Some(base) = data.points.iter().find(|p| p.window == 1) {
+        println!(
+            "\nheadline: window {} reaches {:.0} blocks/s vs {:.0} lockstep — \
+{:.1}x, at byte-identical digests",
+            data.points
+                .iter()
+                .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+                .map(|p| p.window)
+                .unwrap_or(1),
+            data.points
+                .iter()
+                .map(|p| p.blocks_per_s)
+                .fold(0.0, f64::max),
+            base.blocks_per_s,
+            data.best_speedup(),
+        );
+    }
+    if data
+        .points
+        .iter()
+        .any(|p| !p.parity || p.degraded_nodes > 0)
+    {
+        eprintln!("fig13_saturation: PARITY VIOLATION OR DEGRADED NODE — see table");
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod restart;
 pub mod retention;
+pub mod saturation;
 pub mod scale;
 pub mod scaling;
 pub mod summary;

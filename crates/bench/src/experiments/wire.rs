@@ -52,6 +52,10 @@ pub struct WireConfig {
     /// Datagram fault rates to sweep (drop probability; duplication and
     /// reordering are scaled off it, see [`FaultSpec::degraded`]).
     pub loss_rates: Vec<f64>,
+    /// Datagrams per receiver wakeup on every endpoint: 1 reproduces the
+    /// lockstep-era one-datagram-per-wakeup loop, the default is the
+    /// pipelined batched receive path.
+    pub batch: usize,
 }
 
 impl WireConfig {
@@ -65,6 +69,7 @@ impl WireConfig {
                 gamma: 3,
                 seed: 42,
                 loss_rates: vec![0.0, 0.05, 0.10, 0.20, 0.30],
+                batch: EndpointConfig::default().batch,
             },
             Scale::Quick => WireConfig {
                 nodes: 8,
@@ -73,6 +78,7 @@ impl WireConfig {
                 gamma: 3,
                 seed: 42,
                 loss_rates: vec![0.0, 0.10, 0.25],
+                batch: EndpointConfig::default().batch,
             },
         }
     }
@@ -138,7 +144,7 @@ struct WireNode {
 }
 
 impl WireNode {
-    fn spawn(node: Arc<LedgerNode>, spec: FaultSpec, rng: DetRng) -> WireNode {
+    fn spawn(node: Arc<LedgerNode>, spec: FaultSpec, rng: DetRng, batch: usize) -> WireNode {
         let udp = UdpTransport::bind("127.0.0.1:0".parse().expect("addr")).expect("bind");
         let faults = Arc::new(FaultyTransport::new(udp, spec, rng));
         let endpoint = Arc::new(Endpoint::with_transport(
@@ -148,6 +154,7 @@ impl WireNode {
                 request_timeout: Duration::from_millis(25),
                 max_retries: 7,
                 max_backoff: Duration::from_millis(250),
+                batch,
                 ..EndpointConfig::default()
             },
         ));
@@ -230,6 +237,7 @@ pub fn run(config: &WireConfig) -> WireData {
                     Arc::clone(node),
                     FaultSpec::degraded(loss),
                     DetRng::seed_from(config.seed ^ ((rate_idx as u64) << 32) ^ i as u64),
+                    config.batch,
                 )
             })
             .collect();
@@ -260,6 +268,7 @@ pub fn run(config: &WireConfig) -> WireData {
             let mut transport = NetPopTransport {
                 endpoint: validator_endpoint,
                 peers: &peers,
+                horizon: None,
             };
             let started = Instant::now();
             let report = Validator::new(
@@ -324,6 +333,7 @@ mod tests {
             gamma: 2,
             seed: 9,
             loss_rates: vec![0.15],
+            batch: EndpointConfig::default().batch,
         };
         let data = run(&config);
         let point = &data.points[0];
@@ -344,6 +354,7 @@ mod tests {
             gamma: 2,
             seed: 5,
             loss_rates: vec![0.0],
+            batch: 1,
         };
         let data = run(&config);
         let point = &data.points[0];

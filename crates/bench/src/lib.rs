@@ -12,6 +12,7 @@
 //! | `fig10_scaling` | Sharded-engine throughput vs threads; disk throughput vs sync policy |
 //! | `fig11_wire` | PoP over real UDP sockets under injected datagram loss/dup/reorder |
 //! | `fig12_churn` | Dynamic membership: join/leave churn over lossy UDP — PoP completion, joiner catch-up latency, digest parity |
+//! | `fig13_saturation` | Pipeline saturation: loopback cluster blocks/s, PoP/s, and p50/p99 slot latency vs epoch-window size, lockstep baseline |
 //! | `table1_summary` | The abstract's headline ratios (storage ≈2, comm ≈3 orders of magnitude) |
 //! | `ablation_wps` | WPS vs random next-hop selection |
 //! | `ablation_tps` | TPS cache on vs off over repeated verifications |

@@ -256,6 +256,20 @@ pub enum WireMessage {
         /// The verifying block digest.
         target: Digest,
     },
+    /// `REQ_CHILD` bounded to a generation horizon: asks for the oldest
+    /// child of `target` generated at or before slot `horizon`. Pipelined
+    /// (epoch-windowed) validators use this so a responder running ahead
+    /// of the verification front never leaks its future blocks into a
+    /// proof path — the reply set is exactly what a lockstep responder
+    /// would have held at slot `horizon`.
+    ReqChildAt {
+        /// Requesting validator.
+        from: NodeId,
+        /// The verifying block digest.
+        target: Digest,
+        /// Highest generation slot (inclusive) the reply may come from.
+        horizon: u64,
+    },
     /// `RPY_CHILD` carrying a child header.
     RpyChild(ChildReply),
     /// Cooperative "no child stored".
@@ -290,6 +304,7 @@ const TAG_NACK: u8 = 0x04;
 const TAG_FETCH: u8 = 0x05;
 const TAG_BLOCK: u8 = 0x06;
 const TAG_PRUNED_NACK: u8 = 0x07;
+const TAG_REQ_CHILD_AT: u8 = 0x08;
 
 /// Encodes a wire message with a leading type tag.
 pub fn encode_message(msg: &WireMessage) -> Vec<u8> {
@@ -304,6 +319,17 @@ pub fn encode_message(msg: &WireMessage) -> Vec<u8> {
             let mut out = vec![TAG_REQ_CHILD];
             out.extend_from_slice(&from.0.to_be_bytes());
             out.extend_from_slice(target.as_bytes());
+            out
+        }
+        WireMessage::ReqChildAt {
+            from,
+            target,
+            horizon,
+        } => {
+            let mut out = vec![TAG_REQ_CHILD_AT];
+            out.extend_from_slice(&from.0.to_be_bytes());
+            out.extend_from_slice(target.as_bytes());
+            out.extend_from_slice(&horizon.to_be_bytes());
             out
         }
         WireMessage::RpyChild(reply) => {
@@ -363,6 +389,11 @@ pub fn decode_message(data: &[u8]) -> Result<WireMessage, CodecError> {
         TAG_REQ_CHILD => WireMessage::ReqChild {
             from: NodeId(r.u32()?),
             target: r.digest()?,
+        },
+        TAG_REQ_CHILD_AT => WireMessage::ReqChildAt {
+            from: NodeId(r.u32()?),
+            target: r.digest()?,
+            horizon: r.u64()?,
         },
         TAG_RPY_CHILD => {
             let claimed_owner = NodeId(r.u32()?);
@@ -560,6 +591,11 @@ mod tests {
                 from: NodeId(2),
                 target: Digest::from_bytes([2; 32]),
             },
+            WireMessage::ReqChildAt {
+                from: NodeId(2),
+                target: Digest::from_bytes([7; 32]),
+                horizon: 41,
+            },
             WireMessage::RpyChild(ChildReply {
                 claimed_owner: NodeId(3),
                 block_id: block.id,
@@ -590,7 +626,7 @@ mod tests {
         );
         assert_eq!(decode_message(&[]), Err(CodecError::UnexpectedEnd));
         // Every tag outside the known set reports the skewed byte.
-        for tag in 0x08..=0x20u8 {
+        for tag in 0x09..=0x20u8 {
             assert_eq!(decode_message(&[tag]), Err(CodecError::UnknownTag(tag)));
         }
     }

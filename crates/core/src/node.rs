@@ -335,10 +335,19 @@ impl LedgerNode {
     /// have lived below the pruned floor, which `REQ_CHILD` cannot
     /// distinguish from "never existed".
     pub fn serve_child_request(&self, target: &Digest) -> Option<ChildServe> {
+        self.serve_child_request_within(target, u64::MAX)
+    }
+
+    /// [`Self::serve_child_request`] bounded to a generation horizon: only
+    /// blocks generated at or before slot `horizon` are eligible children.
+    /// Pipelined (epoch-windowed) responders answer `REQ_CHILD_AT` with
+    /// this so blocks minted while running ahead of the requester's
+    /// verification front never leak into a proof path.
+    pub fn serve_child_request_within(&self, target: &Digest, horizon: u64) -> Option<ChildServe> {
         if self.behavior.is_silent() {
             return None;
         }
-        let Some(block) = self.store.oldest_child_of(target) else {
+        let Some(block) = self.store.oldest_child_of_within(target, horizon) else {
             return Some(if self.store.pruned_floor() > 0 {
                 ChildServe::Pruned
             } else {

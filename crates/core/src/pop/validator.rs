@@ -242,6 +242,11 @@ pub struct Validator<'a> {
     trust_cache: &'a mut TrustCache,
     blacklist: &'a mut Blacklist,
     rng: &'a mut DetRng,
+    /// When set, the validator's own-store responses are capped to blocks
+    /// generated at or before this slot — the pipelined (epoch-windowed)
+    /// rule that keeps a run-ahead validator from citing its own future
+    /// blocks while verifying an older slot.
+    horizon: Option<u64>,
 }
 
 impl<'a> Validator<'a> {
@@ -264,7 +269,17 @@ impl<'a> Validator<'a> {
             trust_cache,
             blacklist,
             rng,
+            horizon: None,
         }
+    }
+
+    /// Caps this validator's own-store responses to blocks generated at or
+    /// before slot `horizon` (see the `horizon` field). Remote responders
+    /// are capped separately by the transport (`REQ_CHILD_AT`).
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: u64) -> Self {
+        self.horizon = Some(horizon);
+        self
     }
 
     /// Runs Algorithm 3 to verify block `target`.
@@ -415,7 +430,11 @@ impl<'a> Validator<'a> {
             // the air (lines 17–24).
             let response: Option<ChildResponse> = if responder == self.id {
                 metrics.own_store_hits += 1;
-                Some(match self.own_store.oldest_child_of(&tip_digest) {
+                let child = match self.horizon {
+                    Some(h) => self.own_store.oldest_child_of_within(&tip_digest, h),
+                    None => self.own_store.oldest_child_of(&tip_digest),
+                };
+                Some(match child {
                     Some(b) => ChildResponse::Found(ChildReply {
                         claimed_owner: self.id,
                         block_id: b.id,

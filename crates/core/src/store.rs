@@ -197,6 +197,17 @@ pub trait BlockBackend: fmt::Debug + Send + Sync {
     /// (`C_{j'}(b_v)` of Eq. 10), in generation order.
     fn children_of(&self, target: &Digest) -> Vec<DataBlock>;
 
+    /// [`Self::oldest_child_of`] restricted to blocks generated at or
+    /// before slot `horizon`. Pipelined responders answer slot-`horizon`
+    /// verification with this so blocks minted while running ahead of the
+    /// verification front never leak into a proof path — the reply is
+    /// exactly what a lockstep responder would have held at `horizon`.
+    fn oldest_child_of_within(&self, target: &Digest, horizon: u64) -> Option<DataBlock> {
+        self.children_of(target)
+            .into_iter()
+            .find(|b| b.header.time <= horizon)
+    }
+
     /// Iterates over all blocks in generation order.
     fn iter(&self) -> Box<dyn Iterator<Item = DataBlock> + '_>;
 

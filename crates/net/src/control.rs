@@ -107,6 +107,11 @@ pub struct RunReport {
     /// founders) — the catch-up latency a late joiner paid before its
     /// first slot.
     pub catch_up_ms: u64,
+    /// Milliseconds the slot loop proper ran — first generation through
+    /// the last verification, excluding the hello/join bootstrap and the
+    /// serving linger — the denominator for throughput comparisons
+    /// between the lockstep and pipelined runtimes.
+    pub slot_loop_ms: u64,
     /// True when any slot barrier timed out and the node proceeded with an
     /// incomplete digest set (parity with the reference engine is then off).
     pub degraded: bool,
@@ -236,6 +241,7 @@ pub fn encode_control(msg: &Control) -> Vec<u8> {
             out.extend_from_slice(&r.pop_attempts.to_be_bytes());
             out.extend_from_slice(&r.pop_successes.to_be_bytes());
             out.extend_from_slice(&r.catch_up_ms.to_be_bytes());
+            out.extend_from_slice(&r.slot_loop_ms.to_be_bytes());
             out.push(u8::from(r.degraded));
             for (_, value) in r.net.fields() {
                 out.extend_from_slice(&value.to_be_bytes());
@@ -341,6 +347,7 @@ pub fn decode_control(data: &[u8]) -> Result<Control, NetError> {
             pop_attempts: r.u64().map_err(framing)?,
             pop_successes: r.u64().map_err(framing)?,
             catch_up_ms: r.u64().map_err(framing)?,
+            slot_loop_ms: r.u64().map_err(framing)?,
             degraded: r.u8().map_err(framing)? != 0,
             net: NetStats::try_from_values(|| r.u64()).map_err(framing)?,
         }),
@@ -413,6 +420,7 @@ mod tests {
                 pop_attempts: 5,
                 pop_successes: 5,
                 catch_up_ms: 12,
+                slot_loop_ms: 480,
                 degraded: false,
                 net: NetStats {
                     datagrams_sent: 41,

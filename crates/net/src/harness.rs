@@ -60,6 +60,15 @@ pub struct ClusterConfig {
     pub gamma: usize,
     /// Whether nodes run the PoP verification workload over the wire.
     pub pop: bool,
+    /// Epoch window `W` passed to every node (`1` = slot lockstep;
+    /// `W ≥ 2` enables the pipelined runtime, PoP mode only).
+    pub window: u64,
+    /// Socket batch size passed to every node (datagrams per
+    /// `sendmmsg`/`recvmmsg` wakeup).
+    pub batch: Option<usize>,
+    /// Per-datagram drop probability injected at every node's transport
+    /// (deterministic per node seed); `0.0` means a clean transport.
+    pub drop: f64,
     /// When set, node `i` stores its chain on disk under `root/node-i`.
     pub storage_root: Option<PathBuf>,
     /// First UDP port; node `i` listens on `base_port + i`. When `None`,
@@ -92,6 +101,9 @@ impl ClusterConfig {
             side_m: 300.0,
             gamma: 3,
             pop: false,
+            window: 1,
+            batch: None,
+            drop: 0.0,
             storage_root: None,
             base_port: None,
             report_timeout: Duration::from_secs(60),
@@ -495,6 +507,15 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
         }
         if config.pop {
             cmd.arg("--pop");
+        }
+        if config.window > 1 {
+            cmd.arg("--window").arg(config.window.to_string());
+        }
+        if let Some(batch) = config.batch {
+            cmd.arg("--batch").arg(batch.to_string());
+        }
+        if config.drop > 0.0 {
+            cmd.arg("--drop").arg(config.drop.to_string());
         }
         if let Some(addr) = metrics_addrs.get(i) {
             cmd.arg("--metrics-addr").arg(addr.to_string());

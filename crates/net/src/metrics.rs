@@ -101,6 +101,16 @@ net_metrics! {
     /// Peers evicted for liveness (heard once, then silent past the
     /// eviction window while blocking a barrier).
     evictions,
+    /// Receiver event-loop wakeups (batched receive calls), productive or
+    /// not.
+    recv_wakeups,
+    /// Wakeups whose parked receive timed out with no traffic — the
+    /// idle-churn signal (a parked loop stays near its timeout cadence; a
+    /// spinning loop sends this counter through the roof).
+    idle_wakeups,
+    /// Batched send calls handed to the transport (each covering one or
+    /// more datagrams).
+    send_batches,
 }
 
 impl NetMetrics {
@@ -154,6 +164,9 @@ impl NetStats {
             joins_served,
             membership_gossip,
             evictions,
+            recv_wakeups,
+            idle_wakeups,
+            send_batches,
         } = other;
         self.datagrams_sent += datagrams_sent;
         self.datagrams_received += datagrams_received;
@@ -174,6 +187,9 @@ impl NetStats {
         self.joins_served += joins_served;
         self.membership_gossip += membership_gossip;
         self.evictions += evictions;
+        self.recv_wakeups += recv_wakeups;
+        self.idle_wakeups += idle_wakeups;
+        self.send_batches += send_batches;
     }
 }
 

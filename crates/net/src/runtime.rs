@@ -57,25 +57,28 @@ use crate::peer::PeerTable;
 use crate::telemetry::{render_metrics, MetricsView, NodeTelemetry};
 use crate::transport::{FaultSpec, FaultyTransport, UdpTransport};
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
-use tldag_core::block::BlockId;
+use tldag_core::blacklist::Blacklist;
+use tldag_core::block::{BlockId, DataBlock};
 use tldag_core::codec::WireMessage;
 use tldag_core::config::ProtocolConfig;
+use tldag_core::error::TldagError;
 use tldag_core::network::{derived_rng, stream};
 use tldag_core::node::{BlockFetch, ChildServe, LedgerNode};
 use tldag_core::pop::messages::{ChildReply, FetchResponse, PopTransport};
 use tldag_core::pop::validator::{PopReport, Validator};
-use tldag_core::store::{BackendFactory, BlockBackend, BlockStore};
+use tldag_core::store::{BackendFactory, BlockBackend, BlockStore, TrustCache};
 use tldag_core::workload::sensor_payload;
 use tldag_crypto::sha256::sha256;
 use tldag_crypto::Digest;
 use tldag_obs::{EventKind, HttpServer, Phase, Routes};
 use tldag_sim::topology::{Topology, TopologyConfig};
-use tldag_sim::{DetRng, NodeId};
+use tldag_sim::{Bits, DetRng, NodeId};
 use tldag_storage::{DiskFactory, StorageOptions};
 
 /// Where a deployed node keeps its chain `S_i`.
@@ -111,6 +114,14 @@ pub struct NetNodeConfig {
     pub slots: u64,
     /// Whether to run the PoP verification workload as a validator.
     pub pop: bool,
+    /// Epoch window `W`: how many slots generation may run ahead of the
+    /// roster-wide completion low-watermark. `1` is the classic lockstep
+    /// (each slot fully verified everywhere before the next generation);
+    /// `W ≥ 2` pipelines generation against a background verify worker.
+    /// Only meaningful with `pop` (without verification the slot loop's
+    /// only cross-node dependency is the neighbor digest, which no window
+    /// can relax). Every process of a deployment must use the same value.
+    pub window: u64,
     /// Chain storage backend.
     pub storage: StorageMode,
     /// Transport tuning.
@@ -163,6 +174,7 @@ impl NetNodeConfig {
             gamma: 3,
             slots,
             pop: false,
+            window: 1,
             storage: StorageMode::Memory,
             endpoint: EndpointConfig::default(),
             slot_timeout: Duration::from_secs(10),
@@ -261,6 +273,22 @@ pub fn serve_wire_request(node: &LedgerNode, msg: &WireMessage) -> Option<WireMe
                 },
             })
         }
+        WireMessage::ReqChildAt {
+            target, horizon, ..
+        } => node
+            .serve_child_request_within(target, *horizon)
+            .map(|serve| match serve {
+                ChildServe::Found(block_id, header) => WireMessage::RpyChild(ChildReply {
+                    claimed_owner: node.id(),
+                    block_id,
+                    header,
+                }),
+                ChildServe::NoChild => WireMessage::Nack { from: node.id() },
+                ChildServe::Pruned => WireMessage::PrunedNack {
+                    from: node.id(),
+                    retained_from: node.pruned_floor(),
+                },
+            }),
         WireMessage::FetchBlock { id, .. } => Some(match node.serve_block(*id) {
             BlockFetch::Served(block) => WireMessage::Block(Box::new(block)),
             BlockFetch::Pruned { retained_from } => WireMessage::PrunedNack {
@@ -281,6 +309,10 @@ pub struct NetPopTransport<'a> {
     pub endpoint: &'a Endpoint,
     /// Peer addressing.
     pub peers: &'a PeerTable,
+    /// When set, child requests carry this horizon so run-ahead responders
+    /// answer from their store *as of that slot* — the pipelined validator
+    /// must see exactly what a lockstep one would have.
+    pub horizon: Option<u64>,
 }
 
 impl PopTransport for NetPopTransport<'_> {
@@ -314,9 +346,16 @@ impl PopTransport for NetPopTransport<'_> {
     ) -> Option<tldag_core::pop::messages::ChildResponse> {
         use tldag_core::pop::messages::ChildResponse;
         let addr = self.peers.addr(responder)?;
-        let msg = WireMessage::ReqChild {
-            from: validator,
-            target,
+        let msg = match self.horizon {
+            Some(horizon) => WireMessage::ReqChildAt {
+                from: validator,
+                target,
+                horizon,
+            },
+            None => WireMessage::ReqChild {
+                from: validator,
+                target,
+            },
         };
         match self.endpoint.request(addr, &msg)? {
             (_, WireMessage::RpyChild(reply)) => Some(ChildResponse::Found(reply)),
@@ -390,13 +429,40 @@ struct Shared {
     transfer_seen: Mutex<HashSet<NodeId>>,
     /// The slot the loop currently executes (served to join handshakes).
     current_slot: AtomicU64,
+    /// The configured epoch window (1 = lockstep); the dispatcher needs
+    /// it to infer completion watermarks from digests.
+    window: u64,
+    /// Our own verify watermark: every slot below it has been verified
+    /// locally (the inline PoP in lockstep mode, the verify worker in
+    /// pipelined mode). Non-PoP runs advance it with generation.
+    verified_through: AtomicU64,
+    /// Version counter + condvar forming the pipeline's progress signal:
+    /// bumped whenever shared protocol state changes (digest heard, done
+    /// watermark raised, membership delta, own slot verified), so
+    /// pipelined waits park instead of polling.
+    progress: Mutex<u64>,
+    /// Wakes the waits parked on [`Shared::progress`].
+    progress_cv: Condvar,
+    /// Generation start times of slots still in the pipeline, consumed by
+    /// whoever completes the slot's verification (end-to-end latency).
+    slot_started: Mutex<HashMap<u64, Instant>>,
+    /// The generation loop failed mid-run: the verify worker must wind
+    /// down instead of waiting out its timeouts slot by slot.
+    pipeline_abort: AtomicBool,
     /// Controller asked us to exit.
     shutdown: AtomicBool,
     /// Controller acknowledged our report.
     report_acked: AtomicBool,
-    /// Histograms + journal, shared with the dispatcher and the metrics
-    /// listener.
-    telemetry: NodeTelemetry,
+    /// Histograms + journal, shared with the dispatcher, the metrics
+    /// listener, and (via [`NetNode::telemetry`]) in-process harnesses.
+    telemetry: Arc<NodeTelemetry>,
+}
+
+/// What a slot loop hands back to the epilogue.
+struct SlotLoopOutcome {
+    degraded: bool,
+    pop_attempts: u64,
+    pop_successes: u64,
 }
 
 /// A deployed 2LDAG node: endpoint + dispatcher + slot loop.
@@ -416,6 +482,9 @@ impl NetNode {
     /// Bind failures, storage errors when reopening a disk backend, and
     /// inconsistent membership configuration.
     pub fn new(mut config: NetNodeConfig) -> Result<Self, String> {
+        if !(1..=32).contains(&config.window) {
+            return Err(format!("--window {} out of range (1..=32)", config.window));
+        }
         let cfg = deployment_protocol_config(config.gamma);
         let topology = deployment_topology(config.seed, config.nodes, config.side_m);
         let is_joiner = config.join.is_some();
@@ -537,9 +606,15 @@ need --join)",
                 join_ack: Mutex::new(None),
                 transfer_seen: Mutex::new(HashSet::new()),
                 current_slot: AtomicU64::new(0),
+                window: config.window,
+                verified_through: AtomicU64::new(0),
+                progress: Mutex::new(0),
+                progress_cv: Condvar::new(),
+                slot_started: Mutex::new(HashMap::new()),
+                pipeline_abort: AtomicBool::new(false),
                 shutdown: AtomicBool::new(false),
                 report_acked: AtomicBool::new(false),
-                telemetry: NodeTelemetry::default(),
+                telemetry: Arc::new(NodeTelemetry::default()),
             }),
             config,
         })
@@ -552,6 +627,13 @@ need --join)",
     /// Propagates the socket's failure to report its address.
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.endpoint.local_addr()
+    }
+
+    /// Shared handle to the node's telemetry (histograms + journal). The
+    /// handle stays valid while `run` consumes the node, so in-process
+    /// harnesses can read end-of-run latency distributions.
+    pub fn telemetry(&self) -> Arc<NodeTelemetry> {
+        Arc::clone(&self.shared.telemetry)
     }
 
     /// Runs the node to completion: bootstrap (hello exchange for
@@ -626,9 +708,6 @@ need --join)",
 
     /// The slot loop, separated so `run` can always tear the receiver down.
     fn drive(&self) -> Result<NodeOutcome, String> {
-        let id = self.config.id;
-        let seed = self.config.seed;
-
         let mut catch_up_ms = 0u64;
         let start_slot = match self.config.join {
             Some(bootstrap) => {
@@ -653,8 +732,29 @@ need --join)",
             ));
         }
 
-        let mut degraded = false;
         let min_age = self.config.nodes as u64; // the paper's workload default
+        let loop_started = Instant::now();
+        let outcome = if self.config.pop && self.config.window > 1 {
+            self.slot_loop_pipelined(start_slot, end_slot, min_age)?
+        } else {
+            self.slot_loop_lockstep(start_slot, end_slot, min_age)?
+        };
+        let slot_loop_ms = (loop_started.elapsed().as_millis() as u64).max(1);
+        self.wind_down(start_slot, end_slot, catch_up_ms, slot_loop_ms, outcome)
+    }
+
+    /// The classic slot-lockstep loop (`window == 1`, and every non-PoP
+    /// run): generate → gossip → verify inline, with per-slot barriers.
+    /// Kept intact as the pipelined path's baseline.
+    fn slot_loop_lockstep(
+        &self,
+        start_slot: u64,
+        end_slot: u64,
+        min_age: u64,
+    ) -> Result<SlotLoopOutcome, String> {
+        let id = self.config.id;
+        let seed = self.config.seed;
+        let mut degraded = false;
         let mut pop_attempts = 0u64;
         let mut pop_successes = 0u64;
         // Membership events already folded into the local topology; the
@@ -665,6 +765,7 @@ need --join)",
 
         let telemetry = &self.shared.telemetry;
         for slot in start_slot..end_slot {
+            let slot_begin = Instant::now();
             self.shared.current_slot.store(slot, Ordering::Relaxed);
             telemetry
                 .journal
@@ -864,7 +965,429 @@ need --join)",
                     format!("{retries} request retransmissions"),
                 );
             }
+            // The slot is fully executed (generated, gossiped, verified):
+            // raise the local watermark and close the latency sample.
+            self.shared
+                .verified_through
+                .store(slot + 1, Ordering::Relaxed);
+            telemetry.slot_latency.record(slot_begin.elapsed());
         }
+        Ok(SlotLoopOutcome {
+            degraded,
+            pop_attempts,
+            pop_successes,
+        })
+    }
+
+    /// The epoch-windowed pipeline (`window > 1`, PoP mode): the
+    /// generation half runs up to `window` slots ahead of the roster-wide
+    /// completion low-watermark while a background worker verifies slots
+    /// strictly in order. Horizon-capped child requests
+    /// ([`WireMessage::ReqChildAt`]) keep every PoP exchange identical to
+    /// the lockstep run: a run-ahead responder answers from its store *as
+    /// of the slot under verification*.
+    fn slot_loop_pipelined(
+        &self,
+        start_slot: u64,
+        end_slot: u64,
+        min_age: u64,
+    ) -> Result<SlotLoopOutcome, String> {
+        // Slots before our first are nobody's to verify: a joiner's drain
+        // and window gates measure from its own start.
+        self.shared
+            .verified_through
+            .store(start_slot, Ordering::Relaxed);
+        let (gen, verify) = std::thread::scope(|scope| {
+            let worker = scope.spawn(|| self.verify_worker(start_slot, end_slot, min_age));
+            let gen = self.generation_loop(start_slot, end_slot);
+            if gen.is_err() {
+                // The worker must not wait out its timeouts slot by slot
+                // for blocks that will never be generated.
+                self.shared.pipeline_abort.store(true, Ordering::Relaxed);
+                notify_progress(&self.shared);
+            }
+            (gen, worker.join())
+        });
+        let gen_degraded = gen?;
+        let verify = verify.map_err(|_| "verify worker panicked".to_string())?;
+        Ok(SlotLoopOutcome {
+            degraded: gen_degraded || verify.degraded,
+            pop_attempts: verify.pop_attempts,
+            pop_successes: verify.pop_successes,
+        })
+    }
+
+    /// The pipelined generation half: per-slot work minus verification.
+    /// Returns whether any barrier degraded.
+    fn generation_loop(&self, start_slot: u64, end_slot: u64) -> Result<bool, String> {
+        let id = self.config.id;
+        let seed = self.config.seed;
+        let window = self.config.window;
+        let mut degraded = false;
+        let mut applied_joins: HashSet<NodeId> =
+            (0..self.config.nodes as u32).map(NodeId).collect();
+        let mut applied_leaves: HashSet<NodeId> = HashSet::new();
+        let telemetry = &self.shared.telemetry;
+        for slot in start_slot..end_slot {
+            self.shared.current_slot.store(slot, Ordering::Relaxed);
+            telemetry
+                .journal
+                .record(slot, EventKind::SlotStart, format!("slot {slot} begins"));
+            self.shared
+                .slot_started
+                .lock()
+                .expect("slot started poisoned")
+                .insert(slot, Instant::now());
+            let retries_before = self.endpoint.stats().request_retries;
+            // Membership mutates the topology and neighbor set the verify
+            // worker reads; drain the pipeline to the boundary first so
+            // every slot before the change is verified under the graph it
+            // was generated under.
+            if self.membership_pending(slot, &applied_joins, &applied_leaves) {
+                if !self.wait_verified_through(slot) {
+                    degraded = true;
+                    telemetry.journal.record(
+                        slot,
+                        EventKind::Timeout,
+                        format!("pipeline drain before membership at slot {slot} timed out"),
+                    );
+                }
+                self.apply_membership(slot, &mut applied_joins, &mut applied_leaves);
+            }
+            let neighbors: Vec<NodeId> = self
+                .shared
+                .topology
+                .read()
+                .expect("topology poisoned")
+                .neighbors(id)
+                .to_vec();
+
+            let exchange_started = Instant::now();
+            // Data dependency (same as lockstep): our slot-t block embeds
+            // the neighbors' slot-(t-1) digests.
+            if slot > start_slot && !self.digest_barrier(&neighbors, slot - 1) {
+                degraded = true;
+                telemetry.journal.record(
+                    slot,
+                    EventKind::Timeout,
+                    format!("digest barrier for slot {} timed out", slot - 1),
+                );
+            }
+            // Window gate: generation may run at most `window` slots ahead
+            // of the cluster's completion low-watermark and of our own
+            // verify worker. With W = 1 this would degenerate to the
+            // lockstep done barrier.
+            if slot >= start_slot + window {
+                let floor = slot - window;
+                if !self.done_barrier(floor) {
+                    degraded = true;
+                    telemetry.journal.record(
+                        slot,
+                        EventKind::Timeout,
+                        format!("window gate: done barrier for slot {floor} timed out"),
+                    );
+                }
+                if !self.wait_verified_through(floor + 1) {
+                    degraded = true;
+                    telemetry.journal.record(
+                        slot,
+                        EventKind::Timeout,
+                        format!("window gate: own verification of slot {floor} timed out"),
+                    );
+                }
+            }
+            telemetry
+                .phases
+                .record(Phase::Exchange, exchange_started.elapsed());
+
+            // --- Apply gossip and generate, mirroring the engine's phases.
+            let generate_started = Instant::now();
+            let digest = {
+                let mut node = self.shared.node.write().expect("node lock poisoned");
+                node.begin_slot();
+                if slot > start_slot {
+                    let mut buffered = self.shared.digests.lock().expect("digests poisoned");
+                    for &nb in &neighbors {
+                        let latest = buffered
+                            .get(&nb)
+                            .and_then(|per_slot| per_slot.range(..slot).next_back())
+                            .map(|(_, &d)| d);
+                        if let Some(d) = latest {
+                            node.receive_digest(nb, d);
+                        }
+                    }
+                    // Unlike lockstep, the verify worker still reads digest
+                    // *presence* up to `window` slots back — prune to the
+                    // window floor, not to slot-1.
+                    for per_slot in buffered.values_mut() {
+                        *per_slot = per_slot.split_off(&slot.saturating_sub(window));
+                    }
+                }
+                let mut rng = derived_rng(seed, stream::GENERATE, slot, id);
+                let payload = sensor_payload(&mut rng, id, slot);
+                let block = node
+                    .generate_block(&self.cfg, slot, payload)
+                    .map_err(|e| format!("generation failed at slot {slot}: {e}"))?;
+                telemetry
+                    .phases
+                    .record(Phase::Generate, generate_started.elapsed());
+                telemetry.journal.record(
+                    slot,
+                    EventKind::Generate,
+                    format!("generated block #{}", node.chain_len() - 1),
+                );
+                // PerSlot durability: the engine's slot-boundary commit point.
+                let sync_started = Instant::now();
+                node.store_mut()
+                    .sync()
+                    .map_err(|e| format!("sync failed at slot {slot}: {e}"))?;
+                let synced = sync_started.elapsed();
+                telemetry.fsync.record(synced);
+                telemetry.phases.record(Phase::Commit, synced);
+                block.header_digest()
+            };
+            let gossip_started = Instant::now();
+            {
+                let mut own = self
+                    .shared
+                    .own_digests
+                    .lock()
+                    .expect("own digests poisoned");
+                own.insert(slot, digest);
+                // Peers can lag at most one window, but a late joiner's
+                // catch-up pull may reach further back; 64 slots of
+                // 32-byte history is cheap insurance.
+                *own = own.split_off(&slot.saturating_sub(64));
+            }
+            // The verify worker may be parked on this very digest.
+            notify_progress(&self.shared);
+            // PoP mode: every generating peer consumes the digest.
+            for (_, addr) in self.generator_addrs(slot) {
+                let _ = self
+                    .endpoint
+                    .send_control(addr, &Control::SlotDigest { slot, digest });
+            }
+            telemetry
+                .phases
+                .record(Phase::Gossip, gossip_started.elapsed());
+            let retries = self.endpoint.stats().request_retries - retries_before;
+            if retries > 0 {
+                telemetry.journal.record(
+                    slot,
+                    EventKind::Retry,
+                    format!("{retries} request retransmissions"),
+                );
+            }
+        }
+        Ok(degraded)
+    }
+
+    /// The pipelined verify worker: verifies slots strictly in order,
+    /// mirroring the lockstep loop's PoP section exactly — same barrier,
+    /// same derived randomness, same target choice — with every child
+    /// lookup horizon-capped at the slot under verification.
+    fn verify_worker(&self, start_slot: u64, end_slot: u64, min_age: u64) -> SlotLoopOutcome {
+        let id = self.config.id;
+        let seed = self.config.seed;
+        let telemetry = &self.shared.telemetry;
+        let mut outcome = SlotLoopOutcome {
+            degraded: false,
+            pop_attempts: 0,
+            pop_successes: 0,
+        };
+        // The worker owns the node's trust state for the whole run (the
+        // generation half never reads it), returning it at the end.
+        let (mut trust_cache, mut blacklist) = {
+            let mut node = self.shared.node.write().expect("node lock poisoned");
+            (node.take_trust_cache(), node.take_blacklist(&self.cfg))
+        };
+        for slot in start_slot..end_slot {
+            if self.shared.pipeline_abort.load(Ordering::Relaxed) {
+                outcome.degraded = true;
+                break;
+            }
+            // Our own slot-`slot` block must exist before the PoP scans.
+            if !self.wait_own_generated(slot) {
+                outcome.degraded = true;
+                break;
+            }
+            let verify_started = Instant::now();
+            // The engine's verify phase starts after *all* generation in
+            // the slot (same barrier as the lockstep loop).
+            let all_generators: Vec<NodeId> = {
+                let roster = self.shared.roster.lock().expect("roster poisoned");
+                roster
+                    .generators_at(slot)
+                    .into_iter()
+                    .filter(|&p| p != id)
+                    .collect()
+            };
+            if !self.digest_barrier(&all_generators, slot) {
+                outcome.degraded = true;
+            }
+            let candidates = {
+                let roster = self.shared.roster.lock().expect("roster poisoned");
+                wire_pop_candidates(&roster, id, slot, min_age)
+            };
+            let mut target_rng = derived_rng(seed, stream::TARGET, slot, id);
+            if let Some(&target) = target_rng.choose(&candidates) {
+                outcome.pop_attempts += 1;
+                telemetry.pop_attempts.fetch_add(1, Ordering::Relaxed);
+                let pop_started = Instant::now();
+                let report =
+                    self.run_pop_with(slot, target, &mut trust_cache, &mut blacklist, Some(slot));
+                telemetry.pop_rtt.record(pop_started.elapsed());
+                telemetry.merge_pop(&report.metrics);
+                if report.is_success() {
+                    outcome.pop_successes += 1;
+                    telemetry.pop_successes.fetch_add(1, Ordering::Relaxed);
+                }
+                telemetry.journal.record(
+                    slot,
+                    EventKind::Pop,
+                    format!(
+                        "verified {target}: {} ({} distinct, {} msgs)",
+                        if report.is_success() { "ok" } else { "failed" },
+                        report.distinct_nodes,
+                        report.metrics.total_messages(),
+                    ),
+                );
+                if report.metrics.timeouts > 0 {
+                    telemetry.journal.record(
+                        slot,
+                        EventKind::Timeout,
+                        format!("{} PoP requests timed out", report.metrics.timeouts),
+                    );
+                }
+                if report.metrics.pruned_misses > 0 {
+                    telemetry.journal.record(
+                        slot,
+                        EventKind::Pruned,
+                        format!("{} pruned misses during PoP", report.metrics.pruned_misses),
+                    );
+                }
+            }
+            // Slot completed (generated *and* verified): announce, raise
+            // the local watermark, close the latency sample.
+            for (_, addr) in self.generator_addrs(slot) {
+                let _ = self
+                    .endpoint
+                    .send_control(addr, &Control::SlotDone { slot });
+            }
+            self.shared
+                .verified_through
+                .store(slot + 1, Ordering::Relaxed);
+            notify_progress(&self.shared);
+            let started = self
+                .shared
+                .slot_started
+                .lock()
+                .expect("slot started poisoned")
+                .remove(&slot);
+            if let Some(started) = started {
+                telemetry.slot_latency.record(started.elapsed());
+            }
+            telemetry
+                .phases
+                .record(Phase::Verify, verify_started.elapsed());
+        }
+        if outcome.degraded {
+            // Free the generation half from its window-gate waits.
+            self.shared.pipeline_abort.store(true, Ordering::Relaxed);
+            notify_progress(&self.shared);
+        }
+        let mut node = self.shared.node.write().expect("node lock poisoned");
+        node.restore_trust_cache(trust_cache);
+        node.restore_blacklist(blacklist);
+        outcome
+    }
+
+    /// True when a roster membership event at or before `slot` has not yet
+    /// been folded into the local topology.
+    fn membership_pending(
+        &self,
+        slot: u64,
+        applied_joins: &HashSet<NodeId>,
+        applied_leaves: &HashSet<NodeId>,
+    ) -> bool {
+        let roster = self.shared.roster.lock().expect("roster poisoned");
+        let pending = roster.entries().any(|(p, m)| {
+            (m.leave_slot.is_some_and(|l| l <= slot) && !applied_leaves.contains(&p))
+                || (m.join_slot <= slot && !applied_joins.contains(&p))
+        });
+        pending
+    }
+
+    /// One barrier wait quantum. Lockstep keeps the seed's 5 ms sleep (its
+    /// timing is the baseline the saturation benchmark measures against);
+    /// the pipeline parks on the progress condvar instead, so a blocked
+    /// loop burns no syscall churn and wakes the moment the dispatcher
+    /// hears news.
+    fn barrier_pause(&self) {
+        if self.config.window > 1 {
+            let version = self.shared.progress.lock().expect("progress poisoned");
+            let _ = self
+                .shared
+                .progress_cv
+                .wait_timeout(version, Duration::from_millis(25))
+                .expect("progress poisoned");
+        } else {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    /// Waits until our own slot-`slot` block has been generated. Returns
+    /// `false` on timeout or pipeline abort.
+    fn wait_own_generated(&self, slot: u64) -> bool {
+        let deadline = Instant::now() + self.config.slot_timeout;
+        loop {
+            if self
+                .shared
+                .own_digests
+                .lock()
+                .expect("own digests poisoned")
+                .contains_key(&slot)
+            {
+                return true;
+            }
+            if self.shared.pipeline_abort.load(Ordering::Relaxed) || Instant::now() > deadline {
+                return false;
+            }
+            self.barrier_pause();
+        }
+    }
+
+    /// Waits until the local verify watermark reaches `target`. Returns
+    /// `false` on timeout or pipeline abort.
+    fn wait_verified_through(&self, target: u64) -> bool {
+        let deadline = Instant::now() + self.config.slot_timeout;
+        loop {
+            if self.shared.verified_through.load(Ordering::Relaxed) >= target {
+                return true;
+            }
+            if self.shared.pipeline_abort.load(Ordering::Relaxed) || Instant::now() > deadline {
+                return false;
+            }
+            self.barrier_pause();
+        }
+    }
+
+    /// Leave announcement + report/linger, shared by both slot loops.
+    fn wind_down(
+        &self,
+        start_slot: u64,
+        end_slot: u64,
+        catch_up_ms: u64,
+        slot_loop_ms: u64,
+        outcome: SlotLoopOutcome,
+    ) -> Result<NodeOutcome, String> {
+        let id = self.config.id;
+        let telemetry = &self.shared.telemetry;
+        let SlotLoopOutcome {
+            mut degraded,
+            pop_attempts,
+            pop_successes,
+        } = outcome;
 
         // --- Graceful leave: announce the departure so peers drop us from
         // their rosters (and re-gossip the delta for lost copies).
@@ -910,6 +1433,7 @@ need --join)",
             pop_attempts,
             pop_successes,
             catch_up_ms,
+            slot_loop_ms,
             degraded,
             net: self.endpoint.stats(),
         };
@@ -1051,10 +1575,12 @@ need --join)",
 
         // Phase 2: resolve the join slot. A scheduled joiner brings it in
         // its config; a dynamic one starts a safety margin past the
-        // responder's progress so its announcement can outrun the cluster.
+        // responder's progress so its announcement can outrun the cluster
+        // (which may be generating up to `window` slots past the
+        // responder's verified slot).
         let join_slot = match self.config.join_slot {
             Some(slot) => slot,
-            None => responder_slot + 4,
+            None => responder_slot + 3 + self.config.window,
         };
         let self_addr = self
             .endpoint
@@ -1153,7 +1679,7 @@ need --join)",
                 return true;
             }
             let now = Instant::now();
-            if now > deadline {
+            if now > deadline || self.shared.pipeline_abort.load(Ordering::Relaxed) {
                 return false;
             }
             self.maybe_evict(&missing, slot);
@@ -1167,27 +1693,24 @@ need --join)",
                 }
                 next_pull = now + Duration::from_millis(120);
             }
-            std::thread::sleep(Duration::from_millis(5));
+            self.barrier_pause();
         }
     }
 
     /// Waits until every peer that generated `slot` completed it
     /// (generation *and* its PoP). While blocked, re-broadcasts our own
-    /// [`Control::SlotDone`] for `slot` (if we executed it) and pulls the
-    /// blockers' slot+1 digests — a peer's digest for `slot + 1` proves it
-    /// completed `slot`, which is how a late joiner with no own progress
-    /// at `slot` catches up without deadlocking. Returns `false` on
-    /// timeout.
+    /// [`Control::SlotDone`] for `slot` (if we completed it) and pulls the
+    /// blockers' slot+W digests — a peer's digest for `slot + W` proves it
+    /// completed `slot` (the window gate), which is how a late joiner with
+    /// no own progress at `slot` catches up without deadlocking. Returns
+    /// `false` on timeout.
     fn done_barrier(&self, slot: u64) -> bool {
         let deadline = Instant::now() + self.config.slot_timeout;
         let mut next_push = Instant::now() + Duration::from_millis(120);
-        let executed_slot = self
-            .shared
-            .own_digests
-            .lock()
-            .expect("own digests poisoned")
-            .contains_key(&slot);
         loop {
+            // Read fresh each pass: in pipelined mode the verify worker
+            // can complete `slot` mid-wait.
+            let executed_slot = self.shared.verified_through.load(Ordering::Relaxed) > slot;
             let blocked: Vec<(NodeId, SocketAddr)> = {
                 let done = self.shared.done.lock().expect("done poisoned");
                 self.generator_addrs(slot)
@@ -1199,7 +1722,7 @@ need --join)",
                 return true;
             }
             let now = Instant::now();
-            if now > deadline {
+            if now > deadline || self.shared.pipeline_abort.load(Ordering::Relaxed) {
                 return false;
             }
             let ids: Vec<NodeId> = blocked.iter().map(|(p, _)| *p).collect();
@@ -1214,13 +1737,16 @@ need --join)",
                             .endpoint
                             .send_control(*addr, &Control::SlotDone { slot });
                     }
-                    let _ = self
-                        .endpoint
-                        .send_control(*addr, &Control::DigestReq { slot: slot + 1 });
+                    let _ = self.endpoint.send_control(
+                        *addr,
+                        &Control::DigestReq {
+                            slot: slot + self.shared.window,
+                        },
+                    );
                 }
                 next_push = now + Duration::from_millis(120);
             }
-            std::thread::sleep(Duration::from_millis(5));
+            self.barrier_pause();
         }
     }
 
@@ -1267,33 +1793,70 @@ need --join)",
             let mut node = self.shared.node.write().expect("node lock poisoned");
             (node.take_trust_cache(), node.take_blacklist(&self.cfg))
         };
-        let report = {
-            // Read locks: the dispatcher keeps serving peers' requests
-            // concurrently, so symmetric cross-verification cannot deadlock;
-            // the topology is only written by this same thread at slot
-            // boundaries.
-            let topology = self.shared.topology.read().expect("topology poisoned");
-            let node = self.shared.node.read().expect("node lock poisoned");
-            let mut pop_rng = derived_rng(self.config.seed, stream::POP, slot, self.config.id);
-            let mut transport = NetPopTransport {
-                endpoint: &self.endpoint,
-                peers: &self.peers,
-            };
-            let mut validator = Validator::new(
-                &self.cfg,
-                &topology,
-                self.config.id,
-                node.store(),
-                &mut trust_cache,
-                &mut blacklist,
-                &mut pop_rng,
-            );
-            validator.run(target, &mut transport)
-        };
+        let report = self.run_pop_with(slot, target, &mut trust_cache, &mut blacklist, None);
         let mut node = self.shared.node.write().expect("node lock poisoned");
         node.restore_trust_cache(trust_cache);
         node.restore_blacklist(blacklist);
         report
+    }
+
+    /// Runs one PoP with caller-held trust state. `horizon: None` is the
+    /// lockstep path: the validator reads its store under a read lock held
+    /// for the whole walk (nobody appends mid-slot). `Some(v)` is the
+    /// pipelined path: the generation half keeps appending while the walk
+    /// runs, so the validator reads through [`PipelinedStore`] (a fresh
+    /// read lock per call) and caps every child lookup — its own and the
+    /// wire's — at slot `v`, which makes the view identical to lockstep's.
+    fn run_pop_with(
+        &self,
+        slot: u64,
+        target: BlockId,
+        trust_cache: &mut TrustCache,
+        blacklist: &mut Blacklist,
+        horizon: Option<u64>,
+    ) -> PopReport {
+        // Read locks: the dispatcher keeps serving peers' requests
+        // concurrently, so symmetric cross-verification cannot deadlock;
+        // the topology is only written at slot boundaries (with the
+        // pipeline drained to the boundary first).
+        let topology = self.shared.topology.read().expect("topology poisoned");
+        let mut pop_rng = derived_rng(self.config.seed, stream::POP, slot, self.config.id);
+        let mut transport = NetPopTransport {
+            endpoint: &self.endpoint,
+            peers: &self.peers,
+            horizon,
+        };
+        match horizon {
+            None => {
+                let node = self.shared.node.read().expect("node lock poisoned");
+                let mut validator = Validator::new(
+                    &self.cfg,
+                    &topology,
+                    self.config.id,
+                    node.store(),
+                    trust_cache,
+                    blacklist,
+                    &mut pop_rng,
+                );
+                validator.run(target, &mut transport)
+            }
+            Some(h) => {
+                let store = PipelinedStore {
+                    node: &self.shared.node,
+                };
+                let mut validator = Validator::new(
+                    &self.cfg,
+                    &topology,
+                    self.config.id,
+                    &store,
+                    trust_cache,
+                    blacklist,
+                    &mut pop_rng,
+                )
+                .with_horizon(h);
+                validator.run(target, &mut transport)
+            }
+        }
     }
 
     /// Reports to the controller (until acked) or lingers serving peers,
@@ -1402,12 +1965,13 @@ fn dispatch(endpoint: &Endpoint, shared: &Shared, peers: &PeerTable, inbound: In
                         .or_default()
                         .entry(slot)
                         .or_insert(digest);
-                    // Generating slot t requires having passed the done
-                    // barrier for t-1, so a digest doubles as a (possibly
-                    // lost) SlotDone(t-1) — lockstep stays live even when
-                    // the explicit announcement was dropped.
-                    if slot > 0 {
-                        mark_done(shared, from, slot - 1);
+                    // Generating slot t requires having passed the window
+                    // gate for t — completion through t-W — so a digest
+                    // doubles as a (possibly lost) SlotDone(t-W). W = 1 is
+                    // the classic lockstep inference: the loop stays live
+                    // even when the explicit announcement was dropped.
+                    if slot >= shared.window {
+                        mark_done(shared, from, slot - shared.window);
                     }
                 }
                 Control::SlotDone { slot } => mark_done(shared, from, slot),
@@ -1538,8 +2102,18 @@ fn dispatch(endpoint: &Endpoint, shared: &Shared, peers: &PeerTable, inbound: In
                 Control::ReportAck => shared.report_acked.store(true, Ordering::Relaxed),
                 Control::Report(_) => {} // only the harness controller consumes these
             }
+            // Any control message may have been the news a pipelined wait
+            // is parked on.
+            notify_progress(shared);
         }
     }
+}
+
+/// Bumps the progress version and wakes every wait parked on it.
+fn notify_progress(shared: &Shared) {
+    let mut version = shared.progress.lock().expect("progress poisoned");
+    *version = version.wrapping_add(1);
+    shared.progress_cv.notify_all();
 }
 
 /// Forwards a freshly learned membership delta to every addressable
@@ -1585,10 +2159,36 @@ fn collect_view(node_id: NodeId, endpoint: &Endpoint, shared: &Shared) -> Metric
                 .count() as u64,
         )
     };
+    let current = shared.current_slot.load(Ordering::Relaxed);
+    let verified = shared.verified_through.load(Ordering::Relaxed);
+    // Occupancy: slots in flight between generation and verification (the
+    // lockstep loop reads 1 mid-slot, the pipeline up to `window`).
+    let window_occupancy = (current + 1).saturating_sub(verified);
+    // Lag: how far the slowest generating peer's completion watermark
+    // trails our current slot. Locks taken sequentially, never nested.
+    let watermark_lag = {
+        let generators: Vec<NodeId> = {
+            let roster = shared.roster.lock().expect("roster poisoned");
+            roster
+                .generators_at(current)
+                .into_iter()
+                .filter(|&p| p != node_id)
+                .collect()
+        };
+        let done = shared.done.lock().expect("done poisoned");
+        generators
+            .iter()
+            .map(|p| done.get(p).copied().unwrap_or(0))
+            .min()
+            .map_or(0, |low| current.saturating_sub(low))
+    };
     let telemetry = &shared.telemetry;
     MetricsView {
         node: node_id,
-        slot: shared.current_slot.load(Ordering::Relaxed),
+        slot: current,
+        window: shared.window,
+        window_occupancy,
+        watermark_lag,
         net: endpoint.stats(),
         pop: telemetry.pop(),
         pop_attempts: telemetry.pop_attempts.load(Ordering::Relaxed),
@@ -1607,6 +2207,66 @@ fn collect_view(node_id: NodeId, endpoint: &Endpoint, shared: &Shared) -> Metric
         request_rtt: endpoint.request_rtt().snapshot(),
         retry_backoff: endpoint.retry_backoff().snapshot(),
         fsync: telemetry.fsync.snapshot(),
+        slot_latency: telemetry.slot_latency.snapshot(),
+        batch_fill: endpoint.batch_fill().snapshot(),
+    }
+}
+
+/// [`BlockBackend`] view over the live node for the pipelined validator:
+/// every call takes a fresh read lock, so the verify worker never holds
+/// the node lock across PoP network I/O (which would stall the generation
+/// half's writes for a whole round-trip). Horizon capping makes the walk
+/// insensitive to blocks appended between calls — every lookup the
+/// validator performs is filtered to `header.time <= horizon`, and the
+/// store below an already-generated slot never changes.
+struct PipelinedStore<'a> {
+    node: &'a RwLock<LedgerNode>,
+}
+
+impl PipelinedStore<'_> {
+    fn with<T>(&self, f: impl FnOnce(&dyn BlockBackend) -> T) -> T {
+        let node = self.node.read().expect("node lock poisoned");
+        f(node.store())
+    }
+}
+
+impl fmt::Debug for PipelinedStore<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PipelinedStore")
+    }
+}
+
+impl BlockBackend for PipelinedStore<'_> {
+    fn append(&mut self, _block: DataBlock) -> Result<(), TldagError> {
+        unreachable!("the validator never appends")
+    }
+    fn len(&self) -> usize {
+        self.with(|s| s.len())
+    }
+    fn get(&self, seq: u32) -> Option<DataBlock> {
+        self.with(|s| s.get(seq))
+    }
+    fn by_header_digest(&self, digest: &Digest) -> Option<DataBlock> {
+        self.with(|s| s.by_header_digest(digest))
+    }
+    fn oldest_child_of(&self, target: &Digest) -> Option<DataBlock> {
+        self.with(|s| s.oldest_child_of(target))
+    }
+    fn children_of(&self, target: &Digest) -> Vec<DataBlock> {
+        self.with(|s| s.children_of(target))
+    }
+    fn iter(&self) -> Box<dyn Iterator<Item = DataBlock> + '_> {
+        let blocks: Vec<DataBlock> = self.with(|s| s.iter().collect());
+        Box::new(blocks.into_iter())
+    }
+    fn logical_bits(&self, cfg: &ProtocolConfig) -> Bits {
+        self.with(|s| s.logical_bits(cfg))
+    }
+    fn resident_bytes(&self) -> usize {
+        self.with(|s| s.resident_bytes())
+    }
+    fn pruned_floor(&self) -> u32 {
+        self.with(|s| s.pruned_floor())
     }
 }
 

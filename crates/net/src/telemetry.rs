@@ -25,9 +25,10 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Mutex;
 use std::time::Duration;
 use tldag_core::pop::validator::PopMetrics;
+pub use tldag_obs::HistogramSnapshot;
 use tldag_obs::{
-    histogram_quantile, http_get, parse_exposition, Expo, HistogramSnapshot, Journal,
-    LatencyHistogram, Phase, PhaseTimings, Sample,
+    histogram_quantile, http_get, parse_exposition, Expo, Journal, LatencyHistogram, Phase,
+    PhaseTimings, Sample,
 };
 use tldag_sim::NodeId;
 
@@ -41,6 +42,11 @@ pub const JOURNAL_CAPACITY: usize = 1024;
 pub struct NodeTelemetry {
     /// Slot-loop phase latencies (generate/exchange/gossip/verify/commit).
     pub phases: PhaseTimings,
+    /// End-to-end slot latency: from generation start until the slot's
+    /// verification completed. In lockstep mode this tracks the slot-loop
+    /// iteration; in pipelined mode it measures true pipeline depth (a
+    /// slot's verification can finish several generations later).
+    pub slot_latency: LatencyHistogram,
     /// Wall-clock latency of whole PoP verifications (wire round trips
     /// included).
     pub pop_rtt: LatencyHistogram,
@@ -67,6 +73,7 @@ impl NodeTelemetry {
     pub fn new(journal_capacity: usize) -> Self {
         NodeTelemetry {
             phases: PhaseTimings::new(),
+            slot_latency: LatencyHistogram::new(),
             pop_rtt: LatencyHistogram::new(),
             fsync: LatencyHistogram::new(),
             journal: Journal::bounded(journal_capacity),
@@ -125,8 +132,21 @@ pub struct MetricsView {
     pub journal_len: u64,
     /// Journal events evicted by the ring bound.
     pub journal_dropped: u64,
+    /// Configured pipeline window (1 = lockstep).
+    pub window: u64,
+    /// Slots currently in flight: generated but not yet verified locally
+    /// (always ≤ window; 1 means the pipeline is drained).
+    pub window_occupancy: u64,
+    /// How far the roster-wide completion low-watermark trails this
+    /// node's generation head, in slots — the stall-pressure gauge.
+    pub watermark_lag: u64,
     /// Per-phase slot-loop latency snapshots.
     pub phases: Vec<(Phase, HistogramSnapshot)>,
+    /// End-to-end slot latency snapshot (generation start → verified).
+    pub slot_latency: HistogramSnapshot,
+    /// Datagrams handled per receiver wakeup (a count histogram stored in
+    /// the microsecond buckets: "µs" reads as "datagrams").
+    pub batch_fill: HistogramSnapshot,
     /// PoP round-trip latency snapshot.
     pub pop_rtt: HistogramSnapshot,
     /// Request/reply round-trip latency snapshot.
@@ -191,6 +211,21 @@ pub fn render_metrics(view: &MetricsView) -> String {
         "Events evicted by the journal's ring bound.",
         view.journal_dropped,
     );
+    expo.gauge(
+        "tldag_window",
+        "Configured pipeline window (1 = lockstep).",
+        view.window as f64,
+    );
+    expo.gauge(
+        "tldag_window_occupancy",
+        "Slots generated but not yet verified locally.",
+        view.window_occupancy as f64,
+    );
+    expo.gauge(
+        "tldag_watermark_lag",
+        "Slots the roster-wide completion low-watermark trails the head.",
+        view.watermark_lag as f64,
+    );
     expo.counter(
         "tldag_pop_attempts_total",
         "PoP verifications attempted.",
@@ -232,6 +267,18 @@ pub fn render_metrics(view: &MetricsView) -> String {
         "tldag_phase_latency_micros",
         "Slot-loop phase latency in microseconds.",
         &phase_series,
+    );
+    expo.histogram(
+        "tldag_slot_latency_micros",
+        "End-to-end slot latency (generation start to verified) in \
+microseconds.",
+        &[(&[], &view.slot_latency)],
+    );
+    expo.histogram(
+        "tldag_batch_fill",
+        "Datagrams handled per receiver wakeup (bucket bounds are counts, \
+not microseconds).",
+        &[(&[], &view.batch_fill)],
     );
     expo.histogram(
         "tldag_pop_rtt_micros",
@@ -288,6 +335,12 @@ pub struct StatusRow {
     pub request_retries: u64,
     /// Requests that exhausted their retry budget.
     pub request_timeouts: u64,
+    /// Slots generated but not yet verified locally (max for the
+    /// aggregate — summing occupancies across nodes is meaningless).
+    pub window_occupancy: u64,
+    /// Slots the roster-wide low-watermark trails the head (max for the
+    /// aggregate).
+    pub watermark_lag: u64,
     /// Generate-phase median latency in microseconds.
     pub generate_p50: u64,
     /// Verify-phase median latency in microseconds.
@@ -321,6 +374,8 @@ impl StatusRow {
             requests_sent: scalar(samples, "tldag_net_requests_sent_total"),
             request_retries: scalar(samples, "tldag_net_request_retries_total"),
             request_timeouts: scalar(samples, "tldag_net_request_timeouts_total"),
+            window_occupancy: scalar(samples, "tldag_window_occupancy"),
+            watermark_lag: scalar(samples, "tldag_watermark_lag"),
             generate_p50: quantile(
                 samples,
                 "tldag_phase_latency_micros",
@@ -353,7 +408,8 @@ impl StatusRow {
         format!(
             "{{\"target\":\"{}\",\"node\":{},\"slot\":{},\"chain_len\":{},\
 \"pop_attempts\":{},\"pop_successes\":{},\"requests_sent\":{},\
-\"request_retries\":{},\"request_timeouts\":{},\"generate_p50_us\":{},\
+\"request_retries\":{},\"request_timeouts\":{},\"window_occupancy\":{},\
+\"watermark_lag\":{},\"generate_p50_us\":{},\
 \"verify_p50_us\":{},\"commit_p50_us\":{},\"rtt_p50_us\":{},\"rtt_p99_us\":{}}}",
             self.target,
             node,
@@ -364,6 +420,8 @@ impl StatusRow {
             self.requests_sent,
             self.request_retries,
             self.request_timeouts,
+            self.window_occupancy,
+            self.watermark_lag,
             self.generate_p50,
             self.verify_p50,
             self.commit_p50,
@@ -394,13 +452,16 @@ pub fn merge_samples(per_node: &[Vec<Sample>]) -> Vec<Sample> {
 }
 
 /// Builds the aggregate `TOTAL` row: counters and histograms are summed
-/// across nodes (quantiles re-estimated from the merged buckets); `slot`
-/// is the per-node maximum, `node` is absent.
+/// across nodes (quantiles re-estimated from the merged buckets); `slot`,
+/// `window_occupancy`, and `watermark_lag` are per-node maxima, `node` is
+/// absent.
 pub fn total_row(per_node: &[Vec<Sample>], rows: &[StatusRow]) -> StatusRow {
     let merged = merge_samples(per_node);
     let mut total = StatusRow::from_samples("TOTAL", &merged);
     total.node = None;
     total.slot = rows.iter().map(|r| r.slot).max().unwrap_or(0);
+    total.window_occupancy = rows.iter().map(|r| r.window_occupancy).max().unwrap_or(0);
+    total.watermark_lag = rows.iter().map(|r| r.watermark_lag).max().unwrap_or(0);
     total
 }
 
@@ -408,7 +469,7 @@ pub fn total_row(per_node: &[Vec<Sample>], rows: &[StatusRow]) -> StatusRow {
 pub fn render_status_table(rows: &[StatusRow]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<22} {:>4} {:>6} {:>6} {:>9} {:>8} {:>7} {:>8} {:>9} {:>9} {:>9} {:>9}\n",
+        "{:<22} {:>4} {:>6} {:>6} {:>9} {:>8} {:>7} {:>8} {:>4} {:>4} {:>9} {:>9} {:>9} {:>9}\n",
         "TARGET",
         "NODE",
         "SLOT",
@@ -417,6 +478,8 @@ pub fn render_status_table(rows: &[StatusRow]) -> String {
         "REQS",
         "RETRY",
         "TIMEOUT",
+        "OCC",
+        "LAG",
         "GEN P50",
         "VRF P50",
         "CMT P50",
@@ -425,7 +488,7 @@ pub fn render_status_table(rows: &[StatusRow]) -> String {
     for row in rows {
         let node = row.node.map_or("-".to_string(), |n| n.to_string());
         out.push_str(&format!(
-            "{:<22} {:>4} {:>6} {:>6} {:>9} {:>8} {:>7} {:>8} {:>8}u {:>8}u {:>8}u {:>8}u\n",
+            "{:<22} {:>4} {:>6} {:>6} {:>9} {:>8} {:>7} {:>8} {:>4} {:>4} {:>8}u {:>8}u {:>8}u {:>8}u\n",
             row.target,
             node,
             row.slot,
@@ -434,6 +497,8 @@ pub fn render_status_table(rows: &[StatusRow]) -> String {
             row.requests_sent,
             row.request_retries,
             row.request_timeouts,
+            row.window_occupancy,
+            row.watermark_lag,
             row.generate_p50,
             row.verify_p50,
             row.commit_p50,
@@ -496,7 +561,12 @@ mod tests {
             roster_departed: 0,
             journal_len: 2,
             journal_dropped: 0,
+            window: 4,
+            window_occupancy: 3,
+            watermark_lag: 2,
             phases: telemetry.phases.snapshot(),
+            slot_latency: telemetry.slot_latency.snapshot(),
+            batch_fill: HistogramSnapshot::default(),
             pop_rtt: telemetry.pop_rtt.snapshot(),
             request_rtt: HistogramSnapshot::default(),
             retry_backoff: HistogramSnapshot::default(),
@@ -518,6 +588,8 @@ mod tests {
         assert_eq!(row.requests_sent, 40);
         assert_eq!(row.request_retries, 3);
         assert_eq!(row.request_timeouts, 1);
+        assert_eq!(row.window_occupancy, 3);
+        assert_eq!(row.watermark_lag, 2);
         // 120µs lands in the (64, 127] bucket → p50 estimate 127.
         assert_eq!(row.generate_p50, 127);
         assert!(row.verify_p50 >= 900 && row.verify_p50 < 1800);
@@ -529,6 +601,11 @@ mod tests {
         for name in [
             "tldag_node",
             "tldag_slot",
+            "tldag_window",
+            "tldag_window_occupancy",
+            "tldag_watermark_lag",
+            "tldag_slot_latency_micros_count",
+            "tldag_batch_fill_count",
             "tldag_chain_len",
             "tldag_store_fsync_total",
             "tldag_store_segments",

@@ -8,11 +8,38 @@
 //! loss-sweep experiment.
 
 use std::io;
-use std::net::{SocketAddr, UdpSocket};
+use std::net::{IpAddr, Ipv4Addr, SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
 use tldag_sim::DetRng;
+
+#[cfg(target_os = "linux")]
+use std::os::fd::AsRawFd;
+
+/// One slot of a batched receive ([`Datagram::recv_many`]): a reusable
+/// buffer plus the length and source the transport fills in per wakeup.
+#[derive(Debug)]
+pub struct RecvSlot {
+    /// Datagram buffer; its length bounds the largest receivable datagram.
+    pub buf: Vec<u8>,
+    /// Bytes of [`RecvSlot::buf`] filled by the last receive (0 = the slot
+    /// was filled with an undecodable source address and must be skipped).
+    pub len: usize,
+    /// Source address of the received datagram.
+    pub src: SocketAddr,
+}
+
+impl RecvSlot {
+    /// A slot with a zeroed `capacity`-byte buffer.
+    pub fn new(capacity: usize) -> Self {
+        RecvSlot {
+            buf: vec![0; capacity],
+            len: 0,
+            src: SocketAddr::new(IpAddr::V4(Ipv4Addr::UNSPECIFIED), 0),
+        }
+    }
+}
 
 /// Minimal datagram socket surface.
 ///
@@ -30,6 +57,48 @@ pub trait Datagram: Send + Sync {
 
     /// Sets the blocking-read timeout used by the receive loop.
     fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()>;
+
+    /// Sends a batch of `(payload, destination)` datagrams in one call.
+    ///
+    /// Per-datagram send failures are loss-equivalent for the protocol
+    /// (the retry layer recovers), so implementations skip them rather
+    /// than abort the batch. The portable default loops
+    /// [`Datagram::send_to`]; [`UdpTransport`] hands the whole batch to
+    /// the kernel with `sendmmsg` on Linux.
+    ///
+    /// # Errors
+    ///
+    /// Only transport-level failures that doom the entire batch.
+    fn send_many(&self, batch: &[(&[u8], SocketAddr)]) -> io::Result<usize> {
+        for (buf, addr) in batch {
+            let _ = self.send_to(buf, *addr);
+        }
+        Ok(batch.len())
+    }
+
+    /// Receives up to `slots.len()` datagrams in one wakeup, returning how
+    /// many slots were filled.
+    ///
+    /// The first receive honors the configured read timeout — this is the
+    /// event loop's *park*, so an idle endpoint blocks in the kernel
+    /// instead of spinning. Once traffic arrives, implementations may
+    /// drain further already-queued datagrams without blocking
+    /// ([`UdpTransport`] uses `recvmmsg(MSG_DONTWAIT)` on Linux); the
+    /// portable default receives exactly one.
+    ///
+    /// # Errors
+    ///
+    /// Timeout expiry surfaces as `WouldBlock`/`TimedOut` from the parked
+    /// receive, exactly like [`Datagram::recv_from`].
+    fn recv_many(&self, slots: &mut [RecvSlot]) -> io::Result<usize> {
+        let Some(first) = slots.first_mut() else {
+            return Ok(0);
+        };
+        let (len, src) = self.recv_from(&mut first.buf)?;
+        first.len = len;
+        first.src = src;
+        Ok(1)
+    }
 }
 
 impl<T: Datagram + ?Sized> Datagram for std::sync::Arc<T> {
@@ -44,6 +113,12 @@ impl<T: Datagram + ?Sized> Datagram for std::sync::Arc<T> {
     }
     fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
         (**self).set_read_timeout(dur)
+    }
+    fn send_many(&self, batch: &[(&[u8], SocketAddr)]) -> io::Result<usize> {
+        (**self).send_many(batch)
+    }
+    fn recv_many(&self, slots: &mut [RecvSlot]) -> io::Result<usize> {
+        (**self).recv_many(slots)
     }
 }
 
@@ -81,6 +156,44 @@ impl Datagram for UdpTransport {
 
     fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
         self.socket.set_read_timeout(dur)
+    }
+
+    fn send_many(&self, batch: &[(&[u8], SocketAddr)]) -> io::Result<usize> {
+        #[cfg(target_os = "linux")]
+        if batch.len() > 1 {
+            if let Ok(sent) = crate::mmsg::send_batch(self.socket.as_raw_fd(), batch) {
+                // The kernel accepted a prefix; the rest goes out the
+                // portable way (send errors are loss-equivalent).
+                for (buf, addr) in &batch[sent..] {
+                    let _ = self.socket.send_to(buf, *addr);
+                }
+                return Ok(batch.len());
+            }
+        }
+        for (buf, addr) in batch {
+            let _ = self.socket.send_to(buf, *addr);
+        }
+        Ok(batch.len())
+    }
+
+    fn recv_many(&self, slots: &mut [RecvSlot]) -> io::Result<usize> {
+        let Some((first, rest)) = slots.split_first_mut() else {
+            return Ok(0);
+        };
+        // The park: blocks up to the configured read timeout.
+        let (len, src) = self.socket.recv_from(&mut first.buf)?;
+        first.len = len;
+        first.src = src;
+        let mut filled = 1;
+        #[cfg(target_os = "linux")]
+        if !rest.is_empty() {
+            if let Ok(n) = crate::mmsg::recv_batch_nonblocking(self.socket.as_raw_fd(), rest) {
+                filled += n;
+            }
+        }
+        #[cfg(not(target_os = "linux"))]
+        let _ = rest;
+        Ok(filled)
     }
 }
 
@@ -219,6 +332,15 @@ impl<T: Datagram> Datagram for FaultyTransport<T> {
     fn set_read_timeout(&self, dur: Option<Duration>) -> io::Result<()> {
         self.inner.set_read_timeout(dur)
     }
+
+    // send_many deliberately stays the default per-datagram loop so the
+    // fault decisions (and the DetRng draw order behind them) are
+    // identical whether the caller batches or not.
+
+    fn recv_many(&self, slots: &mut [RecvSlot]) -> io::Result<usize> {
+        // Faults are send-path only; receiving keeps the inner batching.
+        self.inner.recv_many(slots)
+    }
 }
 
 #[cfg(test)]
@@ -327,6 +449,46 @@ mod tests {
             1,
             "teardown must flush the held datagram, not lose it"
         );
+    }
+
+    #[test]
+    fn batched_send_applies_faults_per_datagram() {
+        let t = FaultyTransport::new(
+            RecordingTransport::default(),
+            FaultSpec::loss(0.3),
+            DetRng::seed_from(2),
+        );
+        let bufs: Vec<Vec<u8>> = (0..1000u32).map(|i| i.to_be_bytes().to_vec()).collect();
+        let batch: Vec<(&[u8], SocketAddr)> = bufs.iter().map(|b| (b.as_slice(), addr())).collect();
+        assert_eq!(t.send_many(&batch).unwrap(), 1000);
+        // Same seed as `drops_land_near_the_configured_rate`: batching must
+        // not change the per-datagram fault decisions.
+        let dropped = t.injected_drops();
+        assert!((200..400).contains(&dropped), "drops = {dropped}");
+        assert_eq!(t.inner.sent.lock().unwrap().len() as u64, 1000 - dropped);
+    }
+
+    #[test]
+    fn udp_recv_many_drains_a_batch_per_wakeup() {
+        let rx = UdpTransport::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let tx = UdpTransport::bind("127.0.0.1:0".parse().unwrap()).unwrap();
+        let dst = rx.local_addr().unwrap();
+        rx.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let bufs: Vec<Vec<u8>> = (0..6u8).map(|i| vec![i; 8 + i as usize]).collect();
+        let batch: Vec<(&[u8], SocketAddr)> = bufs.iter().map(|b| (b.as_slice(), dst)).collect();
+        assert_eq!(tx.send_many(&batch).unwrap(), 6);
+        let mut slots: Vec<RecvSlot> = (0..8).map(|_| RecvSlot::new(1024)).collect();
+        let mut got: Vec<Vec<u8>> = Vec::new();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while got.len() < 6 && std::time::Instant::now() < deadline {
+            let n = rx.recv_many(&mut slots).unwrap();
+            for slot in slots.iter().take(n).filter(|s| s.len > 0) {
+                assert_eq!(slot.src, tx.local_addr().unwrap());
+                got.push(slot.buf[..slot.len].to_vec());
+            }
+        }
+        got.sort();
+        assert_eq!(got, bufs, "all six datagrams delivered intact");
     }
 
     #[test]

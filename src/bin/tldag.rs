@@ -14,12 +14,14 @@
 //!                [--retain-bytes B] [--persist-trust-cache]
 //! tldag node     --id I --listen ADDR --peers 0@A,1@B,... [--slots T]
 //!                [--seed S] [--nodes N] [--side M] [--gamma G] [--pop]
+//!                [--window W] [--batch K] [--drop P]
 //!                [--controller ADDR] [--storage memory|disk]
 //!                [--storage-dir PATH] [--join ADDR] [--join-slot K]
 //!                [--leave-at M] [--churn SPEC] [--evict-after SECS]
 //!                [--deadline SECS] [--metrics-addr ADDR]
 //! tldag cluster  [--nodes N] [--slots T] [--seed S] [--side M] [--gamma G]
-//!                [--pop] [--storage memory|disk] [--storage-dir PATH]
+//!                [--pop] [--window W] [--batch K] [--drop P]
+//!                [--storage memory|disk] [--storage-dir PATH]
 //!                [--base-port P] [--timeout SECS] [--churn SPEC]
 //!                [--metrics] [--status-every SECS]
 //! tldag status   --targets ADDR,ADDR,... [--json] [--timeout SECS]
@@ -65,6 +67,7 @@ USAGE:
 
     tldag node --id I --listen ADDR --peers 0@A,2@B,... [--slots T]
                [--seed S] [--nodes N] [--side M] [--gamma G] [--pop]
+               [--window W] [--batch K] [--drop P]
                [--controller ADDR] [--storage memory|disk] [--storage-dir P]
                [--join ADDR] [--join-slot K] [--leave-at M]
                [--churn SPEC] [--evict-after SECS] [--deadline SECS]
@@ -87,10 +90,18 @@ USAGE:
         is a Prometheus-style text exposition (phase-latency histograms,
         transport/PoP counters, storage gauges, roster state), GET
         /journal dumps the node's bounded event journal as JSONL.
+        Pipelining: --window W (PoP mode, W in 1..=32, default 1) lets
+        generation run up to W slots ahead of the cluster's completion
+        low-watermark while a background worker verifies slots in order
+        (horizon-capped child requests keep PoP answers byte-identical
+        to the W=1 lockstep); --batch K sets the socket send/recv batch
+        (datagrams per sendmmsg/recvmmsg wakeup); --drop P injects a
+        deterministic per-datagram drop probability for loss testing.
 
     tldag cluster [--nodes N] [--slots T] [--seed S] [--side M]
-                  [--gamma G] [--pop] [--storage memory|disk]
-                  [--storage-dir P] [--base-port P] [--timeout SECS]
+                  [--gamma G] [--pop] [--window W] [--batch K] [--drop P]
+                  [--storage memory|disk] [--storage-dir P]
+                  [--base-port P] [--timeout SECS]
                   [--churn SPEC] [--metrics] [--status-every SECS]
         Spawn N real `tldag node` processes on localhost UDP ports, run
         T slots, collect their reports, and verify network_digest parity
@@ -454,6 +465,21 @@ fn cmd_node(args: &Args) -> Result<(), String> {
     config.side_m = args.get("side", 300.0)?;
     config.gamma = args.get("gamma", 3)?;
     config.pop = args.switch("pop");
+    config.window = args.get("window", 1)?;
+    config.endpoint.batch = args.get("batch", config.endpoint.batch)?;
+    let drop_rate: f64 = args.get("drop", 0.0)?;
+    if !(0.0..1.0).contains(&drop_rate) {
+        return Err(format!(
+            "invalid value for --drop: `{drop_rate}` (0.0..1.0)"
+        ));
+    }
+    if drop_rate > 0.0 {
+        config.fault = Some(tldag::net::FaultSpec {
+            drop: drop_rate,
+            duplicate: 0.0,
+            reorder: 0.0,
+        });
+    }
     config.controller = match args.flags.get("controller") {
         None => None,
         Some(raw) => Some(
@@ -564,6 +590,21 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
     config.side_m = args.get("side", 300.0)?;
     config.gamma = args.get("gamma", 3)?;
     config.pop = args.switch("pop");
+    config.window = args.get("window", 1)?;
+    config.batch = match args.flags.get("batch") {
+        None => None,
+        Some(raw) => Some(
+            raw.parse()
+                .map_err(|_| format!("invalid value for --batch: `{raw}`"))?,
+        ),
+    };
+    config.drop = args.get("drop", 0.0)?;
+    if !(0.0..1.0).contains(&config.drop) {
+        return Err(format!(
+            "invalid value for --drop: `{}` (0.0..1.0)",
+            config.drop
+        ));
+    }
     config.base_port = match args.flags.get("base-port") {
         None => None,
         Some(raw) => Some(

@@ -100,6 +100,54 @@ fn churn_cluster_with_pop_matches_engine_counters() {
 }
 
 #[test]
+fn pipelined_cluster_matches_lockstep_and_engine_exactly() {
+    // The epoch-window acceptance bar: with generation running up to 4
+    // slots ahead of verification, horizon-capped child requests must
+    // keep every PoP exchange — and therefore every chain digest and
+    // attempt/success counter — byte-identical to the engine (and hence
+    // to the W=1 lockstep run, which is engine-equivalent by the test
+    // above).
+    let mut config = base_config(4, 9, 7);
+    config.pop = true;
+    config.window = 4;
+    let outcome = run_cluster(&config).expect("cluster run");
+    assert!(
+        !outcome.degraded(),
+        "the pipeline must not stall on loopback"
+    );
+    assert_eq!(
+        outcome.wire_digest, outcome.reference_digest,
+        "the pipelined cluster must reproduce the engine's network digest"
+    );
+    assert!(outcome.wire_pop.0 > 0, "the workload must trigger");
+    assert_eq!(
+        outcome.wire_pop, outcome.reference_pop,
+        "pipelined PoP counters must match the engine's"
+    );
+}
+
+#[test]
+fn lossy_cluster_heals_to_parity() {
+    // 10% of every node's datagrams are dropped deterministically; the
+    // retry/backoff budget and pull-based digest recovery must heal the
+    // run to exact parity (the chance of any request exhausting its
+    // 6-retry budget at this rate is ~1e-5 per exchange).
+    let mut config = base_config(3, 6, 20260808);
+    config.pop = true;
+    config.drop = 0.1;
+    let outcome = run_cluster(&config).expect("cluster run");
+    assert!(
+        !outcome.degraded(),
+        "loss must be healed by retries, not barriers timing out"
+    );
+    assert_eq!(
+        outcome.wire_digest, outcome.reference_digest,
+        "a lossy cluster must still converge to the engine's digest"
+    );
+    assert_eq!(outcome.wire_pop, outcome.reference_pop);
+}
+
+#[test]
 fn disk_backed_cluster_keeps_parity() {
     let dir = std::env::temp_dir().join(format!("tldag-wire-test-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);

@@ -1,0 +1,182 @@
+//! Regression gate: compares fresh `BENCH_*.json` artifacts against the
+//! committed baselines and fails CI on a perf or completion regression.
+//!
+//! Usage: `cargo run -p tldag-bench --release --bin bench_gate -- \
+//!     [--baseline DIR] [--current DIR]`
+//!
+//! Defaults: baselines from `experiments/baselines/`, fresh artifacts from
+//! `target/experiments/` (where the `fig*` bins write them). Both sides
+//! must be produced at the same scale (`--quick` vs paper) — the gate
+//! matches sweep points by document order and fails on a count mismatch.
+//!
+//! Rules:
+//! - `fig13_saturation`: every `blocks_per_s` point must stay within 20%
+//!   of its baseline (current ≥ 0.8 × baseline).
+//! - `fig11_wire`: every swept `success_rate` (PoP completion under loss)
+//!   must not regress below baseline.
+//! - `fig12_churn`: every `completion` point under membership churn must
+//!   not regress below baseline.
+//! - `fig14_lifecycle`: every `parity` flag must still be true — tracing
+//!   must never perturb the protocol.
+//!
+//! A missing baseline file is a skip (so the gate can be introduced before
+//! every figure has a baseline); a missing current file is a failure —
+//! it means the experiment bin did not run or did not write its artifact.
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+use tldag_bench::report::json_numbers;
+
+/// Throughput points may drop up to 20% before the gate trips.
+const THROUGHPUT_FLOOR: f64 = 0.8;
+/// Absolute slack for completion-rate comparisons (float formatting noise).
+const RATE_EPSILON: f64 = 1e-9;
+
+struct Gate {
+    baseline_dir: PathBuf,
+    current_dir: PathBuf,
+    checked: u32,
+    skipped: u32,
+    failures: Vec<String>,
+}
+
+impl Gate {
+    fn load(&mut self, name: &str) -> Option<(String, String)> {
+        let file = format!("BENCH_{name}.json");
+        let baseline_path = self.baseline_dir.join(&file);
+        let current_path = self.current_dir.join(&file);
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(s) => s,
+            Err(_) => {
+                println!("SKIP {name}: no baseline at {}", baseline_path.display());
+                self.skipped += 1;
+                return None;
+            }
+        };
+        let current = match std::fs::read_to_string(&current_path) {
+            Ok(s) => s,
+            Err(_) => {
+                self.failures.push(format!(
+                    "{name}: baseline exists but no fresh artifact at {} — \
+                     did the experiment run?",
+                    current_path.display()
+                ));
+                return None;
+            }
+        };
+        Some((baseline, current))
+    }
+
+    /// Order-matched per-point check of `key`, each point compared with
+    /// `ok(current, baseline)`.
+    fn check(&mut self, name: &str, key: &str, what: &str, ok: impl Fn(f64, f64) -> bool) {
+        let Some((baseline, current)) = self.load(name) else {
+            return;
+        };
+        let base = json_numbers(&baseline, key);
+        let cur = json_numbers(&current, key);
+        if base.is_empty() {
+            self.failures
+                .push(format!("{name}: baseline has no \"{key}\" values"));
+            return;
+        }
+        if base.len() != cur.len() {
+            self.failures.push(format!(
+                "{name}: sweep shape changed — baseline has {} \"{key}\" \
+                 points, current has {} (scale mismatch? re-baseline)",
+                base.len(),
+                cur.len()
+            ));
+            return;
+        }
+        self.checked += 1;
+        let mut worst: Option<String> = None;
+        for (i, (&b, &c)) in base.iter().zip(cur.iter()).enumerate() {
+            if !ok(c, b) {
+                worst = Some(format!(
+                    "{name}: {what} regressed at point {i}: {c} vs baseline {b}"
+                ));
+                break;
+            }
+        }
+        match worst {
+            Some(msg) => self.failures.push(msg),
+            None => println!(
+                "PASS {name}: {} \"{key}\" point(s) within bounds",
+                base.len()
+            ),
+        }
+    }
+}
+
+fn arg_value(args: &[String], flag: &str, default: &str) -> PathBuf {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new(default).to_path_buf())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut gate = Gate {
+        baseline_dir: arg_value(&args, "--baseline", "experiments/baselines"),
+        current_dir: arg_value(&args, "--current", "target/experiments"),
+        checked: 0,
+        skipped: 0,
+        failures: Vec::new(),
+    };
+    println!(
+        "bench_gate: {} vs baseline {}",
+        gate.current_dir.display(),
+        gate.baseline_dir.display()
+    );
+
+    gate.check(
+        "fig13_saturation",
+        "blocks_per_s",
+        "throughput (>20% drop)",
+        |c, b| c >= THROUGHPUT_FLOOR * b,
+    );
+    gate.check(
+        "fig11_wire",
+        "success_rate",
+        "PoP completion under loss",
+        |c, b| c >= b - RATE_EPSILON,
+    );
+    gate.check(
+        "fig12_churn",
+        "completion",
+        "PoP completion under churn",
+        |c, b| c >= b - RATE_EPSILON,
+    );
+    gate.check(
+        "fig14_lifecycle",
+        "parity",
+        "digest parity under tracing",
+        |c, _| c >= 1.0,
+    );
+
+    if !gate.failures.is_empty() {
+        for f in &gate.failures {
+            eprintln!("FAIL {f}");
+        }
+        eprintln!(
+            "bench_gate: {} regression(s) against {}",
+            gate.failures.len(),
+            gate.baseline_dir.display()
+        );
+        exit(1);
+    }
+    if gate.checked == 0 {
+        println!(
+            "bench_gate: nothing checked ({} skipped) — no baselines yet",
+            gate.skipped
+        );
+    } else {
+        println!(
+            "bench_gate: OK — {} figure(s) checked, {} skipped",
+            gate.checked, gate.skipped
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! End-to-end block lifecycle latency (generate → committed-everywhere)
+//! from causal traces, lockstep vs pipelined runtime.
+//!
+//! Usage: `cargo run -p tldag-bench --release --bin fig14_lifecycle [--quick]`
+
+use tldag_bench::experiments::lifecycle::{self, LifecycleConfig};
+use tldag_bench::report::{self, json_array, JsonMap};
+use tldag_bench::Scale;
+
+fn main() {
+    let scale = Scale::from_env_args();
+    let cfg = LifecycleConfig::at_scale(scale);
+    eprintln!(
+        "fig14_lifecycle: {} nodes, {} slots, windows {:?} ({scale:?} scale)",
+        cfg.nodes, cfg.slots, cfg.windows
+    );
+    let data = lifecycle::run(&cfg);
+
+    println!(
+        "\n== Block lifecycle latency: generate → committed everywhere (γ = {}) ==",
+        cfg.gamma
+    );
+    let rows: Vec<Vec<String>> = data
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.window.to_string(),
+                (p.p50_us as f64 / 1e3).to_string(),
+                (p.p99_us as f64 / 1e3).to_string(),
+                (p.max_us as f64 / 1e3).to_string(),
+                format!("{}/{}", p.committed, p.timelines),
+                p.fully_stitched.to_string(),
+                p.spans.to_string(),
+                p.dropped.to_string(),
+                if p.parity { "ok" } else { "DRIFT" }.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::render_table(
+            &[
+                "window",
+                "p50 ms",
+                "p99 ms",
+                "max ms",
+                "committed",
+                "stitched",
+                "spans",
+                "dropped",
+                "parity",
+            ],
+            &rows,
+        )
+    );
+
+    let mut csv = String::from(
+        "window,timelines,fully_stitched,committed,spans,dropped,p50_us,p99_us,max_us,parity\n",
+    );
+    for p in &data.points {
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{}\n",
+            p.window,
+            p.timelines,
+            p.fully_stitched,
+            p.committed,
+            p.spans,
+            p.dropped,
+            p.p50_us,
+            p.p99_us,
+            p.max_us,
+            p.parity,
+        ));
+    }
+    if let Some(path) = report::write_csv("fig14_lifecycle", &csv) {
+        eprintln!("csv written to {}", path.display());
+    }
+
+    let points = json_array(data.points.iter().map(|p| {
+        JsonMap::new()
+            .int("window", p.window)
+            .int("timelines", p.timelines)
+            .int("fully_stitched", p.fully_stitched)
+            .int("committed", p.committed)
+            .int("spans", p.spans)
+            .int("dropped", p.dropped)
+            .int("p50_us", p.p50_us)
+            .int("p99_us", p.p99_us)
+            .int("max_us", p.max_us)
+            .bool("parity", p.parity)
+            .int("pop_attempts", p.wire_pop.0)
+            .int("pop_successes", p.wire_pop.1)
+            .render()
+    }));
+    let json = JsonMap::new()
+        .str("experiment", "fig14_lifecycle")
+        .str("scale", &format!("{scale:?}"))
+        .int("nodes", cfg.nodes as u64)
+        .int("slots", cfg.slots)
+        .int("gamma", cfg.gamma as u64)
+        .int("reference_pop_attempts", data.reference_pop.0)
+        .int("reference_pop_successes", data.reference_pop.1)
+        .raw("points", points)
+        .render();
+    if let Some(path) = report::write_bench_json("fig14_lifecycle", &json) {
+        eprintln!("json written to {}", path.display());
+    }
+
+    let drifted = data.points.iter().any(|p| !p.parity);
+    if drifted {
+        eprintln!("fig14_lifecycle: PARITY DRIFT under tracing — failing");
+        std::process::exit(1);
+    }
+}

@@ -5,6 +5,7 @@ pub mod churn;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod lifecycle;
 pub mod restart;
 pub mod retention;
 pub mod saturation;

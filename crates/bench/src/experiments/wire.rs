@@ -269,6 +269,7 @@ pub fn run(config: &WireConfig) -> WireData {
                 endpoint: validator_endpoint,
                 peers: &peers,
                 horizon: None,
+                spans: None,
             };
             let started = Instant::now();
             let report = Validator::new(

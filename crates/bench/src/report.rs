@@ -170,6 +170,32 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Extracts every numeric value of `"key":<number>` from a JSON document,
+/// in document order — the counterpart to [`JsonMap`] used by the
+/// `bench_gate` regression check to compare `BENCH_*.json` files without a
+/// JSON parser dependency. Booleans are read as 1/0 so completion flags
+/// gate like rates.
+pub fn json_numbers(json: &str, key: &str) -> Vec<f64> {
+    let needle = format!("\"{key}\":");
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find(&needle) {
+        let tail = &rest[at + needle.len()..];
+        let end = tail
+            .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+            .unwrap_or(tail.len());
+        if let Ok(v) = tail[..end].parse::<f64>() {
+            out.push(v);
+        } else if tail.starts_with("true") {
+            out.push(1.0);
+        } else if tail.starts_with("false") {
+            out.push(0.0);
+        }
+        rest = &rest[at + needle.len()..];
+    }
+    out
+}
+
 /// Formats a float compactly for tables.
 pub fn fmt_f64(v: f64) -> String {
     if v == 0.0 {
@@ -228,5 +254,19 @@ mod tests {
     fn json_num_handles_edge_values() {
         assert!(JsonMap::new().num("v", f64::NAN).render().contains("null"));
         assert!(JsonMap::new().num("v", 3.0).render().contains(":3"));
+    }
+
+    #[test]
+    fn json_numbers_extracts_in_document_order() {
+        let doc = "{\"points\":[{\"rate\":0.5,\"n\":1},{\"rate\":1.0,\"n\":2}],\
+\"rate\":-2.5e1,\"parity\":true,\"other\":\"\\\"rate\\\":9\"}";
+        assert_eq!(json_numbers(doc, "rate"), vec![0.5, 1.0, -25.0]);
+        assert_eq!(json_numbers(doc, "parity"), vec![1.0]);
+        assert_eq!(json_numbers(doc, "n"), vec![1.0, 2.0]);
+        assert_eq!(json_numbers(doc, "missing"), Vec::<f64>::new());
+        // Round-trips what JsonMap writes.
+        let own = JsonMap::new().num("x", 3.25).bool("ok", false).render();
+        assert_eq!(json_numbers(&own, "x"), vec![3.25]);
+        assert_eq!(json_numbers(&own, "ok"), vec![0.0]);
     }
 }

@@ -118,9 +118,18 @@ pub struct RunReport {
     /// The node's final transport counters, merged by the harness into the
     /// cluster-wide view.
     pub net: NetStats,
+    /// The resolved metrics listener address, when one was serving. With
+    /// `--metrics-addr` on port 0 this is the only place the harness can
+    /// learn the kernel-assigned port from.
+    pub metrics_addr: Option<SocketAddr>,
 }
 
 /// A runtime control message.
+///
+/// `Report` dwarfs the other variants, but it travels exactly once per run
+/// on the report handshake — boxing it would complicate every codec site
+/// for no hot-path win.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Control {
     /// Liveness probe: "node `from` is up at this address".
@@ -246,6 +255,13 @@ pub fn encode_control(msg: &Control) -> Vec<u8> {
             for (_, value) in r.net.fields() {
                 out.extend_from_slice(&value.to_be_bytes());
             }
+            match r.metrics_addr {
+                Some(addr) => {
+                    out.push(1);
+                    encode_addr(&mut out, addr);
+                }
+                None => out.push(0),
+            }
             out
         }
         Control::ReportAck => vec![TAG_REPORT_ACK],
@@ -350,6 +366,11 @@ pub fn decode_control(data: &[u8]) -> Result<Control, NetError> {
             slot_loop_ms: r.u64().map_err(framing)?,
             degraded: r.u8().map_err(framing)? != 0,
             net: NetStats::try_from_values(|| r.u64()).map_err(framing)?,
+            metrics_addr: if r.u8().map_err(framing)? != 0 {
+                Some(decode_addr(&mut r)?)
+            } else {
+                None
+            },
         }),
         TAG_REPORT_ACK => Control::ReportAck,
         TAG_SHUTDOWN => Control::Shutdown,
@@ -429,6 +450,20 @@ mod tests {
                     evictions: 1,
                     ..NetStats::default()
                 },
+                metrics_addr: None,
+            }),
+            Control::Report(RunReport {
+                node: NodeId(3),
+                slots: 8,
+                chain_len: 8,
+                chain_digest: Digest::from_bytes([8; 32]),
+                pop_attempts: 0,
+                pop_successes: 0,
+                catch_up_ms: 0,
+                slot_loop_ms: 120,
+                degraded: true,
+                net: NetStats::default(),
+                metrics_addr: Some("127.0.0.1:43211".parse().unwrap()),
             }),
             Control::ReportAck,
             Control::Shutdown,

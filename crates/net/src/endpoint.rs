@@ -16,7 +16,7 @@
 //! `&self`, so the endpoint is shared behind an `Arc`.
 
 use crate::control::{decode_control, Control};
-use crate::envelope::{decode_datagram, encode_message, Kind, DEFAULT_MTU};
+use crate::envelope::{decode_datagram, encode_message_traced, Kind, TraceContext, DEFAULT_MTU};
 use crate::frag::Reassembler;
 use crate::metrics::{NetMetrics, NetStats};
 use crate::transport::{Datagram, RecvSlot, UdpTransport};
@@ -85,6 +85,8 @@ pub enum Inbound {
         seq: u64,
         /// The decoded message.
         msg: WireMessage,
+        /// Trace context from the envelope's extension region, if any.
+        trace: Option<TraceContext>,
     },
     /// A runtime control message.
     Control {
@@ -94,6 +96,8 @@ pub enum Inbound {
         src: SocketAddr,
         /// The decoded control message.
         msg: Control,
+        /// Trace context from the envelope's extension region, if any.
+        trace: Option<TraceContext>,
     },
 }
 
@@ -225,8 +229,9 @@ impl Endpoint {
         seq: u64,
         req_id: u64,
         payload: &[u8],
+        trace: Option<TraceContext>,
     ) -> Result<Vec<Vec<u8>>, NetError> {
-        encode_message(kind, self.id, seq, req_id, payload, self.config.mtu)
+        encode_message_traced(kind, self.id, seq, req_id, payload, self.config.mtu, trace)
     }
 
     /// Sends an unsolicited protocol message; returns its sequence number.
@@ -236,7 +241,7 @@ impl Endpoint {
     /// [`NetError::Oversize`] when the message cannot be fragmented.
     pub fn send_wire(&self, to: SocketAddr, msg: &WireMessage) -> Result<u64, NetError> {
         let seq = self.alloc_seq();
-        let frames = self.encode_frames(Kind::Wire, seq, 0, &codec::encode_message(msg))?;
+        let frames = self.encode_frames(Kind::Wire, seq, 0, &codec::encode_message(msg), None)?;
         self.send_frames(to, &frames);
         Ok(seq)
     }
@@ -253,7 +258,8 @@ impl Endpoint {
         msg: &WireMessage,
     ) -> Result<u64, NetError> {
         let seq = self.alloc_seq();
-        let frames = self.encode_frames(Kind::Wire, seq, req_id, &codec::encode_message(msg))?;
+        let frames =
+            self.encode_frames(Kind::Wire, seq, req_id, &codec::encode_message(msg), None)?;
         self.send_frames(to, &frames);
         Ok(seq)
     }
@@ -265,9 +271,30 @@ impl Endpoint {
     /// [`NetError::Oversize`] when the message cannot be fragmented
     /// (control messages always fit one datagram in practice).
     pub fn send_control(&self, to: SocketAddr, msg: &Control) -> Result<u64, NetError> {
+        self.send_control_traced(to, msg, None)
+    }
+
+    /// [`Endpoint::send_control`] with a [`TraceContext`] riding the
+    /// envelope's extension region. Old peers skip the extension and see a
+    /// plain control message.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Oversize`] when the message cannot be fragmented.
+    pub fn send_control_traced(
+        &self,
+        to: SocketAddr,
+        msg: &Control,
+        trace: Option<TraceContext>,
+    ) -> Result<u64, NetError> {
         let seq = self.alloc_seq();
-        let frames =
-            self.encode_frames(Kind::Control, seq, 0, &crate::control::encode_control(msg))?;
+        let frames = self.encode_frames(
+            Kind::Control,
+            seq,
+            0,
+            &crate::control::encode_control(msg),
+            trace,
+        )?;
         self.send_frames(to, &frames);
         Ok(seq)
     }
@@ -282,7 +309,7 @@ impl Endpoint {
     pub fn request(&self, to: SocketAddr, msg: &WireMessage) -> Option<(NodeId, WireMessage)> {
         let seq = self.alloc_seq();
         let frames = self
-            .encode_frames(Kind::Wire, seq, 0, &codec::encode_message(msg))
+            .encode_frames(Kind::Wire, seq, 0, &codec::encode_message(msg), None)
             .ok()?;
         let (tx, rx) = sync_channel(2);
         self.pending
@@ -418,6 +445,7 @@ impl Endpoint {
                             src,
                             seq: env.msg_seq,
                             msg,
+                            trace: env.trace,
                         });
                     }
                 }
@@ -432,6 +460,7 @@ impl Endpoint {
                     from: env.sender,
                     src,
                     msg,
+                    trace: env.trace,
                 }),
                 Err(NetError::BadControlTag(_) | NetError::BadAddressFamily(_)) => {
                     // Version skew, not framing: count it as such.

@@ -16,8 +16,20 @@
 //!     28     2  frag count   total fragments of this message (>= 1)
 //!     30     2  payload len  bytes of payload in *this* datagram
 //!     32     N  payload      one fragment of the encoded message
-//!   32+N     4  CRC-32       over bytes [0, 32+N)
+//!   32+N     E  extensions   optional TLV records (see below), may be empty
+//! 32+N+E     4  CRC-32       over bytes [0, 32+N+E)
 //! ```
+//!
+//! The **extension region** between payload and CRC is a sequence of
+//! `[tag u8][len u8][len bytes]` records. Decoders skip records with
+//! unknown tags, which is what makes extensions version-tolerant: a peer
+//! that predates a tag ignores it and still delivers the payload. The CRC
+//! covers the extensions, so corruption there is rejected like anywhere
+//! else. The only tag defined today is [`EXT_TRACE`]: a 28-byte
+//! [`TraceContext`] `(origin u32, slot u64, prefix u64, ts_micros u64)`
+//! stitching a block's receive/verify spans on remote nodes back to its
+//! originator. It is attached only when tracing is enabled, so
+//! tracing-off runs put exactly the v1 bytes on the wire.
 //!
 //! Messages larger than one MTU-sized datagram (full blocks, mostly) are
 //! split into fragments sharing the sender's msg seq; [`crate::frag`]
@@ -41,6 +53,50 @@ pub const TRAILER_LEN: usize = 4;
 pub const OVERHEAD: usize = HEADER_LEN + TRAILER_LEN;
 /// Default datagram budget: conservative Ethernet MTU minus IP/UDP headers.
 pub const DEFAULT_MTU: usize = 1400;
+/// Extension tag carrying a [`TraceContext`].
+pub const EXT_TRACE: u8 = 0x01;
+/// Encoded size of a [`TraceContext`] extension body.
+const TRACE_BODY_LEN: usize = 28;
+/// On-wire size of a trace extension record (tag + len + body).
+pub const TRACE_EXT_LEN: usize = 2 + TRACE_BODY_LEN;
+
+/// The causal trace context riding the extension region: identifies the
+/// block whose lifecycle this datagram advances, so spans recorded on the
+/// receiver stitch to the originator's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Node that generated the block.
+    pub origin: u32,
+    /// The block's generation slot.
+    pub slot: u64,
+    /// First 8 bytes (big-endian) of the block's header digest.
+    pub prefix: u64,
+    /// Sender wall clock, microseconds since the UNIX epoch.
+    pub ts_micros: u64,
+}
+
+impl TraceContext {
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.push(EXT_TRACE);
+        out.push(TRACE_BODY_LEN as u8);
+        out.extend_from_slice(&self.origin.to_be_bytes());
+        out.extend_from_slice(&self.slot.to_be_bytes());
+        out.extend_from_slice(&self.prefix.to_be_bytes());
+        out.extend_from_slice(&self.ts_micros.to_be_bytes());
+    }
+
+    fn decode(body: &[u8]) -> Option<Self> {
+        if body.len() != TRACE_BODY_LEN {
+            return None;
+        }
+        Some(TraceContext {
+            origin: u32::from_be_bytes(body[0..4].try_into().ok()?),
+            slot: u64::from_be_bytes(body[4..12].try_into().ok()?),
+            prefix: u64::from_be_bytes(body[12..20].try_into().ok()?),
+            ts_micros: u64::from_be_bytes(body[20..28].try_into().ok()?),
+        })
+    }
+}
 
 /// What the payload of an envelope is.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -83,12 +139,15 @@ pub struct Envelope {
     pub frag_index: u16,
     /// Total fragments of the message this datagram belongs to.
     pub frag_count: u16,
+    /// Trace context from the extension region, when the sender attached
+    /// one (and this decoder recognised it).
+    pub trace: Option<TraceContext>,
 }
 
 /// Encodes one datagram carrying one fragment.
 fn encode_datagram(env: &Envelope, payload: &[u8]) -> Vec<u8> {
     debug_assert!(payload.len() <= u16::MAX as usize);
-    let mut out = Vec::with_capacity(OVERHEAD + payload.len());
+    let mut out = Vec::with_capacity(OVERHEAD + TRACE_EXT_LEN + payload.len());
     out.extend_from_slice(&MAGIC);
     out.push(PROTOCOL_VERSION);
     out.push(env.kind.to_byte());
@@ -99,6 +158,9 @@ fn encode_datagram(env: &Envelope, payload: &[u8]) -> Vec<u8> {
     out.extend_from_slice(&env.frag_count.to_be_bytes());
     out.extend_from_slice(&(payload.len() as u16).to_be_bytes());
     out.extend_from_slice(payload);
+    if let Some(trace) = &env.trace {
+        trace.encode_into(&mut out);
+    }
     let crc = crc32(&out);
     out.extend_from_slice(&crc.to_be_bytes());
     out
@@ -126,7 +188,31 @@ pub fn encode_message(
     payload: &[u8],
     mtu: usize,
 ) -> Result<Vec<Vec<u8>>, NetError> {
-    let room = mtu.saturating_sub(OVERHEAD).min(u16::MAX as usize);
+    encode_message_traced(kind, sender, msg_seq, req_id, payload, mtu, None)
+}
+
+/// [`encode_message`] with an optional [`TraceContext`] attached to
+/// **every** fragment's extension region, so reassembly completion always
+/// has the context no matter which fragment arrived last. The extension
+/// bytes count against the MTU budget.
+///
+/// # Errors
+///
+/// As [`encode_message`].
+#[allow(clippy::too_many_arguments)]
+pub fn encode_message_traced(
+    kind: Kind,
+    sender: NodeId,
+    msg_seq: u64,
+    req_id: u64,
+    payload: &[u8],
+    mtu: usize,
+    trace: Option<TraceContext>,
+) -> Result<Vec<Vec<u8>>, NetError> {
+    let ext_len = if trace.is_some() { TRACE_EXT_LEN } else { 0 };
+    let room = mtu
+        .saturating_sub(OVERHEAD + ext_len)
+        .min(u16::MAX as usize);
     if room == 0 {
         return Err(NetError::Oversize);
     }
@@ -145,6 +231,7 @@ pub fn encode_message(
                 req_id,
                 frag_index: i as u16,
                 frag_count: frag_count as u16,
+                trace,
             },
             chunk,
         ));
@@ -152,12 +239,38 @@ pub fn encode_message(
     Ok(out)
 }
 
+/// Parses the extension region, returning the first recognised trace
+/// context. Unknown tags are skipped (forward compatibility); a record
+/// whose stated length overruns the region is a framing violation.
+fn parse_extensions(mut ext: &[u8]) -> Result<Option<TraceContext>, NetError> {
+    let mut trace = None;
+    while !ext.is_empty() {
+        if ext.len() < 2 {
+            return Err(NetError::LengthMismatch);
+        }
+        let (tag, len) = (ext[0], ext[1] as usize);
+        if ext.len() < 2 + len {
+            return Err(NetError::LengthMismatch);
+        }
+        let body = &ext[2..2 + len];
+        if tag == EXT_TRACE && trace.is_none() {
+            // A recognised tag with a malformed body is a framing violation
+            // (the CRC already passed, so this is a sender bug, not noise).
+            trace = Some(TraceContext::decode(body).ok_or(NetError::LengthMismatch)?);
+        }
+        ext = &ext[2 + len..];
+    }
+    Ok(trace)
+}
+
 /// Decodes one datagram into its envelope header and payload fragment.
 ///
 /// Validation order: size, magic, checksum, version, kind, fragment sanity,
-/// and exact length agreement — so a corrupted datagram is rejected by the
+/// and length agreement — so a corrupted datagram is rejected by the
 /// CRC and a foreign datagram by the magic, each as a distinct error the
-/// transport can count.
+/// transport can count. Bytes between the stated payload end and the CRC
+/// are the extension region: well-formed TLV records with unknown tags are
+/// skipped, anything else is a [`NetError::LengthMismatch`].
 ///
 /// # Errors
 ///
@@ -188,9 +301,10 @@ pub fn decode_datagram(data: &[u8]) -> Result<(Envelope, &[u8]), NetError> {
     if frag_count == 0 || frag_index >= frag_count {
         return Err(NetError::BadFragment);
     }
-    if payload_len != data.len() - OVERHEAD {
+    if payload_len > data.len() - OVERHEAD {
         return Err(NetError::LengthMismatch);
     }
+    let trace = parse_extensions(&data[HEADER_LEN + payload_len..data.len() - TRAILER_LEN])?;
     Ok((
         Envelope {
             kind,
@@ -199,6 +313,7 @@ pub fn decode_datagram(data: &[u8]) -> Result<(Envelope, &[u8]), NetError> {
             req_id,
             frag_index,
             frag_count,
+            trace,
         },
         &data[HEADER_LEN..HEADER_LEN + payload_len],
     ))
@@ -294,5 +409,84 @@ mod tests {
             encode_message(Kind::Wire, NodeId(1), 1, 0, b"x", OVERHEAD),
             Err(NetError::Oversize)
         );
+    }
+
+    fn trace() -> TraceContext {
+        TraceContext {
+            origin: 3,
+            slot: 17,
+            prefix: 0xdead_beef_cafe_f00d,
+            ts_micros: 1_700_000_000_000_000,
+        }
+    }
+
+    #[test]
+    fn trace_context_rides_every_fragment() {
+        let payload: Vec<u8> = (0..5000u32).map(|i| i as u8).collect();
+        let frames =
+            encode_message_traced(Kind::Wire, NodeId(2), 3, 0, &payload, 1400, Some(trace()))
+                .unwrap();
+        assert!(frames.len() > 1);
+        let mut rebuilt = Vec::new();
+        for frame in &frames {
+            assert!(frame.len() <= 1400, "extension must fit the MTU budget");
+            let (env, chunk) = decode_datagram(frame).unwrap();
+            assert_eq!(env.trace, Some(trace()));
+            rebuilt.extend_from_slice(chunk);
+        }
+        assert_eq!(rebuilt, payload);
+    }
+
+    #[test]
+    fn untraced_frames_carry_no_extension_bytes() {
+        let plain = encode_message(Kind::Control, NodeId(1), 1, 0, b"x", 1400).unwrap();
+        let (env, _) = decode_datagram(&plain[0]).unwrap();
+        assert_eq!(env.trace, None);
+        assert_eq!(plain[0].len(), OVERHEAD + 1, "exactly the v1 bytes");
+    }
+
+    #[test]
+    fn unknown_extension_tags_are_skipped() {
+        // Hand-build a datagram with an unknown ext record before the trace
+        // record: a future peer's datagram must still decode here.
+        let frames =
+            encode_message_traced(Kind::Wire, NodeId(1), 9, 0, b"hi", 1400, Some(trace())).unwrap();
+        let frame = &frames[0];
+        let body_end = frame.len() - TRAILER_LEN;
+        let mut future = frame[..body_end].to_vec();
+        let trace_ext_start = HEADER_LEN + 2;
+        let trace_ext = frame[trace_ext_start..body_end].to_vec();
+        future.truncate(trace_ext_start);
+        future.extend_from_slice(&[0x7f, 3, 1, 2, 3]); // unknown tag 0x7f
+        future.extend_from_slice(&trace_ext);
+        let crc = crc32(&future).to_be_bytes();
+        future.extend_from_slice(&crc);
+        let (env, payload) = decode_datagram(&future).unwrap();
+        assert_eq!(payload, b"hi");
+        assert_eq!(env.trace, Some(trace()), "trace survives after unknown tag");
+
+        // Only the unknown record: decodes cleanly with no trace.
+        let mut unknown_only = frame[..trace_ext_start].to_vec();
+        unknown_only.extend_from_slice(&[0x7f, 0]);
+        let crc = crc32(&unknown_only).to_be_bytes();
+        unknown_only.extend_from_slice(&crc);
+        let (env, _) = decode_datagram(&unknown_only).unwrap();
+        assert_eq!(env.trace, None);
+    }
+
+    #[test]
+    fn malformed_extension_region_is_rejected() {
+        let frames = encode_message(Kind::Wire, NodeId(1), 9, 0, b"hi", 1400).unwrap();
+        let frame = &frames[0];
+        let body_end = frame.len() - TRAILER_LEN;
+        // A lone tag byte (truncated TLV) and a record overrunning the
+        // region are both framing violations, not silent successes.
+        for ext in [&[0x01u8][..], &[0x01, 200, 1, 2][..]] {
+            let mut bad = frame[..body_end].to_vec();
+            bad.extend_from_slice(ext);
+            let crc = crc32(&bad).to_be_bytes();
+            bad.extend_from_slice(&crc);
+            assert_eq!(decode_datagram(&bad), Err(NetError::LengthMismatch));
+        }
     }
 }

@@ -1,0 +1,455 @@
+//! The `tldag explore` live DAG explorer.
+//!
+//! Serves a browsable JSON view of a 2LDAG deployment's DAG structure and
+//! PoP state over the same dependency-free HTTP listener the `/metrics`
+//! endpoint uses, from either of two sources:
+//!
+//! * **Disk segments** (`--segments DIR`): opens the durable block logs a
+//!   cluster run left behind (a single node directory, or a cluster root
+//!   of `node-<i>` subdirectories), reconstructs every chain and the
+//!   cross-chain digest edges that link blocks into the logical DAG, and
+//!   serves the full structural view.
+//! * **A live node** (`--target ADDR`, the node's `--metrics-addr`):
+//!   proxies the node's `/metrics` + `/trace` endpoints into a causal
+//!   view — chain/PoP state from the exposition, per-slot block lifecycle
+//!   timelines from the span store.
+//!
+//! Endpoints (both sources):
+//!
+//! * `GET /dag` — deployment summary: chains, lengths, heads (segments)
+//!   or live chain/PoP state plus timeline count (live).
+//! * `GET /slot/<t>` — the blocks generated at slot `t` with their digest
+//!   edges (segments) or their lifecycle timelines (live).
+//! * `GET /block/<o>-<q>` — one block in full: header fields, digest
+//!   entries with resolved parent blocks, and resolved children
+//!   (segments, `o-q` = owner and sequence number) or the matching
+//!   block's timelines (live, `o-q` = origin and slot).
+
+use crate::forensics::timelines_for_slot;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+use tldag_core::store::BlockBackend;
+use tldag_crypto::Digest;
+use tldag_obs::{http_get, HttpServer, Routes};
+use tldag_storage::{DurableStore, StorageOptions};
+
+/// Where the explorer reads its DAG from.
+#[derive(Clone, Debug)]
+pub enum ExplorerSource {
+    /// Proxy a live node's `/metrics` + `/trace` endpoints.
+    Live(SocketAddr),
+    /// Open durable block logs under this directory (a node dir, or a
+    /// cluster root containing `node-<i>` subdirectories).
+    Segments(PathBuf),
+}
+
+/// One block's explorer-facing metadata.
+#[derive(Clone, Debug)]
+struct BlockMeta {
+    owner: u32,
+    seq: u32,
+    slot: u64,
+    digest: Digest,
+    /// The header's Digests field: `(origin, digest)` entries.
+    entries: Vec<(u32, Digest)>,
+}
+
+impl BlockMeta {
+    fn id(&self) -> String {
+        format!("{}-{}", self.owner, self.seq)
+    }
+}
+
+/// The reconstructed DAG: every chain plus the digest-edge indexes.
+#[derive(Debug, Default)]
+struct DagModel {
+    /// Owner → chain, seq-ascending.
+    chains: BTreeMap<u32, Vec<BlockMeta>>,
+    /// Header digest → `(owner, seq)` of the block it names.
+    by_digest: HashMap<Digest, (u32, u32)>,
+    /// Header digest → blocks whose Digests field references it.
+    children: HashMap<Digest, Vec<(u32, u32)>>,
+}
+
+impl DagModel {
+    fn insert(&mut self, meta: BlockMeta) {
+        self.by_digest.insert(meta.digest, (meta.owner, meta.seq));
+        for (_, parent) in &meta.entries {
+            self.children
+                .entry(*parent)
+                .or_default()
+                .push((meta.owner, meta.seq));
+        }
+        self.chains.entry(meta.owner).or_default().push(meta);
+    }
+
+    fn get(&self, owner: u32, seq: u32) -> Option<&BlockMeta> {
+        self.chains.get(&owner)?.iter().find(|b| b.seq == seq)
+    }
+
+    fn resolve(&self, digest: &Digest) -> Option<String> {
+        self.by_digest.get(digest).map(|(o, q)| format!("{o}-{q}"))
+    }
+
+    fn block_count(&self) -> usize {
+        self.chains.values().map(Vec::len).sum()
+    }
+
+    fn max_slot(&self) -> u64 {
+        self.chains
+            .values()
+            .flat_map(|c| c.iter().map(|b| b.slot))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Opens every durable block log under `root` and rebuilds the DAG.
+///
+/// # Errors
+///
+/// An unreadable directory, a locked or corrupt log, or a root with no
+/// blocks at all.
+fn load_segments(root: &Path) -> Result<DagModel, String> {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let entries =
+        std::fs::read_dir(root).map_err(|e| format!("cannot read {}: {e}", root.display()))?;
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir()
+            && path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("node-"))
+        {
+            dirs.push(path);
+        }
+    }
+    if dirs.is_empty() {
+        // A single node's log directory.
+        dirs.push(root.to_path_buf());
+    }
+    dirs.sort();
+
+    let mut model = DagModel::default();
+    for dir in &dirs {
+        let store = DurableStore::open(dir, StorageOptions::default())
+            .map_err(|e| format!("cannot open block log {}: {e}", dir.display()))?;
+        for block in store.iter() {
+            model.insert(BlockMeta {
+                owner: block.id.owner.0,
+                seq: block.id.seq,
+                slot: block.header.time,
+                digest: block.header_digest(),
+                entries: block
+                    .header
+                    .digests
+                    .iter()
+                    .map(|e| (e.origin.0, e.digest))
+                    .collect(),
+            });
+        }
+    }
+    if model.block_count() == 0 {
+        return Err(format!("no blocks under {}", root.display()));
+    }
+    for chain in model.chains.values_mut() {
+        chain.sort_by_key(|b| b.seq);
+    }
+    Ok(model)
+}
+
+fn json_str_array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+fn block_json(model: &DagModel, meta: &BlockMeta) -> String {
+    let edges = json_str_array(meta.entries.iter().map(|(origin, digest)| {
+        format!(
+            "{{\"origin\":{origin},\"digest\":\"{digest}\",\"block\":{}}}",
+            match model.resolve(digest) {
+                Some(id) => format!("\"{id}\""),
+                None => "null".to_string(),
+            }
+        )
+    }));
+    let children = json_str_array(
+        model
+            .children
+            .get(&meta.digest)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+            .iter()
+            .map(|(o, q)| format!("\"{o}-{q}\"")),
+    );
+    format!(
+        "{{\"id\":\"{}\",\"owner\":{},\"seq\":{},\"slot\":{},\"digest\":\"{}\",\
+\"edges\":{edges},\"children\":{children}}}",
+        meta.id(),
+        meta.owner,
+        meta.seq,
+        meta.slot,
+        meta.digest
+    )
+}
+
+fn dag_json(model: &DagModel) -> String {
+    let chains = json_str_array(model.chains.iter().map(|(owner, chain)| {
+        format!(
+            "{{\"node\":{owner},\"len\":{},\"head\":\"{}\"}}",
+            chain.len(),
+            chain
+                .last()
+                .map(|b| b.digest.to_string())
+                .unwrap_or_default()
+        )
+    }));
+    format!(
+        "{{\"source\":\"segments\",\"nodes\":{},\"blocks\":{},\"max_slot\":{},\
+\"chains\":{chains}}}",
+        model.chains.len(),
+        model.block_count(),
+        model.max_slot()
+    )
+}
+
+fn slot_json(model: &DagModel, slot: u64) -> String {
+    let blocks = json_str_array(
+        model
+            .chains
+            .values()
+            .flat_map(|chain| chain.iter().filter(|b| b.slot == slot))
+            .map(|meta| block_json(model, meta)),
+    );
+    format!("{{\"slot\":{slot},\"blocks\":{blocks}}}")
+}
+
+/// Parses an `/block/<a>-<b>` or `/slot/<t>` style path suffix.
+fn parse_pair(suffix: &str) -> Option<(u32, u64)> {
+    let (a, b) = suffix.split_once('-')?;
+    Some((a.parse().ok()?, b.parse().ok()?))
+}
+
+const JSON: &str = "application/json";
+
+fn segment_routes(model: DagModel) -> Arc<Routes> {
+    Arc::new(move |path: &str| -> Option<(String, String)> {
+        if path == "/dag" {
+            return Some((JSON.to_string(), dag_json(&model)));
+        }
+        if let Some(raw) = path.strip_prefix("/slot/") {
+            let slot: u64 = raw.parse().ok()?;
+            return Some((JSON.to_string(), slot_json(&model, slot)));
+        }
+        if let Some(raw) = path.strip_prefix("/block/") {
+            let (owner, seq) = parse_pair(raw)?;
+            let meta = model.get(owner, seq as u32)?;
+            return Some((JSON.to_string(), block_json(&model, meta)));
+        }
+        None
+    })
+}
+
+/// Live-mode scrape timeout: a node answering slower than this misses the
+/// request rather than wedging the explorer.
+const LIVE_TIMEOUT: Duration = Duration::from_secs(2);
+
+fn live_routes(target: SocketAddr) -> Arc<Routes> {
+    Arc::new(move |path: &str| -> Option<(String, String)> {
+        if path == "/dag" {
+            let samples = crate::telemetry::scrape_metrics(target, LIVE_TIMEOUT).ok()?;
+            let row = crate::telemetry::StatusRow::from_samples(target.to_string(), &samples);
+            let timelines = http_get(target, "/trace", LIVE_TIMEOUT)
+                .map(|t| t.matches("\"stitched\":").count())
+                .unwrap_or(0);
+            let mut out = String::from("{\"source\":\"live\",");
+            let _ = write!(
+                out,
+                "\"target\":\"{target}\",\"timelines\":{timelines},\"status\":{}}}",
+                row.to_json()
+            );
+            return Some((JSON.to_string(), out));
+        }
+        if let Some(raw) = path.strip_prefix("/slot/") {
+            let slot: u64 = raw.parse().ok()?;
+            let trace = http_get(target, "/trace", LIVE_TIMEOUT).ok()?;
+            let timelines = json_str_array(timelines_for_slot(&trace, slot));
+            return Some((
+                JSON.to_string(),
+                format!("{{\"slot\":{slot},\"timelines\":{timelines}}}"),
+            ));
+        }
+        if let Some(raw) = path.strip_prefix("/block/") {
+            let (origin, slot) = parse_pair(raw)?;
+            let trace = http_get(target, "/trace", LIVE_TIMEOUT).ok()?;
+            let wanted = format!("{{\"slot\":{slot},\"origin\":{origin},");
+            let timelines = json_str_array(
+                timelines_for_slot(&trace, slot)
+                    .into_iter()
+                    .filter(|t| t.starts_with(&wanted)),
+            );
+            return Some((
+                JSON.to_string(),
+                format!("{{\"origin\":{origin},\"slot\":{slot},\"timelines\":{timelines}}}"),
+            ));
+        }
+        None
+    })
+}
+
+/// The running explorer server.
+#[derive(Debug)]
+pub struct Explorer {
+    server: HttpServer,
+}
+
+impl Explorer {
+    /// Builds the DAG view for `source` and serves it on `listen`
+    /// (port 0 picks a free port — read it back with [`Explorer::addr`]).
+    ///
+    /// # Errors
+    ///
+    /// An unreadable or empty segment directory, or a bind failure.
+    pub fn spawn(listen: SocketAddr, source: ExplorerSource) -> Result<Explorer, String> {
+        let routes = match source {
+            ExplorerSource::Segments(root) => segment_routes(load_segments(&root)?),
+            ExplorerSource::Live(target) => live_routes(target),
+        };
+        let server = HttpServer::spawn(listen, routes)
+            .map_err(|e| format!("cannot serve explorer on {listen}: {e}"))?;
+        Ok(Explorer { server })
+    }
+
+    /// The bound listen address (resolved when `listen` used port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// Stops the listener.
+    pub fn shutdown(self) {
+        self.server.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tldag_core::config::ProtocolConfig;
+    use tldag_core::{BlockBody, BlockId, DataBlock, DigestEntry};
+    use tldag_crypto::schnorr::KeyPair;
+    use tldag_sim::NodeId;
+
+    /// Two tiny chains on disk: node 0 and node 1, two blocks each, with
+    /// node 1's second block referencing node 0's first — one cross-chain
+    /// DAG edge to resolve.
+    fn seed_segments(root: &Path) -> Digest {
+        let cfg = ProtocolConfig::test_default();
+        let mut cross_edge = Digest::ZERO;
+        let mut prev: HashMap<u32, Digest> = HashMap::new();
+        for owner in 0..2u32 {
+            let kp = KeyPair::from_seed(1000 + u64::from(owner));
+            let dir = root.join(format!("node-{owner}"));
+            let mut store = DurableStore::open(&dir, StorageOptions::default()).expect("open");
+            for seq in 0..2u32 {
+                let mut digests = Vec::new();
+                if let Some(own_prev) = prev.get(&owner) {
+                    digests.push(DigestEntry {
+                        origin: NodeId(owner),
+                        digest: *own_prev,
+                    });
+                }
+                if owner == 1 && seq == 1 {
+                    digests.push(DigestEntry {
+                        origin: NodeId(0),
+                        digest: cross_edge,
+                    });
+                }
+                let block = DataBlock::create(
+                    &cfg,
+                    BlockId::new(NodeId(owner), seq),
+                    u64::from(seq),
+                    digests,
+                    BlockBody::new(vec![owner as u8, seq as u8], cfg.body_bits),
+                    &kp,
+                );
+                let digest = block.header_digest();
+                if owner == 0 && seq == 0 {
+                    cross_edge = digest;
+                }
+                prev.insert(owner, digest);
+                store.append(block).expect("append");
+            }
+            store.sync().expect("sync");
+        }
+        cross_edge
+    }
+
+    #[test]
+    fn segments_explorer_serves_dag_slot_and_block() {
+        let root = std::env::temp_dir().join(format!("tldag-explore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).expect("mkdir");
+        let cross_edge = seed_segments(&root);
+
+        let explorer = Explorer::spawn(
+            "127.0.0.1:0".parse().expect("addr"),
+            ExplorerSource::Segments(root.clone()),
+        )
+        .expect("spawn explorer");
+        let addr = explorer.addr();
+
+        let dag = http_get(addr, "/dag", Duration::from_secs(2)).expect("GET /dag");
+        assert!(dag.contains("\"source\":\"segments\""));
+        assert!(dag.contains("\"nodes\":2"));
+        assert!(dag.contains("\"blocks\":4"));
+
+        let slot1 = http_get(addr, "/slot/1", Duration::from_secs(2)).expect("GET /slot/1");
+        assert!(slot1.contains("\"id\":\"0-1\""));
+        assert!(slot1.contains("\"id\":\"1-1\""));
+
+        // Node 1's second block must resolve its cross-chain edge to 0-0
+        // and 0-0 must list 1-1 among its children.
+        let b11 = http_get(addr, "/block/1-1", Duration::from_secs(2)).expect("GET /block/1-1");
+        assert!(
+            b11.contains("\"block\":\"0-0\""),
+            "edge must resolve: {b11}"
+        );
+        let b00 = http_get(addr, "/block/0-0", Duration::from_secs(2)).expect("GET /block/0-0");
+        assert!(b00.contains(&format!("\"digest\":\"{cross_edge}\"")));
+        assert!(b00.contains("\"1-1\""), "children must include 1-1: {b00}");
+
+        // Unknown ids are a 404, not a panic.
+        assert!(http_get(addr, "/block/9-9", Duration::from_secs(2)).is_err());
+
+        explorer.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn empty_or_missing_segment_root_is_a_clean_error() {
+        let root = std::env::temp_dir().join(format!("tldag-explore-none-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let listen: SocketAddr = "127.0.0.1:0".parse().expect("addr");
+        assert!(Explorer::spawn(listen, ExplorerSource::Segments(root.clone())).is_err());
+        std::fs::create_dir_all(&root).expect("mkdir");
+        let err = Explorer::spawn(listen, ExplorerSource::Segments(root.clone()))
+            .expect_err("empty root must fail");
+        assert!(
+            err.contains("no blocks") || err.contains("cannot open"),
+            "{err}"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -183,6 +183,7 @@ mod tests {
                 req_id: 0,
                 frag_index: 0,
                 frag_count: u16::MAX,
+                trace: None,
             };
             assert!(r.offer(&env, &[0u8]).is_none());
         }

@@ -23,6 +23,7 @@
 
 use crate::control::{Control, RunReport};
 use crate::endpoint::{Endpoint, EndpointConfig, Inbound};
+use crate::forensics::{diagnose, timelines_for_slot, DivergenceReport};
 use crate::membership::{format_churn_spec, join_site, validate_churn, ChurnEvent, Roster};
 use crate::metrics::NetStats;
 use crate::peer::format_peer_list;
@@ -30,7 +31,7 @@ use crate::runtime::{
     deployment_protocol_config, deployment_range_m, deployment_topology, network_digest_of,
 };
 use crate::telemetry::{scrape_metrics, StatusRow};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::{SocketAddr, TcpListener, UdpSocket};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -40,6 +41,7 @@ use std::time::{Duration, Instant};
 use tldag_core::network::TldagNetwork;
 use tldag_core::workload::VerificationWorkload;
 use tldag_crypto::Digest;
+use tldag_obs::http_get;
 use tldag_sim::engine::GenerationSchedule;
 use tldag_sim::NodeId;
 
@@ -88,6 +90,12 @@ pub struct ClusterConfig {
     /// [`StatusRow`] snapshots as a mid-run time series
     /// ([`ClusterOutcome::status_series`]). `None` disables sampling.
     pub sample_every: Option<Duration>,
+    /// When true, every node records causal block-lifecycle spans
+    /// (`--trace`); combined with [`ClusterConfig::metrics`] the harness
+    /// scrapes each node's `/trace` endpoint after the reports arrive and
+    /// keeps the snapshots ([`ClusterOutcome::trace_snapshots`]). Tracing
+    /// never changes protocol byte content.
+    pub trace: bool,
 }
 
 impl ClusterConfig {
@@ -110,6 +118,7 @@ impl ClusterConfig {
             churn: Vec::new(),
             metrics: false,
             sample_every: None,
+            trace: false,
         }
     }
 
@@ -149,6 +158,14 @@ pub struct ClusterOutcome {
     /// per node that answered), oldest first. Populated only with
     /// [`ClusterConfig::metrics`] + [`ClusterConfig::sample_every`].
     pub status_series: Vec<Vec<StatusRow>>,
+    /// One `/trace` JSON snapshot per answering node, taken after every
+    /// report arrived but before the cluster was released. Populated only
+    /// with [`ClusterConfig::trace`] + [`ClusterConfig::metrics`].
+    pub trace_snapshots: Vec<String>,
+    /// The slot-by-slot divergence diagnosis, present only when digest
+    /// parity failed and the harness could pull per-slot evidence from
+    /// the still-live nodes.
+    pub forensics: Option<DivergenceReport>,
 }
 
 impl ClusterOutcome {
@@ -406,25 +423,39 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
         .local_addr()
         .map_err(|e| format!("controller address: {e}"))?;
     let reports: Arc<Mutex<HashMap<NodeId, RunReport>>> = Arc::new(Mutex::new(HashMap::new()));
+    // Per-slot digests answered to the controller's forensic DigestReq
+    // pulls, keyed by (node, slot).
+    let pulled: Arc<Mutex<BTreeMap<(u32, u64), Digest>>> = Arc::new(Mutex::new(BTreeMap::new()));
     let stop = Arc::new(AtomicBool::new(false));
     let collector = {
         let controller = Arc::clone(&controller);
         let reports = Arc::clone(&reports);
+        let pulled = Arc::clone(&pulled);
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
-            let mut handler = |inbound: Inbound| {
-                if let Inbound::Control {
+            let mut handler = |inbound: Inbound| match inbound {
+                Inbound::Control {
                     src,
                     msg: Control::Report(report),
                     ..
-                } = inbound
-                {
+                } => {
                     reports
                         .lock()
                         .expect("reports poisoned")
                         .insert(report.node, report);
                     let _ = controller.send_control(src, &Control::ReportAck);
                 }
+                Inbound::Control {
+                    from,
+                    msg: Control::SlotDigest { slot, digest },
+                    ..
+                } => {
+                    pulled
+                        .lock()
+                        .expect("pulled digests poisoned")
+                        .insert((from.0, slot), digest);
+                }
+                _ => {}
             };
             controller.run_receiver(&stop, &mut handler);
         })
@@ -517,6 +548,9 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
         if config.drop > 0.0 {
             cmd.arg("--drop").arg(config.drop.to_string());
         }
+        if config.trace {
+            cmd.arg("--trace");
+        }
         if let Some(addr) = metrics_addrs.get(i) {
             cmd.arg("--metrics-addr").arg(addr.to_string());
         }
@@ -588,6 +622,58 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
         std::thread::sleep(Duration::from_millis(30));
     };
 
+    // --- The in-memory reference on the same seed and churn schedule,
+    // computed *before* the cluster is released: a parity failure then
+    // still has every node alive and serving DigestReq pulls.
+    let reference = reference_run(config);
+
+    let mut ordered = Vec::with_capacity(total);
+    for i in 0..total {
+        let id = NodeId(i as u32);
+        match collected.get(&id) {
+            Some(report) => ordered.push(*report),
+            None => {
+                let msg = fail(&mut guard, format!("missing report from node {i}"));
+                let _ = collector.join();
+                return Err(msg);
+            }
+        }
+    }
+    let wire_digest =
+        network_digest_of(&ordered.iter().map(|r| r.chain_digest).collect::<Vec<_>>());
+    let reference_chains: Vec<Digest> = (0..total)
+        .map(|i| reference.chain_digest(NodeId(i as u32)))
+        .collect();
+    let reference_digest = reference.network_digest();
+
+    // --- Trace snapshots while the nodes still serve `/trace`.
+    let trace_snapshots: Vec<String> = if config.trace {
+        metrics_addrs
+            .iter()
+            .filter_map(|addr| http_get(*addr, "/trace", Duration::from_secs(1)).ok())
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // --- Divergence forensics: on a parity failure, pull the suspect
+    // nodes' recent per-slot digests over the live control plane and
+    // diff them against the reference before anything shuts down.
+    let forensics = if wire_digest != reference_digest {
+        Some(run_forensics(
+            config,
+            &controller,
+            &addrs,
+            &ordered,
+            &reference,
+            &reference_chains,
+            &pulled,
+            &trace_snapshots,
+        ))
+    } else {
+        None
+    };
+
     // --- Release the cluster and reap the processes.
     for addr in &addrs {
         for _ in 0..3 {
@@ -598,23 +684,6 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
     stop.store(true, Ordering::Relaxed);
     collector.join().map_err(|_| "collector thread panicked")?;
 
-    // --- The in-memory reference on the same seed and churn schedule.
-    let reference = reference_run(config);
-
-    let mut ordered = Vec::with_capacity(total);
-    for i in 0..total {
-        let id = NodeId(i as u32);
-        ordered.push(
-            *collected
-                .get(&id)
-                .ok_or_else(|| format!("missing report from node {i}"))?,
-        );
-    }
-    let wire_digest =
-        network_digest_of(&ordered.iter().map(|r| r.chain_digest).collect::<Vec<_>>());
-    let reference_chains: Vec<Digest> = (0..total)
-        .map(|i| reference.chain_digest(NodeId(i as u32)))
-        .collect();
     let wire_pop = ordered.iter().fold((0, 0), |(a, s), r| {
         (a + r.pop_attempts, s + r.pop_successes)
     });
@@ -624,13 +693,77 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
     }
     Ok(ClusterOutcome {
         wire_digest,
-        reference_digest: reference.network_digest(),
+        reference_digest,
         reference_chains,
         wire_pop,
         reference_pop: reference.pop_counters(),
         net,
         metrics_addrs,
         status_series,
+        trace_snapshots,
+        forensics,
         reports: ordered,
     })
+}
+
+/// Pulls per-slot digests from every chain-level suspect over the live
+/// [`Control::DigestReq`] path and diffs them against the reference
+/// engine's blocks. Best-effort: silence is reported, never fatal.
+#[allow(clippy::too_many_arguments)]
+fn run_forensics(
+    config: &ClusterConfig,
+    controller: &Endpoint,
+    addrs: &[SocketAddr],
+    reports: &[RunReport],
+    reference: &TldagNetwork,
+    reference_chains: &[Digest],
+    pulled: &Arc<Mutex<BTreeMap<(u32, u64), Digest>>>,
+    trace_snapshots: &[String],
+) -> DivergenceReport {
+    let suspects: Vec<u32> = reports
+        .iter()
+        .enumerate()
+        .filter(|(i, r)| r.chain_digest != reference_chains[*i])
+        .map(|(i, _)| i as u32)
+        .collect();
+    // Nodes retain the last 64 slots of own-digest history for pulls.
+    let window = config.slots.saturating_sub(64)..config.slots;
+
+    for _round in 0..4 {
+        let missing: Vec<(u32, u64)> = {
+            let have = pulled.lock().expect("pulled digests poisoned");
+            suspects
+                .iter()
+                .flat_map(|&node| window.clone().map(move |slot| (node, slot)))
+                .filter(|key| !have.contains_key(key))
+                .collect()
+        };
+        if missing.is_empty() {
+            break;
+        }
+        for &(node, slot) in &missing {
+            if let Some(addr) = addrs.get(node as usize) {
+                let _ = controller.send_control(*addr, &Control::DigestReq { slot });
+            }
+        }
+        std::thread::sleep(Duration::from_millis(150));
+    }
+
+    // The reference engine's per-slot block digests for the same nodes.
+    let mut ref_digests: BTreeMap<(u32, u64), Digest> = BTreeMap::new();
+    for &node in &suspects {
+        for block in reference.node(NodeId(node)).store().iter() {
+            ref_digests.insert((node, block.header.time), block.header.digest());
+        }
+    }
+
+    let wire = pulled.lock().expect("pulled digests poisoned").clone();
+    let mut report = diagnose(&wire, &ref_digests, &suspects, window);
+    if let Some(slot) = report.first_divergent_slot {
+        report.timelines = trace_snapshots
+            .iter()
+            .flat_map(|snapshot| timelines_for_slot(snapshot, slot))
+            .collect();
+    }
+    report
 }

@@ -30,8 +30,14 @@
 //!   with `network_digest` parity checking against the in-memory engine,
 //!   including under a scheduled churn of late joins and graceful leaves.
 //! * [`telemetry`] — live observability: per-node histograms + journal
-//!   ([`telemetry::NodeTelemetry`]), the `/metrics` + `/journal` HTTP
-//!   routes, and the `tldag status` scraper/aggregator.
+//!   ([`telemetry::NodeTelemetry`]), the `/metrics` + `/journal` +
+//!   `/trace` HTTP routes, and the `tldag status` scraper/aggregator.
+//! * [`forensics`] — slot-by-slot divergence diagnosis on parity
+//!   failures: first divergent slot, differing block digests, and the
+//!   offending blocks' causal lifecycle timelines.
+//! * [`explore`] — the `tldag explore` DAG explorer: `/dag`, `/slot/<t>`
+//!   and `/block/<id>` served from disk segments or a live node's
+//!   telemetry endpoints.
 //!
 //! Everything is `std`-only (threads + `UdpSocket`), matching the
 //! workspace's scoped-thread engine style: no async runtime, no new
@@ -49,6 +55,8 @@ use std::fmt;
 pub mod control;
 pub mod endpoint;
 pub mod envelope;
+pub mod explore;
+pub mod forensics;
 pub mod frag;
 pub mod harness;
 pub mod membership;
@@ -61,6 +69,8 @@ pub mod telemetry;
 pub mod transport;
 
 pub use endpoint::{Endpoint, EndpointConfig, Inbound};
+pub use explore::{Explorer, ExplorerSource};
+pub use forensics::{diagnose, timelines_for_slot, DivergenceReport, SlotMismatch};
 pub use harness::{run_cluster, ClusterConfig, ClusterOutcome};
 pub use membership::{parse_churn_spec, ChurnEvent, Roster};
 pub use metrics::{NetMetrics, NetStats};

@@ -51,10 +51,11 @@
 
 use crate::control::{Control, RunReport, WireMember};
 use crate::endpoint::{Endpoint, EndpointConfig, Inbound};
+use crate::envelope::TraceContext;
 use crate::membership::{join_site, ChurnEvent, Roster};
 use crate::metrics::NetStats;
 use crate::peer::PeerTable;
-use crate::telemetry::{render_metrics, MetricsView, NodeTelemetry};
+use crate::telemetry::{render_metrics, MetricsView, NodeTelemetry, JOURNAL_CAPACITY};
 use crate::transport::{FaultSpec, FaultyTransport, UdpTransport};
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
@@ -76,7 +77,10 @@ use tldag_core::store::{BackendFactory, BlockBackend, BlockStore, TrustCache};
 use tldag_core::workload::sensor_payload;
 use tldag_crypto::sha256::sha256;
 use tldag_crypto::Digest;
-use tldag_obs::{EventKind, HttpServer, Phase, Routes};
+use tldag_obs::{
+    trace_json, unix_micros, EventKind, HttpServer, Phase, Routes, SpanEvent, SpanKind, SpanStore,
+    DEFAULT_SPAN_CAPACITY,
+};
 use tldag_sim::topology::{Topology, TopologyConfig};
 use tldag_sim::{Bits, DetRng, NodeId};
 use tldag_storage::{DiskFactory, StorageOptions};
@@ -157,6 +161,13 @@ pub struct NetNodeConfig {
     /// on this address while the node runs. `None` disables the listener;
     /// telemetry is recorded either way.
     pub metrics_addr: Option<SocketAddr>,
+    /// Record block-lifecycle spans (generated → gossiped-out → received →
+    /// verified → committed) and stamp digest gossip with a wire-level
+    /// trace context, served from `GET /trace`. Tracing never changes the
+    /// protocol bytes' *content* — an untraced peer decodes stamped frames
+    /// identically — and a tracing-off run puts exactly the v1 bytes on
+    /// the wire.
+    pub trace: bool,
 }
 
 impl NetNodeConfig {
@@ -188,6 +199,7 @@ impl NetNodeConfig {
             fault: None,
             deadline: None,
             metrics_addr: None,
+            trace: false,
         }
     }
 }
@@ -248,6 +260,29 @@ pub fn network_digest_of(chain_digests: &[Digest]) -> Digest {
         bytes.extend_from_slice(d.as_bytes());
     }
     sha256(&bytes)
+}
+
+/// First 8 bytes (big-endian) of a header digest — the block identity key
+/// every lifecycle span and wire trace context carries.
+pub fn digest_prefix(digest: &Digest) -> u64 {
+    let mut p = [0u8; 8];
+    p.copy_from_slice(&digest.as_bytes()[..8]);
+    u64::from_be_bytes(p)
+}
+
+/// Records one lifecycle span on this node's trace ring. A no-op (modulo
+/// the drop counter) when tracing is off.
+fn record_span(shared: &Shared, node: u32, slot: u64, origin: u32, prefix: u64, kind: SpanKind) {
+    if shared.telemetry.spans.is_enabled() {
+        shared.telemetry.spans.record(SpanEvent {
+            slot,
+            origin,
+            prefix,
+            node,
+            kind,
+            ts_micros: unix_micros(),
+        });
+    }
 }
 
 /// Serves one inbound protocol request against a node's state, returning
@@ -313,6 +348,9 @@ pub struct NetPopTransport<'a> {
     /// answer from their store *as of that slot* — the pipelined validator
     /// must see exactly what a lockstep one would have.
     pub horizon: Option<u64>,
+    /// When set, every block fetched during the PoP walk is stamped with a
+    /// [`SpanKind::Verified`] span on this ring (`None` = tracing off).
+    pub spans: Option<&'a SpanStore>,
 }
 
 impl PopTransport for NetPopTransport<'_> {
@@ -328,7 +366,19 @@ impl PopTransport for NetPopTransport<'_> {
             id,
         };
         match self.endpoint.request(addr, &msg)? {
-            (_, WireMessage::Block(block)) => Some(FetchResponse::Block(block)),
+            (_, WireMessage::Block(block)) => {
+                if let Some(spans) = self.spans {
+                    spans.record(SpanEvent {
+                        slot: block.header.time,
+                        origin: block.id.owner.0,
+                        prefix: digest_prefix(&block.header_digest()),
+                        node: self.endpoint.id().0,
+                        kind: SpanKind::Verified,
+                        ts_micros: unix_micros(),
+                    });
+                }
+                Some(FetchResponse::Block(block))
+            }
             (_, WireMessage::PrunedNack { retained_from, .. }) => {
                 Some(FetchResponse::Pruned { retained_from })
             }
@@ -456,6 +506,14 @@ struct Shared {
     /// Histograms + journal, shared with the dispatcher, the metrics
     /// listener, and (via [`NetNode::telemetry`]) in-process harnesses.
     telemetry: Arc<NodeTelemetry>,
+    /// Traced block identities heard per slot — `(origin, prefix)` from
+    /// inbound digest gossip's trace contexts — consumed at the slot's
+    /// local commit point to stamp every known block of the slot with a
+    /// [`SpanKind::Committed`] span. Empty when tracing is off.
+    trace_keys: Mutex<BTreeMap<u64, Vec<(u32, u64)>>>,
+    /// The resolved metrics listener address (meaningful with port 0),
+    /// reported back in the [`RunReport`].
+    metrics_resolved: Mutex<Option<SocketAddr>>,
 }
 
 /// What a slot loop hands back to the epilogue.
@@ -614,7 +672,16 @@ need --join)",
                 pipeline_abort: AtomicBool::new(false),
                 shutdown: AtomicBool::new(false),
                 report_acked: AtomicBool::new(false),
-                telemetry: Arc::new(NodeTelemetry::default()),
+                telemetry: Arc::new(NodeTelemetry::with_span_capacity(
+                    JOURNAL_CAPACITY,
+                    if config.trace {
+                        DEFAULT_SPAN_CAPACITY
+                    } else {
+                        0
+                    },
+                )),
+                trace_keys: Mutex::new(BTreeMap::new()),
+                metrics_resolved: Mutex::new(None),
             }),
             config,
         })
@@ -677,12 +744,30 @@ need --join)",
                         "application/jsonl".to_string(),
                         shared.telemetry.journal.to_jsonl(),
                     )),
+                    "/trace" => Some((
+                        "application/json".to_string(),
+                        trace_json(
+                            node_id.0,
+                            &shared.telemetry.spans.snapshot(),
+                            shared.telemetry.spans.dropped(),
+                            shared.telemetry.spans.evicted(),
+                        ),
+                    )),
                     _ => None,
                 });
-                Some(
-                    HttpServer::spawn(addr, routes)
-                        .map_err(|e| format!("cannot bind metrics listener {addr}: {e}"))?,
-                )
+                let server = HttpServer::spawn(addr, routes)
+                    .map_err(|e| format!("cannot bind metrics listener {addr}: {e}"))?;
+                // With port 0 the kernel picks the port; the resolved
+                // address on stdout (and in the RunReport) is the only way
+                // a harness can find the listener.
+                let resolved = server.addr();
+                println!("metrics listening on {resolved}");
+                *self
+                    .shared
+                    .metrics_resolved
+                    .lock()
+                    .expect("metrics addr poisoned") = Some(resolved);
+                Some(server)
             }
             None => None,
         };
@@ -867,6 +952,8 @@ need --join)",
                 // of 32-byte history is cheap insurance.
                 *own = own.split_off(&slot.saturating_sub(64));
             }
+            let prefix = digest_prefix(&digest);
+            record_span(&self.shared, id.0, slot, id.0, prefix, SpanKind::Generated);
             // PoP walks the whole DAG, so in PoP mode every generating peer
             // needs the digest (the barrier below proves global generation
             // progress); without PoP only neighbors consume it.
@@ -878,10 +965,23 @@ need --join)",
                     .filter_map(|&nb| self.peers.addr(nb).map(|a| (nb, a)))
                     .collect()
             };
+            let trace_ctx = self.gossip_trace_ctx(slot, prefix);
             for (_, addr) in &gossip_targets {
-                let _ = self
-                    .endpoint
-                    .send_control(*addr, &Control::SlotDigest { slot, digest });
+                let _ = self.endpoint.send_control_traced(
+                    *addr,
+                    &Control::SlotDigest { slot, digest },
+                    trace_ctx,
+                );
+            }
+            if !gossip_targets.is_empty() {
+                record_span(
+                    &self.shared,
+                    id.0,
+                    slot,
+                    id.0,
+                    prefix,
+                    SpanKind::GossipedOut,
+                );
             }
             telemetry
                 .phases
@@ -967,6 +1067,7 @@ need --join)",
             }
             // The slot is fully executed (generated, gossiped, verified):
             // raise the local watermark and close the latency sample.
+            self.record_slot_committed(slot);
             self.shared
                 .verified_through
                 .store(slot + 1, Ordering::Relaxed);
@@ -1159,13 +1260,29 @@ need --join)",
                 // 32-byte history is cheap insurance.
                 *own = own.split_off(&slot.saturating_sub(64));
             }
+            let prefix = digest_prefix(&digest);
+            record_span(&self.shared, id.0, slot, id.0, prefix, SpanKind::Generated);
             // The verify worker may be parked on this very digest.
             notify_progress(&self.shared);
             // PoP mode: every generating peer consumes the digest.
-            for (_, addr) in self.generator_addrs(slot) {
-                let _ = self
-                    .endpoint
-                    .send_control(addr, &Control::SlotDigest { slot, digest });
+            let trace_ctx = self.gossip_trace_ctx(slot, prefix);
+            let gossip_targets = self.generator_addrs(slot);
+            for (_, addr) in &gossip_targets {
+                let _ = self.endpoint.send_control_traced(
+                    *addr,
+                    &Control::SlotDigest { slot, digest },
+                    trace_ctx,
+                );
+            }
+            if !gossip_targets.is_empty() {
+                record_span(
+                    &self.shared,
+                    id.0,
+                    slot,
+                    id.0,
+                    prefix,
+                    SpanKind::GossipedOut,
+                );
             }
             telemetry
                 .phases
@@ -1274,6 +1391,7 @@ need --join)",
                     .endpoint
                     .send_control(addr, &Control::SlotDone { slot });
             }
+            self.record_slot_committed(slot);
             self.shared
                 .verified_through
                 .store(slot + 1, Ordering::Relaxed);
@@ -1357,6 +1475,60 @@ need --join)",
         }
     }
 
+    /// The trace context stamped onto this node's outbound digest gossip
+    /// for its slot-`slot` block, or `None` when tracing is off (the frame
+    /// then carries exactly the v1 bytes).
+    fn gossip_trace_ctx(&self, slot: u64, prefix: u64) -> Option<TraceContext> {
+        self.shared
+            .telemetry
+            .spans
+            .is_enabled()
+            .then(|| TraceContext {
+                origin: self.config.id.0,
+                slot,
+                prefix,
+                ts_micros: unix_micros(),
+            })
+    }
+
+    /// Stamps a [`SpanKind::Committed`] span on every block of `slot` this
+    /// node can identify — its own block plus each traced digest heard —
+    /// and prunes the per-slot key buffer up to `slot`. Called at the
+    /// slot's local commit point (the verify watermark raise).
+    fn record_slot_committed(&self, slot: u64) {
+        if !self.shared.telemetry.spans.is_enabled() {
+            return;
+        }
+        let me = self.config.id.0;
+        let own = self
+            .shared
+            .own_digests
+            .lock()
+            .expect("own digests poisoned")
+            .get(&slot)
+            .copied();
+        if let Some(digest) = own {
+            record_span(
+                &self.shared,
+                me,
+                slot,
+                me,
+                digest_prefix(&digest),
+                SpanKind::Committed,
+            );
+        }
+        let heard = {
+            let mut keys = self.shared.trace_keys.lock().expect("trace keys poisoned");
+            let heard = keys.remove(&slot).unwrap_or_default();
+            // Keys below the committed slot can never be consumed anymore.
+            *keys = keys.split_off(&slot);
+            heard
+        };
+        for (origin, prefix) in heard {
+            record_span(&self.shared, me, slot, origin, prefix, SpanKind::Committed);
+        }
+    }
+
     /// Waits until the local verify watermark reaches `target`. Returns
     /// `false` on timeout or pipeline abort.
     fn wait_verified_through(&self, target: u64) -> bool {
@@ -1436,6 +1608,11 @@ need --join)",
             slot_loop_ms,
             degraded,
             net: self.endpoint.stats(),
+            metrics_addr: *self
+                .shared
+                .metrics_resolved
+                .lock()
+                .expect("metrics addr poisoned"),
         };
         self.epilogue(&run);
         Ok(NodeOutcome {
@@ -1825,6 +2002,12 @@ need --join)",
             endpoint: &self.endpoint,
             peers: &self.peers,
             horizon,
+            spans: self
+                .shared
+                .telemetry
+                .spans
+                .is_enabled()
+                .then_some(&self.shared.telemetry.spans),
         };
         match horizon {
             None => {
@@ -1900,6 +2083,7 @@ fn dispatch(endpoint: &Endpoint, shared: &Shared, peers: &PeerTable, inbound: In
             src,
             seq,
             msg,
+            trace: _,
         } => {
             if peers.addr(from).is_some() {
                 peers.mark_heard(from);
@@ -1912,7 +2096,12 @@ fn dispatch(endpoint: &Endpoint, shared: &Shared, peers: &PeerTable, inbound: In
                 let _ = endpoint.send_reply(src, seq, &reply);
             }
         }
-        Inbound::Control { from, src, msg } => {
+        Inbound::Control {
+            from,
+            src,
+            msg,
+            trace,
+        } => {
             // Organic address learning: any authenticated control envelope
             // from a roster member we cannot address yet fills the gap (a
             // scheduled joiner whose announcement we missed, say).
@@ -1957,6 +2146,36 @@ fn dispatch(endpoint: &Endpoint, shared: &Shared, peers: &PeerTable, inbound: In
                         .insert(peer);
                 }
                 Control::SlotDigest { slot, digest } => {
+                    // A trace context riding the gossip stitches the remote
+                    // block into this node's timeline: materialize the
+                    // origin's gossip-out instant (its clock, carried in
+                    // the context), record the receive, and remember the
+                    // identity for the commit stamp.
+                    if let Some(ctx) = trace {
+                        if shared.telemetry.spans.is_enabled() {
+                            shared.telemetry.spans.record(SpanEvent {
+                                slot: ctx.slot,
+                                origin: ctx.origin,
+                                prefix: ctx.prefix,
+                                node: ctx.origin,
+                                kind: SpanKind::GossipedOut,
+                                ts_micros: ctx.ts_micros,
+                            });
+                            record_span(
+                                shared,
+                                endpoint.id().0,
+                                ctx.slot,
+                                ctx.origin,
+                                ctx.prefix,
+                                SpanKind::Received,
+                            );
+                            let mut keys = shared.trace_keys.lock().expect("trace keys poisoned");
+                            let entry = keys.entry(ctx.slot).or_default();
+                            if !entry.contains(&(ctx.origin, ctx.prefix)) {
+                                entry.push((ctx.origin, ctx.prefix));
+                            }
+                        }
+                    }
                     shared
                         .digests
                         .lock()
@@ -1978,7 +2197,20 @@ fn dispatch(endpoint: &Endpoint, shared: &Shared, peers: &PeerTable, inbound: In
                 Control::DigestReq { slot } => {
                     let own = shared.own_digests.lock().expect("own digests poisoned");
                     if let Some(&digest) = own.get(&slot) {
-                        let _ = endpoint.send_control(src, &Control::SlotDigest { slot, digest });
+                        // Re-sent digests carry the same trace context as
+                        // the original gossip, so a pulled straggler still
+                        // stitches into the requester's timeline.
+                        let ctx = shared.telemetry.spans.is_enabled().then(|| TraceContext {
+                            origin: endpoint.id().0,
+                            slot,
+                            prefix: digest_prefix(&digest),
+                            ts_micros: unix_micros(),
+                        });
+                        let _ = endpoint.send_control_traced(
+                            src,
+                            &Control::SlotDigest { slot, digest },
+                            ctx,
+                        );
                     }
                 }
                 Control::JoinReq { .. } => {
@@ -2202,6 +2434,9 @@ fn collect_view(node_id: NodeId, endpoint: &Endpoint, shared: &Shared) -> Metric
         roster_departed,
         journal_len: telemetry.journal.len() as u64,
         journal_dropped: telemetry.journal.dropped(),
+        trace_spans: telemetry.spans.recorded(),
+        trace_dropped: telemetry.spans.dropped(),
+        trace_evicted: telemetry.spans.evicted(),
         phases: telemetry.phases.snapshot(),
         pop_rtt: telemetry.pop_rtt.snapshot(),
         request_rtt: endpoint.request_rtt().snapshot(),

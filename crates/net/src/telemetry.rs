@@ -28,7 +28,7 @@ use tldag_core::pop::validator::PopMetrics;
 pub use tldag_obs::HistogramSnapshot;
 use tldag_obs::{
     histogram_quantile, http_get, parse_exposition, Expo, Journal, LatencyHistogram, Phase,
-    PhaseTimings, Sample,
+    PhaseTimings, Sample, SpanStore,
 };
 use tldag_sim::NodeId;
 
@@ -54,6 +54,9 @@ pub struct NodeTelemetry {
     pub fsync: LatencyHistogram,
     /// Bounded structured event journal.
     pub journal: Journal,
+    /// Block-lifecycle span ring (`--trace`). Disabled (capacity 0) by
+    /// default, so untraced runs record nothing and count drops instead.
+    pub spans: SpanStore,
     /// PoP verifications attempted so far.
     pub pop_attempts: AtomicU64,
     /// PoP verifications that reached consensus so far.
@@ -69,14 +72,22 @@ impl Default for NodeTelemetry {
 }
 
 impl NodeTelemetry {
-    /// Telemetry with a journal bounded to `journal_capacity` events.
+    /// Telemetry with a journal bounded to `journal_capacity` events and
+    /// span tracing disabled.
     pub fn new(journal_capacity: usize) -> Self {
+        Self::with_span_capacity(journal_capacity, 0)
+    }
+
+    /// Telemetry with an additional block-lifecycle span ring of
+    /// `span_capacity` spans (0 disables tracing).
+    pub fn with_span_capacity(journal_capacity: usize, span_capacity: usize) -> Self {
         NodeTelemetry {
             phases: PhaseTimings::new(),
             slot_latency: LatencyHistogram::new(),
             pop_rtt: LatencyHistogram::new(),
             fsync: LatencyHistogram::new(),
             journal: Journal::bounded(journal_capacity),
+            spans: SpanStore::bounded(span_capacity),
             pop_attempts: AtomicU64::new(0),
             pop_successes: AtomicU64::new(0),
             pop: Mutex::new(PopMetrics::default()),
@@ -132,6 +143,12 @@ pub struct MetricsView {
     pub journal_len: u64,
     /// Journal events evicted by the ring bound.
     pub journal_dropped: u64,
+    /// Lifecycle spans ever recorded by the trace ring.
+    pub trace_spans: u64,
+    /// Spans recorded against a disabled (capacity-0) trace ring.
+    pub trace_dropped: u64,
+    /// Live spans overwritten because the trace ring was full.
+    pub trace_evicted: u64,
     /// Configured pipeline window (1 = lockstep).
     pub window: u64,
     /// Slots currently in flight: generated but not yet verified locally
@@ -210,6 +227,21 @@ pub fn render_metrics(view: &MetricsView) -> String {
         "tldag_journal_dropped_total",
         "Events evicted by the journal's ring bound.",
         view.journal_dropped,
+    );
+    expo.counter(
+        "tldag_trace_spans_total",
+        "Block-lifecycle spans ever recorded by the trace ring.",
+        view.trace_spans,
+    );
+    expo.counter(
+        "tldag_trace_dropped_total",
+        "Spans recorded while tracing was disabled.",
+        view.trace_dropped,
+    );
+    expo.counter(
+        "tldag_trace_evicted_total",
+        "Live spans overwritten because the trace ring was full.",
+        view.trace_evicted,
     );
     expo.gauge(
         "tldag_window",
@@ -561,6 +593,9 @@ mod tests {
             roster_departed: 0,
             journal_len: 2,
             journal_dropped: 0,
+            trace_spans: 6,
+            trace_dropped: 1,
+            trace_evicted: 0,
             window: 4,
             window_occupancy: 3,
             watermark_lag: 2,
@@ -610,6 +645,10 @@ mod tests {
             "tldag_store_fsync_total",
             "tldag_store_segments",
             "tldag_roster_members",
+            "tldag_journal_dropped_total",
+            "tldag_trace_spans_total",
+            "tldag_trace_dropped_total",
+            "tldag_trace_evicted_total",
             "tldag_net_datagrams_sent_total",
             "tldag_pop_messages_sent_total",
             "tldag_phase_latency_micros_bucket",

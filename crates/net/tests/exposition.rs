@@ -1,0 +1,218 @@
+//! Property tests for the metrics exposition path: everything
+//! [`render_metrics`] emits must survive [`parse_exposition`] (the scraper,
+//! `tldag status`, and the explorer's live mode all depend on that), and
+//! the parser must reject arbitrary garbage with an error — never a panic.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use tldag_core::pop::PopMetrics;
+use tldag_net::metrics::NetStats;
+use tldag_net::{render_metrics, MetricsView, NodeTelemetry};
+use tldag_obs::expo::{parse_exposition, sample_value, Expo};
+use tldag_obs::hist::{HistogramSnapshot, LatencyHistogram, Phase};
+use tldag_obs::histogram_quantile;
+use tldag_sim::NodeId;
+
+/// A fully-populated view exercising every family the renderer knows,
+/// including the journal/span drop and eviction counters.
+fn sample_view() -> MetricsView {
+    let telemetry = NodeTelemetry::new(16);
+    telemetry
+        .phases
+        .record(Phase::Generate, std::time::Duration::from_micros(120));
+    telemetry
+        .phases
+        .record(Phase::Verify, std::time::Duration::from_micros(900));
+    telemetry.pop_rtt.record_micros(1500);
+    telemetry.fsync.record_micros(80);
+    MetricsView {
+        node: NodeId(2),
+        slot: 7,
+        net: NetStats {
+            datagrams_sent: 100,
+            requests_sent: 40,
+            request_retries: 3,
+            request_timeouts: 1,
+            ..NetStats::default()
+        },
+        pop: PopMetrics {
+            messages_sent: 9,
+            timeouts: 1,
+            ..PopMetrics::default()
+        },
+        pop_attempts: 5,
+        pop_successes: 4,
+        chain_len: 8,
+        durable_len: 8,
+        pruned_floor: 0,
+        fsync_count: 9,
+        segment_count: 1,
+        roster_members: 3,
+        roster_departed: 0,
+        journal_len: 2,
+        journal_dropped: 11,
+        trace_spans: 6,
+        trace_dropped: 1,
+        trace_evicted: 13,
+        window: 4,
+        window_occupancy: 3,
+        watermark_lag: 2,
+        phases: telemetry.phases.snapshot(),
+        slot_latency: telemetry.slot_latency.snapshot(),
+        batch_fill: HistogramSnapshot::default(),
+        pop_rtt: telemetry.pop_rtt.snapshot(),
+        request_rtt: HistogramSnapshot::default(),
+        retry_backoff: HistogramSnapshot::default(),
+        fsync: telemetry.fsync.snapshot(),
+    }
+}
+
+/// Every sample line the node renderer emits parses back, in order, and
+/// every declared `# TYPE` family has at least one surviving sample —
+/// including the trace/journal counter families added for forensics.
+#[test]
+fn render_metrics_roundtrips_every_family() {
+    let text = render_metrics(&sample_view());
+    let samples = parse_exposition(&text).expect("renderer output must parse");
+
+    let sample_lines = text
+        .lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .count();
+    assert_eq!(samples.len(), sample_lines, "no sample line may be lost");
+
+    for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+        let family = line
+            .split_whitespace()
+            .nth(2)
+            .expect("TYPE line carries a family name");
+        assert!(
+            samples.iter().any(|s| s.name.starts_with(family)),
+            "family {family} declared but yielded no samples"
+        );
+    }
+
+    assert_eq!(
+        sample_value(&samples, "tldag_journal_dropped_total", &[]),
+        Some(11.0)
+    );
+    assert_eq!(
+        sample_value(&samples, "tldag_trace_spans_total", &[]),
+        Some(6.0)
+    );
+    assert_eq!(
+        sample_value(&samples, "tldag_trace_dropped_total", &[]),
+        Some(1.0)
+    );
+    assert_eq!(
+        sample_value(&samples, "tldag_trace_evicted_total", &[]),
+        Some(13.0)
+    );
+}
+
+/// Maps raw bytes to printable ASCII — the workspace proptest shim has no
+/// string strategies, so label values (including `"` and `\`, which
+/// exercise the escaper) are derived from byte vectors.
+fn printable(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| (b % 95 + 32) as char).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary input never panics the parser: it either yields samples
+    /// or a diagnostic string.
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(bytes in vec(any::<u8>(), 0..400)) {
+        let _ = parse_exposition(&String::from_utf8_lossy(&bytes));
+        let _ = parse_exposition(&printable(&bytes));
+    }
+
+    /// Near-miss input — a valid document with bytes spliced into the
+    /// middle — never panics either (truncated label blocks, split
+    /// escapes, half numbers).
+    #[test]
+    fn parser_never_panics_on_corrupted_exposition(
+        at in 0usize..4096,
+        noise in vec(any::<u8>(), 0..12),
+    ) {
+        let mut text = render_metrics(&sample_view());
+        let at = at.min(text.len());
+        assert!(text.is_char_boundary(at), "renderer output is ASCII");
+        text.insert_str(at, &printable(&noise));
+        let _ = parse_exposition(&text);
+    }
+
+    /// Counters and gauges built with [`Expo`] round-trip exactly, label
+    /// escaping included (quotes and backslashes in label values).
+    #[test]
+    fn expo_counters_and_gauges_roundtrip(
+        entries in vec(
+            (any::<u64>(), any::<u64>(), vec(any::<u8>(), 0..16), 0u64..u32::MAX as u64),
+            1..8,
+        ),
+        gauge_value in -1e12f64..1e12,
+    ) {
+        let entries: Vec<(String, String, String, u64)> = entries
+            .iter()
+            .enumerate()
+            .map(|(i, (name, key, value, count))| {
+                (
+                    format!("tldag_p{i}_m{:x}_total", name % 0xffff),
+                    format!("k{:x}", key % 0xfff),
+                    printable(value),
+                    *count,
+                )
+            })
+            .collect();
+        let mut expo = Expo::new();
+        for (family, key, value, count) in &entries {
+            expo.counter_series(
+                family,
+                "property counter",
+                &[(&[(key.as_str(), value.as_str())], *count)],
+            );
+        }
+        expo.gauge("tldag_p_gauge", "property gauge", gauge_value);
+        let samples = parse_exposition(&expo.finish()).expect("builder output parses");
+        for (family, key, value, count) in &entries {
+            prop_assert_eq!(
+                sample_value(&samples, family, &[(key.as_str(), value.as_str())]),
+                Some(*count as f64),
+                "family {} with label {}={:?} lost in roundtrip", family, key, value
+            );
+        }
+        // `fmt_value` prints floats with Rust's shortest-roundtrip
+        // formatting, so the scrape is exact, not approximate.
+        prop_assert_eq!(sample_value(&samples, "tldag_p_gauge", &[]), Some(gauge_value));
+    }
+
+    /// A histogram scraped back through the exposition estimates the same
+    /// quantiles as the in-process snapshot.
+    #[test]
+    fn scraped_histogram_quantiles_match_snapshot(
+        values in vec(0u64..5_000_000, 1..120),
+        q in 0.01f64..1.0,
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_micros(v);
+        }
+        let snap = h.snapshot();
+        let mut expo = Expo::new();
+        expo.histogram("tldag_p_micros", "property histogram", &[(&[], &snap)]);
+        let samples = parse_exposition(&expo.finish()).expect("histogram parses");
+        prop_assert_eq!(
+            sample_value(&samples, "tldag_p_micros_count", &[]),
+            Some(values.len() as f64)
+        );
+        let scraped = histogram_quantile(&samples, "tldag_p_micros", &[], q)
+            .expect("non-empty histogram");
+        // The snapshot clamps a bucket's upper bound to the observed max;
+        // the exposition doesn't carry the max, so clamp before comparing.
+        prop_assert_eq!(
+            (scraped as u64).min(snap.max_micros),
+            snap.quantile_micros(q)
+        );
+    }
+}

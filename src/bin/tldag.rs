@@ -14,17 +14,18 @@
 //!                [--retain-bytes B] [--persist-trust-cache]
 //! tldag node     --id I --listen ADDR --peers 0@A,1@B,... [--slots T]
 //!                [--seed S] [--nodes N] [--side M] [--gamma G] [--pop]
-//!                [--window W] [--batch K] [--drop P]
+//!                [--window W] [--batch K] [--drop P] [--trace]
 //!                [--controller ADDR] [--storage memory|disk]
 //!                [--storage-dir PATH] [--join ADDR] [--join-slot K]
 //!                [--leave-at M] [--churn SPEC] [--evict-after SECS]
 //!                [--deadline SECS] [--metrics-addr ADDR]
 //! tldag cluster  [--nodes N] [--slots T] [--seed S] [--side M] [--gamma G]
-//!                [--pop] [--window W] [--batch K] [--drop P]
+//!                [--pop] [--window W] [--batch K] [--drop P] [--trace]
 //!                [--storage memory|disk] [--storage-dir PATH]
 //!                [--base-port P] [--timeout SECS] [--churn SPEC]
 //!                [--metrics] [--status-every SECS]
 //! tldag status   --targets ADDR,ADDR,... [--json] [--timeout SECS]
+//! tldag explore  <ADDR | --segments DIR> [--listen ADDR] [--duration SECS]
 //! ```
 
 use std::collections::HashMap;
@@ -67,7 +68,7 @@ USAGE:
 
     tldag node --id I --listen ADDR --peers 0@A,2@B,... [--slots T]
                [--seed S] [--nodes N] [--side M] [--gamma G] [--pop]
-               [--window W] [--batch K] [--drop P]
+               [--window W] [--batch K] [--drop P] [--trace]
                [--controller ADDR] [--storage memory|disk] [--storage-dir P]
                [--join ADDR] [--join-slot K] [--leave-at M]
                [--churn SPEC] [--evict-after SECS] [--deadline SECS]
@@ -97,10 +98,16 @@ USAGE:
         to the W=1 lockstep); --batch K sets the socket send/recv batch
         (datagrams per sendmmsg/recvmmsg wakeup); --drop P injects a
         deterministic per-datagram drop probability for loss testing.
+        --trace records causal block-lifecycle spans (generated →
+        gossiped-out → received → verified → committed) in a bounded
+        lock-free span store and serves them as cross-node-stitchable
+        timelines at GET /trace (needs --metrics-addr). Tracing never
+        changes protocol byte content: a traced run's chain digests are
+        identical to an untraced run's on the same seed.
 
     tldag cluster [--nodes N] [--slots T] [--seed S] [--side M]
                   [--gamma G] [--pop] [--window W] [--batch K] [--drop P]
-                  [--storage memory|disk] [--storage-dir P]
+                  [--trace] [--storage memory|disk] [--storage-dir P]
                   [--base-port P] [--timeout SECS]
                   [--churn SPEC] [--metrics] [--status-every SECS]
         Spawn N real `tldag node` processes on localhost UDP ports, run
@@ -110,9 +117,14 @@ USAGE:
         handshake, not a provisioned peer list) and replay the identical
         node_joins/node_leaves schedule on the reference engine — parity
         is asserted through the membership changes. Exits non-zero on a
-        parity failure. --metrics gives every node a localhost telemetry
+        parity failure — and on one, pulls the suspect nodes' recent
+        per-slot digests over the still-live control plane and prints a
+        divergence forensics report: first divergent slot, the differing
+        block digests, and (with --trace) the offending blocks' lifecycle
+        timelines. --metrics gives every node a localhost telemetry
         endpoint; with --status-every SECS the harness also scrapes all
-        of them periodically and prints the mid-run time series.
+        of them periodically and prints the mid-run time series. --trace
+        turns on block-lifecycle tracing at every node.
 
     tldag status --targets ADDR,ADDR,... [--json] [--timeout SECS]
         Scrape the /metrics endpoint of every listed node of a live
@@ -122,6 +134,18 @@ USAGE:
         a TOTAL row summed over the raw samples. --json prints the same
         aggregation as machine-readable JSON. Targets that do not answer
         within --timeout (default 2s) are reported on stderr and skipped.
+
+    tldag explore <ADDR | --segments DIR> [--listen ADDR] [--duration SECS]
+        Serve a browsable JSON view of a deployment's DAG at GET /dag,
+        GET /slot/<t>, and GET /block/<o>-<q>. With a node's metrics
+        ADDR, proxies that live node's /metrics + /trace into a causal
+        view (block ids are origin-slot). With --segments DIR, opens the
+        durable block logs a cluster run left behind (a node dir or a
+        cluster root of node-<i> subdirs) and serves the full structural
+        DAG with resolved cross-chain digest edges (block ids are
+        owner-seq). --listen picks the serving address (default
+        127.0.0.1:0, printed on startup); --duration exits after SECS
+        (default: serve until killed).
 
 Storage backends: `memory` (default) keeps every chain in RAM; `disk` puts
 each node's chain in a durable segmented block log under --storage-dir
@@ -466,6 +490,7 @@ fn cmd_node(args: &Args) -> Result<(), String> {
     config.gamma = args.get("gamma", 3)?;
     config.pop = args.switch("pop");
     config.window = args.get("window", 1)?;
+    config.trace = args.switch("trace");
     config.endpoint.batch = args.get("batch", config.endpoint.batch)?;
     let drop_rate: f64 = args.get("drop", 0.0)?;
     if !(0.0..1.0).contains(&drop_rate) {
@@ -614,6 +639,7 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
     };
     config.report_timeout = std::time::Duration::from_secs(args.get("timeout", 60)?);
     config.churn = tldag::net::parse_churn_spec(&args.get("churn", String::new())?)?;
+    config.trace = args.switch("trace");
     config.metrics = args.switch("metrics") || args.flags.contains_key("status-every");
     config.sample_every = match args.flags.get("status-every") {
         None => None,
@@ -723,8 +749,43 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
                 println!("  MISMATCH at node {i}");
             }
         }
+        // The harness already pulled per-slot evidence from the live
+        // nodes before releasing them — name the fork, don't just panic.
+        if let Some(forensics) = &outcome.forensics {
+            print!("{}", forensics.render());
+        }
         Err("PARITY FAILED: wire and in-memory digests differ".into())
     }
+}
+
+fn cmd_explore(args: &Args) -> Result<(), String> {
+    let source = match (args.flags.get("target"), args.flags.get("segments")) {
+        (Some(raw), None) => tldag::net::ExplorerSource::Live(
+            raw.parse()
+                .map_err(|_| format!("invalid value for --target: `{raw}`"))?,
+        ),
+        (None, Some(dir)) => tldag::net::ExplorerSource::Segments(dir.into()),
+        (Some(_), Some(_)) => {
+            return Err("--target and --segments are mutually exclusive".into());
+        }
+        (None, None) => {
+            return Err("explore needs a source: a node's metrics ADDR or --segments DIR".into());
+        }
+    };
+    let listen: std::net::SocketAddr = args.get("listen", "127.0.0.1:0".parse().expect("addr"))?;
+    let explorer = tldag::net::Explorer::spawn(listen, source)?;
+    println!("explorer listening on {}", explorer.addr());
+    println!("  GET /dag  GET /slot/<t>  GET /block/<o>-<q>");
+    let duration: f64 = args.get("duration", 0.0)?;
+    if duration > 0.0 {
+        std::thread::sleep(std::time::Duration::from_secs_f64(duration));
+        explorer.shutdown();
+    } else {
+        loop {
+            std::thread::sleep(std::time::Duration::from_secs(3600));
+        }
+    }
+    Ok(())
 }
 
 fn cmd_status(args: &Args) -> Result<(), String> {
@@ -763,11 +824,16 @@ fn cmd_status(args: &Args) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = argv.first() else {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().cloned() else {
         print!("{USAGE}");
         return ExitCode::FAILURE;
     };
+    // `tldag explore HOST:PORT` sugar: the one positional operand becomes
+    // the --target flag before the uniform flag parser sees it.
+    if command == "explore" && argv.get(1).is_some_and(|a| !a.starts_with("--")) {
+        argv.insert(1, "--target".to_string());
+    }
     let result = match Args::parse(&argv[1..]) {
         Err(e) => Err(e),
         Ok(args) => match command.as_str() {
@@ -777,6 +843,7 @@ fn main() -> ExitCode {
             "node" => cmd_node(&args),
             "cluster" => cmd_cluster(&args),
             "status" => cmd_status(&args),
+            "explore" => cmd_explore(&args),
             "help" | "--help" | "-h" => {
                 print!("{USAGE}");
                 Ok(())

@@ -18,6 +18,9 @@
 //!   not regress below baseline.
 //! - `fig14_lifecycle`: every `parity` flag must still be true — tracing
 //!   must never perturb the protocol.
+//! - `fig15_adversary`: honest PoP completion must not regress below
+//!   baseline and must stay ≥ 95% at every swept adversary fraction
+//!   (all ≤ 1/3), and every honest-subset `parity` flag must stay true.
 //!
 //! A missing baseline file is a skip (so the gate can be introduced before
 //! every figure has a baseline); a missing current file is a failure —
@@ -154,6 +157,18 @@ fn main() {
         "fig14_lifecycle",
         "parity",
         "digest parity under tracing",
+        |c, _| c >= 1.0,
+    );
+    gate.check(
+        "fig15_adversary",
+        "honest_completion",
+        "honest PoP completion under adversaries (floor 95%)",
+        |c, b| c >= b - RATE_EPSILON && c >= 0.95,
+    );
+    gate.check(
+        "fig15_adversary",
+        "parity",
+        "honest-subset digest parity under adversaries",
         |c, _| c >= 1.0,
     );
 

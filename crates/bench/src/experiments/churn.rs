@@ -234,7 +234,14 @@ fn reference_run(config: &ChurnConfig, events: &[ChurnEvent]) -> TldagNetwork {
     net.set_verification_workload(VerificationWorkload::RandomPast {
         min_age_slots: config.founders as u64,
     });
-    replay_reference_schedule(&mut net, events, config.founders, config.seed, config.slots);
+    replay_reference_schedule(
+        &mut net,
+        events,
+        &[],
+        config.founders,
+        config.seed,
+        config.slots,
+    );
     net
 }
 

@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per paper panel group.
 
 pub mod ablation;
+pub mod adversary;
 pub mod churn;
 pub mod fig7;
 pub mod fig8;

@@ -148,7 +148,7 @@ fn reference_run(config: &SaturationConfig) -> TldagNetwork {
     net.set_verification_workload(VerificationWorkload::RandomPast {
         min_age_slots: config.nodes as u64,
     });
-    replay_reference_schedule(&mut net, &[], config.nodes, config.seed, config.slots);
+    replay_reference_schedule(&mut net, &[], &[], config.nodes, config.seed, config.slots);
     net
 }
 

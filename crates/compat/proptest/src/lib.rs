@@ -5,8 +5,14 @@
 //! `proptest!` macro, `prop_assert*` macros, `any::<T>()`, range strategies,
 //! tuple strategies, and `collection::vec`. Generation is deterministic (the
 //! RNG is seeded from the test name), and there is **no shrinking** — a
-//! failure reports the case index so it can be replayed by re-running the
-//! test.
+//! failure reports the case index and the RNG state it drew from.
+//!
+//! Two CI affordances mirror the real crate: the `PROPTEST_CASES`
+//! environment variable scales every suite's case count at runtime, and a
+//! failing case's RNG state is appended to `proptest-regressions/<test>.txt`
+//! (relative to the test's working directory) and replayed before fresh
+//! generation on every later run, so a found counterexample stays fatal
+//! until fixed.
 
 #![forbid(unsafe_code)]
 
@@ -48,23 +54,37 @@ macro_rules! proptest {
         $(#[$meta])*
         fn $name() {
             let __config: $crate::test_runner::ProptestConfig = $cfg;
-            let mut __rng = $crate::test_runner::TestRng::from_name(stringify!($name));
-            for __case in 0..__config.cases {
+            let __cases = $crate::test_runner::resolved_cases(__config.cases);
+            let __name = stringify!($name);
+            let mut __one_case = |__rng: &mut $crate::test_runner::TestRng,
+                                  __label: &::std::primitive::str| {
+                let __state = __rng.state();
                 let __result: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
                     (|| {
-                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                        $(let $pat = $crate::strategy::Strategy::generate(&($strat), __rng);)+
                         $body
                         ::core::result::Result::Ok(())
                     })();
                 if let ::core::result::Result::Err(e) = __result {
+                    if __config.failure_persistence {
+                        $crate::test_runner::record_regression(__name, __state);
+                    }
                     panic!(
-                        "proptest `{}` failed at case {}/{}: {}",
-                        stringify!($name),
-                        __case,
-                        __config.cases,
-                        e
+                        "proptest `{}` failed at {} (rng state {:016x}, replayed from \
+proptest-regressions/{}.txt on the next run): {}",
+                        __name, __label, __state, __name, e
                     );
                 }
+            };
+            // Recorded failures first: a regression stays fatal until the
+            // code is fixed, regardless of the case budget.
+            for __state in $crate::test_runner::load_regressions(__name) {
+                let mut __rng = $crate::test_runner::TestRng::from_state(__state);
+                __one_case(&mut __rng, &format!("recorded regression {__state:016x}"));
+            }
+            let mut __rng = $crate::test_runner::TestRng::from_name(__name);
+            for __case in 0..__cases {
+                __one_case(&mut __rng, &format!("case {}/{}", __case, __cases));
             }
         }
     )* };
@@ -149,6 +169,19 @@ mod tests {
         }
 
         #[test]
+        fn inclusive_ranges_cover_their_ends(
+            a in 0u8..=3,
+            b in 7u16..=7,
+            c in 0u64..=u64::MAX, // full-domain span takes the raw-draw path
+            d in -2i32..=2,
+        ) {
+            prop_assert!(a <= 3);
+            prop_assert_eq!(b, 7);
+            let _ = c;
+            prop_assert!((-2..=2).contains(&d));
+        }
+
+        #[test]
         fn tuples_compose(pair in (0u32..4, any::<[u8; 32]>()), _flag in any::<bool>()) {
             prop_assert!(pair.0 < 4);
             prop_assert_eq!(pair.1.len(), 32);
@@ -168,11 +201,38 @@ mod tests {
     #[should_panic(expected = "failed at case")]
     fn failures_panic_with_case_index() {
         proptest! {
-            #![proptest_config(ProptestConfig::with_cases(4))]
+            // Persistence off: this failure is the expected outcome, not a
+            // regression to replay on later runs.
+            #![proptest_config(ProptestConfig {
+                failure_persistence: false,
+                ..ProptestConfig::with_cases(4)
+            })]
             fn always_fails(_x in 0u8..4) {
                 prop_assert!(false, "forced");
             }
         }
         always_fails();
+    }
+
+    #[test]
+    fn env_override_scales_cases() {
+        // Setting the variable in-process would race parallel tests, so
+        // compute the expectation from whatever the environment holds:
+        // unset/garbage falls back to the configured count, a positive
+        // integer wins.
+        let expected = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64);
+        assert_eq!(crate::test_runner::resolved_cases(64), expected);
+    }
+
+    #[test]
+    fn recorded_state_replays_the_same_case() {
+        let mut named = crate::TestRng::from_name("x");
+        let state = named.state();
+        let first = named.next_u64();
+        assert_eq!(crate::TestRng::from_state(state).next_u64(), first);
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::test_runner::TestRng;
 use std::marker::PhantomData;
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 
 /// A recipe for generating values of one type.
 pub trait Strategy {
@@ -28,6 +28,29 @@ macro_rules! int_range_strategy {
 }
 
 int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! int_range_inclusive_strategy {
+    ($($t:ty),*) => { $(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty strategy range");
+                let span = (*self.end() as i128 - *self.start() as i128) as u64;
+                // A span covering the full u64 domain cannot be passed to
+                // `below` (the bound would wrap to 0); it means "any value".
+                let offset = if span == u64::MAX {
+                    rng.next_u64()
+                } else {
+                    rng.below(span + 1)
+                };
+                (*self.start() as i128 + offset as i128) as $t
+            }
+        }
+    )* };
+}
+
+int_range_inclusive_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 impl Strategy for Range<f64> {
     type Value = f64;

@@ -5,20 +5,75 @@ use std::fmt;
 /// Per-test configuration (`#![proptest_config(...)]`).
 #[derive(Clone, Copy, Debug)]
 pub struct ProptestConfig {
-    /// Number of generated cases per test.
+    /// Number of generated cases per test. The `PROPTEST_CASES`
+    /// environment variable overrides this at runtime (see
+    /// [`resolved_cases`]) — the CI fuzz job's scale-up knob.
     pub cases: u32,
+    /// Whether a failing case's RNG state is appended to
+    /// `proptest-regressions/<test>.txt` so later runs replay it first.
+    pub failure_persistence: bool,
 }
 
 impl ProptestConfig {
     /// A config running `cases` cases.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
+        ProptestConfig {
+            cases,
+            failure_persistence: true,
+        }
     }
 }
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 64 }
+        ProptestConfig::with_cases(64)
+    }
+}
+
+/// Resolves the effective case count: a positive integer in the
+/// `PROPTEST_CASES` environment variable overrides the configured value,
+/// so CI can run the same suites at fuzzing depth without code changes.
+pub fn resolved_cases(configured: u32) -> u32 {
+    match std::env::var("PROPTEST_CASES") {
+        Ok(raw) => raw
+            .trim()
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or(configured),
+        Err(_) => configured,
+    }
+}
+
+/// Reads the recorded failing RNG states for test `name` from
+/// `proptest-regressions/<name>.txt` (lines of `cc <hex-state>`, oldest
+/// first, unknown lines ignored). A missing file means no regressions.
+pub fn load_regressions(name: &str) -> Vec<u64> {
+    let path = std::path::Path::new("proptest-regressions").join(format!("{name}.txt"));
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| line.trim().strip_prefix("cc "))
+        .filter_map(|hex| u64::from_str_radix(hex.trim(), 16).ok())
+        .collect()
+}
+
+/// Best-effort: appends a failing case's RNG state to the regression file
+/// so later runs replay it before generating fresh cases. IO failures are
+/// swallowed — the panic that follows already carries the state.
+pub fn record_regression(name: &str, state: u64) {
+    use std::io::Write;
+    let dir = std::path::Path::new("proptest-regressions");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(dir.join(format!("{name}.txt")))
+    {
+        let _ = writeln!(file, "cc {state:016x}");
     }
 }
 
@@ -61,6 +116,17 @@ impl TestRng {
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
         }
         TestRng { state: h }
+    }
+
+    /// Rebuilds a generator from a recorded state (regression replay).
+    pub fn from_state(state: u64) -> Self {
+        TestRng { state }
+    }
+
+    /// The raw generator state — recorded *before* a case draws its
+    /// inputs, so [`TestRng::from_state`] replays that exact case.
+    pub fn state(&self) -> u64 {
+        self.state
     }
 
     /// Next raw 64-bit value (splitmix64).

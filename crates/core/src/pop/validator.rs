@@ -77,6 +77,11 @@ pub struct PopMetrics {
     pub pruned_misses: u64,
     /// Requests that timed out.
     pub timeouts: u64,
+    /// Offenses recorded against responders (Sec. IV-D.6): every timeout or
+    /// invalid reply that fed the blacklist. `offenses =` blacklist
+    /// `record_failure` calls, so it is the counter the wire runtime exports
+    /// as `tldag_pop_offenses_total`.
+    pub offenses: u64,
     /// Path extensions served from the trust cache (TPS).
     pub tps_extensions: u64,
     /// Path extensions served from the validator's own store.
@@ -110,6 +115,7 @@ impl PopMetrics {
             no_child_replies,
             pruned_misses,
             timeouts,
+            offenses,
             tps_extensions,
             own_store_hits,
             rollbacks,
@@ -124,6 +130,7 @@ impl PopMetrics {
         self.no_child_replies += no_child_replies;
         self.pruned_misses += pruned_misses;
         self.timeouts += timeouts;
+        self.offenses += offenses;
         self.tps_extensions += tps_extensions;
         self.own_store_hits += own_store_hits;
         self.rollbacks += rollbacks;
@@ -143,6 +150,7 @@ impl PopMetrics {
             ("no_child_replies", self.no_child_replies),
             ("pruned_misses", self.pruned_misses),
             ("timeouts", self.timeouts),
+            ("offenses", self.offenses),
             ("tps_extensions", self.tps_extensions),
             ("own_store_hits", self.own_store_hits),
             ("rollbacks", self.rollbacks),
@@ -466,6 +474,7 @@ impl<'a> Validator<'a> {
                     // Timeout after τ: an offense (Sec. IV-D.6).
                     metrics.timeouts += 1;
                     if responder != self.id {
+                        metrics.offenses += 1;
                         self.blacklist.record_failure(responder);
                     }
                     path.last_mut()
@@ -517,6 +526,7 @@ impl<'a> Validator<'a> {
                     } else {
                         metrics.invalid_replies += 1;
                         if responder != self.id {
+                            metrics.offenses += 1;
                             self.blacklist.record_failure(responder);
                         }
                         path.last_mut()

@@ -72,6 +72,11 @@ impl Default for EndpointConfig {
 
 /// A message delivered to the receive-loop handler (replies are routed to
 /// their waiting requester internally and never reach the handler).
+///
+/// Inherits [`Control`]'s size skew: `Report` dwarfs everything else but
+/// travels once per run, and `Inbound` itself lives on the receive-loop
+/// stack — it is never stored in bulk, so indirection would buy nothing.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum Inbound {
     /// A protocol message that is not a reply: serve it.

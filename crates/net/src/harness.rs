@@ -38,12 +38,105 @@ use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
+use tldag_core::attack::Behavior;
 use tldag_core::network::TldagNetwork;
 use tldag_core::workload::VerificationWorkload;
 use tldag_crypto::Digest;
 use tldag_obs::http_get;
 use tldag_sim::engine::GenerationSchedule;
 use tldag_sim::NodeId;
+
+/// One scheduled wire adversary: `node` switches from honest operation to
+/// `behavior` at the start of `slot` (and stays adversarial for the rest
+/// of the run).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdversaryPlacement {
+    /// The founder that turns adversarial.
+    pub node: NodeId,
+    /// What it does once active.
+    pub behavior: Behavior,
+    /// The activation slot (`0` = adversarial from the first slot).
+    pub slot: u64,
+}
+
+/// Parses a `tldag cluster --adversary` schedule — comma-separated
+/// `kind:count[@slot]` groups, e.g. `selfish:2,equivocate:1@4` — and
+/// resolves it to concrete [`AdversaryPlacement`]s.
+///
+/// Placement is deterministic so the wire run and the engine reference
+/// agree without exchanging anything: adversaries occupy the *highest*
+/// founder ids, assigned in spec order, and node 0 (the default bootstrap
+/// for late joiners) is never scheduled.
+///
+/// # Errors
+///
+/// Unknown kinds (including the parameterised engine-only `sybil` /
+/// `flooder`), `honest`, zero counts, malformed counts/slots, and
+/// schedules that need more than `founders - 1` adversaries.
+pub fn parse_adversary_spec(
+    spec: &str,
+    founders: usize,
+) -> Result<Vec<AdversaryPlacement>, String> {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut next = founders;
+    let mut placements = Vec::new();
+    for part in spec.split(',') {
+        let part = part.trim();
+        let (head, slot) = match part.split_once('@') {
+            Some((head, raw)) => (
+                head,
+                raw.trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("invalid adversary activation slot in `{part}`"))?,
+            ),
+            None => (part, 0),
+        };
+        let (kind, count) = match head.split_once(':') {
+            Some((kind, raw)) => (
+                kind.trim(),
+                raw.trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid adversary count in `{part}`"))?,
+            ),
+            None => (head.trim(), 1),
+        };
+        let behavior = Behavior::parse_kind(kind)
+            .ok_or_else(|| format!("unknown adversary kind `{kind}` in `{part}`"))?;
+        if behavior == Behavior::Honest {
+            return Err("`honest` is not an adversary kind".into());
+        }
+        if count == 0 {
+            return Err(format!("adversary count must be positive in `{part}`"));
+        }
+        for _ in 0..count {
+            if next <= 1 {
+                return Err(format!(
+                    "adversary schedule `{spec}` needs more nodes than the {founders} \
+founders allow (node 0 is never an adversary)"
+                ));
+            }
+            next -= 1;
+            placements.push(AdversaryPlacement {
+                node: NodeId(next as u32),
+                behavior,
+                slot,
+            });
+        }
+    }
+    Ok(placements)
+}
+
+/// Renders placements for logs: `n7 selfish@0, n6 equivocate@4`.
+pub fn format_adversary_schedule(placements: &[AdversaryPlacement]) -> String {
+    placements
+        .iter()
+        .map(|p| format!("n{} {}@{}", p.node.0, p.behavior, p.slot))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
 
 /// Configuration of one cluster run.
 #[derive(Clone, Debug)]
@@ -81,6 +174,16 @@ pub struct ClusterConfig {
     /// Scheduled membership changes: late joins (spawned as extra
     /// processes bootstrapped via the join handshake) and graceful leaves.
     pub churn: Vec<ChurnEvent>,
+    /// Scheduled wire adversaries (see [`parse_adversary_spec`]). Each
+    /// placement is passed to its node process as `--behavior` and applied
+    /// to the reference engine at the same slot boundary, so the
+    /// honest-subset parity verdict compares like with like.
+    pub adversaries: Vec<AdversaryPlacement>,
+    /// When set, every node evicts a barrier-blocking peer that has gone
+    /// silent for this long (`tldag node --evict-after`). Required for
+    /// runs that must *exclude* a silent adversary instead of waiting out
+    /// every barrier on it.
+    pub evict_after: Option<Duration>,
     /// When true, every node serves `GET /metrics` + `GET /journal` on a
     /// discovered localhost TCP port, and the harness records the
     /// endpoints in [`ClusterOutcome::metrics_addrs`].
@@ -116,6 +219,8 @@ impl ClusterConfig {
             base_port: None,
             report_timeout: Duration::from_secs(60),
             churn: Vec::new(),
+            adversaries: Vec::new(),
+            evict_after: None,
             metrics: false,
             sample_every: None,
             trace: false,
@@ -131,6 +236,15 @@ impl ClusterConfig {
                 .filter(|e| matches!(e, ChurnEvent::Join { .. }))
                 .count()
     }
+
+    /// Node ids with no scheduled adversary placement, in id order — the
+    /// subset the honest-parity verdict is computed over.
+    pub fn honest_ids(&self) -> Vec<NodeId> {
+        (0..self.total_processes() as u32)
+            .map(NodeId)
+            .filter(|id| !self.adversaries.iter().any(|p| p.node == *id))
+            .collect()
+    }
 }
 
 /// The outcome of a cluster run, including the parity verdict.
@@ -145,6 +259,17 @@ pub struct ClusterOutcome {
     pub reference_digest: Digest,
     /// Per-node chain digests of the reference run, for mismatch diagnosis.
     pub reference_chains: Vec<Digest>,
+    /// The adversary placements the run was configured with (empty for an
+    /// all-honest run).
+    pub adversaries: Vec<AdversaryPlacement>,
+    /// Network digest over only the honest nodes' wire chains — the
+    /// verdict subset when adversaries are scheduled (a flapping adversary
+    /// legitimately forks its *own* chain from the reference by going
+    /// dark, so full parity is not the right bar).
+    pub honest_wire_digest: Digest,
+    /// The same honest-subset digest computed from the reference engine
+    /// with the identical behavior placements applied.
+    pub honest_reference_digest: Digest,
     /// PoP (attempts, successes) summed over the wire nodes.
     pub wire_pop: (u64, u64),
     /// PoP (attempts, successes) of the reference engine.
@@ -172,6 +297,13 @@ impl ClusterOutcome {
     /// Whether the wire cluster reproduced the reference digest exactly.
     pub fn parity(&self) -> bool {
         self.wire_digest == self.reference_digest
+    }
+
+    /// Whether the honest subset reproduced the reference: the verdict for
+    /// adversarial runs. Identical to [`Self::parity`] when no adversaries
+    /// were scheduled.
+    pub fn honest_parity(&self) -> bool {
+        self.honest_wire_digest == self.honest_reference_digest
     }
 
     /// Whether any node proceeded past a timed-out barrier.
@@ -279,6 +411,12 @@ fn discover_ports(n: usize) -> Result<Vec<u16>, String> {
 /// `fig12_churn`) computes the identical reference — one definition, no
 /// drift.
 ///
+/// `adversaries` are applied with [`TldagNetwork::set_behavior`] at the
+/// same slot boundary the wire node activates its `--behavior`, so the
+/// engine's malicious-node handling (validator exclusion, silent
+/// responders, offense-driven blacklisting) runs against the identical
+/// placement.
+///
 /// # Panics
 ///
 /// Panics when a join's id is not the engine's next topology index (the
@@ -287,6 +425,7 @@ fn discover_ports(n: usize) -> Result<Vec<u16>, String> {
 pub fn replay_reference_schedule(
     reference: &mut TldagNetwork,
     churn: &[ChurnEvent],
+    adversaries: &[AdversaryPlacement],
     founders: usize,
     seed: u64,
     slots: u64,
@@ -311,6 +450,9 @@ pub fn replay_reference_schedule(
     events.sort_by_key(|e| (e.slot(), matches!(e, ChurnEvent::Join { .. }), e.id().0));
     let mut next_event = 0usize;
     for slot in 0..slots {
+        for placement in adversaries.iter().filter(|p| p.slot == slot) {
+            reference.set_behavior(placement.node, placement.behavior);
+        }
         while next_event < events.len() && events[next_event].slot() == slot {
             match events[next_event] {
                 ChurnEvent::Leave { id, .. } => reference.node_leaves(id),
@@ -351,6 +493,7 @@ fn reference_run(config: &ClusterConfig) -> TldagNetwork {
     replay_reference_schedule(
         &mut reference,
         &config.churn,
+        &config.adversaries,
         config.nodes,
         config.seed,
         config.slots,
@@ -367,6 +510,20 @@ fn reference_run(config: &ClusterConfig) -> TldagNetwork {
 /// report-collection timeouts.
 pub fn run_cluster(config: &ClusterConfig) -> Result<ClusterOutcome, String> {
     validate_churn(&config.churn, config.nodes, config.slots)?;
+    for p in &config.adversaries {
+        if p.node.0 as usize >= config.nodes {
+            return Err(format!(
+                "adversary placement on n{} is outside the {} founders",
+                p.node.0, config.nodes
+            ));
+        }
+        if p.slot >= config.slots {
+            return Err(format!(
+                "adversary n{} activates at slot {} but the run has only {} slots",
+                p.node.0, p.slot, config.slots
+            ));
+        }
+    }
     match run_cluster_attempt(config) {
         // Probed ports are necessarily released before the child processes
         // bind them, so a concurrent bind on the same host can steal one in
@@ -409,6 +566,19 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
     } else {
         Vec::new()
     };
+    // Announced *before* the children spawn (stdout is line-buffered), so
+    // an observer tailing the harness can scrape the live endpoints
+    // mid-run instead of guessing at ports.
+    if !metrics_addrs.is_empty() {
+        println!(
+            "metrics endpoints: {}",
+            metrics_addrs
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
 
     // --- The controller endpoint: collect reports, ack each.
     let controller = Arc::new(
@@ -536,6 +706,14 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
         if !churn_spec.is_empty() {
             cmd.arg("--churn").arg(&churn_spec);
         }
+        if let Some(p) = config.adversaries.iter().find(|p| p.node == id) {
+            cmd.arg("--behavior")
+                .arg(format!("{}@{}", p.behavior, p.slot));
+        }
+        if let Some(evict_after) = config.evict_after {
+            cmd.arg("--evict-after")
+                .arg(evict_after.as_secs_f64().to_string());
+        }
         if config.pop {
             cmd.arg("--pop");
         }
@@ -645,6 +823,21 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
         .map(|i| reference.chain_digest(NodeId(i as u32)))
         .collect();
     let reference_digest = reference.network_digest();
+    // The honest-subset digests: the verdict pair for adversarial runs
+    // (equal to the full pair when no adversaries are scheduled).
+    let honest_ids = config.honest_ids();
+    let honest_wire_digest = network_digest_of(
+        &honest_ids
+            .iter()
+            .map(|id| ordered[id.0 as usize].chain_digest)
+            .collect::<Vec<_>>(),
+    );
+    let honest_reference_digest = network_digest_of(
+        &honest_ids
+            .iter()
+            .map(|id| reference_chains[id.0 as usize])
+            .collect::<Vec<_>>(),
+    );
 
     // --- Trace snapshots while the nodes still serve `/trace`.
     let trace_snapshots: Vec<String> = if config.trace {
@@ -658,8 +851,15 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
 
     // --- Divergence forensics: on a parity failure, pull the suspect
     // nodes' recent per-slot digests over the live control plane and
-    // diff them against the reference before anything shuts down.
-    let forensics = if wire_digest != reference_digest {
+    // diff them against the reference before anything shuts down. For
+    // adversarial runs the verdict (and hence the trigger) is the honest
+    // subset: a flapper's own dark chain is an expected fork, not a bug.
+    let verdict_failed = if config.adversaries.is_empty() {
+        wire_digest != reference_digest
+    } else {
+        honest_wire_digest != honest_reference_digest
+    };
+    let forensics = if verdict_failed {
         Some(run_forensics(
             config,
             &controller,
@@ -695,6 +895,9 @@ fn run_cluster_attempt(config: &ClusterConfig) -> Result<ClusterOutcome, String>
         wire_digest,
         reference_digest,
         reference_chains,
+        adversaries: config.adversaries.clone(),
+        honest_wire_digest,
+        honest_reference_digest,
         wire_pop,
         reference_pop: reference.pop_counters(),
         net,

@@ -71,7 +71,10 @@ pub mod transport;
 pub use endpoint::{Endpoint, EndpointConfig, Inbound};
 pub use explore::{Explorer, ExplorerSource};
 pub use forensics::{diagnose, timelines_for_slot, DivergenceReport, SlotMismatch};
-pub use harness::{run_cluster, ClusterConfig, ClusterOutcome};
+pub use harness::{
+    format_adversary_schedule, parse_adversary_spec, run_cluster, AdversaryPlacement,
+    ClusterConfig, ClusterOutcome,
+};
 pub use membership::{parse_churn_spec, ChurnEvent, Roster};
 pub use metrics::{NetMetrics, NetStats};
 pub use peer::PeerTable;

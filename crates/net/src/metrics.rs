@@ -111,6 +111,16 @@ net_metrics! {
     /// Batched send calls handed to the transport (each covering one or
     /// more datagrams).
     send_batches,
+    /// Conflicting `SlotDigest`s detected: a peer advertised two distinct
+    /// digests for the same slot (equivocation / digest lies / parasite
+    /// re-advertisement). Each conflict discards the stored digest.
+    digest_conflicts,
+    /// `DigestReq` pulls issued to resolve a detected digest conflict
+    /// directly from the advertising peer's canonical chain.
+    conflict_pulls,
+    /// Rejoin announcements rejected because the peer had already been
+    /// evicted for flapping membership this run.
+    flap_rejections,
 }
 
 impl NetMetrics {
@@ -137,6 +147,21 @@ impl NetMetrics {
     /// Counts a liveness eviction.
     pub fn bump_evictions(&self) {
         Self::inc(&self.evictions);
+    }
+
+    /// Counts a detected `SlotDigest` conflict.
+    pub fn bump_digest_conflicts(&self) {
+        Self::inc(&self.digest_conflicts);
+    }
+
+    /// Counts a conflict-resolving `DigestReq` pull.
+    pub fn bump_conflict_pulls(&self) {
+        Self::inc(&self.conflict_pulls);
+    }
+
+    /// Counts a rejected rejoin flap.
+    pub fn bump_flap_rejections(&self) {
+        Self::inc(&self.flap_rejections);
     }
 }
 
@@ -167,6 +192,9 @@ impl NetStats {
             recv_wakeups,
             idle_wakeups,
             send_batches,
+            digest_conflicts,
+            conflict_pulls,
+            flap_rejections,
         } = other;
         self.datagrams_sent += datagrams_sent;
         self.datagrams_received += datagrams_received;
@@ -190,6 +218,9 @@ impl NetStats {
         self.recv_wakeups += recv_wakeups;
         self.idle_wakeups += idle_wakeups;
         self.send_batches += send_batches;
+        self.digest_conflicts += digest_conflicts;
+        self.conflict_pulls += conflict_pulls;
+        self.flap_rejections += flap_rejections;
     }
 }
 

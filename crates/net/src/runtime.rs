@@ -64,8 +64,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::{Duration, Instant};
+use tldag_core::attack::Behavior;
 use tldag_core::blacklist::Blacklist;
-use tldag_core::block::{BlockId, DataBlock};
+use tldag_core::block::{BlockBody, BlockId, DataBlock, DigestEntry};
 use tldag_core::codec::WireMessage;
 use tldag_core::config::ProtocolConfig;
 use tldag_core::error::TldagError;
@@ -76,7 +77,7 @@ use tldag_core::pop::validator::{PopReport, Validator};
 use tldag_core::store::{BackendFactory, BlockBackend, BlockStore, TrustCache};
 use tldag_core::workload::sensor_payload;
 use tldag_crypto::sha256::sha256;
-use tldag_crypto::Digest;
+use tldag_crypto::{Digest, KeyPair};
 use tldag_obs::{
     trace_json, unix_micros, EventKind, HttpServer, Phase, Routes, SpanEvent, SpanKind, SpanStore,
     DEFAULT_SPAN_CAPACITY,
@@ -168,6 +169,16 @@ pub struct NetNodeConfig {
     /// identically — and a tracing-off run puts exactly the v1 bytes on
     /// the wire.
     pub trace: bool,
+    /// How this node behaves once `behavior_from` is reached. Anything but
+    /// [`Behavior::Honest`] makes the process a wire adversary: silent
+    /// kinds stop serving, gossip attackers push conflicting digests, and
+    /// the flapper goes dark until evicted, then spams rejoins. The
+    /// adversary's *canonical* chain stays protocol-conformant (the engine
+    /// generates for malicious nodes too), which is what keeps honest-node
+    /// parity with a reference engine run under the same placement.
+    pub behavior: Behavior,
+    /// First slot the behaviour activates at (honest before that).
+    pub behavior_from: u64,
 }
 
 impl NetNodeConfig {
@@ -200,6 +211,8 @@ impl NetNodeConfig {
             deadline: None,
             metrics_addr: None,
             trace: false,
+            behavior: Behavior::Honest,
+            behavior_from: 0,
         }
     }
 }
@@ -514,6 +527,18 @@ struct Shared {
     /// The resolved metrics listener address (meaningful with port 0),
     /// reported back in the [`RunReport`].
     metrics_resolved: Mutex<Option<SocketAddr>>,
+    /// Peers flagged as adversarial from wire evidence — conflicting
+    /// `SlotDigest` pairs or rejected rejoin flaps — exported as the
+    /// `tldag_adversaries_detected` gauge and named in the journal.
+    suspects: Mutex<HashSet<NodeId>>,
+    /// The PoP blacklist's banned-peer count, sampled after every PoP run
+    /// (the blacklist itself travels with whoever holds the trust state)
+    /// and exported as the `tldag_blacklist_banned` gauge.
+    blacklist_banned: AtomicU64,
+    /// Dark-mode flag for the flapping adversary: while set, the
+    /// dispatcher neither serves requests nor acks control traffic, so
+    /// honest peers see the silence their eviction logic keys on.
+    muted: AtomicBool,
 }
 
 /// What a slot loop hands back to the epilogue.
@@ -682,6 +707,9 @@ need --join)",
                 )),
                 trace_keys: Mutex::new(BTreeMap::new()),
                 metrics_resolved: Mutex::new(None),
+                suspects: Mutex::new(HashSet::new()),
+                blacklist_banned: AtomicU64::new(0),
+                muted: AtomicBool::new(false),
             }),
             config,
         })
@@ -847,6 +875,7 @@ need --join)",
         let mut applied_joins: HashSet<NodeId> =
             (0..self.config.nodes as u32).map(NodeId).collect();
         let mut applied_leaves: HashSet<NodeId> = HashSet::new();
+        let mut behavior_applied = false;
 
         let telemetry = &self.shared.telemetry;
         for slot in start_slot..end_slot {
@@ -855,6 +884,14 @@ need --join)",
             telemetry
                 .journal
                 .record(slot, EventKind::SlotStart, format!("slot {slot} begins"));
+            if !behavior_applied && self.adversary_active(slot) {
+                behavior_applied = true;
+                if self.config.behavior == Behavior::Flapper {
+                    self.flap_phase(slot);
+                    break;
+                }
+                self.activate_behavior(slot);
+            }
             let retries_before = self.endpoint.stats().request_retries;
             self.apply_membership(slot, &mut applied_joins, &mut applied_leaves);
             let neighbors: Vec<NodeId> = self
@@ -896,10 +933,14 @@ need --join)",
 
             // --- Apply gossip and generate, mirroring the engine's phases.
             let generate_started = Instant::now();
-            let digest = {
+            let (digest, equivocation) = {
                 let mut node = self.shared.node.write().expect("node lock poisoned");
                 node.begin_slot();
-                if slot > start_slot {
+                // In PoP mode the fold moves to the verify phase below
+                // (gossip-then-verify, the engine's order); here it would
+                // land *after* the previous slot's offense accounting and
+                // shift the blacklist ban/parole cadence off the reference.
+                if slot > start_slot && !self.config.pop {
                     let mut buffered = self.shared.digests.lock().expect("digests poisoned");
                     for &nb in &neighbors {
                         let latest = buffered
@@ -937,7 +978,10 @@ need --join)",
                 let synced = sync_started.elapsed();
                 telemetry.fsync.record(synced);
                 telemetry.phases.record(Phase::Commit, synced);
-                block.header_digest()
+                let equivocation = (behavior_applied
+                    && self.config.behavior == Behavior::Equivocate)
+                    .then(|| (block.id, block.header.digests.clone()));
+                (block.header_digest(), equivocation)
             };
             let gossip_started = Instant::now();
             {
@@ -983,6 +1027,9 @@ need --join)",
                     SpanKind::GossipedOut,
                 );
             }
+            if behavior_applied {
+                self.adversary_gossip(slot, digest, equivocation, &gossip_targets);
+            }
             telemetry
                 .phases
                 .record(Phase::Gossip, gossip_started.elapsed());
@@ -1005,7 +1052,81 @@ need --join)",
                 if !self.digest_barrier(&all_generators, slot) {
                     degraded = true;
                 }
-                let candidates = {
+                // Fold this slot's gossip *before* the PoP runs, mirroring
+                // the engine's gossip-then-verify phase order. The order is
+                // load-bearing for parity under ban-inducing adversaries: a
+                // folded digest earns blacklist service (parole) credit and
+                // the PoP below records offenses, so folding after the PoP
+                // would land each ban one slot early relative to the
+                // reference and change which digests the chain accepts from
+                // then on.
+                let fold_started = Instant::now();
+                let mut folded: Vec<(NodeId, Digest)> = Vec::new();
+                for &nb in &neighbors {
+                    let expected = {
+                        let roster = self.shared.roster.lock().expect("roster poisoned");
+                        roster.generates_at(nb, slot)
+                    };
+                    if !expected {
+                        continue;
+                    }
+                    let mut entry = None;
+                    for attempt in 0..2 {
+                        entry = self
+                            .shared
+                            .digests
+                            .lock()
+                            .expect("digests poisoned")
+                            .get(&nb)
+                            .and_then(|per_slot| per_slot.get(&slot))
+                            .copied();
+                        if entry.is_some() || attempt > 0 {
+                            break;
+                        }
+                        // A conflict discard can empty the entry between the
+                        // barrier above and this read; the re-barrier pulls
+                        // the canonical digest back from the peer directly.
+                        if !self.digest_barrier(std::slice::from_ref(&nb), slot) {
+                            break;
+                        }
+                    }
+                    match entry {
+                        Some(d) => folded.push((nb, d)),
+                        None => {
+                            degraded = true;
+                            telemetry.journal.record(
+                                slot,
+                                EventKind::Timeout,
+                                format!("no slot-{slot} digest from {nb} to fold"),
+                            );
+                        }
+                    }
+                }
+                {
+                    let mut node = self.shared.node.write().expect("node lock poisoned");
+                    for (nb, d) in folded {
+                        node.receive_digest(nb, d);
+                    }
+                }
+                {
+                    // Applied entries are spent; this slot's stay buffered
+                    // one more slot as conflict bait for late fakes, older
+                    // ones are pruned so the buffer stays O(lag).
+                    let mut buffered = self.shared.digests.lock().expect("digests poisoned");
+                    for per_slot in buffered.values_mut() {
+                        *per_slot = per_slot.split_off(&slot);
+                    }
+                }
+                telemetry
+                    .phases
+                    .record(Phase::Gossip, fold_started.elapsed());
+                // The engine never makes a malicious node a validator (its
+                // verify phase filters them out), so an active adversary
+                // skips the PoP identically — empty candidates — or the
+                // PoP counters would diverge from the reference run.
+                let candidates = if behavior_applied {
+                    Vec::new()
+                } else {
                     let roster = self.shared.roster.lock().expect("roster poisoned");
                     wire_pop_candidates(&roster, id, slot, min_age)
                 };
@@ -1128,12 +1249,25 @@ need --join)",
         let mut applied_joins: HashSet<NodeId> =
             (0..self.config.nodes as u32).map(NodeId).collect();
         let mut applied_leaves: HashSet<NodeId> = HashSet::new();
+        let mut behavior_applied = false;
         let telemetry = &self.shared.telemetry;
         for slot in start_slot..end_slot {
             self.shared.current_slot.store(slot, Ordering::Relaxed);
             telemetry
                 .journal
                 .record(slot, EventKind::SlotStart, format!("slot {slot} begins"));
+            if !behavior_applied && self.adversary_active(slot) {
+                behavior_applied = true;
+                if self.config.behavior == Behavior::Flapper {
+                    // The verify worker must not wait out timeouts for
+                    // slots the flapper will never generate.
+                    self.shared.pipeline_abort.store(true, Ordering::Relaxed);
+                    notify_progress(&self.shared);
+                    self.flap_phase(slot);
+                    break;
+                }
+                self.activate_behavior(slot);
+            }
             self.shared
                 .slot_started
                 .lock()
@@ -1203,7 +1337,7 @@ need --join)",
 
             // --- Apply gossip and generate, mirroring the engine's phases.
             let generate_started = Instant::now();
-            let digest = {
+            let (digest, equivocation) = {
                 let mut node = self.shared.node.write().expect("node lock poisoned");
                 node.begin_slot();
                 if slot > start_slot {
@@ -1245,7 +1379,10 @@ need --join)",
                 let synced = sync_started.elapsed();
                 telemetry.fsync.record(synced);
                 telemetry.phases.record(Phase::Commit, synced);
-                block.header_digest()
+                let equivocation = (behavior_applied
+                    && self.config.behavior == Behavior::Equivocate)
+                    .then(|| (block.id, block.header.digests.clone()));
+                (block.header_digest(), equivocation)
             };
             let gossip_started = Instant::now();
             {
@@ -1283,6 +1420,9 @@ need --join)",
                     prefix,
                     SpanKind::GossipedOut,
                 );
+            }
+            if behavior_applied {
+                self.adversary_gossip(slot, digest, equivocation, &gossip_targets);
             }
             telemetry
                 .phases
@@ -1342,7 +1482,11 @@ need --join)",
             if !self.digest_barrier(&all_generators, slot) {
                 outcome.degraded = true;
             }
-            let candidates = {
+            // Active adversaries skip the validator role, mirroring the
+            // engine's verify-phase filter (see the lockstep loop).
+            let candidates = if self.adversary_active(slot) {
+                Vec::new()
+            } else {
                 let roster = self.shared.roster.lock().expect("roster poisoned");
                 wire_pop_candidates(&roster, id, slot, min_age)
             };
@@ -1353,6 +1497,9 @@ need --join)",
                 let pop_started = Instant::now();
                 let report =
                     self.run_pop_with(slot, target, &mut trust_cache, &mut blacklist, Some(slot));
+                self.shared
+                    .blacklist_banned
+                    .store(blacklist.banned_count() as u64, Ordering::Relaxed);
                 telemetry.pop_rtt.record(pop_started.elapsed());
                 telemetry.merge_pop(&report.metrics);
                 if report.is_success() {
@@ -1629,6 +1776,155 @@ need --join)",
             .lock()
             .expect("roster poisoned")
             .peer_addrs_at(slot, self.config.id)
+    }
+
+    /// Whether this node's configured adversarial behaviour is active at
+    /// `slot` (honest nodes are never active).
+    fn adversary_active(&self, slot: u64) -> bool {
+        self.config.behavior.is_malicious() && slot >= self.config.behavior_from
+    }
+
+    /// Applies the configured behaviour to the ledger node (so the serve
+    /// paths — silence, corrupt replies, corrupt bodies — take effect) and
+    /// journals the turn. Not used for the flapper, which goes dark via
+    /// [`Shared::muted`] instead.
+    fn activate_behavior(&self, slot: u64) {
+        self.shared
+            .node
+            .write()
+            .expect("node lock poisoned")
+            .set_behavior(self.config.behavior);
+        self.shared.telemetry.journal.record(
+            slot,
+            EventKind::Penalty,
+            format!(
+                "{} turns {} at slot {slot}",
+                self.config.id, self.config.behavior
+            ),
+        );
+    }
+
+    /// The adversary's extra push-path traffic for `slot`, sent right after
+    /// the canonical gossip: a second, genuinely mined block's digest for
+    /// the same slot (equivocation), a corrupted digest for the same slot
+    /// (digest lie), or a conflicting re-advertisement of the previous
+    /// slot's block (parasite side-chain, Cullen et al. arXiv:1904.00996).
+    /// The canonical chain is untouched — `DigestReq` pulls still serve it
+    /// — which is what lets honest receivers converge after discarding the
+    /// conflicting pair.
+    fn adversary_gossip(
+        &self,
+        slot: u64,
+        canonical: Digest,
+        equivocation: Option<(BlockId, Vec<DigestEntry>)>,
+        targets: &[(NodeId, SocketAddr)],
+    ) {
+        let id = self.config.id;
+        let fake: Option<(u64, Digest)> = match self.config.behavior {
+            Behavior::Equivocate => equivocation.map(|(block_id, digests)| {
+                // A real second block for the slot: same identity and
+                // parents, different body, freshly mined and signed — two
+                // distinct histories offered to the same neighbors.
+                let mut rng = derived_rng(self.config.seed, stream::GENERATE, slot, id);
+                let mut payload = sensor_payload(&mut rng, id, slot);
+                payload.push(0xEB);
+                let alt = DataBlock::create(
+                    &self.cfg,
+                    block_id,
+                    slot,
+                    digests,
+                    BlockBody::new(payload, self.cfg.body_bits),
+                    &KeyPair::from_seed(u64::from(id.0)),
+                );
+                (slot, alt.header_digest())
+            }),
+            Behavior::DigestLie => Some((slot, canonical.corrupted())),
+            Behavior::Parasite => {
+                // Re-advertise a conflicting digest for the previous slot:
+                // an abandoned side-chain parent honest nodes must not
+                // reference.
+                let prev = self
+                    .shared
+                    .own_digests
+                    .lock()
+                    .expect("own digests poisoned")
+                    .get(&slot.wrapping_sub(1))
+                    .copied();
+                prev.map(|d| (slot - 1, d.corrupted()))
+            }
+            _ => None,
+        };
+        let Some((fake_slot, fake_digest)) = fake else {
+            return;
+        };
+        for (_, addr) in targets {
+            let _ = self.endpoint.send_control(
+                *addr,
+                &Control::SlotDigest {
+                    slot: fake_slot,
+                    digest: fake_digest,
+                },
+            );
+        }
+        self.shared.telemetry.journal.record(
+            slot,
+            EventKind::Penalty,
+            format!(
+                "{id} gossiped a conflicting digest for slot {fake_slot} ({})",
+                self.config.behavior
+            ),
+        );
+    }
+
+    /// The flapper attack: go dark (stop generating, serving, and acking)
+    /// until the cluster evicts us, then spam `JoinAnnounce` rejoin
+    /// attempts that honest peers refuse (`flap_rejections`). Bounded by
+    /// twice the slot timeout so the process still reports and exits.
+    fn flap_phase(&self, from_slot: u64) {
+        let id = self.config.id;
+        self.shared.muted.store(true, Ordering::Relaxed);
+        self.shared.telemetry.journal.record(
+            from_slot,
+            EventKind::Penalty,
+            format!("{id} flapping: going dark at slot {from_slot}"),
+        );
+        let targets = self.generator_addrs(from_slot);
+        let deadline = Instant::now() + self.config.slot_timeout * 2;
+        let mut rejoins = 0u32;
+        while Instant::now() < deadline && !self.shared.shutdown.load(Ordering::Relaxed) {
+            let evicted = {
+                let roster = self.shared.roster.lock().expect("roster poisoned");
+                roster.member(id).is_some_and(|m| m.leave_slot.is_some())
+            };
+            if evicted && rejoins < 40 {
+                // Rejoin churn: announce a join a little past wherever the
+                // cluster is, without ever contributing blocks.
+                let slot = self
+                    .shared
+                    .current_slot
+                    .load(Ordering::Relaxed)
+                    .max(from_slot)
+                    + 2;
+                if let Ok(addr) = self.endpoint.local_addr() {
+                    let announce = Control::JoinAnnounce { id, slot, addr };
+                    for (_, peer) in &targets {
+                        let _ = self.endpoint.send_control(*peer, &announce);
+                    }
+                    rejoins += 1;
+                    if rejoins == 1 {
+                        self.shared.telemetry.journal.record(
+                            slot,
+                            EventKind::Penalty,
+                            format!("{id} evicted; spamming rejoin announcements"),
+                        );
+                    }
+                }
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        // The attack is over; unmute so the epilogue's report/ack exchange
+        // with the controller works normally.
+        self.shared.muted.store(false, Ordering::Relaxed);
     }
 
     /// Applies membership events effective at or before `slot` to the
@@ -1955,7 +2251,23 @@ need --join)",
                 format!("evicted silent peer {peer} at slot {slot}"),
             );
             self.peers.forget(peer);
-            for (_, addr) in self.generator_addrs(slot) {
+            // Tell the evictee too: `generator_addrs` no longer lists it,
+            // and when every honest node evicts inside the same quiet
+            // window the `news` re-gossip guard fires nowhere, so without
+            // a direct send the verdict never reaches the peer it names
+            // (a flapper waits on exactly that signal to start rejoining).
+            let mut targets = self.generator_addrs(slot);
+            let evictee_addr = self
+                .shared
+                .roster
+                .lock()
+                .expect("roster poisoned")
+                .member(peer)
+                .and_then(|m| m.addr);
+            if let Some(addr) = evictee_addr {
+                targets.push((peer, addr));
+            }
+            for (_, addr) in targets {
                 let _ = self
                     .endpoint
                     .send_control(addr, &Control::Leave { node: peer, slot });
@@ -1971,6 +2283,9 @@ need --join)",
             (node.take_trust_cache(), node.take_blacklist(&self.cfg))
         };
         let report = self.run_pop_with(slot, target, &mut trust_cache, &mut blacklist, None);
+        self.shared
+            .blacklist_banned
+            .store(blacklist.banned_count() as u64, Ordering::Relaxed);
         let mut node = self.shared.node.write().expect("node lock poisoned");
         node.restore_trust_cache(trust_cache);
         node.restore_blacklist(blacklist);
@@ -2077,6 +2392,26 @@ need --join)",
 /// The inbound dispatcher: serves protocol requests against the node state
 /// and folds control traffic into the shared runtime state.
 fn dispatch(endpoint: &Endpoint, shared: &Shared, peers: &PeerTable, inbound: Inbound) {
+    if shared.muted.load(Ordering::Relaxed) {
+        // A flapping adversary is dark: it serves nothing and acks nothing,
+        // but still folds the state it needs to run the attack — its own
+        // eviction (gossiped as a leave) and the controller's release.
+        if let Inbound::Control { msg, .. } = inbound {
+            match msg {
+                Control::Leave { node: leaver, slot } => {
+                    shared
+                        .roster
+                        .lock()
+                        .expect("roster poisoned")
+                        .learn_leave(leaver, slot);
+                }
+                Control::Shutdown => shared.shutdown.store(true, Ordering::Relaxed),
+                Control::ReportAck => shared.report_acked.store(true, Ordering::Relaxed),
+                _ => {}
+            }
+        }
+        return;
+    }
     match inbound {
         Inbound::Wire {
             from,
@@ -2176,14 +2511,50 @@ fn dispatch(endpoint: &Endpoint, shared: &Shared, peers: &PeerTable, inbound: In
                             }
                         }
                     }
-                    shared
-                        .digests
-                        .lock()
-                        .expect("digests poisoned")
-                        .entry(from)
-                        .or_default()
-                        .entry(slot)
-                        .or_insert(digest);
+                    let conflict = {
+                        let mut digests = shared.digests.lock().expect("digests poisoned");
+                        let per_slot = digests.entry(from).or_default();
+                        match per_slot.get(&slot) {
+                            // Two distinct digests for one (peer, slot):
+                            // equivocation, a digest lie, or a parasite
+                            // re-advertisement. We cannot tell which copy
+                            // is canonical, so discard the stored one and
+                            // re-pull the slot from the peer directly —
+                            // `DigestReq` answers come from its canonical
+                            // chain, so the barrier re-converges on truth.
+                            Some(stored) if *stored != digest => {
+                                per_slot.remove(&slot);
+                                true
+                            }
+                            Some(_) => false,
+                            None => {
+                                per_slot.insert(slot, digest);
+                                false
+                            }
+                        }
+                    };
+                    if conflict {
+                        endpoint.metrics().bump_digest_conflicts();
+                        endpoint.metrics().bump_conflict_pulls();
+                        let _ = endpoint.send_control(src, &Control::DigestReq { slot });
+                        let newly = shared
+                            .suspects
+                            .lock()
+                            .expect("suspects poisoned")
+                            .insert(from);
+                        shared.telemetry.journal.record(
+                            slot,
+                            EventKind::Penalty,
+                            if newly {
+                                format!(
+                                    "conflicting digests from {from} at slot {slot}: \
+peer flagged as adversarial"
+                                )
+                            } else {
+                                format!("conflicting digests from {from} at slot {slot}")
+                            },
+                        );
+                    }
                     // Generating slot t requires having passed the window
                     // gate for t — completion through t-W — so a digest
                     // doubles as a (possibly lost) SlotDone(t-W). W = 1 is
@@ -2272,35 +2643,62 @@ fn dispatch(endpoint: &Endpoint, shared: &Shared, peers: &PeerTable, inbound: In
                         .insert(m.id);
                 }
                 Control::JoinAnnounce { id, slot, addr } => {
-                    let news = shared.roster.lock().expect("roster poisoned").learn_join(
-                        id,
-                        Some(addr),
-                        slot,
-                    );
-                    if id != endpoint.id() {
-                        peers.insert(id, addr);
-                    }
-                    // Always ack: the joiner retries its announcement until
-                    // every member confirmed receipt.
-                    let _ = endpoint.send_control(
-                        src,
-                        &Control::HelloAck {
-                            from: endpoint.id(),
-                        },
-                    );
-                    if news {
-                        endpoint.metrics().bump_membership_gossip();
-                        shared.telemetry.journal.record(
+                    // A rejoin attempt from a peer that already departed
+                    // this run is membership flapping — the attack, not
+                    // recovery. Refuse to learn or ack it, so the flapper
+                    // never re-enters a barrier set. (An evicted id can
+                    // still come back as a fresh process in a later run.)
+                    let flapping = {
+                        let roster = shared.roster.lock().expect("roster poisoned");
+                        roster.member(id).is_some_and(|m| m.leave_slot.is_some())
+                    };
+                    if flapping {
+                        endpoint.metrics().bump_flap_rejections();
+                        let newly = shared
+                            .suspects
+                            .lock()
+                            .expect("suspects poisoned")
+                            .insert(id);
+                        if newly {
+                            shared.telemetry.journal.record(
+                                slot,
+                                EventKind::Penalty,
+                                format!(
+                                    "rejected rejoin of departed peer {id}: membership flapping"
+                                ),
+                            );
+                        }
+                    } else {
+                        let news = shared.roster.lock().expect("roster poisoned").learn_join(
+                            id,
+                            Some(addr),
                             slot,
-                            EventKind::Membership,
-                            format!("learned join of {id} at slot {slot}"),
                         );
-                        gossip_delta(
-                            endpoint,
-                            shared,
+                        if id != endpoint.id() {
+                            peers.insert(id, addr);
+                        }
+                        // Always ack: the joiner retries its announcement
+                        // until every member confirmed receipt.
+                        let _ = endpoint.send_control(
                             src,
-                            &Control::JoinAnnounce { id, slot, addr },
+                            &Control::HelloAck {
+                                from: endpoint.id(),
+                            },
                         );
+                        if news {
+                            endpoint.metrics().bump_membership_gossip();
+                            shared.telemetry.journal.record(
+                                slot,
+                                EventKind::Membership,
+                                format!("learned join of {id} at slot {slot}"),
+                            );
+                            gossip_delta(
+                                endpoint,
+                                shared,
+                                src,
+                                &Control::JoinAnnounce { id, slot, addr },
+                            );
+                        }
                     }
                 }
                 Control::Leave { node: leaver, slot } => {
@@ -2432,6 +2830,8 @@ fn collect_view(node_id: NodeId, endpoint: &Endpoint, shared: &Shared) -> Metric
         segment_count,
         roster_members,
         roster_departed,
+        blacklist_banned: shared.blacklist_banned.load(Ordering::Relaxed),
+        adversaries_detected: shared.suspects.lock().expect("suspects poisoned").len() as u64,
         journal_len: telemetry.journal.len() as u64,
         journal_dropped: telemetry.journal.dropped(),
         trace_spans: telemetry.spans.recorded(),

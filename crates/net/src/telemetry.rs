@@ -139,6 +139,12 @@ pub struct MetricsView {
     pub roster_members: u64,
     /// Members that have left or been evicted.
     pub roster_departed: u64,
+    /// Peers currently banned by this node's PoP blacklist (offense-driven,
+    /// Sec. IV-D.6; parole can shrink it again).
+    pub blacklist_banned: u64,
+    /// Distinct peers the net layer has flagged as adversarial from wire
+    /// evidence (conflicting `SlotDigest`s, rejected rejoin flaps).
+    pub adversaries_detected: u64,
     /// Journal events currently retained.
     pub journal_len: u64,
     /// Journal events evicted by the ring bound.
@@ -217,6 +223,16 @@ pub fn render_metrics(view: &MetricsView) -> String {
         "tldag_roster_departed",
         "Members that left or were evicted.",
         view.roster_departed as f64,
+    );
+    expo.gauge(
+        "tldag_blacklist_banned",
+        "Peers currently banned by the PoP blacklist.",
+        view.blacklist_banned as f64,
+    );
+    expo.gauge(
+        "tldag_adversaries_detected",
+        "Distinct peers flagged as adversarial from wire evidence.",
+        view.adversaries_detected as f64,
     );
     expo.gauge(
         "tldag_journal_events",
@@ -591,6 +607,8 @@ mod tests {
             segment_count: 1,
             roster_members: 3,
             roster_departed: 0,
+            blacklist_banned: 1,
+            adversaries_detected: 1,
             journal_len: 2,
             journal_dropped: 0,
             trace_spans: 6,
@@ -645,6 +663,9 @@ mod tests {
             "tldag_store_fsync_total",
             "tldag_store_segments",
             "tldag_roster_members",
+            "tldag_blacklist_banned",
+            "tldag_adversaries_detected",
+            "tldag_pop_offenses_total",
             "tldag_journal_dropped_total",
             "tldag_trace_spans_total",
             "tldag_trace_dropped_total",

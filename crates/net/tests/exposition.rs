@@ -49,6 +49,8 @@ fn sample_view() -> MetricsView {
         segment_count: 1,
         roster_members: 3,
         roster_departed: 0,
+        blacklist_banned: 1,
+        adversaries_detected: 2,
         journal_len: 2,
         journal_dropped: 11,
         trace_spans: 6,

@@ -19,11 +19,13 @@
 //!                [--storage-dir PATH] [--join ADDR] [--join-slot K]
 //!                [--leave-at M] [--churn SPEC] [--evict-after SECS]
 //!                [--deadline SECS] [--metrics-addr ADDR]
+//!                [--behavior KIND[@SLOT]]
 //! tldag cluster  [--nodes N] [--slots T] [--seed S] [--side M] [--gamma G]
 //!                [--pop] [--window W] [--batch K] [--drop P] [--trace]
 //!                [--storage memory|disk] [--storage-dir PATH]
 //!                [--base-port P] [--timeout SECS] [--churn SPEC]
 //!                [--metrics] [--status-every SECS]
+//!                [--adversary SPEC] [--evict-after SECS]
 //! tldag status   --targets ADDR,ADDR,... [--json] [--timeout SECS]
 //! tldag explore  <ADDR | --segments DIR> [--listen ADDR] [--duration SECS]
 //! ```
@@ -72,7 +74,7 @@ USAGE:
                [--controller ADDR] [--storage memory|disk] [--storage-dir P]
                [--join ADDR] [--join-slot K] [--leave-at M]
                [--churn SPEC] [--evict-after SECS] [--deadline SECS]
-               [--metrics-addr ADDR]
+               [--metrics-addr ADDR] [--behavior KIND[@SLOT]]
         Run ONE real 2LDAG node over UDP: generate blocks, gossip
         slot-tagged digests with pull-based loss recovery, serve
         REQ_CHILD/FetchBlock, and (with --pop) verify blocks over the
@@ -98,6 +100,14 @@ USAGE:
         to the W=1 lockstep); --batch K sets the socket send/recv batch
         (datagrams per sendmmsg/recvmmsg wakeup); --drop P injects a
         deterministic per-datagram drop probability for loss testing.
+        --behavior KIND[@SLOT] turns the node into a wire adversary from
+        SLOT (default 0) on: selfish/unresponsive refuse to serve,
+        corrupt-reply/corrupt-store tamper with answers, equivocate mints
+        a second conflicting block per slot, digest-lie gossips corrupted
+        SlotDigests, parasite re-advertises conflicting digests for stale
+        slots, flapper goes dark until evicted then spams rejoins. The
+        adversary's canonical chain stays protocol-conformant, so honest
+        peers converge by pulling the slot directly.
         --trace records causal block-lifecycle spans (generated →
         gossiped-out → received → verified → committed) in a bounded
         lock-free span store and serves them as cross-node-stitchable
@@ -110,6 +120,7 @@ USAGE:
                   [--trace] [--storage memory|disk] [--storage-dir P]
                   [--base-port P] [--timeout SECS]
                   [--churn SPEC] [--metrics] [--status-every SECS]
+                  [--adversary SPEC] [--evict-after SECS]
         Spawn N real `tldag node` processes on localhost UDP ports, run
         T slots, collect their reports, and verify network_digest parity
         against the in-memory engine on the same seed. With --churn, also
@@ -122,9 +133,21 @@ USAGE:
         divergence forensics report: first divergent slot, the differing
         block digests, and (with --trace) the offending blocks' lifecycle
         timelines. --metrics gives every node a localhost telemetry
-        endpoint; with --status-every SECS the harness also scrapes all
+        endpoint (announced as `metrics endpoints: ...` before the nodes
+        spawn); with --status-every SECS the harness also scrapes all
         of them periodically and prints the mid-run time series. --trace
         turns on block-lifecycle tracing at every node.
+        --adversary SPEC schedules wire adversaries: comma-separated
+        kind:count[@slot] groups (e.g. `selfish:2,equivocate:1@4`; kinds
+        as in `tldag node --behavior`), placed deterministically on the
+        highest founder ids (never node 0) and applied to the reference
+        engine at the same slot boundary. The verdict then becomes
+        honest-subset digest parity — honest nodes must reproduce the
+        engine exactly *despite* the attack, and the detection counters
+        (digest conflicts, conflict pulls, flap rejections, evictions)
+        are printed. A flapper adversary's own chain is expected to fork
+        (it goes dark mid-run); pass --evict-after SECS so honest nodes
+        evict it instead of waiting out every barrier.
 
     tldag status --targets ADDR,ADDR,... [--json] [--timeout SECS]
         Scrape the /metrics endpoint of every listed node of a live
@@ -559,6 +582,20 @@ fn cmd_node(args: &Args) -> Result<(), String> {
                 .map_err(|_| format!("invalid value for --metrics-addr: `{raw}`"))?,
         ),
     };
+    if let Some(raw) = args.flags.get("behavior") {
+        let (kind, from) = match raw.split_once('@') {
+            Some((kind, slot)) => (
+                kind,
+                slot.parse::<u64>()
+                    .map_err(|_| format!("invalid value for --behavior: `{raw}`"))?,
+            ),
+            None => (raw.as_str(), 0),
+        };
+        config.behavior = Behavior::parse_kind(kind).ok_or_else(|| {
+            format!("invalid value for --behavior: `{raw}` (expected KIND[@SLOT])")
+        })?;
+        config.behavior_from = from;
+    }
     let storage: String = args.get("storage", "memory".to_string())?;
     config.storage = match storage.as_str() {
         "memory" => tldag::net::StorageMode::Memory,
@@ -639,6 +676,17 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
     };
     config.report_timeout = std::time::Duration::from_secs(args.get("timeout", 60)?);
     config.churn = tldag::net::parse_churn_spec(&args.get("churn", String::new())?)?;
+    config.adversaries =
+        tldag::net::parse_adversary_spec(&args.get("adversary", String::new())?, nodes)?;
+    config.evict_after = match args.flags.get("evict-after") {
+        None => None,
+        Some(raw) => {
+            let secs: f64 = raw
+                .parse()
+                .map_err(|_| format!("invalid value for --evict-after: `{raw}`"))?;
+            Some(std::time::Duration::from_secs_f64(secs))
+        }
+    };
     config.trace = args.switch("trace");
     config.metrics = args.switch("metrics") || args.flags.contains_key("status-every");
     config.sample_every = match args.flags.get("status-every") {
@@ -684,6 +732,12 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
             None => String::new(),
         }
     );
+    if !config.adversaries.is_empty() {
+        println!(
+            "adversaries: {}",
+            tldag::net::format_adversary_schedule(&config.adversaries)
+        );
+    }
     let outcome = tldag::net::run_cluster(&config)?;
     for report in &outcome.reports {
         println!(
@@ -740,8 +794,32 @@ fn cmd_cluster(args: &Args) -> Result<(), String> {
             outcome.reference_pop.0
         );
     }
-    if outcome.parity() {
-        println!("PARITY OK: the UDP cluster reproduced the in-memory engine exactly");
+    let adversarial = !outcome.adversaries.is_empty();
+    if adversarial {
+        println!(
+            "  honest-subset digest     : wire {} vs reference {}",
+            outcome.honest_wire_digest, outcome.honest_reference_digest
+        );
+        println!(
+            "  adversary detection      : {} digest conflicts, {} conflict pulls, \
+{} flap rejections, {} evictions",
+            n.digest_conflicts, n.conflict_pulls, n.flap_rejections, n.evictions
+        );
+    }
+    // The verdict for an adversarial run is the honest subset: a dark
+    // adversary legitimately forks its own chain from the engine, and
+    // excluding it is the protocol working, not a reproduction bug.
+    let verdict = if adversarial {
+        outcome.honest_parity()
+    } else {
+        outcome.parity()
+    };
+    if verdict {
+        if adversarial {
+            println!("HONEST PARITY OK: honest nodes reproduced the in-memory engine under attack");
+        } else {
+            println!("PARITY OK: the UDP cluster reproduced the in-memory engine exactly");
+        }
         Ok(())
     } else {
         for (i, report) in outcome.reports.iter().enumerate() {
